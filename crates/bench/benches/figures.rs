@@ -1,0 +1,86 @@
+//! Figure regeneration benches: each iteration recomputes one of the
+//! paper's figures (4a, 4b, 5, 6, 7) on a reduced grid, and the series are
+//! printed once per bench as a smoke reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dls_bench::bench_sweep_config;
+use dls_experiments::{
+    fig4a, fig4b, fig5_point, paper_competitors, relative_series, render_series, run_sweep,
+    Competitor, Table1Grid,
+};
+
+fn bench_fig4a(c: &mut Criterion) {
+    let cfg = bench_sweep_config();
+    let competitors = paper_competitors();
+    let series = fig4a(&run_sweep(&cfg, &competitors));
+    println!("\n{}", render_series("Fig 4(a) (bench sub-grid)", &series));
+    c.bench_function("fig4a_regenerate", |b| {
+        b.iter(|| black_box(fig4a(&run_sweep(black_box(&cfg), &competitors))))
+    });
+}
+
+fn bench_fig4b(c: &mut Criterion) {
+    let cfg = bench_sweep_config();
+    let competitors = paper_competitors();
+    let series = fig4b(&run_sweep(&cfg, &competitors));
+    println!("\n{}", render_series("Fig 4(b) (bench sub-grid)", &series));
+    c.bench_function("fig4b_regenerate", |b| {
+        b.iter(|| black_box(fig4b(&run_sweep(black_box(&cfg), &competitors))))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut cfg = bench_sweep_config();
+    cfg.grid = Table1Grid::single(fig5_point());
+    let competitors = paper_competitors();
+    let series = relative_series(&run_sweep(&cfg, &competitors), |_| true);
+    println!("\n{}", render_series("Fig 5 (bench errors)", &series));
+    c.bench_function("fig5_regenerate", |b| {
+        b.iter(|| {
+            let sweep = run_sweep(black_box(&cfg), &competitors);
+            black_box(relative_series(&sweep, |_| true))
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = bench_sweep_config();
+    let competitors = vec![
+        Competitor::RumrKnown,
+        Competitor::RumrFixed(0.5),
+        Competitor::RumrFixed(0.6),
+        Competitor::RumrFixed(0.7),
+        Competitor::RumrFixed(0.8),
+        Competitor::RumrFixed(0.9),
+    ];
+    let series = relative_series(&run_sweep(&cfg, &competitors), |_| true);
+    println!("\n{}", render_series("Fig 6 (bench sub-grid)", &series));
+    c.bench_function("fig6_regenerate", |b| {
+        b.iter(|| {
+            let sweep = run_sweep(black_box(&cfg), &competitors);
+            black_box(relative_series(&sweep, |_| true))
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let cfg = bench_sweep_config();
+    let competitors = vec![Competitor::RumrKnown, Competitor::RumrPlain];
+    let series = relative_series(&run_sweep(&cfg, &competitors), |_| true);
+    println!("\n{}", render_series("Fig 7 (bench sub-grid)", &series));
+    c.bench_function("fig7_regenerate", |b| {
+        b.iter(|| {
+            let sweep = run_sweep(black_box(&cfg), &competitors);
+            black_box(relative_series(&sweep, |_| true))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4a, bench_fig4b, bench_fig5, bench_fig6, bench_fig7
+}
+criterion_main!(benches);

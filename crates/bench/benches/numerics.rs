@@ -1,0 +1,69 @@
+//! Microbenchmarks for the numerical substrate: dense LU scaling (the MI
+//! planner's cost driver), root finders, and the truncated-normal sampler
+//! (drawn twice per chunk across millions of sweep simulations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dls_numerics::dist::{Perturbation, TruncatedNormal};
+use dls_numerics::linalg::Matrix;
+use dls_numerics::{bisect, brent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dense_system(n: usize) -> (Matrix, Vec<f64>) {
+    let mut a = Matrix::zeros(n, n);
+    let mut state: u64 = 0x9E3779B97F4A7C15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = next();
+        }
+        a[(i, i)] += n as f64;
+    }
+    let b = (0..n).map(|_| next()).collect();
+    (a, b)
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_solve");
+    // MI-x systems are (x·N)×(x·N): N=50, x=4 gives 200.
+    for n in [20usize, 80, 200] {
+        let (a, b) = dense_system(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.solve(black_box(&b)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_root_finders(c: &mut Criterion) {
+    let f = |x: f64| x.powi(3) - 2.0 * x - 5.0;
+    c.bench_function("bisect", |b| {
+        b.iter(|| black_box(bisect(f, 2.0, 3.0, 1e-12, 300).unwrap()))
+    });
+    c.bench_function("brent", |b| {
+        b.iter(|| black_box(brent(f, 2.0, 3.0, 1e-12, 100).unwrap()))
+    });
+}
+
+fn bench_truncated_normal(c: &mut Criterion) {
+    let mut dist = TruncatedNormal::from_error(0.3);
+    let mut rng = StdRng::seed_from_u64(7);
+    c.bench_function("truncated_normal_sample", |b| {
+        b.iter(|| black_box(dist.sample_ratio(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lu,
+    bench_root_finders,
+    bench_truncated_normal
+);
+criterion_main!(benches);

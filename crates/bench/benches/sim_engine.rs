@@ -1,0 +1,63 @@
+//! Discrete-event engine throughput: one full simulated application run per
+//! iteration, for each scheduler family, on a mid-size Table 1 platform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rumr::{Scenario, SchedulerKind};
+
+fn bench_simulation(c: &mut Criterion) {
+    let error = 0.3;
+    let scenario = Scenario::table1(20, 1.6, 0.3, 0.2, error);
+    let kinds = [
+        SchedulerKind::rumr_known_error(error),
+        SchedulerKind::Umr,
+        SchedulerKind::Mi { installments: 3 },
+        SchedulerKind::Factoring,
+        SchedulerKind::Fsc { error },
+        SchedulerKind::EqualStatic,
+    ];
+    let mut group = c.benchmark_group("simulate_run");
+    for kind in kinds {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(scenario.run(kind, seed).unwrap().makespan)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_traced_simulation(c: &mut Criterion) {
+    let scenario = Scenario::table1(20, 1.6, 0.3, 0.2, 0.3);
+    let kind = SchedulerKind::rumr_known_error(0.3);
+    c.bench_function("simulate_run_traced", |b| {
+        b.iter(|| black_box(scenario.run_traced(&kind, 1).unwrap().num_chunks))
+    });
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_scaling");
+    for n in [10usize, 20, 50] {
+        let scenario = Scenario::table1(n, 1.5, 0.2, 0.2, 0.3);
+        let kind = SchedulerKind::rumr_known_error(0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(scenario.run(&kind, 1).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_traced_simulation,
+    bench_worker_scaling
+);
+criterion_main!(benches);

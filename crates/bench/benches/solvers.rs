@@ -1,0 +1,79 @@
+//! Planner microbenchmarks.
+//!
+//! The paper reports that the UMR optimization "can be solved numerically
+//! by bisection (requiring about 0.07 seconds on a 400MHz PIII)". These
+//! benches measure both of our solver paths, the MI linear system and the
+//! heterogeneous planner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dls_sched::{phase_split, HetUmrSchedule, MiSchedule, RumrConfig, UmrInputs, UmrSchedule};
+use dls_sim::{HomogeneousParams, Platform, WorkerSpec};
+
+fn table1_inputs(n: usize) -> UmrInputs {
+    let platform = HomogeneousParams::table1(n, 1.6, 0.3, 0.2).build().unwrap();
+    UmrInputs::from_platform(&platform, 1000.0).unwrap()
+}
+
+fn bench_umr_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("umr_solve");
+    for n in [10usize, 50] {
+        let inputs = table1_inputs(n);
+        group.bench_with_input(BenchmarkId::new("integer_scan", n), &inputs, |b, i| {
+            b.iter(|| UmrSchedule::solve(black_box(*i)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lagrange", n), &inputs, |b, i| {
+            b.iter(|| UmrSchedule::solve_lagrange(black_box(*i)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("with_selection", n), &inputs, |b, i| {
+            b.iter(|| UmrSchedule::solve_with_selection(black_box(*i)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mi_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mi_solve");
+    let platform = HomogeneousParams::table1(20, 1.6, 0.0, 0.0)
+        .build()
+        .unwrap();
+    for x in 1..=4usize {
+        group.bench_with_input(BenchmarkId::from_parameter(x), &x, |b, &x| {
+            b.iter(|| MiSchedule::solve(black_box(&platform), 1000.0, x).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_het_solver(c: &mut Criterion) {
+    let workers: Vec<WorkerSpec> = (0..16)
+        .map(|i| WorkerSpec {
+            speed: 1.0 + (i % 4) as f64,
+            bandwidth: 20.0 + 5.0 * (i % 3) as f64,
+            comp_latency: 0.1 * (i % 5) as f64,
+            net_latency: 0.05 * (i % 3) as f64,
+            transfer_latency: 0.0,
+        })
+        .collect();
+    let platform = Platform::new(workers).unwrap();
+    c.bench_function("het_umr_solve_with_selection", |b| {
+        b.iter(|| HetUmrSchedule::solve_with_selection(black_box(&platform), 1000.0).unwrap())
+    });
+}
+
+fn bench_phase_split(c: &mut Criterion) {
+    let cfg = RumrConfig::with_known_error(0.3);
+    c.bench_function("rumr_phase_split", |b| {
+        b.iter(|| phase_split(black_box(1000.0), 20, 0.3, 0.2, &cfg))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_umr_solvers,
+    bench_mi_solver,
+    bench_het_solver,
+    bench_phase_split
+);
+criterion_main!(benches);

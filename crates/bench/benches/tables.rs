@@ -1,0 +1,51 @@
+//! Table regeneration benches: each iteration recomputes Table 2 / Table 3
+//! on a reduced grid (the full grids are driven by the `dls-experiments`
+//! binaries; see EXPERIMENTS.md for paper-vs-measured values). The rendered
+//! rows are printed once per bench so `cargo bench` output doubles as a
+//! smoke reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dls_bench::bench_sweep_config;
+use dls_experiments::{paper_competitors, render_win_rate, run_sweep, win_rate_table};
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = bench_sweep_config();
+    let competitors = paper_competitors();
+    // Print one instance so the bench run shows the regenerated rows.
+    let table = win_rate_table(&run_sweep(&cfg, &competitors), 1.0);
+    println!(
+        "\n{}",
+        render_win_rate("Table 2 (bench sub-grid): % RUMR wins", &table)
+    );
+    c.bench_function("table2_regenerate", |b| {
+        b.iter(|| {
+            let sweep = run_sweep(black_box(&cfg), &competitors);
+            black_box(win_rate_table(&sweep, 1.0))
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let cfg = bench_sweep_config();
+    let competitors = paper_competitors();
+    let table = win_rate_table(&run_sweep(&cfg, &competitors), 1.1);
+    println!(
+        "\n{}",
+        render_win_rate("Table 3 (bench sub-grid): % RUMR wins by >= 10%", &table)
+    );
+    c.bench_function("table3_regenerate", |b| {
+        b.iter(|| {
+            let sweep = run_sweep(black_box(&cfg), &competitors);
+            black_box(win_rate_table(&sweep, 1.1))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2, bench_table3
+}
+criterion_main!(benches);

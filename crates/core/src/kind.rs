@@ -1,0 +1,252 @@
+//! Algorithm selection: a serializable-ish enum naming every scheduler in
+//! the suite, with a uniform factory.
+//!
+//! The experiment harness, examples and benches all pick algorithms through
+//! [`SchedulerKind`], so a simulation run is fully described by
+//! (platform, workload, error model, kind, seed).
+
+use std::fmt;
+
+use dls_sched::{
+    AdaptiveConfig, AdaptiveRumr, EqualSingleRound, Factoring, Fsc, Gss, HetRumr, HetUmr, MiError,
+    MultiInstallment, OneRound, Rumr, RumrConfig, Tss, Umr, UmrError, UnitSelfScheduling,
+};
+use dls_sim::{Platform, Scheduler};
+
+/// Every scheduling algorithm available in the suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    /// RUMR (the paper's contribution) with the given configuration.
+    Rumr(RumrConfig),
+    /// Plain UMR (phase-1 algorithm alone).
+    Umr,
+    /// Multi-installment with `x` installments (MI-x).
+    Mi {
+        /// Number of installments `x`.
+        installments: usize,
+    },
+    /// Factoring (Hummel '92), error-unaware minimum chunk bound.
+    Factoring,
+    /// Fixed-size chunking with the given error estimate for its chunk-size
+    /// formula.
+    Fsc {
+        /// Estimated error magnitude (σ of unit execution time).
+        error: f64,
+    },
+    /// One round of equal static chunks.
+    EqualStatic,
+    /// Unit-granularity self-scheduling.
+    SelfScheduling {
+        /// Chunk size in workload units.
+        unit: f64,
+    },
+    /// Heterogeneous UMR with resource selection.
+    HetUmr,
+    /// Adaptive RUMR: estimates the error online (no a-priori estimate) and
+    /// switches to its factoring phase when the measurements warrant it —
+    /// the paper's §6 future-work design.
+    AdaptiveRumr,
+    /// Heterogeneous RUMR: the two-phase robust scheduler on heterogeneous
+    /// platforms (speed-weighted phase-2 factoring).
+    HetRumr(RumrConfig),
+    /// Latency-aware optimal single round (Rosenberg '01 style).
+    OneRound,
+    /// Guided self-scheduling (Polychronopoulos & Kuck '87).
+    Gss,
+    /// Trapezoid self-scheduling (Tzen & Ni '93).
+    Tss,
+}
+
+impl SchedulerKind {
+    /// The paper's original RUMR with a known error magnitude.
+    pub fn rumr_known_error(error: f64) -> Self {
+        SchedulerKind::Rumr(RumrConfig::with_known_error(error))
+    }
+
+    /// The fixed-split ablation variant RUMR_p (Fig. 6).
+    pub fn rumr_fixed_fraction(p: f64, error: Option<f64>) -> Self {
+        SchedulerKind::Rumr(RumrConfig::with_fixed_fraction(p, error))
+    }
+
+    /// The in-order phase-1 ablation variant (Fig. 7).
+    pub fn rumr_plain_phase1(error: f64) -> Self {
+        let mut cfg = RumrConfig::with_known_error(error);
+        cfg.out_of_order = false;
+        SchedulerKind::Rumr(cfg)
+    }
+
+    /// Display label used in tables and reports.
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerKind::Rumr(cfg) => {
+                let mut s = String::from("RUMR");
+                if let Some(p) = cfg.phase1_fraction {
+                    s.push_str(&format!("_{:.0}", p * 100.0));
+                }
+                if !cfg.out_of_order {
+                    s.push_str("-plain");
+                }
+                s
+            }
+            SchedulerKind::Umr => "UMR".into(),
+            SchedulerKind::Mi { installments } => format!("MI-{installments}"),
+            SchedulerKind::Factoring => "Factoring".into(),
+            SchedulerKind::Fsc { .. } => "FSC".into(),
+            SchedulerKind::EqualStatic => "EqualStatic".into(),
+            SchedulerKind::SelfScheduling { .. } => "SelfSched".into(),
+            SchedulerKind::HetUmr => "UMR-het".into(),
+            SchedulerKind::AdaptiveRumr => "RUMR-adaptive".into(),
+            SchedulerKind::HetRumr(_) => "RUMR-het".into(),
+            SchedulerKind::OneRound => "OneRound".into(),
+            SchedulerKind::Gss => "GSS".into(),
+            SchedulerKind::Tss => "TSS".into(),
+        }
+    }
+
+    /// Instantiate the scheduler for a platform and workload.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] when the algorithm's planner rejects the inputs (e.g.
+    /// homogeneous-only algorithms on a heterogeneous platform).
+    pub fn build(
+        &self,
+        platform: &Platform,
+        w_total: f64,
+    ) -> Result<Box<dyn Scheduler>, BuildError> {
+        Ok(match *self {
+            SchedulerKind::Rumr(cfg) => Box::new(Rumr::new(platform, w_total, cfg)?),
+            SchedulerKind::Umr => Box::new(Umr::new(platform, w_total)?),
+            SchedulerKind::Mi { installments } => {
+                Box::new(MultiInstallment::new(platform, w_total, installments)?)
+            }
+            SchedulerKind::Factoring => Box::new(Factoring::new(platform, w_total)),
+            SchedulerKind::Fsc { error } => Box::new(Fsc::new(platform, w_total, error)),
+            SchedulerKind::EqualStatic => Box::new(EqualSingleRound::new(platform, w_total)),
+            SchedulerKind::SelfScheduling { unit } => {
+                Box::new(UnitSelfScheduling::with_unit(w_total, unit))
+            }
+            SchedulerKind::HetUmr => Box::new(HetUmr::new(platform, w_total)?),
+            SchedulerKind::AdaptiveRumr => Box::new(AdaptiveRumr::new(
+                platform,
+                w_total,
+                AdaptiveConfig::default(),
+            )?),
+            SchedulerKind::HetRumr(cfg) => Box::new(HetRumr::new(platform, w_total, cfg)?),
+            SchedulerKind::OneRound => Box::new(OneRound::new(platform, w_total)?),
+            SchedulerKind::Gss => Box::new(Gss::new(platform, w_total)),
+            SchedulerKind::Tss => Box::new(Tss::new(platform, w_total)),
+        })
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A scheduler could not be constructed for the given inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// Error from the UMR/RUMR planners.
+    Umr(UmrError),
+    /// Error from the multi-installment planner.
+    Mi(MiError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Umr(e) => write!(f, "UMR planner: {e}"),
+            BuildError::Mi(e) => write!(f, "MI planner: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Umr(e) => Some(e),
+            BuildError::Mi(e) => Some(e),
+        }
+    }
+}
+
+impl From<UmrError> for BuildError {
+    fn from(e: UmrError) -> Self {
+        BuildError::Umr(e)
+    }
+}
+
+impl From<MiError> for BuildError {
+    fn from(e: MiError) -> Self {
+        BuildError::Mi(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sim::HomogeneousParams;
+
+    fn platform() -> Platform {
+        HomogeneousParams::table1(8, 1.5, 0.2, 0.2).build().unwrap()
+    }
+
+    #[test]
+    fn every_kind_builds_on_table1_platform() {
+        let p = platform();
+        let kinds = [
+            SchedulerKind::rumr_known_error(0.3),
+            SchedulerKind::Umr,
+            SchedulerKind::Mi { installments: 3 },
+            SchedulerKind::Factoring,
+            SchedulerKind::Fsc { error: 0.3 },
+            SchedulerKind::EqualStatic,
+            SchedulerKind::SelfScheduling { unit: 10.0 },
+            SchedulerKind::HetUmr,
+            SchedulerKind::AdaptiveRumr,
+            SchedulerKind::HetRumr(RumrConfig::with_known_error(0.3)),
+            SchedulerKind::OneRound,
+            SchedulerKind::Gss,
+            SchedulerKind::Tss,
+        ];
+        for kind in kinds {
+            let s = kind
+                .build(&p, 1000.0)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchedulerKind::Umr.label(), "UMR");
+        assert_eq!(SchedulerKind::Mi { installments: 2 }.label(), "MI-2");
+        assert_eq!(SchedulerKind::rumr_known_error(0.3).label(), "RUMR");
+        assert_eq!(
+            SchedulerKind::rumr_fixed_fraction(0.8, None).label(),
+            "RUMR_80"
+        );
+        assert_eq!(SchedulerKind::rumr_plain_phase1(0.2).label(), "RUMR-plain");
+        assert_eq!(format!("{}", SchedulerKind::Factoring), "Factoring");
+    }
+
+    #[test]
+    fn build_errors_propagate() {
+        let p = platform();
+        let e = match SchedulerKind::Umr.build(&p, -1.0) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a build error"),
+        };
+        assert!(matches!(e, BuildError::Umr(_)));
+        assert!(!format!("{e}").is_empty());
+
+        let e = match (SchedulerKind::Mi { installments: 0 }).build(&p, 100.0) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a build error"),
+        };
+        assert!(matches!(e, BuildError::Mi(MiError::ZeroInstallments)));
+    }
+}

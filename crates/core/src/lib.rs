@@ -1,0 +1,53 @@
+//! # rumr — Robust scheduling for divisible workloads
+//!
+//! A production-quality Rust implementation of **RUMR** (Robust Uniform
+//! Multi-Round, Yang & Casanova, HPDC 2003), together with every algorithm
+//! and substrate its evaluation depends on:
+//!
+//! * a discrete-event master–worker platform simulator with the paper's
+//!   latency model and prediction-error injection ([`dls_sim`], re-exported
+//!   as [`sim`]);
+//! * UMR, RUMR, multi-installment (MI-x), Factoring, FSC and baseline
+//!   schedulers ([`dls_sched`], re-exported as [`sched`]);
+//! * a uniform experiment API: [`Scenario`] × [`SchedulerKind`] × seed.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rumr::{Scenario, SchedulerKind};
+//!
+//! // 20 workers, B = 1.8·N, cLat = 0.3 s, nLat = 0.1 s, 25 % prediction error.
+//! let scenario = Scenario::table1(20, 1.8, 0.3, 0.1, 0.25);
+//!
+//! let rumr = scenario.run(&SchedulerKind::rumr_known_error(0.25), 42).unwrap();
+//! let umr = scenario.run(&SchedulerKind::Umr, 42).unwrap();
+//!
+//! println!("RUMR: {:.2} s, UMR: {:.2} s", rumr.makespan, umr.makespan);
+//! assert!(rumr.makespan > 0.0 && umr.makespan > 0.0);
+//! ```
+//!
+//! # Picking an algorithm
+//!
+//! * Predictions reliable (`error ≈ 0`): [`SchedulerKind::Umr`] — optimal
+//!   multi-round overlap, automatically chosen round count.
+//! * Predictions noisy, magnitude known: `SchedulerKind::rumr_known_error`
+//!   — UMR's overlap for the bulk of the workload, factoring for the tail.
+//! * Magnitude unknown: `SchedulerKind::Rumr(RumrConfig::default())` — the
+//!   80/20 split the paper's §5.2.1 recommends.
+//! * No predictions at all: [`SchedulerKind::Factoring`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kind;
+pub mod scenario;
+
+pub use kind::{BuildError, SchedulerKind};
+pub use scenario::{RunError, Scenario};
+
+pub use dls_sched as sched;
+pub use dls_sched::{RumrConfig, UmrInputs, UmrSchedule};
+pub use dls_sim as sim;
+pub use dls_sim::{
+    ErrorModel, HomogeneousParams, Platform, PlatformError, SimConfig, SimResult, WorkerSpec,
+};

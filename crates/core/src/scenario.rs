@@ -1,0 +1,277 @@
+//! Scenario definition and simulation entry points.
+//!
+//! A [`Scenario`] bundles everything that defines one experimental setting —
+//! platform, workload, and error model — so a single run is fully determined
+//! by (scenario, algorithm, seed). This is the API the experiment harness,
+//! the examples and downstream users drive.
+
+use dls_sim::{
+    simulate, CostProfile, ErrorInjector, ErrorModel, Platform, SimConfig, SimError, SimResult,
+};
+
+use crate::kind::{BuildError, SchedulerKind};
+
+/// One experimental setting: platform + workload + error model.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The computing platform.
+    pub platform: Platform,
+    /// Total divisible workload, in units.
+    pub w_total: f64,
+    /// Prediction-error model applied during execution.
+    pub error_model: ErrorModel,
+    /// Optional trace-driven cost profile: computation times are scaled by
+    /// the actual per-unit costs of the chunk's range (§6's "traces from
+    /// real applications"), with `error_model` acting as platform noise on
+    /// top. `None` uses the pure distribution model of the paper's
+    /// evaluation.
+    pub cost_profile: Option<CostProfile>,
+    /// Optional temporally correlated per-worker load noise (tests the
+    /// paper's §4.1 stationarity assumption). `None` keeps errors i.i.d.
+    pub temporal_noise: Option<dls_sim::TemporalNoise>,
+}
+
+impl Scenario {
+    /// A scenario on the paper's Table 1 homogeneous grid: `N = n` workers,
+    /// `S = 1`, `B = ratio·n`, `W = 1000`, `tLat = 0`, truncated-normal
+    /// errors of the given magnitude.
+    pub fn table1(n: usize, ratio: f64, comp_latency: f64, net_latency: f64, error: f64) -> Self {
+        let platform = dls_sim::HomogeneousParams::table1(n, ratio, comp_latency, net_latency)
+            .build()
+            .expect("Table 1 parameters are valid");
+        Scenario {
+            platform,
+            w_total: 1000.0,
+            error_model: if error > 0.0 {
+                ErrorModel::TruncatedNormal { error }
+            } else {
+                ErrorModel::None
+            },
+            cost_profile: None,
+            temporal_noise: None,
+        }
+    }
+
+    /// The error magnitude of the scenario's error model.
+    pub fn error(&self) -> f64 {
+        self.error_model.magnitude()
+    }
+
+    /// Run one simulation.
+    pub fn run(&self, kind: &SchedulerKind, seed: u64) -> Result<SimResult, RunError> {
+        self.run_with_config(kind, seed, SimConfig::default())
+    }
+
+    /// Run one simulation and record the full event trace.
+    pub fn run_traced(&self, kind: &SchedulerKind, seed: u64) -> Result<SimResult, RunError> {
+        self.run_with_config(
+            kind,
+            seed,
+            SimConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Run under the concurrent-transfer extension: up to `max_sends`
+    /// simultaneous master transfers sharing `uplink_capacity` (units/s)
+    /// max-min fairly. `max_sends = 1` is the paper's serial model.
+    pub fn run_concurrent(
+        &self,
+        kind: &SchedulerKind,
+        seed: u64,
+        max_sends: usize,
+        uplink_capacity: Option<f64>,
+    ) -> Result<SimResult, RunError> {
+        self.run_with_config(
+            kind,
+            seed,
+            SimConfig {
+                max_concurrent_sends: max_sends,
+                uplink_capacity,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Run with an explicit engine configuration.
+    pub fn run_with_config(
+        &self,
+        kind: &SchedulerKind,
+        seed: u64,
+        config: SimConfig,
+    ) -> Result<SimResult, RunError> {
+        let mut scheduler = kind.build(&self.platform, self.w_total)?;
+        let mut injector = match &self.cost_profile {
+            Some(profile) => ErrorInjector::with_profile(self.error_model, seed, profile.clone()),
+            None => ErrorInjector::new(self.error_model, seed),
+        };
+        if let Some(noise) = self.temporal_noise {
+            injector = injector.with_temporal_noise(noise);
+        }
+        Ok(simulate(
+            &self.platform,
+            scheduler.as_mut(),
+            injector,
+            config,
+        )?)
+    }
+
+    /// Mean makespan of `kind` over `reps` seeded repetitions
+    /// (seeds `seed_base..seed_base + reps`).
+    pub fn mean_makespan(
+        &self,
+        kind: &SchedulerKind,
+        seed_base: u64,
+        reps: u64,
+    ) -> Result<f64, RunError> {
+        assert!(reps > 0, "need at least one repetition");
+        let mut total = 0.0;
+        for rep in 0..reps {
+            total += self.run(kind, seed_base + rep)?.makespan;
+        }
+        Ok(total / reps as f64)
+    }
+}
+
+/// Error running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The scheduler could not be constructed.
+    Build(BuildError),
+    /// The simulation failed (scheduler bug surfaced by the engine).
+    Sim(SimError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Build(e) => write!(f, "build: {e}"),
+            RunError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Build(e) => Some(e),
+            RunError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for RunError {
+    fn from(e: BuildError) -> Self {
+        RunError::Build(e)
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_scenario_shape() {
+        let s = Scenario::table1(20, 1.8, 0.3, 0.9, 0.2);
+        assert_eq!(s.platform.num_workers(), 20);
+        assert!((s.platform.worker(0).bandwidth - 36.0).abs() < 1e-12);
+        assert_eq!(s.w_total, 1000.0);
+        assert!((s.error() - 0.2).abs() < 1e-12);
+
+        let exact = Scenario::table1(10, 1.5, 0.1, 0.1, 0.0);
+        assert_eq!(exact.error_model, ErrorModel::None);
+    }
+
+    #[test]
+    fn run_and_determinism() {
+        let s = Scenario::table1(10, 1.5, 0.2, 0.2, 0.3);
+        let kind = SchedulerKind::rumr_known_error(0.3);
+        let a = s.run(&kind, 7).unwrap();
+        let b = s.run(&kind, 7).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        let c = s.run(&kind, 8).unwrap();
+        assert_ne!(a.makespan, c.makespan);
+        assert!((a.completed_work() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn traced_run_validates() {
+        let s = Scenario::table1(8, 1.4, 0.1, 0.3, 0.25);
+        let r = s.run_traced(&SchedulerKind::Factoring, 1).unwrap();
+        let trace = r.trace.expect("trace recorded");
+        assert!(trace.validate(8).is_empty());
+    }
+
+    #[test]
+    fn mean_makespan_averages() {
+        let s = Scenario::table1(5, 1.5, 0.1, 0.1, 0.4);
+        let kind = SchedulerKind::Factoring;
+        let mean = s.mean_makespan(&kind, 0, 5).unwrap();
+        let manual: f64 = (0..5)
+            .map(|seed| s.run(&kind, seed).unwrap().makespan)
+            .sum::<f64>()
+            / 5.0;
+        assert!((mean - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrency_helps_on_latency_bound_platform() {
+        let s = Scenario::table1(10, 1.5, 0.2, 0.8, 0.2);
+        let kind = SchedulerKind::Factoring;
+        let capacity = Some(s.platform.worker(0).bandwidth);
+        let serial = s.run_concurrent(&kind, 3, 1, capacity).unwrap().makespan;
+        let conc = s.run_concurrent(&kind, 3, 4, capacity).unwrap().makespan;
+        assert!(
+            conc < serial,
+            "4 concurrent sends should beat serial at nLat = 0.8: {conc} vs {serial}"
+        );
+    }
+
+    #[test]
+    fn output_ratio_through_scenario_config() {
+        let s = Scenario::table1(6, 1.5, 0.1, 0.1, 0.0);
+        let cfg = SimConfig {
+            output_ratio: 0.5,
+            ..Default::default()
+        };
+        let r = s.run_with_config(&SchedulerKind::Umr, 0, cfg).unwrap();
+        assert!((r.returned_work - 500.0).abs() < 1e-6);
+        let base = s.run(&SchedulerKind::Umr, 0).unwrap();
+        assert!(r.makespan > base.makespan);
+    }
+
+    #[test]
+    fn temporal_noise_through_scenario() {
+        use dls_sim::TemporalNoise;
+        let mut s = Scenario::table1(8, 1.5, 0.1, 0.1, 0.0);
+        s.temporal_noise = Some(TemporalNoise {
+            rho: 0.9,
+            sigma: 0.4,
+        });
+        let a = s.run(&SchedulerKind::Factoring, 1).unwrap();
+        let b = s.run(&SchedulerKind::Factoring, 1).unwrap();
+        assert_eq!(a.makespan, b.makespan, "temporal noise must be seeded");
+        let mut plain = s.clone();
+        plain.temporal_noise = None;
+        let c = plain.run(&SchedulerKind::Factoring, 1).unwrap();
+        assert_ne!(a.makespan, c.makespan);
+        assert!((a.completed_work() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let s = Scenario::table1(5, 1.5, 0.1, 0.1, 0.0);
+        let bad = Scenario { w_total: -3.0, ..s };
+        let e = bad.run(&SchedulerKind::Umr, 0).unwrap_err();
+        assert!(matches!(e, RunError::Build(_)));
+        assert!(!format!("{e}").is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Ablation studies for the design choices DESIGN.md calls out (beyond the
+//! paper's own Fig. 6/7 ablations):
+//!
+//! 1. **Adaptive vs oracle** — RUMR with online error estimation (the
+//!    paper's §6 future work) against RUMR with the error given, plain UMR,
+//!    and Factoring.
+//! 2. **Factoring factor** — phase 2 with `f ∈ {1.5, 3, 4}` against the
+//!    classic `f = 2`.
+//! 3. **Minimum chunk bound** — the §4.2(iii) error-aware bound
+//!    `(cLat + nLat·N)/error` against the error-unaware `cLat + nLat·N`.
+//!
+//! All series are normalized to original RUMR (values > 1 mean original
+//! RUMR wins). Accepts the standard harness flags.
+
+use dls_experiments::{
+    parse_env, relative_series, render_series, run_sweep, series_csv, write_file, Competitor,
+};
+use std::path::Path;
+
+fn main() {
+    let opts = match parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    let studies: [(&str, &str, Vec<Competitor>); 3] = [
+        (
+            "Ablation 1: online error estimation vs oracle error (normalized to RUMR)",
+            "ablation_adaptive.csv",
+            vec![
+                Competitor::RumrKnown,
+                Competitor::RumrAdaptive,
+                Competitor::Umr,
+                Competitor::Factoring,
+            ],
+        ),
+        (
+            "Ablation 2: phase-2 factoring factor (normalized to RUMR with f = 2)",
+            "ablation_factor.csv",
+            vec![
+                Competitor::RumrKnown,
+                Competitor::RumrFactor(1.5),
+                Competitor::RumrFactor(3.0),
+                Competitor::RumrFactor(4.0),
+            ],
+        ),
+        (
+            "Ablation 3: error-aware vs error-unaware minimum chunk bound",
+            "ablation_bound.csv",
+            vec![Competitor::RumrKnown, Competitor::RumrUnawareBound],
+        ),
+    ];
+
+    for (title, csv_name, competitors) in studies {
+        let sweep = run_sweep(&opts.sweep, &competitors);
+        let series = relative_series(&sweep, |_| true);
+        println!("{}", render_series(title, &series));
+        if let Some(dir) = &opts.csv {
+            let path = Path::new(dir).join(csv_name);
+            write_file(&path, &series_csv(&series)).expect("write CSV");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Concurrent-transfer study: the paper's §3.1 future work.
+//!
+//! "Although this is a common assumption in most previous work, it could be
+//! beneficial to allow for simultaneous transfers for better throughput in
+//! some cases (e.g. WANs)." This experiment quantifies that: the master may
+//! keep up to `k` transfers in flight, their `nLat` setups overlapping and
+//! their data phases sharing the master's uplink (capacity fixed at the
+//! per-link rate `B`, i.e. total throughput never exceeds the serial
+//! model's — any gain comes purely from latency hiding).
+//!
+//! Expected shape: at low `nLat`, concurrency buys little (the serial link
+//! was already busy with data); at WAN-like `nLat`, pull-based schedulers
+//! (Factoring) gain enormously since their per-chunk setup cost was the
+//! serialized bottleneck, and RUMR's phase 2 stops being a liability in
+//! high-latency regimes.
+//!
+//! Flags: `--reps N`, `--seed N`.
+
+use rumr::{Scenario, SchedulerKind};
+
+fn main() {
+    let opts = match dls_experiments::parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let reps = opts.sweep.reps.max(10);
+    let seed = opts.sweep.root_seed;
+    let error = 0.3;
+    let n = 20;
+    let ratio = 1.6;
+
+    println!(
+        "Concurrent master transfers, shared uplink capacity = B = {:.0} units/s",
+        ratio * n as f64
+    );
+    println!("(N = {n}, error = {error}, {reps} reps; makespans in seconds)\n");
+
+    for &nlat in &[0.1, 0.5, 1.0] {
+        println!("--- nLat = {nlat}, cLat = 0.2 ---");
+        print!("{:<10}", "k");
+        let kinds = [
+            SchedulerKind::rumr_known_error(error),
+            SchedulerKind::Umr,
+            SchedulerKind::Factoring,
+        ];
+        for kind in &kinds {
+            print!("{:>12}", kind.label());
+        }
+        println!();
+        let scenario = Scenario::table1(n, ratio, 0.2, nlat, error);
+        let capacity = Some(ratio * n as f64);
+        for &k in &[1usize, 2, 4, 20] {
+            print!("{k:<10}");
+            for kind in &kinds {
+                let mut total = 0.0;
+                for rep in 0..reps {
+                    total += scenario
+                        .run_concurrent(kind, seed + rep, k, capacity)
+                        .expect("simulation succeeds")
+                        .makespan;
+                }
+                print!("{:>12.2}", total / reps as f64);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    println!("k = 1 is the paper's serial model; gains at larger k come purely");
+    println!("from overlapping nLat setups (the uplink never exceeds B).");
+}

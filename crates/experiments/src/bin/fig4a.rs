@@ -1,0 +1,39 @@
+//! Reproduces Fig. 4(a): mean makespan of each competitor normalized to
+//! RUMR, versus error, over the whole parameter grid.
+
+use dls_experiments::ascii_chart;
+use dls_experiments::{
+    fig4a, paper_competitors, parse_env, render_series, run_sweep, series_csv, write_file,
+};
+
+fn main() {
+    let opts = match parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let sweep = run_sweep(&opts.sweep, &paper_competitors());
+    let series = fig4a(&sweep);
+    print!(
+        "{}",
+        render_series(
+            "Fig 4(a): makespan normalized to RUMR vs error (all parameters)",
+            &series
+        )
+    );
+    print!(
+        "\n{}",
+        ascii_chart(
+            "(relative makespan vs error; values above the 1.00 line mean RUMR wins)",
+            &series,
+            70,
+            16
+        )
+    );
+    if let Some(path) = opts.csv {
+        write_file(&path, &series_csv(&series)).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

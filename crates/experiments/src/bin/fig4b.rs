@@ -1,0 +1,40 @@
+//! Reproduces Fig. 4(b): mean makespan of each competitor normalized to
+//! RUMR, versus error, restricted to the low-latency subset
+//! `cLat < 0.3` and `nLat < 0.3`.
+
+use dls_experiments::ascii_chart;
+use dls_experiments::{
+    fig4b, paper_competitors, parse_env, render_series, run_sweep, series_csv, write_file,
+};
+
+fn main() {
+    let opts = match parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let sweep = run_sweep(&opts.sweep, &paper_competitors());
+    let series = fig4b(&sweep);
+    print!(
+        "{}",
+        render_series(
+            "Fig 4(b): makespan normalized to RUMR vs error (cLat < 0.3, nLat < 0.3)",
+            &series
+        )
+    );
+    print!(
+        "\n{}",
+        ascii_chart(
+            "(relative makespan vs error; values above the 1.00 line mean RUMR wins)",
+            &series,
+            70,
+            16
+        )
+    );
+    if let Some(path) = opts.csv {
+        write_file(&path, &series_csv(&series)).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,45 @@
+//! Reproduces Fig. 5: relative makespans at the single high-`nLat` point
+//! `N = 20, B = 36 (r = 1.8), cLat = 0.3, nLat = 0.9`.
+//!
+//! Because this is a single platform point, `--full` only affects the error
+//! step and repetition count.
+
+use dls_experiments::ascii_chart;
+use dls_experiments::{
+    fig5_point, paper_competitors, parse_env, relative_series, render_series, run_sweep,
+    series_csv, write_file, Table1Grid,
+};
+
+fn main() {
+    let opts = match parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut sweep_cfg = opts.sweep;
+    sweep_cfg.grid = Table1Grid::single(fig5_point());
+    let sweep = run_sweep(&sweep_cfg, &paper_competitors());
+    let series = relative_series(&sweep, |_| true);
+    print!(
+        "{}",
+        render_series(
+            "Fig 5: makespan normalized to RUMR vs error (N=20, B=36, cLat=0.3, nLat=0.9)",
+            &series
+        )
+    );
+    print!(
+        "\n{}",
+        ascii_chart(
+            "(relative makespan vs error; values above the 1.00 line mean RUMR wins)",
+            &series,
+            70,
+            16
+        )
+    );
+    if let Some(path) = opts.csv {
+        write_file(&path, &series_csv(&series)).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

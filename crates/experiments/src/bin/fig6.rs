@@ -1,0 +1,48 @@
+//! Reproduces Fig. 6: RUMR scheduling a *fixed* percentage of the workload
+//! in phase 1 (50–90 %), normalized to the original error-driven RUMR,
+//! versus error.
+
+use dls_experiments::ascii_chart;
+use dls_experiments::{
+    parse_env, relative_series, render_series, run_sweep, series_csv, write_file, Competitor,
+};
+
+fn main() {
+    let opts = match parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let competitors = vec![
+        Competitor::RumrKnown, // reference (original RUMR)
+        Competitor::RumrFixed(0.5),
+        Competitor::RumrFixed(0.6),
+        Competitor::RumrFixed(0.7),
+        Competitor::RumrFixed(0.8),
+        Competitor::RumrFixed(0.9),
+    ];
+    let sweep = run_sweep(&opts.sweep, &competitors);
+    let series = relative_series(&sweep, |_| true);
+    print!(
+        "{}",
+        render_series(
+            "Fig 6: fixed phase-1 fraction RUMR normalized to original RUMR vs error",
+            &series
+        )
+    );
+    print!(
+        "\n{}",
+        ascii_chart(
+            "(relative makespan vs error; values above the 1.00 line mean RUMR wins)",
+            &series,
+            70,
+            16
+        )
+    );
+    if let Some(path) = opts.csv {
+        write_file(&path, &series_csv(&series)).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,40 @@
+//! Reproduces Fig. 7: RUMR with plain (in-order) UMR in phase 1 normalized
+//! to the original (out-of-order) RUMR, versus error.
+
+use dls_experiments::ascii_chart;
+use dls_experiments::{
+    parse_env, relative_series, render_series, run_sweep, series_csv, write_file, Competitor,
+};
+
+fn main() {
+    let opts = match parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let competitors = vec![Competitor::RumrKnown, Competitor::RumrPlain];
+    let sweep = run_sweep(&opts.sweep, &competitors);
+    let series = relative_series(&sweep, |_| true);
+    print!(
+        "{}",
+        render_series(
+            "Fig 7: plain-phase-1 RUMR normalized to original RUMR vs error",
+            &series
+        )
+    );
+    print!(
+        "\n{}",
+        ascii_chart(
+            "(relative makespan vs error; values above the 1.00 line mean RUMR wins)",
+            &series,
+            70,
+            16
+        )
+    );
+    if let Some(path) = opts.csv {
+        write_file(&path, &series_csv(&series)).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

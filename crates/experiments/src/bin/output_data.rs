@@ -1,0 +1,69 @@
+//! Output-data study: result collection over the shared master interface.
+//!
+//! The paper's model transfers input only ("we only consider transfer of
+//! application input data"; refs [11, 12] handle output but with a single
+//! round). This experiment turns on the output-data extension — each
+//! computed chunk returns `output_ratio · chunk` units of results that
+//! compete with input dispatches for the master's interface — and asks
+//! whether RUMR's ranking survives.
+//!
+//! Expected shape: output traffic hurts everyone, but it hurts *reactive*
+//! schedulers more: each phase-2/factoring chunk's return steals link time
+//! exactly when the master needs it for the next greedy dispatch, while
+//! UMR's input schedule is front-loaded and overlaps the (back-loaded)
+//! returns naturally.
+//!
+//! Flags: `--reps N`, `--seed N`.
+
+use rumr::{Scenario, SchedulerKind, SimConfig};
+
+fn main() {
+    let opts = match dls_experiments::parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let reps = opts.sweep.reps.max(10);
+    let seed = opts.sweep.root_seed;
+    let error = 0.3;
+
+    let kinds = [
+        SchedulerKind::rumr_known_error(error),
+        SchedulerKind::Umr,
+        SchedulerKind::Factoring,
+        SchedulerKind::EqualStatic,
+    ];
+
+    println!("Result collection: N = 16, B = 1.6N, cLat = 0.2, nLat = 0.1, error = {error}");
+    println!("({reps} reps; makespans include returning output to the master)\n");
+    print!("{:<14}", "output ratio");
+    for kind in &kinds {
+        print!("{:>12}", kind.label());
+    }
+    println!();
+
+    let scenario = Scenario::table1(16, 1.6, 0.2, 0.1, error);
+    for &ratio in &[0.0, 0.1, 0.25, 0.5, 1.0] {
+        print!("{ratio:<14.2}");
+        for kind in &kinds {
+            let mut total = 0.0;
+            for rep in 0..reps {
+                let cfg = SimConfig {
+                    output_ratio: ratio,
+                    ..Default::default()
+                };
+                total += scenario
+                    .run_with_config(kind, seed + rep, cfg)
+                    .expect("simulation succeeds")
+                    .makespan;
+            }
+            print!("{:>12.2}", total / reps as f64);
+        }
+        println!();
+    }
+
+    println!("\nratio 0 is the paper's input-only model; ratio 1 returns as much");
+    println!("data as was sent (e.g. image filtering rather than feature counts).");
+}

@@ -1,0 +1,145 @@
+//! Full reproduction report: regenerates Tables 2–3 and Figures 4(a), 4(b),
+//! 5, 6 and 7 from three shared sweeps (main competitors, Fig. 6 variants,
+//! Fig. 7 variants) and writes everything to stdout plus, with `--csv DIR`,
+//! one CSV per artifact under DIR.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use dls_experiments::{
+    fig4a, fig4b, fig5_point, overall_win_rate, paper_competitors, parse_env, relative_series,
+    render_series, render_win_rate, run_sweep, series_csv, win_rate_csv, win_rate_table,
+    write_file, Competitor, Table1Grid,
+};
+
+fn main() {
+    let opts = match parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let csv_dir = opts.csv.clone();
+    let save = |name: &str, contents: &str| {
+        if let Some(dir) = &csv_dir {
+            let path = Path::new(dir).join(name);
+            write_file(&path, contents).expect("write CSV");
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
+    let mut out = String::new();
+
+    // Main sweep: RUMR vs UMR, MI-1..4, Factoring.
+    eprintln!("[1/4] main competitor sweep ...");
+    let main_sweep = run_sweep(&opts.sweep, &paper_competitors());
+    let table2 = win_rate_table(&main_sweep, 1.0);
+    let _ = writeln!(
+        out,
+        "{}",
+        render_win_rate(
+            "Table 2: % of experiments in which RUMR outperforms each algorithm",
+            &table2
+        )
+    );
+    let _ = writeln!(
+        out,
+        "Overall: RUMR outperforms competitors in {:.2}% of comparisons (paper: 79%)\n",
+        overall_win_rate(&main_sweep)
+    );
+    save("table2.csv", &win_rate_csv(&table2));
+
+    let table3 = win_rate_table(&main_sweep, 1.1);
+    let _ = writeln!(
+        out,
+        "{}",
+        render_win_rate(
+            "Table 3: % of experiments in which RUMR outperforms each algorithm by >= 10%",
+            &table3
+        )
+    );
+    save("table3.csv", &win_rate_csv(&table3));
+
+    let s4a = fig4a(&main_sweep);
+    let _ = writeln!(
+        out,
+        "{}",
+        render_series(
+            "Fig 4(a): makespan normalized to RUMR vs error (all parameters)",
+            &s4a
+        )
+    );
+    save("fig4a.csv", &series_csv(&s4a));
+
+    let s4b = fig4b(&main_sweep);
+    let _ = writeln!(
+        out,
+        "{}",
+        render_series(
+            "Fig 4(b): makespan normalized to RUMR vs error (cLat < 0.3, nLat < 0.3)",
+            &s4b
+        )
+    );
+    save("fig4b.csv", &series_csv(&s4b));
+
+    // Fig 5: single point (reuses the main sweep's competitor set).
+    eprintln!("[2/4] fig 5 point sweep ...");
+    let mut fig5_cfg = opts.sweep.clone();
+    fig5_cfg.grid = Table1Grid::single(fig5_point());
+    let fig5_sweep = run_sweep(&fig5_cfg, &paper_competitors());
+    let s5 = relative_series(&fig5_sweep, |_| true);
+    let _ = writeln!(
+        out,
+        "{}",
+        render_series(
+            "Fig 5: makespan normalized to RUMR vs error (N=20, B=36, cLat=0.3, nLat=0.9)",
+            &s5
+        )
+    );
+    save("fig5.csv", &series_csv(&s5));
+
+    // Fig 6 sweep: fixed-split variants.
+    eprintln!("[3/4] fig 6 ablation sweep ...");
+    let fig6_competitors = vec![
+        Competitor::RumrKnown,
+        Competitor::RumrFixed(0.5),
+        Competitor::RumrFixed(0.6),
+        Competitor::RumrFixed(0.7),
+        Competitor::RumrFixed(0.8),
+        Competitor::RumrFixed(0.9),
+    ];
+    let fig6_sweep = run_sweep(&opts.sweep, &fig6_competitors);
+    let s6 = relative_series(&fig6_sweep, |_| true);
+    let _ = writeln!(
+        out,
+        "{}",
+        render_series(
+            "Fig 6: fixed phase-1 fraction RUMR normalized to original RUMR vs error",
+            &s6
+        )
+    );
+    save("fig6.csv", &series_csv(&s6));
+
+    // Fig 7 sweep: in-order phase 1.
+    eprintln!("[4/4] fig 7 ablation sweep ...");
+    let fig7_competitors = vec![Competitor::RumrKnown, Competitor::RumrPlain];
+    let fig7_sweep = run_sweep(&opts.sweep, &fig7_competitors);
+    let s7 = relative_series(&fig7_sweep, |_| true);
+    let _ = writeln!(
+        out,
+        "{}",
+        render_series(
+            "Fig 7: plain-phase-1 RUMR normalized to original RUMR vs error",
+            &s7
+        )
+    );
+    save("fig7.csv", &series_csv(&s7));
+
+    println!("{out}");
+    if let Some(dir) = &csv_dir {
+        let path = Path::new(dir).join("report.txt");
+        write_file(&path, &out).expect("write report");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,47 @@
+//! Generic sweep: runs the paper's competitor set over the grid and dumps
+//! every cell (platform point × error × per-algorithm mean makespan) as
+//! CSV — the raw material behind every table and figure.
+
+use std::fmt::Write as _;
+
+use dls_experiments::{paper_competitors, parse_env, run_sweep, write_file};
+
+fn main() {
+    let opts = match parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let sweep = run_sweep(&opts.sweep, &paper_competitors());
+
+    let mut csv = String::from("n,ratio,clat,nlat,error");
+    for label in &sweep.labels {
+        let _ = write!(csv, ",{label}");
+    }
+    csv.push('\n');
+    for cell in &sweep.cells {
+        let _ = write!(
+            csv,
+            "{},{},{},{},{}",
+            cell.point.n,
+            cell.point.ratio,
+            cell.point.comp_latency,
+            cell.point.net_latency,
+            cell.error
+        );
+        for m in &cell.means {
+            let _ = write!(csv, ",{m:.6}");
+        }
+        csv.push('\n');
+    }
+
+    match opts.csv {
+        Some(path) => {
+            write_file(&path, &csv).expect("write CSV");
+            eprintln!("wrote {} cells to {}", sweep.cells.len(), path.display());
+        }
+        None => print!("{csv}"),
+    }
+}

@@ -1,0 +1,34 @@
+//! Reproduces Table 2: the percentage of experiments in which RUMR
+//! outperforms UMR, MI-1..4, and Factoring, per error band.
+
+use dls_experiments::{
+    overall_win_rate, paper_competitors, parse_env, render_win_rate, run_sweep, win_rate_csv,
+    win_rate_table, write_file,
+};
+
+fn main() {
+    let opts = match parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let sweep = run_sweep(&opts.sweep, &paper_competitors());
+    let table = win_rate_table(&sweep, 1.0);
+    print!(
+        "{}",
+        render_win_rate(
+            "Table 2: % of experiments in which RUMR outperforms each algorithm",
+            &table
+        )
+    );
+    println!(
+        "Overall: RUMR outperforms competitors in {:.2}% of comparisons (paper: 79%)",
+        overall_win_rate(&sweep)
+    );
+    if let Some(path) = opts.csv {
+        write_file(&path, &win_rate_csv(&table)).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

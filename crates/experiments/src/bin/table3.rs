@@ -1,0 +1,30 @@
+//! Reproduces Table 3: the percentage of experiments in which RUMR
+//! outperforms each algorithm by at least 10 %, per error band.
+
+use dls_experiments::{
+    paper_competitors, parse_env, render_win_rate, run_sweep, win_rate_csv, win_rate_table,
+    write_file,
+};
+
+fn main() {
+    let opts = match parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let sweep = run_sweep(&opts.sweep, &paper_competitors());
+    let table = win_rate_table(&sweep, 1.1);
+    print!(
+        "{}",
+        render_win_rate(
+            "Table 3: % of experiments in which RUMR outperforms each algorithm by >= 10%",
+            &table
+        )
+    );
+    if let Some(path) = opts.csv {
+        write_file(&path, &win_rate_csv(&table)).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

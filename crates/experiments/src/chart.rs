@@ -1,0 +1,182 @@
+//! ASCII line charts for relative-makespan series.
+//!
+//! The paper's Figures 4–7 are line plots of relative makespan vs. error;
+//! [`ascii_chart`] renders the same picture directly in the terminal so the
+//! figure binaries produce a *figure*, not just a table.
+
+use crate::figures::RelativeSeries;
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Render a series set as an ASCII line chart of roughly `width × height`
+/// characters (plot area), with y-axis labels, an `y = 1` reference line,
+/// and a legend. Returns a note instead of a chart for empty input.
+pub fn ascii_chart(title: &str, series: &RelativeSeries, width: usize, height: usize) -> String {
+    let width = width.max(10);
+    let height = height.max(5);
+    let points: Vec<(usize, &[f64])> = series
+        .values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i, v.as_slice()))
+        .collect();
+    let finite: Vec<f64> = points
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    if series.errors.is_empty() || finite.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+
+    // Y range: include the data and the y = 1 reference, with headroom.
+    let mut lo = finite
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0);
+    let mut hi = finite
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1.0);
+    let pad = ((hi - lo) * 0.05).max(1e-6);
+    lo -= pad;
+    hi += pad;
+
+    let x_lo = series.errors[0];
+    let x_hi = *series.errors.last().expect("non-empty");
+    let x_span = (x_hi - x_lo).max(1e-12);
+
+    let col_of = |e: f64| (((e - x_lo) / x_span) * (width - 1) as f64).round() as usize;
+    let row_of = |v: f64| {
+        let frac = (v - lo) / (hi - lo);
+        ((1.0 - frac) * (height - 1) as f64).round() as usize
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    // Reference line at y = 1.
+    let ref_row = row_of(1.0);
+    for cell in &mut grid[ref_row] {
+        *cell = '·';
+    }
+    // Plot each series (later series overwrite earlier at collisions).
+    for (s, values) in &points {
+        let glyph = GLYPHS[s % GLYPHS.len()];
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let c = col_of(series.errors[i]);
+            let r = row_of(v);
+            grid[r][c] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:6.2}")
+        } else if r == height - 1 {
+            format!("{lo:6.2}")
+        } else if r == ref_row {
+            String::from("  1.00")
+        } else {
+            String::from("      ")
+        };
+        out.push_str(&format!("{label} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "       {:<w$}\n",
+        format!("error: {x_lo:.2} .. {x_hi:.2}"),
+        w = width
+    ));
+    out.push_str("legend:");
+    for (s, label) in series.labels.iter().enumerate() {
+        out.push_str(&format!(" {}={label}", GLYPHS[s % GLYPHS.len()]));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RelativeSeries {
+        RelativeSeries {
+            errors: vec![0.0, 0.25, 0.5],
+            labels: vec!["UMR".into(), "Factoring".into()],
+            // Straddles 1.0 so the reference line is an interior row.
+            values: vec![vec![0.95, 1.1, 1.2], vec![1.2, 1.05, 0.95]],
+            cell_counts: vec![4, 4, 4],
+        }
+    }
+
+    #[test]
+    fn renders_glyphs_and_legend() {
+        let c = ascii_chart("Fig test", &sample(), 40, 10);
+        assert!(c.contains("Fig test"));
+        assert!(c.contains('*'));
+        assert!(c.contains('o'));
+        assert!(c.contains("*=UMR"));
+        assert!(c.contains("o=Factoring"));
+        assert!(c.contains("1.00"));
+        assert!(c.contains("error: 0.00 .. 0.50"));
+    }
+
+    #[test]
+    fn reference_line_present() {
+        let c = ascii_chart("t", &sample(), 40, 10);
+        assert!(c.contains('·'), "y = 1 reference line missing");
+    }
+
+    #[test]
+    fn empty_series_safe() {
+        let empty = RelativeSeries {
+            errors: vec![],
+            labels: vec![],
+            values: vec![],
+            cell_counts: vec![],
+        };
+        assert!(ascii_chart("t", &empty, 40, 10).contains("no data"));
+
+        let nan_only = RelativeSeries {
+            errors: vec![0.0],
+            labels: vec!["X".into()],
+            values: vec![vec![f64::NAN]],
+            cell_counts: vec![0],
+        };
+        assert!(ascii_chart("t", &nan_only, 40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn monotone_series_slopes_the_right_way() {
+        // The '*' for the largest value must sit on a higher row (smaller
+        // row index) than for the smallest.
+        let c = ascii_chart("t", &sample(), 41, 11);
+        let rows: Vec<&str> = c.lines().collect();
+        let star_rows: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains('*'))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(star_rows.len() >= 2, "expected multiple star rows");
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let one = RelativeSeries {
+            errors: vec![0.3],
+            labels: vec!["X".into()],
+            values: vec![vec![1.5]],
+            cell_counts: vec![1],
+        };
+        let c = ascii_chart("t", &one, 20, 8);
+        assert!(c.contains('*'));
+    }
+}

@@ -1,0 +1,199 @@
+//! Figures 4–7: relative-makespan series versus error.
+//!
+//! Every figure in the paper's evaluation plots, for each competitor, the
+//! mean over some slice of the parameter space of
+//! `makespan(competitor) / makespan(reference)` as a function of the error
+//! magnitude (values above 1 mean the reference — RUMR — wins):
+//!
+//! * **Fig. 4(a)**: whole grid.
+//! * **Fig. 4(b)**: subset `cLat < 0.3 ∧ nLat < 0.3`.
+//! * **Fig. 5**: single point `N = 20, r = 1.8, cLat = 0.3, nLat = 0.9`.
+//! * **Fig. 6**: fixed-split variants RUMR_50 … RUMR_90 normalized to
+//!   original RUMR.
+//! * **Fig. 7**: plain-phase-1 RUMR normalized to original RUMR.
+
+use crate::grid::GridPoint;
+use crate::sweep::SweepResult;
+
+/// A relative-makespan series set: for each competitor (reference
+/// excluded), mean normalized makespan per error value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelativeSeries {
+    /// Error values (x axis), ascending.
+    pub errors: Vec<f64>,
+    /// Series labels (the competitors, reference excluded).
+    pub labels: Vec<String>,
+    /// `values[series][error_index]`: mean of competitor/reference
+    /// makespan ratios over the included cells.
+    pub values: Vec<Vec<f64>>,
+    /// Cells included per error value.
+    pub cell_counts: Vec<usize>,
+}
+
+impl RelativeSeries {
+    /// The series for a given competitor label.
+    pub fn series(&self, label: &str) -> Option<&[f64]> {
+        let i = self.labels.iter().position(|l| l == label)?;
+        Some(&self.values[i])
+    }
+}
+
+/// Compute relative-makespan series from a sweep whose first column is the
+/// reference, keeping only cells for which `filter` returns true.
+///
+/// # Panics
+///
+/// Panics if the sweep has fewer than two competitors.
+pub fn relative_series<F: Fn(&GridPoint) -> bool>(
+    sweep: &SweepResult,
+    filter: F,
+) -> RelativeSeries {
+    assert!(
+        sweep.labels.len() >= 2,
+        "need a reference and at least one competitor"
+    );
+    let mut errors: Vec<f64> = sweep.cells.iter().map(|c| c.error).collect();
+    errors.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    errors.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let n_series = sweep.labels.len() - 1;
+    let mut sums = vec![vec![0.0; errors.len()]; n_series];
+    let mut counts = vec![0usize; errors.len()];
+
+    for cell in &sweep.cells {
+        if !filter(&cell.point) {
+            continue;
+        }
+        let e_idx = errors
+            .iter()
+            .position(|&e| (e - cell.error).abs() < 1e-12)
+            .expect("error value present");
+        counts[e_idx] += 1;
+        let reference = cell.means[0];
+        for (s, &m) in cell.means[1..].iter().enumerate() {
+            sums[s][e_idx] += m / reference;
+        }
+    }
+
+    let values = sums
+        .into_iter()
+        .map(|row| {
+            row.iter()
+                .zip(&counts)
+                .map(|(&sum, &n)| if n == 0 { f64::NAN } else { sum / n as f64 })
+                .collect()
+        })
+        .collect();
+
+    RelativeSeries {
+        errors,
+        labels: sweep.labels[1..].to_vec(),
+        values,
+        cell_counts: counts,
+    }
+}
+
+/// Fig. 4(a): all cells.
+pub fn fig4a(sweep: &SweepResult) -> RelativeSeries {
+    relative_series(sweep, |_| true)
+}
+
+/// Fig. 4(b): low-latency subset, `cLat < 0.3` and `nLat < 0.3`.
+pub fn fig4b(sweep: &SweepResult) -> RelativeSeries {
+    relative_series(sweep, |p| p.comp_latency < 0.3 && p.net_latency < 0.3)
+}
+
+/// Fig. 5's platform point: `N = 20`, `r = 1.8` (B = 36), `cLat = 0.3`,
+/// `nLat = 0.9`.
+pub fn fig5_point() -> GridPoint {
+    GridPoint {
+        n: 20,
+        ratio: 1.8,
+        comp_latency: 0.3,
+        net_latency: 0.9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::Cell;
+
+    fn pt(clat: f64, nlat: f64) -> GridPoint {
+        GridPoint {
+            n: 10,
+            ratio: 1.5,
+            comp_latency: clat,
+            net_latency: nlat,
+        }
+    }
+
+    fn sweep() -> SweepResult {
+        SweepResult {
+            labels: vec!["RUMR".into(), "UMR".into()],
+            cells: vec![
+                Cell {
+                    point: pt(0.1, 0.1),
+                    error: 0.0,
+                    means: vec![100.0, 110.0],
+                },
+                Cell {
+                    point: pt(0.5, 0.5),
+                    error: 0.0,
+                    means: vec![100.0, 130.0],
+                },
+                Cell {
+                    point: pt(0.1, 0.1),
+                    error: 0.2,
+                    means: vec![100.0, 150.0],
+                },
+                Cell {
+                    point: pt(0.5, 0.5),
+                    error: 0.2,
+                    means: vec![100.0, 170.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn averages_ratios_per_error() {
+        let s = fig4a(&sweep());
+        assert_eq!(s.errors, vec![0.0, 0.2]);
+        assert_eq!(s.labels, vec!["UMR"]);
+        assert_eq!(s.cell_counts, vec![2, 2]);
+        let umr = s.series("UMR").unwrap();
+        assert!((umr[0] - 1.2).abs() < 1e-12); // (1.1 + 1.3)/2
+        assert!((umr[1] - 1.6).abs() < 1e-12); // (1.5 + 1.7)/2
+    }
+
+    #[test]
+    fn filter_selects_subset() {
+        let s = fig4b(&sweep());
+        // Only the (0.1, 0.1) cells qualify.
+        assert_eq!(s.cell_counts, vec![1, 1]);
+        let umr = s.series("UMR").unwrap();
+        assert!((umr[0] - 1.1).abs() < 1e-12);
+        assert!((umr[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_filter_yields_nan() {
+        let s = relative_series(&sweep(), |_| false);
+        assert!(s.values[0].iter().all(|v| v.is_nan()));
+        assert_eq!(s.cell_counts, vec![0, 0]);
+    }
+
+    #[test]
+    fn missing_label_is_none() {
+        let s = fig4a(&sweep());
+        assert!(s.series("nope").is_none());
+    }
+
+    #[test]
+    fn fig5_point_matches_paper() {
+        let p = fig5_point();
+        assert_eq!(p.n, 20);
+        assert!((p.ratio * p.n as f64 - 36.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! The experimental parameter grid of the paper's Table 1.
+//!
+//! ```text
+//! N     = 10, 15, 20, …, 50
+//! W     = 1000 units,   S = 1 unit/s
+//! B     = r·N,  r = 1.2, 1.3, …, 2.0
+//! cLat  = 0.0, 0.1, …, 1.0
+//! nLat  = 0.0, 0.1, …, 1.0
+//! error = 0.0 … 0.5 (we step by 0.02 for the full grid, matching the
+//!         five reporting bands 0–0.08, 0.1–0.18, …, 0.4–0.48)
+//! ```
+//!
+//! The full cross product is ~10⁴ platform points × 26 error values; with
+//! 40 repetitions and 7 algorithms that is ~10⁸ simulations — feasible but
+//! slow, so [`Table1Grid::quick`] provides a documented sub-grid for the
+//! default harness runs and CI, and `--full` switches to the exact grid.
+
+/// One platform configuration from the grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Number of workers `N`.
+    pub n: usize,
+    /// Bandwidth ratio `r` (so `B = r·N`).
+    pub ratio: f64,
+    /// Computation latency `cLat` (s).
+    pub comp_latency: f64,
+    /// Communication latency `nLat` (s).
+    pub net_latency: f64,
+}
+
+/// A cross-product grid over the Table 1 parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Grid {
+    /// Worker counts.
+    pub n_values: Vec<usize>,
+    /// Bandwidth ratios.
+    pub ratio_values: Vec<f64>,
+    /// Computation latencies.
+    pub clat_values: Vec<f64>,
+    /// Communication latencies.
+    pub nlat_values: Vec<f64>,
+}
+
+fn range_f64(start: f64, end: f64, step: f64) -> Vec<f64> {
+    let count = ((end - start) / step).round() as usize;
+    (0..=count).map(|i| start + i as f64 * step).collect()
+}
+
+impl Table1Grid {
+    /// The paper's exact Table 1 grid (9 × 9 × 11 × 11 = 9,801 platform
+    /// points).
+    pub fn full() -> Self {
+        Table1Grid {
+            n_values: (10..=50).step_by(5).collect(),
+            ratio_values: range_f64(1.2, 2.0, 0.1),
+            clat_values: range_f64(0.0, 1.0, 0.1),
+            nlat_values: range_f64(0.0, 1.0, 0.1),
+        }
+    }
+
+    /// A documented sub-grid (144 platform points) that preserves the
+    /// corners and interior of every dimension; used for default harness
+    /// runs and CI.
+    pub fn quick() -> Self {
+        Table1Grid {
+            n_values: vec![10, 30, 50],
+            ratio_values: vec![1.2, 1.6, 2.0],
+            clat_values: vec![0.0, 0.3, 0.6, 1.0],
+            nlat_values: vec![0.0, 0.3, 0.6, 1.0],
+        }
+    }
+
+    /// A single platform point (used for Fig. 5).
+    pub fn single(point: GridPoint) -> Self {
+        Table1Grid {
+            n_values: vec![point.n],
+            ratio_values: vec![point.ratio],
+            clat_values: vec![point.comp_latency],
+            nlat_values: vec![point.net_latency],
+        }
+    }
+
+    /// Number of platform points in the grid.
+    pub fn len(&self) -> usize {
+        self.n_values.len()
+            * self.ratio_values.len()
+            * self.clat_values.len()
+            * self.nlat_values.len()
+    }
+
+    /// True if the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize all platform points, in a deterministic order.
+    pub fn points(&self) -> Vec<GridPoint> {
+        let mut pts = Vec::with_capacity(self.len());
+        for &n in &self.n_values {
+            for &ratio in &self.ratio_values {
+                for &comp_latency in &self.clat_values {
+                    for &net_latency in &self.nlat_values {
+                        pts.push(GridPoint {
+                            n,
+                            ratio,
+                            comp_latency,
+                            net_latency,
+                        });
+                    }
+                }
+            }
+        }
+        pts
+    }
+}
+
+/// The paper's error sweep: `0.0..=0.5`.
+pub fn error_values(step: f64) -> Vec<f64> {
+    range_f64(0.0, 0.5, step)
+}
+
+/// The five error bands of Tables 2–3: `[0, 0.08]`, `[0.1, 0.18]`, …,
+/// `[0.4, 0.48]`. Returns the band index for an error value, or `None` if
+/// the value falls in a gap (e.g. 0.5).
+pub fn error_band(error: f64) -> Option<usize> {
+    const EPS: f64 = 1e-9;
+    for band in 0..5 {
+        let lo = band as f64 * 0.1;
+        let hi = lo + 0.08;
+        if error >= lo - EPS && error <= hi + EPS {
+            return Some(band);
+        }
+    }
+    None
+}
+
+/// Human-readable labels for the five error bands.
+pub const BAND_LABELS: [&str; 5] = ["0-0.08", "0.1-0.18", "0.2-0.28", "0.3-0.38", "0.4-0.48"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_matches_table1() {
+        let g = Table1Grid::full();
+        assert_eq!(g.n_values, vec![10, 15, 20, 25, 30, 35, 40, 45, 50]);
+        assert_eq!(g.ratio_values.len(), 9);
+        assert_eq!(g.clat_values.len(), 11);
+        assert_eq!(g.nlat_values.len(), 11);
+        assert_eq!(g.len(), 9 * 9 * 11 * 11);
+        assert_eq!(g.points().len(), g.len());
+    }
+
+    #[test]
+    fn quick_grid_is_small() {
+        let g = Table1Grid::quick();
+        assert_eq!(g.len(), 3 * 3 * 4 * 4);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn single_grid() {
+        let p = GridPoint {
+            n: 20,
+            ratio: 1.8,
+            comp_latency: 0.3,
+            net_latency: 0.9,
+        };
+        let g = Table1Grid::single(p);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.points(), vec![p]);
+    }
+
+    #[test]
+    fn points_order_deterministic() {
+        let g = Table1Grid::quick();
+        assert_eq!(g.points(), g.points());
+        // First point is all-minimums.
+        let first = g.points()[0];
+        assert_eq!(first.n, 10);
+        assert!((first.ratio - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_sweep_values() {
+        let e = error_values(0.02);
+        assert_eq!(e.len(), 26);
+        assert!((e[0] - 0.0).abs() < 1e-12);
+        assert!((e[25] - 0.5).abs() < 1e-9);
+        let e = error_values(0.05);
+        assert_eq!(e.len(), 11);
+    }
+
+    #[test]
+    fn band_assignment() {
+        assert_eq!(error_band(0.0), Some(0));
+        assert_eq!(error_band(0.08), Some(0));
+        assert_eq!(error_band(0.09), None);
+        assert_eq!(error_band(0.10), Some(1));
+        assert_eq!(error_band(0.18), Some(1));
+        assert_eq!(error_band(0.25), Some(2));
+        assert_eq!(error_band(0.34), Some(3));
+        assert_eq!(error_band(0.48), Some(4));
+        assert_eq!(error_band(0.5), None);
+    }
+
+    #[test]
+    fn range_is_inclusive_and_exact() {
+        let v = range_f64(1.2, 2.0, 0.1);
+        assert_eq!(v.len(), 9);
+        assert!((v[8] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Plain-text and CSV rendering of tables and series.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::figures::RelativeSeries;
+use crate::tables::WinRateTable;
+
+/// Render a win-rate table in the paper's layout (rows = competitors,
+/// columns = error bands).
+pub fn render_win_rate(title: &str, table: &WinRateTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:<12}", "Algorithm");
+    for band in &table.bands {
+        let _ = write!(out, "{band:>10}");
+    }
+    let _ = writeln!(out);
+    for (row, percentages) in table.rows.iter().zip(&table.percentages) {
+        let _ = write!(out, "{row:<12}");
+        for p in percentages {
+            let _ = write!(out, "{p:>10.2}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<12}", "(cells)");
+    for c in &table.band_counts {
+        let _ = write!(out, "{c:>10}");
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Render a relative-makespan series set: rows = error values, columns =
+/// competitors (values are competitor/RUMR mean makespan ratios).
+pub fn render_series(title: &str, series: &RelativeSeries) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:<8}", "error");
+    for label in &series.labels {
+        let _ = write!(out, "{label:>12}");
+    }
+    let _ = writeln!(out, "{:>8}", "cells");
+    for (i, &e) in series.errors.iter().enumerate() {
+        let _ = write!(out, "{e:<8.2}");
+        for values in &series.values {
+            if values[i].is_nan() {
+                let _ = write!(out, "{:>12}", "-");
+            } else {
+                let _ = write!(out, "{:>12.4}", values[i]);
+            }
+        }
+        let _ = writeln!(out, "{:>8}", series.cell_counts[i]);
+    }
+    out
+}
+
+/// Write a win-rate table as CSV.
+pub fn win_rate_csv(table: &WinRateTable) -> String {
+    let mut out = String::from("algorithm");
+    for band in &table.bands {
+        let _ = write!(out, ",{band}");
+    }
+    out.push('\n');
+    for (row, percentages) in table.rows.iter().zip(&table.percentages) {
+        let _ = write!(out, "{row}");
+        for p in percentages {
+            let _ = write!(out, ",{p:.4}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a relative-makespan series set as CSV (long format:
+/// `error,algorithm,relative_makespan,cells`).
+pub fn series_csv(series: &RelativeSeries) -> String {
+    let mut out = String::from("error,algorithm,relative_makespan,cells\n");
+    for (i, &e) in series.errors.iter().enumerate() {
+        for (label, values) in series.labels.iter().zip(&series.values) {
+            let _ = writeln!(
+                out,
+                "{e:.4},{label},{:.6},{}",
+                values[i], series.cell_counts[i]
+            );
+        }
+    }
+    out
+}
+
+/// Write a string to a file, creating parent directories as needed.
+pub fn write_file(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> WinRateTable {
+        WinRateTable {
+            rows: vec!["UMR".into(), "Factoring".into()],
+            bands: vec!["0-0.08".into(), "0.1-0.18".into()],
+            percentages: vec![vec![54.96, 56.6], vec![98.21, 94.06]],
+            band_counts: vec![100, 100],
+        }
+    }
+
+    fn series() -> RelativeSeries {
+        RelativeSeries {
+            errors: vec![0.0, 0.1],
+            labels: vec!["UMR".into()],
+            values: vec![vec![1.05, f64::NAN]],
+            cell_counts: vec![10, 0],
+        }
+    }
+
+    #[test]
+    fn win_rate_rendering() {
+        let text = render_win_rate("Table 2", &table());
+        assert!(text.contains("Table 2"));
+        assert!(text.contains("UMR"));
+        assert!(text.contains("54.96"));
+        assert!(text.contains("0.1-0.18"));
+    }
+
+    #[test]
+    fn series_rendering_handles_nan() {
+        let text = render_series("Fig 4a", &series());
+        assert!(text.contains("1.0500"));
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn csv_formats() {
+        let csv = win_rate_csv(&table());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "algorithm,0-0.08,0.1-0.18");
+        assert!(lines.next().unwrap().starts_with("UMR,54.9600"));
+
+        let csv = series_csv(&series());
+        assert!(csv.starts_with("error,algorithm,relative_makespan,cells\n"));
+        assert!(csv.contains("0.0000,UMR,1.050000,10"));
+    }
+
+    #[test]
+    fn file_writing() {
+        let dir = std::env::temp_dir().join("dls_report_test");
+        let path = dir.join("nested/out.csv");
+        write_file(&path, "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

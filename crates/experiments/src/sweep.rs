@@ -1,0 +1,443 @@
+//! The parallel sweep engine.
+//!
+//! A sweep runs a set of competitor algorithms over (platform grid × error
+//! values × repetitions) and aggregates, per *cell* (platform point, error
+//! value), the mean makespan of each competitor over the repetitions —
+//! exactly the granularity at which the paper reports (each data point is
+//! an average over 40 repetitions).
+//!
+//! Work is fanned out over OS threads with crossbeam's scoped threads; each
+//! cell's seeds are derived deterministically from (root seed, cell index,
+//! repetition) so results are independent of thread count and scheduling
+//! order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dls_numerics::rng::SeedDeriver;
+use dls_sim::ErrorModel;
+use parking_lot::Mutex;
+use rumr::{RumrConfig, Scenario, SchedulerKind};
+
+use crate::grid::{GridPoint, Table1Grid};
+
+/// Which family of ratio distribution the sweep injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorModelKind {
+    /// Multiplicative truncated normal (default; see `dls-sim` docs).
+    Normal,
+    /// Matched-variance uniform.
+    Uniform,
+    /// The paper-literal inverse form with a floored ratio.
+    Inverse,
+}
+
+impl ErrorModelKind {
+    /// Instantiate the model at a given error magnitude.
+    pub fn model(self, error: f64) -> ErrorModel {
+        if error <= 0.0 {
+            return ErrorModel::None;
+        }
+        match self {
+            ErrorModelKind::Normal => ErrorModel::TruncatedNormal { error },
+            ErrorModelKind::Uniform => ErrorModel::Uniform { error },
+            ErrorModelKind::Inverse => ErrorModel::TruncatedNormalInverse { error },
+        }
+    }
+}
+
+/// A competitor in a sweep. Some algorithms are parameterized by the cell's
+/// error magnitude (RUMR's known-error split, FSC's chunk formula), so the
+/// mapping to a concrete [`SchedulerKind`] happens per cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Competitor {
+    /// Original RUMR with the error magnitude known.
+    RumrKnown,
+    /// RUMR with in-order (plain UMR) phase 1 — Fig. 7 ablation.
+    RumrPlain,
+    /// RUMR with a fixed phase-1 fraction — Fig. 6 ablation.
+    RumrFixed(f64),
+    /// Plain UMR.
+    Umr,
+    /// Multi-installment with the given installment count.
+    Mi(usize),
+    /// Factoring.
+    Factoring,
+    /// Fixed-size chunking (error-aware chunk formula).
+    Fsc,
+    /// One round of equal chunks.
+    EqualStatic,
+    /// Adaptive RUMR (online error estimation, no oracle input).
+    RumrAdaptive,
+    /// RUMR with a non-default phase-2 factoring factor — ablation of the
+    /// `f = 2` design choice.
+    RumrFactor(f64),
+    /// RUMR with the error-unaware minimum chunk bound — ablation of the
+    /// §4.2(iii) error-aware bound.
+    RumrUnawareBound,
+}
+
+impl Competitor {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Competitor::RumrKnown => "RUMR".into(),
+            Competitor::RumrPlain => "RUMR-plain".into(),
+            Competitor::RumrFixed(p) => format!("RUMR_{:.0}", p * 100.0),
+            Competitor::Umr => "UMR".into(),
+            Competitor::Mi(x) => format!("MI-{x}"),
+            Competitor::Factoring => "Factoring".into(),
+            Competitor::Fsc => "FSC".into(),
+            Competitor::EqualStatic => "EqualStatic".into(),
+            Competitor::RumrAdaptive => "RUMR-adaptive".into(),
+            Competitor::RumrFactor(f) => format!("RUMR-f{f}"),
+            Competitor::RumrUnawareBound => "RUMR-ub".into(),
+        }
+    }
+
+    /// Concrete scheduler for a cell with the given error magnitude.
+    pub fn kind_for(&self, error: f64) -> SchedulerKind {
+        match *self {
+            Competitor::RumrKnown => SchedulerKind::rumr_known_error(error),
+            Competitor::RumrPlain => SchedulerKind::rumr_plain_phase1(error),
+            Competitor::RumrFixed(p) => {
+                SchedulerKind::Rumr(RumrConfig::with_fixed_fraction(p, Some(error)))
+            }
+            Competitor::Umr => SchedulerKind::Umr,
+            Competitor::Mi(x) => SchedulerKind::Mi { installments: x },
+            Competitor::Factoring => SchedulerKind::Factoring,
+            Competitor::Fsc => SchedulerKind::Fsc { error },
+            Competitor::EqualStatic => SchedulerKind::EqualStatic,
+            Competitor::RumrAdaptive => SchedulerKind::AdaptiveRumr,
+            Competitor::RumrFactor(f) => {
+                let mut cfg = RumrConfig::with_known_error(error);
+                cfg.factor = f;
+                SchedulerKind::Rumr(cfg)
+            }
+            Competitor::RumrUnawareBound => {
+                let mut cfg = RumrConfig::with_known_error(error);
+                cfg.error_aware_bound = false;
+                SchedulerKind::Rumr(cfg)
+            }
+        }
+    }
+}
+
+/// The paper's Table 2/3 and Fig. 4/5 competitor set; RUMR first (it is the
+/// normalization reference).
+pub fn paper_competitors() -> Vec<Competitor> {
+    vec![
+        Competitor::RumrKnown,
+        Competitor::Umr,
+        Competitor::Mi(1),
+        Competitor::Mi(2),
+        Competitor::Mi(3),
+        Competitor::Mi(4),
+        Competitor::Factoring,
+    ]
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Platform grid.
+    pub grid: Table1Grid,
+    /// Error magnitudes to sweep.
+    pub errors: Vec<f64>,
+    /// Repetitions per cell (the paper uses 40).
+    pub reps: u64,
+    /// Root seed for deterministic seed derivation.
+    pub root_seed: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// Error-model family.
+    pub model: ErrorModelKind,
+    /// Total workload per run.
+    pub w_total: f64,
+    /// Print progress to stderr.
+    pub progress: bool,
+}
+
+impl SweepConfig {
+    /// Quick defaults: sub-grid, 0.05 error step, 10 repetitions.
+    pub fn quick() -> Self {
+        SweepConfig {
+            grid: Table1Grid::quick(),
+            errors: crate::grid::error_values(0.05),
+            reps: 10,
+            root_seed: 20030623, // HPDC'03 conference date
+            threads: 0,
+            model: ErrorModelKind::Normal,
+            w_total: 1000.0,
+            progress: false,
+        }
+    }
+
+    /// The paper's full setting: complete Table 1 grid, 0.02 error step,
+    /// 40 repetitions.
+    pub fn full() -> Self {
+        SweepConfig {
+            grid: Table1Grid::full(),
+            errors: crate::grid::error_values(0.02),
+            reps: 40,
+            progress: true,
+            ..Self::quick()
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Per-(platform point, error) aggregated result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// The platform point.
+    pub point: GridPoint,
+    /// The error magnitude.
+    pub error: f64,
+    /// Mean makespan per competitor (indexed like the competitor slice),
+    /// averaged over the repetitions.
+    pub means: Vec<f64>,
+}
+
+/// Result of a sweep: one [`Cell`] per (point, error), in deterministic
+/// (point-major) order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Competitor labels, in column order.
+    pub labels: Vec<String>,
+    /// All cells.
+    pub cells: Vec<Cell>,
+}
+
+impl SweepResult {
+    /// Index of a competitor column by label.
+    pub fn column(&self, label: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == label)
+    }
+}
+
+/// Run a sweep. Deterministic for a given configuration regardless of the
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if a simulation fails — every failure mode of the engine
+/// indicates a scheduler bug, and the panic message carries the offending
+/// cell's parameters.
+pub fn run_sweep(config: &SweepConfig, competitors: &[Competitor]) -> SweepResult {
+    assert!(config.reps > 0, "need at least one repetition");
+    assert!(!competitors.is_empty(), "need at least one competitor");
+    let points = config.grid.points();
+    let mut work: Vec<(usize, GridPoint, f64)> =
+        Vec::with_capacity(points.len() * config.errors.len());
+    for point in points {
+        for &error in &config.errors {
+            let idx = work.len();
+            work.push((idx, point, error));
+        }
+    }
+
+    let slots: Vec<Mutex<Option<Cell>>> = (0..work.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let threads = config.effective_threads().min(work.len()).max(1);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let (idx, point, error) = work[i];
+                let cell = compute_cell(config, competitors, idx, point, error);
+                *slots[idx].lock() = Some(cell);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if config.progress && (finished.is_multiple_of(500) || finished == work.len()) {
+                    eprintln!("sweep: {finished}/{} cells", work.len());
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    SweepResult {
+        labels: competitors.iter().map(Competitor::label).collect(),
+        cells: slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all cells computed"))
+            .collect(),
+    }
+}
+
+fn compute_cell(
+    config: &SweepConfig,
+    competitors: &[Competitor],
+    cell_index: usize,
+    point: GridPoint,
+    error: f64,
+) -> Cell {
+    let platform = dls_sim::HomogeneousParams::table1(
+        point.n,
+        point.ratio,
+        point.comp_latency,
+        point.net_latency,
+    )
+    .build()
+    .expect("grid parameters are valid");
+    let scenario = Scenario {
+        platform,
+        w_total: config.w_total,
+        error_model: config.model.model(error),
+        cost_profile: None,
+        temporal_noise: None,
+    };
+    let seeds = SeedDeriver::new(config.root_seed).child(cell_index as u64);
+
+    let mut means = vec![0.0; competitors.len()];
+    for rep in 0..config.reps {
+        let rep_seeds = seeds.child(rep);
+        for (c, competitor) in competitors.iter().enumerate() {
+            // Independent error realizations per algorithm, matching the
+            // paper's methodology (each experiment is a fresh run).
+            let seed = rep_seeds.child(c as u64).seed();
+            let kind = competitor.kind_for(error);
+            let result = scenario.run(&kind, seed).unwrap_or_else(|e| {
+                panic!(
+                    "simulation failed: {e} (competitor {}, N={}, r={}, cLat={}, nLat={}, error={error}, rep={rep})",
+                    competitor.label(),
+                    point.n,
+                    point.ratio,
+                    point.comp_latency,
+                    point.net_latency,
+                )
+            });
+            means[c] += result.makespan;
+        }
+    }
+    for m in &mut means {
+        *m /= config.reps as f64;
+    }
+    Cell {
+        point,
+        error,
+        means,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SweepConfig {
+        SweepConfig {
+            grid: Table1Grid {
+                n_values: vec![10],
+                ratio_values: vec![1.5],
+                clat_values: vec![0.2],
+                nlat_values: vec![0.1, 0.4],
+            },
+            errors: vec![0.0, 0.3],
+            reps: 3,
+            root_seed: 1,
+            threads: 2,
+            model: ErrorModelKind::Normal,
+            w_total: 1000.0,
+            progress: false,
+        }
+    }
+
+    #[test]
+    fn sweep_shape_and_labels() {
+        let comps = vec![
+            Competitor::RumrKnown,
+            Competitor::Umr,
+            Competitor::Factoring,
+        ];
+        let r = run_sweep(&tiny_config(), &comps);
+        assert_eq!(r.labels, vec!["RUMR", "UMR", "Factoring"]);
+        assert_eq!(r.cells.len(), 4); // 2 points × 2 errors
+        for cell in &r.cells {
+            assert_eq!(cell.means.len(), 3);
+            for &m in &cell.means {
+                assert!(m > 0.0 && m.is_finite());
+            }
+        }
+        assert_eq!(r.column("UMR"), Some(1));
+        assert_eq!(r.column("nope"), None);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let comps = vec![Competitor::RumrKnown, Competitor::Umr];
+        let mut one = tiny_config();
+        one.threads = 1;
+        let mut four = tiny_config();
+        four.threads = 4;
+        let a = run_sweep(&one, &comps);
+        let b = run_sweep(&four, &comps);
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.means, y.means, "thread count changed results");
+        }
+    }
+
+    #[test]
+    fn zero_error_cells_have_rumr_equal_umr() {
+        let comps = vec![Competitor::RumrKnown, Competitor::Umr];
+        let r = run_sweep(&tiny_config(), &comps);
+        for cell in r.cells.iter().filter(|c| c.error == 0.0) {
+            assert!(
+                (cell.means[0] - cell.means[1]).abs() < 1e-9,
+                "RUMR(0) must equal UMR: {:?}",
+                cell
+            );
+        }
+    }
+
+    #[test]
+    fn paper_competitor_set() {
+        let comps = paper_competitors();
+        assert_eq!(comps.len(), 7);
+        assert_eq!(comps[0].label(), "RUMR");
+        assert_eq!(comps[6].label(), "Factoring");
+    }
+
+    #[test]
+    fn model_kind_mapping() {
+        assert_eq!(ErrorModelKind::Normal.model(0.0), ErrorModel::None);
+        assert_eq!(
+            ErrorModelKind::Normal.model(0.2),
+            ErrorModel::TruncatedNormal { error: 0.2 }
+        );
+        assert_eq!(
+            ErrorModelKind::Uniform.model(0.2),
+            ErrorModel::Uniform { error: 0.2 }
+        );
+        assert_eq!(
+            ErrorModelKind::Inverse.model(0.2),
+            ErrorModel::TruncatedNormalInverse { error: 0.2 }
+        );
+    }
+
+    #[test]
+    fn competitor_kind_mapping() {
+        assert_eq!(Competitor::Umr.kind_for(0.3), SchedulerKind::Umr);
+        assert_eq!(
+            Competitor::Mi(2).kind_for(0.3),
+            SchedulerKind::Mi { installments: 2 }
+        );
+        assert_eq!(
+            Competitor::RumrKnown.kind_for(0.3),
+            SchedulerKind::rumr_known_error(0.3)
+        );
+        assert_eq!(Competitor::RumrFixed(0.8).label(), "RUMR_80");
+    }
+}

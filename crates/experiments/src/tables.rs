@@ -1,0 +1,211 @@
+//! Tables 2 and 3: win-rate aggregation per error band.
+//!
+//! * **Table 2**: for each competitor, the percentage of experiments
+//!   (cells) in which RUMR's mean makespan is strictly smaller.
+//! * **Table 3**: the percentage in which RUMR wins *by at least 10 %*
+//!   (competitor mean ≥ 1.1 × RUMR mean).
+//!
+//! Both are reported over the five error bands of the paper
+//! (`0–0.08`, `0.1–0.18`, …, `0.4–0.48`).
+
+use crate::grid::{error_band, BAND_LABELS};
+use crate::sweep::SweepResult;
+
+/// A win-rate table: one row per competitor (excluding the reference),
+/// one column per error band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinRateTable {
+    /// Competitor labels (rows).
+    pub rows: Vec<String>,
+    /// Band labels (columns).
+    pub bands: Vec<String>,
+    /// `percentages[row][band]`: % of cells in the band where the reference
+    /// beats the competitor (by the table's margin).
+    pub percentages: Vec<Vec<f64>>,
+    /// Number of cells that contributed to each band.
+    pub band_counts: Vec<usize>,
+}
+
+/// Compute a win-rate table from a sweep whose first column is the
+/// reference algorithm (RUMR).
+///
+/// `margin` is the required superiority factor: `1.0` reproduces Table 2
+/// (any win), `1.1` reproduces Table 3 (wins by ≥ 10 %).
+///
+/// # Panics
+///
+/// Panics if the sweep has fewer than two competitors.
+pub fn win_rate_table(sweep: &SweepResult, margin: f64) -> WinRateTable {
+    assert!(
+        sweep.labels.len() >= 2,
+        "need a reference and at least one competitor"
+    );
+    let n_competitors = sweep.labels.len() - 1;
+    let mut wins = vec![[0usize; 5]; n_competitors];
+    let mut totals = [0usize; 5];
+
+    for cell in &sweep.cells {
+        let Some(band) = error_band(cell.error) else {
+            continue;
+        };
+        totals[band] += 1;
+        let reference = cell.means[0];
+        for (row, &competitor_mean) in cell.means[1..].iter().enumerate() {
+            if competitor_mean > reference * margin {
+                wins[row][band] += 1;
+            }
+        }
+    }
+
+    let percentages = wins
+        .iter()
+        .map(|row| {
+            (0..5)
+                .map(|b| {
+                    if totals[b] == 0 {
+                        0.0
+                    } else {
+                        100.0 * row[b] as f64 / totals[b] as f64
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    WinRateTable {
+        rows: sweep.labels[1..].to_vec(),
+        bands: BAND_LABELS.iter().map(|s| s.to_string()).collect(),
+        percentages,
+        band_counts: totals.to_vec(),
+    }
+}
+
+/// Overall win percentage of the reference across *all* cells (the paper
+/// quotes "RUMR outperforms competing algorithms in 79% of our
+/// experiments").
+pub fn overall_win_rate(sweep: &SweepResult) -> f64 {
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for cell in &sweep.cells {
+        let reference = cell.means[0];
+        for &m in &cell.means[1..] {
+            total += 1;
+            if m > reference {
+                wins += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * wins as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridPoint;
+    use crate::sweep::Cell;
+
+    fn point() -> GridPoint {
+        GridPoint {
+            n: 10,
+            ratio: 1.5,
+            comp_latency: 0.1,
+            net_latency: 0.1,
+        }
+    }
+
+    fn sweep_with(cells: Vec<Cell>) -> SweepResult {
+        SweepResult {
+            labels: vec!["RUMR".into(), "UMR".into(), "Factoring".into()],
+            cells,
+        }
+    }
+
+    #[test]
+    fn counts_wins_per_band() {
+        let cells = vec![
+            // Band 0: RUMR beats UMR, loses to Factoring.
+            Cell {
+                point: point(),
+                error: 0.02,
+                means: vec![100.0, 110.0, 95.0],
+            },
+            // Band 0 again: RUMR beats both.
+            Cell {
+                point: point(),
+                error: 0.06,
+                means: vec![100.0, 120.0, 130.0],
+            },
+            // Band 4: ties are not wins.
+            Cell {
+                point: point(),
+                error: 0.44,
+                means: vec![100.0, 100.0, 101.0],
+            },
+            // Gap value (0.5) is ignored.
+            Cell {
+                point: point(),
+                error: 0.5,
+                means: vec![100.0, 1000.0, 1000.0],
+            },
+        ];
+        let t = win_rate_table(&sweep_with(cells), 1.0);
+        assert_eq!(t.rows, vec!["UMR", "Factoring"]);
+        assert_eq!(t.band_counts, vec![2, 0, 0, 0, 1]);
+        // UMR: band 0 → 2/2 wins; band 4 → tie, 0/1.
+        assert!((t.percentages[0][0] - 100.0).abs() < 1e-9);
+        assert!((t.percentages[0][4] - 0.0).abs() < 1e-9);
+        // Factoring: band 0 → 1/2; band 4 → 1/1.
+        assert!((t.percentages[1][0] - 50.0).abs() < 1e-9);
+        assert!((t.percentages[1][4] - 100.0).abs() < 1e-9);
+        // Empty bands report 0.
+        assert!((t.percentages[0][2] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn margin_filters_narrow_wins() {
+        let cells = vec![Cell {
+            point: point(),
+            error: 0.02,
+            means: vec![100.0, 105.0, 115.0],
+        }];
+        let any = win_rate_table(&sweep_with(cells.clone()), 1.0);
+        assert!((any.percentages[0][0] - 100.0).abs() < 1e-9);
+        let by_ten = win_rate_table(&sweep_with(cells), 1.1);
+        // 105 is not ≥ 110 → no win; 115 is.
+        assert!((by_ten.percentages[0][0] - 0.0).abs() < 1e-9);
+        assert!((by_ten.percentages[1][0] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overall_rate() {
+        let cells = vec![
+            Cell {
+                point: point(),
+                error: 0.1,
+                means: vec![100.0, 110.0, 90.0],
+            },
+            Cell {
+                point: point(),
+                error: 0.2,
+                means: vec![100.0, 120.0, 130.0],
+            },
+        ];
+        // Wins: 3 of 4 comparisons.
+        let rate = overall_win_rate(&sweep_with(cells));
+        assert!((rate - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference")]
+    fn requires_two_columns() {
+        let s = SweepResult {
+            labels: vec!["RUMR".into()],
+            cells: vec![],
+        };
+        let _ = win_rate_table(&s, 1.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Random distributions for the prediction-error model of the RUMR paper.
+//!
+//! The paper (§4.1) models prediction errors as: the ratio of *predicted* to
+//! *effective* execution time is normally distributed with mean 1 and
+//! standard deviation `error`, truncated to stay positive. The paper also
+//! reports that a uniformly-distributed error model produced essentially the
+//! same results, so a matched-variance uniform variant is provided.
+//!
+//! The `rand` crate supplies only uniform sampling; the normal distribution
+//! is implemented here via the Box–Muller transform (both values of each
+//! pair are used).
+
+use rand::Rng;
+
+/// A distribution over the prediction ratio relating predicted and
+/// effective execution times (mean 1, standard deviation = the error
+/// magnitude).
+///
+/// How the ratio is applied (multiplicatively, `eff = pred·X`, or as the
+/// paper's literal inverse, `eff = pred/X`) is decided by the simulation
+/// layer; see `dls-sim`'s error model documentation for why the
+/// multiplicative form is the default.
+pub trait Perturbation {
+    /// Draw one ratio sample. Implementations must return a finite,
+    /// strictly positive value.
+    fn sample_ratio<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64;
+
+    /// Convert a predicted duration into an effective duration by scaling
+    /// with one drawn ratio.
+    fn perturb<R: Rng + ?Sized>(&mut self, rng: &mut R, predicted: f64) -> f64 {
+        let x = self.sample_ratio(rng);
+        debug_assert!(x.is_finite() && x > 0.0, "invalid ratio {x}");
+        predicted * x
+    }
+}
+
+/// Standard Box–Muller normal sampler with the given mean and standard
+/// deviation. Caches the second variate of each generated pair.
+#[derive(Debug, Clone)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Create a normal distribution `N(mean, std_dev²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be finite and non-negative"
+        );
+        Normal {
+            mean,
+            std_dev,
+            spare: None,
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return self.mean + self.std_dev * z;
+        }
+        // Box–Muller: u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        let z0 = r * theta.cos();
+        let z1 = r * theta.sin();
+        self.spare = Some(z1);
+        self.mean + self.std_dev * z0
+    }
+}
+
+/// Truncated normal prediction-ratio distribution `N(1, error²)` restricted
+/// to `X > floor` (rejection sampling), the model of §4.1 of the paper
+/// ("truncated to avoid negative values").
+///
+/// A small positive floor (default `1e-3`) is used instead of 0 so that the
+/// ratio can safely appear in denominators; at the paper's largest error
+/// (0.5) the probability mass below the floor is ≈ 2.3 %·10⁻², so the floor
+/// choice is statistically irrelevant.
+#[derive(Debug, Clone)]
+pub struct TruncatedNormal {
+    normal: Normal,
+    floor: f64,
+}
+
+/// Default lower truncation bound for [`TruncatedNormal`].
+pub const DEFAULT_RATIO_FLOOR: f64 = 1e-3;
+
+impl TruncatedNormal {
+    /// The paper's error model: mean 1, standard deviation `error`,
+    /// truncated to `X > DEFAULT_RATIO_FLOOR`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error` is negative or non-finite.
+    pub fn from_error(error: f64) -> Self {
+        Self::new(1.0, error, DEFAULT_RATIO_FLOOR)
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are non-finite, `std_dev < 0`, or
+    /// `floor >= mean` (rejection would rarely/never terminate for means at
+    /// or below the floor).
+    pub fn new(mean: f64, std_dev: f64, floor: f64) -> Self {
+        assert!(floor.is_finite() && floor >= 0.0, "floor must be >= 0");
+        assert!(
+            mean > floor,
+            "mean ({mean}) must exceed the truncation floor ({floor})"
+        );
+        TruncatedNormal {
+            normal: Normal::new(mean, std_dev),
+            floor,
+        }
+    }
+
+    /// The standard deviation of the underlying (untruncated) normal.
+    pub fn error(&self) -> f64 {
+        self.normal.std_dev()
+    }
+}
+
+impl Perturbation for TruncatedNormal {
+    fn sample_ratio<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if self.normal.std_dev() == 0.0 {
+            return self.normal.mean();
+        }
+        // Rejection sampling. With mean 1 and the paper's error <= 0.5 the
+        // acceptance probability is > 97.7 %, so this terminates immediately
+        // in practice; the iteration cap is pure defensive programming.
+        for _ in 0..10_000 {
+            let x = self.normal.sample(rng);
+            if x > self.floor {
+                return x;
+            }
+        }
+        // Statistically unreachable for sane parameters.
+        self.floor + self.normal.std_dev().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Uniform prediction-ratio distribution with the same mean (1) and standard
+/// deviation (`error`) as the paper's truncated normal:
+/// `X ~ U(1 − √3·error, 1 + √3·error)`, lower end clamped to a positive
+/// floor. Used to reproduce the paper's remark that "results were
+/// essentially similar" under a uniform error model.
+#[derive(Debug, Clone)]
+pub struct MatchedUniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl MatchedUniform {
+    /// Build the matched-variance uniform ratio distribution for a given
+    /// `error` (standard deviation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error` is negative or non-finite.
+    pub fn from_error(error: f64) -> Self {
+        assert!(error.is_finite() && error >= 0.0, "error must be >= 0");
+        let half_width = 3.0_f64.sqrt() * error;
+        let lo = (1.0 - half_width).max(DEFAULT_RATIO_FLOOR);
+        let hi = 1.0 + half_width;
+        MatchedUniform { lo, hi }
+    }
+
+    /// Lower bound of the support.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the support.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Perturbation for MatchedUniform {
+    fn sample_ratio<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        rng.gen_range(self.lo..self.hi)
+    }
+}
+
+/// The degenerate "no error" perturbation: every ratio is exactly 1.
+/// Schedulers run against their exact predictions, which is the error = 0
+/// corner the paper uses to show RUMR defaulting to UMR.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoError;
+
+impl Perturbation for NoError {
+    fn sample_ratio<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut n = Normal::new(5.0, 2.0);
+        let mut r = rng();
+        let mut stats = OnlineStats::new();
+        for _ in 0..200_000 {
+            stats.push(n.sample(&mut r));
+        }
+        assert!((stats.mean() - 5.0).abs() < 0.02, "mean {}", stats.mean());
+        assert!(
+            (stats.std_dev() - 2.0).abs() < 0.02,
+            "std {}",
+            stats.std_dev()
+        );
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut n = Normal::new(3.0, 0.0);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut r), 3.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev")]
+    fn normal_rejects_negative_std() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn truncated_normal_moments_small_error() {
+        // With error = 0.1 truncation is negligible: moments match N(1, 0.1).
+        let mut d = TruncatedNormal::from_error(0.1);
+        let mut r = rng();
+        let mut stats = OnlineStats::new();
+        for _ in 0..200_000 {
+            stats.push(d.sample_ratio(&mut r));
+        }
+        assert!((stats.mean() - 1.0).abs() < 0.005, "mean {}", stats.mean());
+        assert!(
+            (stats.std_dev() - 0.1).abs() < 0.005,
+            "std {}",
+            stats.std_dev()
+        );
+    }
+
+    #[test]
+    fn truncated_normal_always_positive() {
+        let mut d = TruncatedNormal::from_error(0.5);
+        let mut r = rng();
+        for _ in 0..100_000 {
+            let x = d.sample_ratio(&mut r);
+            assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn truncated_normal_zero_error_is_exact() {
+        let mut d = TruncatedNormal::from_error(0.0);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample_ratio(&mut r), 1.0);
+            assert_eq!(d.perturb(&mut r, 42.0), 42.0);
+        }
+    }
+
+    #[test]
+    fn perturb_scales_by_ratio() {
+        // A ratio of exactly 1 leaves the prediction unchanged.
+        let mut d = NoError;
+        let mut r = rng();
+        assert_eq!(d.perturb(&mut r, 10.0), 10.0);
+    }
+
+    #[test]
+    fn matched_uniform_moments() {
+        let error = 0.3;
+        let mut d = MatchedUniform::from_error(error);
+        let mut r = rng();
+        let mut stats = OnlineStats::new();
+        for _ in 0..200_000 {
+            let x = d.sample_ratio(&mut r);
+            assert!(x > 0.0);
+            stats.push(x);
+        }
+        assert!((stats.mean() - 1.0).abs() < 0.01, "mean {}", stats.mean());
+        assert!(
+            (stats.std_dev() - error).abs() < 0.01,
+            "std {}",
+            stats.std_dev()
+        );
+    }
+
+    #[test]
+    fn matched_uniform_zero_error_constant() {
+        let mut d = MatchedUniform::from_error(0.0);
+        let mut r = rng();
+        assert_eq!(d.sample_ratio(&mut r), 1.0);
+    }
+
+    #[test]
+    fn matched_uniform_clamps_floor() {
+        // error = 0.5 => lo would be 1 - 0.866 = 0.134 > floor; error = 0.6
+        // => lo = -0.039, clamped.
+        let d = MatchedUniform::from_error(0.6);
+        assert!(d.lo() >= DEFAULT_RATIO_FLOOR);
+        assert!(d.hi() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean")]
+    fn truncated_normal_rejects_mean_below_floor() {
+        let _ = TruncatedNormal::new(0.0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut d1 = TruncatedNormal::from_error(0.25);
+        let mut d2 = TruncatedNormal::from_error(0.25);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(d1.sample_ratio(&mut r1), d2.sample_ratio(&mut r2));
+        }
+    }
+}

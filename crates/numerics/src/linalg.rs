@@ -1,0 +1,410 @@
+//! Minimal dense linear algebra: row-major matrices and LU decomposition
+//! with partial pivoting.
+//!
+//! The multi-installment (MI-x) baseline of the RUMR paper determines its
+//! chunk sizes from a dense `xN × xN` linear system (no-idle conditions +
+//! equal-finish conditions + total-workload constraint). The systems are
+//! small (at most a few hundred unknowns for the paper's parameter grid), so
+//! a straightforward `O(n^3)` LU with partial pivoting is more than fast
+//! enough and keeps the workspace dependency-free.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Error type for linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinAlgError {
+    /// The matrix is singular (a pivot column was numerically zero).
+    Singular {
+        /// Elimination step at which the zero pivot appeared.
+        at_column: usize,
+    },
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LinAlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinAlgError::Singular { at_column } => {
+                write!(f, "matrix is singular at elimination column {at_column}")
+            }
+            LinAlgError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinAlgError {}
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinAlgError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+        if x.len() != self.cols {
+            return Err(LinAlgError::ShapeMismatch {
+                what: "matrix-vector product dimension",
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Maximum absolute residual `‖A·x − b‖_∞`; used in tests and by the
+    /// MI solver to sanity-check its solution.
+    pub fn residual_inf(&self, x: &[f64], b: &[f64]) -> Result<f64, LinAlgError> {
+        if b.len() != self.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                what: "residual right-hand side dimension",
+            });
+        }
+        let ax = self.mul_vec(x)?;
+        Ok(ax
+            .iter()
+            .zip(b)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// LU-decompose (with partial pivoting) and solve `A·x = b` in one call.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+        Lu::decompose(self)?.solve(b)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// LU decomposition with partial (row) pivoting: `P·A = L·U`.
+///
+/// `L` (unit lower triangular) and `U` are stored packed in a single matrix;
+/// `perm` records row exchanges.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+    /// Sign of the permutation, needed for the determinant.
+    perm_sign: f64,
+}
+
+/// Pivots smaller than this (relative to the column's max) are treated as
+/// numerically singular.
+const PIVOT_EPS: f64 = 1e-13;
+
+impl Lu {
+    /// Factorize a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`LinAlgError::ShapeMismatch`] for non-square input,
+    /// [`LinAlgError::Singular`] when a pivot column is numerically zero.
+    pub fn decompose(a: &Matrix) -> Result<Self, LinAlgError> {
+        if a.rows != a.cols {
+            return Err(LinAlgError::ShapeMismatch {
+                what: "LU requires a square matrix",
+            });
+        }
+        let n = a.rows;
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        // Scale factors for implicit scaled pivoting: makes the singularity
+        // threshold meaningful for badly row-scaled systems.
+        let mut scale = vec![0.0; n];
+        for i in 0..n {
+            let row_max = (0..n).map(|j| lu[(i, j)].abs()).fold(0.0, f64::max);
+            if row_max == 0.0 {
+                return Err(LinAlgError::Singular { at_column: 0 });
+            }
+            scale[i] = 1.0 / row_max;
+        }
+
+        for k in 0..n {
+            // Find the pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = 0.0;
+            for i in k..n {
+                let v = scale[i] * lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < PIVOT_EPS {
+                return Err(LinAlgError::Singular { at_column: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                scale.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Solve `A·x = b` using the precomputed factorization.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+        let n = self.lu.rows;
+        if b.len() != n {
+            return Err(LinAlgError::ShapeMismatch {
+                what: "solve right-hand side dimension",
+            });
+        }
+        // Forward substitution with permutation applied: L·y = P·b.
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu[(i, j)] * xj;
+            }
+            x[i] = sum;
+        }
+        // Back substitution: U·x = y.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.lu[(i, j)] * xj;
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix (product of U's diagonal times the
+    /// permutation sign).
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows;
+        (0..n).map(|i| self.lu[(i, i)]).product::<f64>() * self.perm_sign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_solve() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = a.solve(&b).unwrap();
+        assert_close(&x, &b, 1e-14);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [2 1; 1 3] x = [3; 5]  ->  x = [4/5, 7/5]
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert_close(&x, &[0.8, 1.4], 1e-12);
+    }
+
+    #[test]
+    fn known_3x3_with_pivoting() {
+        // First pivot is zero; partial pivoting must kick in.
+        let a = Matrix::from_rows(3, 3, vec![0.0, 2.0, 1.0, 1.0, 1.0, 1.0, 2.0, 1.0, -1.0]);
+        let b = vec![4.0, 3.0, 0.0];
+        let x = a.solve(&b).unwrap();
+        assert!(a.residual_inf(&x, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        let e = a.solve(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(e, LinAlgError::Singular { .. }));
+    }
+
+    #[test]
+    fn zero_row_detected() {
+        let a = Matrix::from_rows(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+        let e = Lu::decompose(&a).unwrap_err();
+        assert!(matches!(e, LinAlgError::Singular { .. }));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::decompose(&a),
+            Err(LinAlgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rhs_dimension_checked() {
+        let a = Matrix::identity(3);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(LinAlgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            a.mul_vec(&[1.0]),
+            Err(LinAlgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant() {
+        let a = Matrix::from_rows(2, 2, vec![3.0, 1.0, 4.0, 2.0]);
+        let lu = Lu::decompose(&a).unwrap();
+        assert!((lu.det() - 2.0).abs() < 1e-12);
+
+        let i5 = Matrix::identity(5);
+        assert!((Lu::decompose(&i5).unwrap().det() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn determinant_sign_with_pivot() {
+        // Swapping rows of the identity gives det = -1.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let lu = Lu::decompose(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn moderately_sized_random_system() {
+        // Deterministic pseudo-random matrix (LCG), solve and check residual.
+        let n = 60;
+        let mut state: u64 = 0x1234_5678;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            // Diagonal dominance to guarantee nonsingularity.
+            a[(i, i)] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = a.solve(&b).unwrap();
+        assert!(a.residual_inf(&x, &b).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn badly_scaled_rows() {
+        // One row scaled by 1e12: scaled pivoting must still solve accurately.
+        let a = Matrix::from_rows(2, 2, vec![1e12, 2e12, 1.0, 3.0]);
+        let b = vec![3e12, 4.0];
+        let x = a.solve(&b).unwrap();
+        // Exact solution: x1 + 2 x2 = 3, x1 + 3 x2 = 4 -> x2 = 1, x1 = 1.
+        assert_close(&x, &[1.0, 1.0], 1e-6);
+    }
+
+    #[test]
+    fn mul_vec_correct() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = a.mul_vec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_close(&y, &[-2.0, -2.0], 1e-14);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(format!("{}", LinAlgError::Singular { at_column: 3 }).contains("3"));
+        assert!(format!("{}", LinAlgError::ShapeMismatch { what: "test" }).contains("test"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Deterministic seed derivation for reproducible experiments.
+//!
+//! The paper averages every data point over 40 repetitions. For the sweep to
+//! be reproducible *and* parallelizable, each (experiment configuration,
+//! repetition) pair must get an independent RNG stream whose seed does not
+//! depend on scheduling order. [`SeedDeriver`] mixes a root seed with an
+//! arbitrary sequence of labels/indices through SplitMix64 — the standard
+//! seed-expansion generator, chosen because consecutive or structured inputs
+//! still produce well-distributed outputs.
+
+/// One round of the SplitMix64 output function.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hierarchical, order-independent seed derivation.
+///
+/// ```
+/// use dls_numerics::rng::SeedDeriver;
+///
+/// let root = SeedDeriver::new(42);
+/// let config_stream = root.child(17); // e.g. configuration index
+/// let rep0 = config_stream.child(0).seed();
+/// let rep1 = config_stream.child(1).seed();
+/// assert_ne!(rep0, rep1);
+/// // Re-deriving gives identical seeds:
+/// assert_eq!(rep0, SeedDeriver::new(42).child(17).child(0).seed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedDeriver {
+    state: u64,
+}
+
+impl SeedDeriver {
+    /// Start a derivation chain from a root seed.
+    pub fn new(root: u64) -> Self {
+        SeedDeriver {
+            state: splitmix64(root),
+        }
+    }
+
+    /// Derive a child stream for the given label (index, id, hash, ...).
+    pub fn child(&self, label: u64) -> Self {
+        // Mix the label in with a multiplier so child(a).child(b) differs
+        // from child(b).child(a), then re-diffuse.
+        SeedDeriver {
+            state: splitmix64(
+                self.state
+                    .rotate_left(17)
+                    .wrapping_mul(0xD605_1B94_45A6_34C1)
+                    ^ splitmix64(label),
+            ),
+        }
+    }
+
+    /// The 64-bit seed for this node, suitable for `StdRng::seed_from_u64`.
+    pub fn seed(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Convenience: derive the seed for `(config_index, repetition)` under a
+/// root seed — the layout used throughout the experiment harness.
+pub fn seed_for(root: u64, config_index: u64, repetition: u64) -> u64 {
+    SeedDeriver::new(root)
+        .child(config_index)
+        .child(repetition)
+        .seed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(seed_for(1, 2, 3), seed_for(1, 2, 3));
+        assert_eq!(
+            SeedDeriver::new(9).child(4).seed(),
+            SeedDeriver::new(9).child(4).seed()
+        );
+    }
+
+    #[test]
+    fn sensitive_to_every_level() {
+        let base = seed_for(1, 2, 3);
+        assert_ne!(base, seed_for(0, 2, 3));
+        assert_ne!(base, seed_for(1, 0, 3));
+        assert_ne!(base, seed_for(1, 2, 0));
+    }
+
+    #[test]
+    fn order_matters() {
+        let ab = SeedDeriver::new(7).child(1).child(2).seed();
+        let ba = SeedDeriver::new(7).child(2).child(1).seed();
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn no_collisions_on_dense_grid() {
+        // 100 configs x 100 reps under one root: all seeds distinct.
+        let mut seen = HashSet::new();
+        for c in 0..100 {
+            for r in 0..100 {
+                assert!(
+                    seen.insert(seed_for(0xDEADBEEF, c, r)),
+                    "collision at {c},{r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_labels_diffuse() {
+        // Hamming distance between seeds of consecutive labels should be
+        // substantial on average (basic avalanche sanity check).
+        let root = SeedDeriver::new(0);
+        let mut total = 0u32;
+        for i in 0..1000u64 {
+            let a = root.child(i).seed();
+            let b = root.child(i + 1).seed();
+            total += (a ^ b).count_ones();
+        }
+        let avg = total as f64 / 1000.0;
+        assert!(avg > 24.0 && avg < 40.0, "avg hamming distance {avg}");
+    }
+}

@@ -1,0 +1,304 @@
+//! One-dimensional root finding: bisection and Brent's method.
+//!
+//! The UMR scheduler frames "how many rounds, and how big is the first
+//! chunk?" as a constrained optimization; after eliminating the Lagrange
+//! multiplier the problem collapses to finding the root of a scalar function
+//! of the (continuous) round count `M`. The paper reports solving it "by
+//! bisection", which [`bisect`] reproduces; [`brent`] is a faster
+//! superlinear alternative used by default, with bisection as the fallback
+//! of last resort.
+
+use std::fmt;
+
+/// Error returned by the root finders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootError {
+    /// `f(a)` and `f(b)` have the same sign, so no root is bracketed.
+    NotBracketed {
+        /// Function value at the left end of the interval.
+        fa: f64,
+        /// Function value at the right end of the interval.
+        fb: f64,
+    },
+    /// The iteration limit was reached before the tolerance was met.
+    MaxIterations {
+        /// Best estimate of the root when the limit was hit.
+        best: f64,
+    },
+    /// The function returned a non-finite value inside the interval.
+    NonFinite {
+        /// Point at which the function was non-finite.
+        at: f64,
+    },
+}
+
+impl fmt::Display for RootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RootError::NotBracketed { fa, fb } => {
+                write!(f, "root not bracketed: f(a) = {fa}, f(b) = {fb}")
+            }
+            RootError::MaxIterations { best } => {
+                write!(f, "maximum iterations reached; best estimate {best}")
+            }
+            RootError::NonFinite { at } => write!(f, "function non-finite at {at}"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Absolute x-tolerance used by the schedulers when solving for round counts.
+///
+/// Round counts are eventually rounded to integers, so 1e-9 is far more than
+/// enough; the cost is a handful of extra iterations.
+pub const DEFAULT_TOL: f64 = 1e-10;
+
+/// Default iteration budget. Bisection halves the interval each step, so 200
+/// iterations resolve any double-precision bracket.
+pub const DEFAULT_MAX_ITER: usize = 200;
+
+fn check_finite(x: f64, fx: f64) -> Result<(), RootError> {
+    if fx.is_finite() {
+        Ok(())
+    } else {
+        Err(RootError::NonFinite { at: x })
+    }
+}
+
+/// Find a root of `f` in `[a, b]` by bisection.
+///
+/// Requires `f(a)` and `f(b)` to have opposite signs (a zero at either
+/// endpoint is returned immediately). Converges linearly but is
+/// unconditionally robust, matching the method referenced in the paper.
+///
+/// # Errors
+///
+/// [`RootError::NotBracketed`] if the signs match, [`RootError::NonFinite`]
+/// if `f` blows up inside the interval.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    if a > b {
+        std::mem::swap(&mut a, &mut b);
+    }
+    let mut fa = f(a);
+    check_finite(a, fa)?;
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    let fb = f(b);
+    check_finite(b, fb)?;
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NotBracketed { fa, fb });
+    }
+    let mut mid = 0.5 * (a + b);
+    for _ in 0..max_iter {
+        mid = 0.5 * (a + b);
+        let fm = f(mid);
+        check_finite(mid, fm)?;
+        if fm == 0.0 || (b - a) * 0.5 < tol {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(RootError::MaxIterations { best: mid })
+}
+
+/// Find a root of `f` in `[a, b]` with Brent's method.
+///
+/// Combines bisection, secant, and inverse quadratic interpolation; keeps
+/// bisection's bracketing guarantee while usually converging superlinearly.
+/// Same bracketing requirements as [`bisect`].
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    let mut fa = f(a);
+    check_finite(a, fa)?;
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    let mut fb = f(b);
+    check_finite(b, fb)?;
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NotBracketed { fa, fb });
+    }
+    // Ensure |f(b)| <= |f(a)|: b is the current best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let hi = b;
+        let (lo, hi) = if lo < hi { (lo, hi) } else { (hi, lo) };
+        let cond_interval = s < lo || s > hi;
+        let cond_mflag = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond_dflag = !mflag && (s - b).abs() >= d.abs() / 2.0;
+        let cond_tol_m = mflag && (b - c).abs() < tol;
+        let cond_tol_d = !mflag && d.abs() < tol;
+        if cond_interval || cond_mflag || cond_dflag || cond_tol_m || cond_tol_d {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        check_finite(s, fs)?;
+        d = b - c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::MaxIterations { best: b })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_linear() {
+        let r = bisect(|x| x - 3.0, 0.0, 10.0, 1e-12, 200).unwrap();
+        assert!((r - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 5.0, 1e-12, 200).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 5.0, 0.0, 5.0, 1e-12, 200).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn bisect_swapped_interval() {
+        let r = bisect(|x| x - 3.0, 10.0, 0.0, 1e-12, 200).unwrap();
+        assert!((r - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_transcendental() {
+        // x = cos(x) has root ~0.7390851332151607
+        let r = bisect(|x| x - x.cos(), 0.0, 1.0, 1e-12, 200).unwrap();
+        assert!((r - 0.739_085_133_215_160_7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_not_bracketed() {
+        let e = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 200).unwrap_err();
+        assert!(matches!(e, RootError::NotBracketed { .. }));
+    }
+
+    #[test]
+    fn bisect_non_finite() {
+        // NaN exactly at the first midpoint (0.0).
+        let f = |x: f64| {
+            if x == 0.0 {
+                f64::NAN
+            } else {
+                x
+            }
+        };
+        let e = bisect(f, -1.0, 1.0, 1e-12, 200).unwrap_err();
+        assert!(matches!(e, RootError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn brent_linear() {
+        let r = brent(|x| 2.0 * x - 7.0, -10.0, 10.0, 1e-13, 100).unwrap();
+        assert!((r - 3.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_cubic() {
+        // (x+3)(x-1)^2 has a sign-changing root at -3.
+        let f = |x: f64| (x + 3.0) * (x - 1.0) * (x - 1.0);
+        let r = brent(f, -4.0, 0.0, 1e-13, 100).unwrap();
+        assert!((r + 3.0).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        let r = brent(|x| x.exp() - 2.0, 0.0, 2.0, 1e-13, 100).unwrap();
+        assert!((r - std::f64::consts::LN_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| x.powi(3) - 2.0 * x - 5.0; // classic Brent test, root ~2.0945514815
+        let rb = bisect(f, 2.0, 3.0, 1e-12, 300).unwrap();
+        let rr = brent(f, 2.0, 3.0, 1e-12, 100).unwrap();
+        assert!((rb - rr).abs() < 1e-8);
+        assert!((rr - 2.094_551_481_542_327).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_not_bracketed() {
+        let e = brent(|_| 1.0, 0.0, 1.0, 1e-12, 100).unwrap_err();
+        assert!(matches!(e, RootError::NotBracketed { .. }));
+    }
+
+    #[test]
+    fn max_iterations_reported() {
+        // Zero iterations allowed -> MaxIterations with a best estimate.
+        let e = bisect(|x| x - 0.5, 0.0, 1.0, 0.0, 0).unwrap_err();
+        assert!(matches!(e, RootError::MaxIterations { .. }));
+    }
+
+    #[test]
+    fn error_display() {
+        let s = format!("{}", RootError::NotBracketed { fa: 1.0, fb: 2.0 });
+        assert!(s.contains("not bracketed"));
+        let s = format!("{}", RootError::MaxIterations { best: 1.5 });
+        assert!(s.contains("1.5"));
+        let s = format!("{}", RootError::NonFinite { at: 0.0 });
+        assert!(s.contains("non-finite"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Simple baseline schedulers.
+//!
+//! These are not competitors from the paper's tables but are useful
+//! reference points for the examples and tests:
+//!
+//! * [`EqualSingleRound`] — the naive static schedule: one round of equal
+//!   `W/N` chunks, dispatched eagerly. No overlap tuning, no robustness.
+//! * [`UnitSelfScheduling`] — classic self-scheduling at the workload's
+//!   minimal unit granularity: maximally robust, maximal overhead. This is
+//!   the degenerate end of the robustness spectrum that Factoring and FSC
+//!   were invented to tame.
+
+use dls_sim::{Decision, Platform, Scheduler, SimView};
+
+use crate::plan::{equal_chunks, DispatchPlan, ListSource, PlanReplayer, PullDispatcher};
+
+/// One round of equal chunks, sent eagerly to workers `0..N`.
+#[derive(Debug)]
+pub struct EqualSingleRound {
+    replayer: PlanReplayer,
+}
+
+impl EqualSingleRound {
+    /// Split `w_total` evenly across the platform's workers.
+    pub fn new(platform: &Platform, w_total: f64) -> Self {
+        let n = platform.num_workers();
+        let chunk = w_total / n as f64;
+        let sends = (0..n).map(|w| (w, chunk)).collect();
+        EqualSingleRound {
+            replayer: PlanReplayer::new(DispatchPlan { sends }),
+        }
+    }
+}
+
+impl Scheduler for EqualSingleRound {
+    fn name(&self) -> String {
+        "EqualStatic".into()
+    }
+
+    fn next_dispatch(&mut self, _view: &SimView<'_>) -> Decision {
+        self.replayer.next_decision()
+    }
+}
+
+/// Pull-based self-scheduling with chunks of the given unit size (1 unit by
+/// default — one sequence, one block of pixels, ... in the paper's terms).
+#[derive(Debug)]
+pub struct UnitSelfScheduling {
+    dispatcher: PullDispatcher<ListSource>,
+    unit: f64,
+}
+
+impl UnitSelfScheduling {
+    /// Self-schedule `w_total` in single-unit chunks.
+    pub fn new(w_total: f64) -> Self {
+        Self::with_unit(w_total, 1.0)
+    }
+
+    /// Self-schedule with a custom unit size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is not finite and positive.
+    pub fn with_unit(w_total: f64, unit: f64) -> Self {
+        assert!(unit.is_finite() && unit > 0.0, "unit must be positive");
+        UnitSelfScheduling {
+            dispatcher: PullDispatcher::new(ListSource::new(equal_chunks(w_total, unit))),
+            unit,
+        }
+    }
+
+    /// The unit chunk size.
+    pub fn unit(&self) -> f64 {
+        self.unit
+    }
+}
+
+impl Scheduler for UnitSelfScheduling {
+    fn name(&self) -> String {
+        "SelfSched".into()
+    }
+
+    fn next_dispatch(&mut self, view: &SimView<'_>) -> Decision {
+        self.dispatcher.next_decision(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sim::{simulate, ErrorInjector, ErrorModel, HomogeneousParams, SimConfig};
+
+    #[test]
+    fn equal_static_one_round() {
+        let platform = HomogeneousParams::table1(5, 1.5, 0.1, 0.1).build().unwrap();
+        let mut s = EqualSingleRound::new(&platform, 1000.0);
+        let r = simulate(
+            &platform,
+            &mut s,
+            ErrorInjector::new(ErrorModel::None, 0),
+            SimConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.num_chunks, 5);
+        for w in &r.per_worker_work {
+            assert!((w - 200.0).abs() < 1e-9);
+        }
+        assert!(r.trace.unwrap().validate(5).is_empty());
+    }
+
+    #[test]
+    fn self_scheduling_unit_chunks() {
+        let platform = HomogeneousParams::table1(4, 1.5, 0.0, 0.0).build().unwrap();
+        let mut s = UnitSelfScheduling::new(100.0);
+        assert_eq!(s.unit(), 1.0);
+        let r = simulate(
+            &platform,
+            &mut s,
+            ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.5 }, 9),
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.num_chunks, 100);
+        assert!((r.completed_work() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_scheduling_custom_unit() {
+        let platform = HomogeneousParams::table1(4, 1.5, 0.1, 0.1).build().unwrap();
+        let mut s = UnitSelfScheduling::with_unit(100.0, 10.0);
+        let r = simulate(
+            &platform,
+            &mut s,
+            ErrorInjector::new(ErrorModel::None, 0),
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.num_chunks, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit")]
+    fn rejects_zero_unit() {
+        let _ = UnitSelfScheduling::with_unit(10.0, 0.0);
+    }
+
+    #[test]
+    fn equal_static_fragile_under_error() {
+        // A slow worker drags the whole static schedule; self-scheduling
+        // absorbs it. Averaged over seeds, self-scheduling should win on a
+        // latency-free platform with large errors.
+        let platform = HomogeneousParams::table1(5, 2.0, 0.0, 0.0).build().unwrap();
+        let (mut static_total, mut selfs_total) = (0.0, 0.0);
+        for seed in 0..20 {
+            let model = ErrorModel::TruncatedNormal { error: 0.5 };
+            let mut st = EqualSingleRound::new(&platform, 500.0);
+            static_total += simulate(
+                &platform,
+                &mut st,
+                ErrorInjector::new(model, seed),
+                SimConfig::default(),
+            )
+            .unwrap()
+            .makespan;
+            let mut ss = UnitSelfScheduling::with_unit(500.0, 5.0);
+            selfs_total += simulate(
+                &platform,
+                &mut ss,
+                ErrorInjector::new(model, seed),
+                SimConfig::default(),
+            )
+            .unwrap()
+            .makespan;
+        }
+        assert!(
+            selfs_total < static_total,
+            "self-scheduling {selfs_total} vs static {static_total}"
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! Factoring — robust self-scheduling with decreasing chunks (Hummel '92).
+//!
+//! Factoring dispatches the workload in *batches* of `N` equal chunks; each
+//! batch covers a fixed fraction `1/f` of the remaining workload (`f = 2` in
+//! classic factoring), so chunk sizes decrease geometrically:
+//!
+//! ```text
+//! chunk(batch) = remaining / (f·N),   remaining ← remaining·(1 − 1/f)
+//! ```
+//!
+//! Chunks are handed out greedily — a chunk is sent only when a worker is
+//! idle — which makes the schedule self-correcting under prediction errors
+//! but pays the full communication latency on every chunk (no
+//! communication/computation overlap, the weakness the RUMR paper's phase 1
+//! addresses).
+//!
+//! Because chunk sizes decrease geometrically they must be bounded below;
+//! per Hagerup '97 (and §4.2(iii) of the RUMR paper) the bound is the
+//! overhead of dispatching one round of empty chunks, `cLat + nLat·N`,
+//! divided by `error` when the error magnitude is known. The workload's
+//! minimal computation unit (1 "unit" in Table 1 terms) is a hard floor.
+
+use dls_sim::{Decision, Platform, Scheduler, SimView};
+
+use crate::plan::{ChunkSource, PullDispatcher};
+
+/// Default factor `f`: each batch covers half the remaining work.
+pub const DEFAULT_FACTOR: f64 = 2.0;
+
+/// Hard floor on chunk sizes: the workload's minimal computation unit
+/// (1 unit in the paper's Table 1; e.g. one sequence or one pixel block).
+pub const UNIT_FLOOR: f64 = 1.0;
+
+/// Compute the minimum chunk bound of §4.2(iii).
+///
+/// * `error` known and positive: `(cLat + nLat·N) / error`
+/// * `error` unknown (or zero): `cLat + nLat·N`
+///
+/// Both are floored at [`UNIT_FLOOR`] so the chunk sequence terminates even
+/// on zero-latency platforms.
+pub fn min_chunk_bound(n: usize, comp_latency: f64, net_latency: f64, error: Option<f64>) -> f64 {
+    let base = comp_latency + net_latency * n as f64;
+    let bound = match error {
+        Some(e) if e > 0.0 => base / e,
+        _ => base,
+    };
+    bound.max(UNIT_FLOOR)
+}
+
+/// Generates the factoring chunk sequence over a given workload.
+#[derive(Debug, Clone)]
+pub struct FactoringSource {
+    n: usize,
+    factor: f64,
+    min_chunk: f64,
+    remaining: f64,
+    batch_left: usize,
+    batch_chunk: f64,
+}
+
+impl FactoringSource {
+    /// Create a source over `w_total` units for `n` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `factor <= 1`, or `w_total`/`min_chunk` are not
+    /// finite and non-negative/positive respectively.
+    pub fn new(w_total: f64, n: usize, factor: f64, min_chunk: f64) -> Self {
+        assert!(n > 0, "need at least one worker");
+        assert!(factor > 1.0 && factor.is_finite(), "factor must exceed 1");
+        assert!(w_total.is_finite() && w_total >= 0.0);
+        assert!(min_chunk.is_finite() && min_chunk > 0.0);
+        FactoringSource {
+            n,
+            factor,
+            min_chunk,
+            remaining: w_total,
+            batch_left: 0,
+            batch_chunk: 0.0,
+        }
+    }
+
+    /// Remaining undispatched workload.
+    pub fn remaining(&self) -> f64 {
+        self.remaining + self.batch_left as f64 * self.batch_chunk
+    }
+
+    fn start_batch(&mut self) {
+        debug_assert!(self.batch_left == 0);
+        if self.remaining <= 0.0 {
+            return;
+        }
+        let n = self.n as f64;
+        let ideal = self.remaining / (self.factor * n);
+        if ideal >= self.min_chunk {
+            // Regular factoring batch: N chunks covering 1/f of the rest.
+            self.batch_chunk = ideal;
+            self.batch_left = self.n;
+            self.remaining -= ideal * n;
+        } else if self.remaining > n * self.min_chunk {
+            // The geometric decrease has bottomed out but plenty of work
+            // remains: dispatch constant batches at the minimum bound.
+            self.batch_chunk = self.min_chunk;
+            self.batch_left = self.n;
+            self.remaining -= self.min_chunk * n;
+        } else {
+            // Final round: spread the remainder evenly over the workers
+            // (leaving N−1 workers idle while one processes the whole tail
+            // would defeat phase 2's purpose; the phase-split threshold
+            // guarantees the per-worker share amortizes its dispatch
+            // overhead). Chunks never go below the unit floor.
+            let count = (self.remaining / UNIT_FLOOR).floor().clamp(1.0, n) as usize;
+            self.batch_chunk = self.remaining / count as f64;
+            self.batch_left = count;
+            self.remaining = 0.0;
+        }
+    }
+}
+
+impl ChunkSource for FactoringSource {
+    fn next_chunk(&mut self) -> Option<f64> {
+        if self.batch_left == 0 {
+            self.start_batch();
+        }
+        if self.batch_left == 0 {
+            return None;
+        }
+        self.batch_left -= 1;
+        Some(self.batch_chunk)
+    }
+}
+
+/// The Factoring scheduler: pull-based dispatch of the factoring sequence.
+#[derive(Debug)]
+pub struct Factoring {
+    dispatcher: PullDispatcher<FactoringSource>,
+}
+
+impl Factoring {
+    /// Classic factoring (`f = 2`) over a platform, with the error-unaware
+    /// minimum chunk bound `cLat + nLat·N` (the algorithm predates error
+    /// estimation; see [`min_chunk_bound`]).
+    ///
+    /// Latency parameters are taken from worker 0, which is exact for the
+    /// homogeneous platforms of the paper's evaluation.
+    pub fn new(platform: &Platform, w_total: f64) -> Self {
+        let n = platform.num_workers();
+        let w0 = platform.worker(0);
+        let bound = min_chunk_bound(n, w0.comp_latency, w0.net_latency, None);
+        Self::with_parameters(w_total, n, DEFAULT_FACTOR, bound)
+    }
+
+    /// Fully parameterized construction (factor, explicit minimum chunk).
+    pub fn with_parameters(w_total: f64, n: usize, factor: f64, min_chunk: f64) -> Self {
+        Factoring {
+            dispatcher: PullDispatcher::new(FactoringSource::new(w_total, n, factor, min_chunk)),
+        }
+    }
+}
+
+impl Scheduler for Factoring {
+    fn name(&self) -> String {
+        "Factoring".into()
+    }
+
+    fn next_dispatch(&mut self, view: &SimView<'_>) -> Decision {
+        self.dispatcher.next_decision(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sim::{simulate, ErrorInjector, ErrorModel, HomogeneousParams, SimConfig};
+
+    fn collect(mut s: FactoringSource) -> Vec<f64> {
+        let mut v = Vec::new();
+        while let Some(c) = s.next_chunk() {
+            v.push(c);
+            assert!(v.len() < 100_000, "source does not terminate");
+        }
+        v
+    }
+
+    #[test]
+    fn halving_batches() {
+        let chunks = collect(FactoringSource::new(1000.0, 5, 2.0, 1.0));
+        // First batch: 5 chunks of 1000/(2·5) = 100.
+        assert_eq!(&chunks[..5], &[100.0; 5]);
+        // Second batch: 5 chunks of 500/(2·5) = 50.
+        assert_eq!(&chunks[5..10], &[50.0; 5]);
+        // Conservation.
+        let total: f64 = chunks.iter().sum();
+        assert!((total - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunks_never_below_min_and_decreasing() {
+        let chunks = collect(FactoringSource::new(1000.0, 4, 2.0, 7.0));
+        let total: f64 = chunks.iter().sum();
+        assert!((total - 1000.0).abs() < 1e-9);
+        for w in chunks.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "chunk sequence must be non-increasing"
+            );
+        }
+        // Everything before the final balanced round (at most N = 4 chunks)
+        // respects the bound; final-round chunks stay positive.
+        let body = chunks.len().saturating_sub(4);
+        for &c in &chunks[..body] {
+            assert!(c >= 7.0 - 1e-9, "chunk {c} below bound");
+        }
+        for &c in &chunks[body..] {
+            assert!(c > 0.0);
+        }
+    }
+
+    #[test]
+    fn unit_floor_guarantees_termination() {
+        // Zero latencies: without the unit floor the sequence would never
+        // terminate.
+        let chunks = collect(FactoringSource::new(100.0, 3, 2.0, UNIT_FLOOR));
+        let total: f64 = chunks.iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!(chunks.len() <= 200);
+    }
+
+    #[test]
+    fn min_chunk_bound_rules() {
+        // Unknown error: cLat + nLat·N.
+        assert!((min_chunk_bound(10, 0.5, 0.3, None) - 3.5).abs() < 1e-12);
+        // Known error: divided by error.
+        assert!((min_chunk_bound(10, 0.5, 0.3, Some(0.5)) - 7.0).abs() < 1e-12);
+        // Unit floor.
+        assert_eq!(min_chunk_bound(10, 0.0, 0.0, None), UNIT_FLOOR);
+        assert_eq!(min_chunk_bound(10, 0.0, 0.0, Some(0.3)), UNIT_FLOOR);
+        // Zero error treated as unknown.
+        assert!((min_chunk_bound(4, 1.0, 1.0, Some(0.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_workload_single_chunk() {
+        let chunks = collect(FactoringSource::new(0.5, 8, 2.0, 1.0));
+        assert_eq!(chunks.len(), 1);
+        assert!((chunks[0] - 0.5).abs() < 1e-12);
+        assert!(collect(FactoringSource::new(0.0, 8, 2.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn remaining_tracks_dispatch() {
+        let mut s = FactoringSource::new(100.0, 2, 2.0, 1.0);
+        assert!((s.remaining() - 100.0).abs() < 1e-12);
+        let c = s.next_chunk().unwrap();
+        assert!((s.remaining() - (100.0 - c)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_conserves_workload() {
+        let platform = HomogeneousParams::table1(10, 1.5, 0.2, 0.3)
+            .build()
+            .unwrap();
+        let mut f = Factoring::new(&platform, 1000.0);
+        let r = simulate(
+            &platform,
+            &mut f,
+            ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.3 }, 7),
+            SimConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((r.dispatched_work - 1000.0).abs() < 1e-6);
+        assert!((r.completed_work() - 1000.0).abs() < 1e-6);
+        assert!(r.trace.unwrap().validate(10).is_empty());
+    }
+
+    #[test]
+    fn greedy_rebalances_under_error() {
+        // With large errors, factoring should spread work unevenly (slow
+        // workers get less) — completed work per worker must still sum to W.
+        let platform = HomogeneousParams::table1(5, 1.5, 0.1, 0.1).build().unwrap();
+        let mut f = Factoring::new(&platform, 1000.0);
+        let r = simulate(
+            &platform,
+            &mut f,
+            ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.5 }, 3),
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert!((r.completed_work() - 1000.0).abs() < 1e-6);
+        let spread = r
+            .per_worker_work
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &w| {
+                (lo.min(w), hi.max(w))
+            });
+        assert!(spread.1 > spread.0, "expected uneven division under error");
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn rejects_factor_one() {
+        let _ = FactoringSource::new(10.0, 2, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! FSC — Fixed-Size Chunking (Kruskal & Weiss; the "optimized
+//! self-scheduling" variant evaluated by Hagerup '97 and referenced in the
+//! RUMR paper, which reports it "performs worse than Factoring in most of
+//! our experiments").
+//!
+//! FSC dispatches equal chunks greedily (pull-based). The chunk size trades
+//! the per-chunk overhead `h` against the variance of chunk execution
+//! times; the Kruskal–Weiss formula is
+//!
+//! ```text
+//! chunk = ( √2 · W · h / (σ · N · √(ln N)) )^(2/3)
+//! ```
+//!
+//! with `W` the remaining work, `N` the worker count, `σ` the standard
+//! deviation of a chunk's unit execution time, and `h` the per-chunk
+//! overhead. In this suite's platform terms `h = cLat + nLat` (the
+//! latencies paid per chunk) and `σ = error / S`. When `σ = 0` or `N = 1`
+//! the formula degenerates; FSC then uses one round of `W/N` chunks.
+
+use dls_sim::{Decision, Platform, Scheduler, SimView};
+
+use crate::factoring::UNIT_FLOOR;
+use crate::plan::{equal_chunks, ListSource, PullDispatcher};
+
+/// Compute the Kruskal–Weiss fixed chunk size, clamped to
+/// `[UNIT_FLOOR, w_total/n]`.
+pub fn fsc_chunk_size(w_total: f64, n: usize, overhead: f64, sigma: f64) -> f64 {
+    assert!(w_total > 0.0 && n > 0);
+    let upper = w_total / n as f64;
+    if sigma <= 0.0 || n < 2 || overhead <= 0.0 {
+        return upper.max(UNIT_FLOOR);
+    }
+    let ln_n = (n as f64).ln();
+    let raw =
+        (2.0_f64.sqrt() * w_total * overhead / (sigma * n as f64 * ln_n.sqrt())).powf(2.0 / 3.0);
+    raw.clamp(UNIT_FLOOR, upper.max(UNIT_FLOOR))
+}
+
+/// The FSC scheduler: equal fixed-size chunks, pull-based dispatch.
+#[derive(Debug)]
+pub struct Fsc {
+    dispatcher: PullDispatcher<ListSource>,
+    chunk: f64,
+}
+
+impl Fsc {
+    /// Build FSC for a (homogeneous) platform. `error` is the predicted
+    /// error magnitude used as the unit-time standard deviation; pass 0 or
+    /// a negative value when unknown (degenerates to one round of `W/N`).
+    ///
+    /// Latency parameters are taken from worker 0.
+    pub fn new(platform: &Platform, w_total: f64, error: f64) -> Self {
+        let n = platform.num_workers();
+        let w0 = platform.worker(0);
+        let overhead = w0.comp_latency + w0.net_latency;
+        let sigma = error.max(0.0) / w0.speed;
+        let chunk = fsc_chunk_size(w_total, n, overhead, sigma);
+        Fsc {
+            dispatcher: PullDispatcher::new(ListSource::new(equal_chunks(w_total, chunk))),
+            chunk,
+        }
+    }
+
+    /// The fixed chunk size in use.
+    pub fn chunk_size(&self) -> f64 {
+        self.chunk
+    }
+}
+
+impl Scheduler for Fsc {
+    fn name(&self) -> String {
+        "FSC".into()
+    }
+
+    fn next_dispatch(&mut self, view: &SimView<'_>) -> Decision {
+        self.dispatcher.next_decision(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sim::{simulate, ErrorInjector, ErrorModel, HomogeneousParams, SimConfig};
+
+    #[test]
+    fn degenerate_cases_use_single_round() {
+        // No variance information: one chunk per worker.
+        assert!((fsc_chunk_size(1000.0, 10, 0.5, 0.0) - 100.0).abs() < 1e-12);
+        // Single worker.
+        assert!((fsc_chunk_size(1000.0, 1, 0.5, 0.3) - 1000.0).abs() < 1e-12);
+        // Zero overhead.
+        assert!((fsc_chunk_size(1000.0, 10, 0.0, 0.3) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formula_value() {
+        // chunk = (√2·1000·0.5 / (0.3·10·√ln10))^(2/3)
+        let w = 1000.0;
+        let h = 0.5;
+        let sigma = 0.3;
+        let n = 10.0_f64;
+        let expected = (2.0_f64.sqrt() * w * h / (sigma * n * (n.ln()).sqrt())).powf(2.0 / 3.0);
+        let got = fsc_chunk_size(w, 10, h, sigma);
+        assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+        assert!(got < 100.0, "must be below one-round size");
+    }
+
+    #[test]
+    fn chunk_shrinks_with_error() {
+        let lo = fsc_chunk_size(1000.0, 10, 0.5, 0.1);
+        let hi = fsc_chunk_size(1000.0, 10, 0.5, 0.5);
+        assert!(hi < lo, "larger σ must give smaller chunks ({hi} vs {lo})");
+    }
+
+    #[test]
+    fn clamped_to_unit_floor() {
+        let c = fsc_chunk_size(10.0, 50, 1e-6, 100.0);
+        assert_eq!(c, UNIT_FLOOR);
+    }
+
+    #[test]
+    fn simulation_conserves_workload() {
+        let platform = HomogeneousParams::table1(10, 1.5, 0.3, 0.4)
+            .build()
+            .unwrap();
+        let mut fsc = Fsc::new(&platform, 1000.0, 0.3);
+        assert!(fsc.chunk_size() > 0.0);
+        let r = simulate(
+            &platform,
+            &mut fsc,
+            ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.3 }, 5),
+            SimConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((r.completed_work() - 1000.0).abs() < 1e-6);
+        assert!(r.trace.unwrap().validate(10).is_empty());
+    }
+
+    #[test]
+    fn zero_error_is_one_round() {
+        let platform = HomogeneousParams::table1(8, 1.5, 0.3, 0.4).build().unwrap();
+        let mut fsc = Fsc::new(&platform, 1000.0, 0.0);
+        assert!((fsc.chunk_size() - 125.0).abs() < 1e-9);
+        let r = simulate(
+            &platform,
+            &mut fsc,
+            ErrorInjector::new(ErrorModel::None, 0),
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.num_chunks, 8);
+    }
+}

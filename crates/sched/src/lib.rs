@@ -1,0 +1,48 @@
+//! Divisible-load scheduling algorithms.
+//!
+//! This crate implements every scheduler that appears in the RUMR paper's
+//! evaluation (plus reference baselines), all as online policies over the
+//! [`dls_sim`] engine:
+//!
+//! | Module | Algorithm | Chunk sizes | Dispatch |
+//! |---|---|---|---|
+//! | [`umr`] | UMR (Yang & Casanova '03) | increasing | precalculated, eager |
+//! | [`rumr`] | **RUMR** (this paper) | increasing, then decreasing | planned + demand-driven |
+//! | [`mi`] | Multi-installment (Bharadwaj et al.) | increasing | precalculated, eager |
+//! | [`factoring`] | Factoring (Hummel '92) | decreasing | greedy pull |
+//! | [`fsc`] | Fixed-size chunking (Kruskal–Weiss / Hagerup '97) | constant | greedy pull |
+//! | [`baselines`] | equal static split, unit self-scheduling | constant | eager / pull |
+//! | [`umr_het`] | heterogeneous UMR extension | increasing | precalculated, eager |
+//! | [`adaptive`] | adaptive RUMR (online error estimation, the paper's §6) | increasing, then decreasing | planned + measured switch |
+//!
+//! Shared plumbing (precalculated-plan replay, pull-based dispatching) lives
+//! in [`plan`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod baselines;
+pub mod factoring;
+pub mod fsc;
+pub mod loop_sched;
+pub mod mi;
+pub mod one_round;
+pub mod plan;
+pub mod rumr;
+pub mod rumr_het;
+pub mod umr;
+pub mod umr_het;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveRumr};
+pub use baselines::{EqualSingleRound, UnitSelfScheduling};
+pub use factoring::{min_chunk_bound, Factoring, FactoringSource, DEFAULT_FACTOR, UNIT_FLOOR};
+pub use fsc::{fsc_chunk_size, Fsc};
+pub use loop_sched::{Gss, Tss};
+pub use mi::{MiError, MiSchedule, MultiInstallment};
+pub use one_round::{OneRound, OneRoundSchedule};
+pub use plan::{ChunkSource, DispatchPlan, PlanReplayer, PullDispatcher};
+pub use rumr::{phase_split, PhaseSplit, Rumr, RumrConfig, DEFAULT_PHASE1_FRACTION};
+pub use rumr_het::HetRumr;
+pub use umr::{SolverPath, Umr, UmrError, UmrInputs, UmrSchedule, MAX_ROUNDS};
+pub use umr_het::{HetUmr, HetUmrSchedule};

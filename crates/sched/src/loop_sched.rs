@@ -1,0 +1,253 @@
+//! Classic loop self-scheduling policies: GSS and TSS.
+//!
+//! Factoring (ref \[14\] of the RUMR paper) and FSC (ref \[15\]) come from the
+//! parallel-loop scheduling literature, which Hagerup '97 surveys and
+//! compares experimentally. For completeness this module implements the two
+//! other canonical members of that family, adapted to the master–worker
+//! platform (pull-based dispatch, unit-floored chunks):
+//!
+//! * **GSS** — *guided self-scheduling* (Polychronopoulos & Kuck '87): a
+//!   pulling worker receives `R/N` of the remaining work, giving an
+//!   exponential decay with per-pull granularity (factoring's batch-free
+//!   ancestor).
+//! * **TSS** — *trapezoid self-scheduling* (Tzen & Ni '93): chunk sizes
+//!   decrease *linearly* from `W/(2N)` to 1, which bounds the number of
+//!   chunks while avoiding GSS's very large first chunks.
+
+use dls_sim::{Decision, Platform, Scheduler, SimView};
+
+use crate::factoring::UNIT_FLOOR;
+
+/// Guided self-scheduling: `chunk = max(R/N, min_chunk)` per pull.
+#[derive(Debug)]
+pub struct Gss {
+    n: usize,
+    remaining: f64,
+    min_chunk: f64,
+    finished: bool,
+}
+
+impl Gss {
+    /// Create GSS over `w_total` for the platform's worker count, with the
+    /// unit floor as the minimum chunk.
+    pub fn new(platform: &Platform, w_total: f64) -> Self {
+        Self::with_min_chunk(w_total, platform.num_workers(), UNIT_FLOOR)
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the bounds are not finite/positive.
+    pub fn with_min_chunk(w_total: f64, n: usize, min_chunk: f64) -> Self {
+        assert!(n > 0, "need at least one worker");
+        assert!(w_total.is_finite() && w_total >= 0.0);
+        assert!(min_chunk.is_finite() && min_chunk > 0.0);
+        Gss {
+            n,
+            remaining: w_total,
+            min_chunk,
+            finished: false,
+        }
+    }
+}
+
+impl Scheduler for Gss {
+    fn name(&self) -> String {
+        "GSS".into()
+    }
+
+    fn next_dispatch(&mut self, view: &SimView<'_>) -> Decision {
+        if self.finished || self.remaining <= 0.0 {
+            self.finished = true;
+            return Decision::Finished;
+        }
+        let Some(worker) = view.least_loaded_hungry() else {
+            return Decision::Wait;
+        };
+        let mut chunk = (self.remaining / self.n as f64).max(self.min_chunk);
+        if chunk >= self.remaining {
+            chunk = self.remaining;
+        }
+        self.remaining -= chunk;
+        Decision::Dispatch { worker, chunk }
+    }
+}
+
+/// Trapezoid self-scheduling: linearly decreasing chunks from `first` to
+/// `last`.
+#[derive(Debug)]
+pub struct Tss {
+    remaining: f64,
+    next_chunk: f64,
+    last_chunk: f64,
+    step: f64,
+    finished: bool,
+}
+
+impl Tss {
+    /// The classic parameterization: first chunk `W/(2N)`, last chunk 1
+    /// unit.
+    pub fn new(platform: &Platform, w_total: f64) -> Self {
+        let n = platform.num_workers().max(1);
+        let first = (w_total / (2.0 * n as f64)).max(UNIT_FLOOR);
+        Self::with_bounds(w_total, first, UNIT_FLOOR)
+    }
+
+    /// Explicit first/last chunk sizes. The number of chunks is
+    /// `ceil(2W/(first+last))` and the decrement
+    /// `(first − last)/(count − 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite inputs or `first < last` or `last <= 0`.
+    pub fn with_bounds(w_total: f64, first: f64, last: f64) -> Self {
+        assert!(w_total.is_finite() && w_total >= 0.0);
+        assert!(last.is_finite() && last > 0.0);
+        assert!(first.is_finite() && first >= last, "first must be >= last");
+        let count = ((2.0 * w_total) / (first + last)).ceil().max(1.0);
+        let step = if count > 1.0 {
+            (first - last) / (count - 1.0)
+        } else {
+            0.0
+        };
+        Tss {
+            remaining: w_total,
+            next_chunk: first,
+            last_chunk: last,
+            step,
+            finished: false,
+        }
+    }
+}
+
+impl Scheduler for Tss {
+    fn name(&self) -> String {
+        "TSS".into()
+    }
+
+    fn next_dispatch(&mut self, view: &SimView<'_>) -> Decision {
+        if self.finished || self.remaining <= 0.0 {
+            self.finished = true;
+            return Decision::Finished;
+        }
+        let Some(worker) = view.least_loaded_hungry() else {
+            return Decision::Wait;
+        };
+        let mut chunk = self.next_chunk.max(self.last_chunk);
+        if chunk >= self.remaining {
+            chunk = self.remaining;
+        }
+        self.remaining -= chunk;
+        self.next_chunk -= self.step;
+        Decision::Dispatch { worker, chunk }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sim::{simulate, ErrorInjector, ErrorModel, HomogeneousParams, SimConfig};
+
+    fn platform() -> Platform {
+        HomogeneousParams::table1(5, 1.5, 0.1, 0.1).build().unwrap()
+    }
+
+    fn run(s: &mut dyn Scheduler, error: f64, seed: u64) -> dls_sim::SimResult {
+        let p = platform();
+        let model = if error > 0.0 {
+            ErrorModel::TruncatedNormal { error }
+        } else {
+            ErrorModel::None
+        };
+        simulate(
+            &p,
+            s,
+            ErrorInjector::new(model, seed),
+            SimConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gss_conserves_and_decays() {
+        let mut gss = Gss::new(&platform(), 1000.0);
+        let r = run(&mut gss, 0.3, 1);
+        assert!((r.completed_work() - 1000.0).abs() < 1e-6);
+        assert!(r.trace.unwrap().validate(5).is_empty());
+        // First chunk is R/N = 200; far more chunks than one round.
+        assert!(r.num_chunks > 10);
+    }
+
+    #[test]
+    fn gss_first_chunk_is_r_over_n() {
+        let mut gss = Gss::new(&platform(), 1000.0);
+        let views = vec![dls_sim::WorkerView::default(); 5];
+        let view = SimView {
+            time: 0.0,
+            workers: &views,
+        };
+        let Decision::Dispatch { chunk, .. } = gss.next_dispatch(&view) else {
+            panic!("expected dispatch");
+        };
+        assert!((chunk - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tss_linear_decrease() {
+        let mut tss = Tss::with_bounds(100.0, 10.0, 2.0);
+        let views = vec![dls_sim::WorkerView::default(); 4];
+        let view = SimView {
+            time: 0.0,
+            workers: &views,
+        };
+        let mut chunks = Vec::new();
+        loop {
+            match tss.next_dispatch(&view) {
+                Decision::Dispatch { chunk, .. } => chunks.push(chunk),
+                Decision::Finished => break,
+                Decision::Wait => panic!("all workers hungry"),
+            }
+        }
+        let total: f64 = chunks.iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        // Differences are constant until the tail.
+        let diffs: Vec<f64> = chunks.windows(2).map(|w| w[0] - w[1]).collect();
+        for d in &diffs[..diffs.len().saturating_sub(1)] {
+            assert!(
+                (d - diffs[0]).abs() < 1e-9,
+                "non-linear decrease: {diffs:?}"
+            );
+        }
+        assert!((chunks[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tss_conserves_in_simulation() {
+        let mut tss = Tss::new(&platform(), 1000.0);
+        let r = run(&mut tss, 0.4, 7);
+        assert!((r.completed_work() - 1000.0).abs() < 1e-6);
+        assert!(r.trace.unwrap().validate(5).is_empty());
+    }
+
+    #[test]
+    fn tiny_workloads() {
+        let mut gss = Gss::with_min_chunk(0.5, 4, 1.0);
+        let r = run(&mut gss, 0.0, 0);
+        assert!((r.completed_work() - 0.5).abs() < 1e-9);
+        assert_eq!(r.num_chunks, 1);
+
+        let mut tss = Tss::with_bounds(0.5, 1.0, 1.0);
+        let r = run(&mut tss, 0.0, 0);
+        assert!((r.completed_work() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "first must be >= last")]
+    fn tss_rejects_inverted_bounds() {
+        let _ = Tss::with_bounds(100.0, 1.0, 5.0);
+    }
+}

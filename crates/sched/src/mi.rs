@@ -1,0 +1,422 @@
+//! MI-x — the "multi-installment" algorithm (Bharadwaj, Ghose, Mani &
+//! Robertazzi, ch. 10), the increasing-chunks competitor in the RUMR paper.
+//!
+//! MI divides the workload into `x` installments of `N` chunks. Its planning
+//! model is *latency-free*: transfer time is `chunk/B` and computation time
+//! is `chunk/S`, nothing else. Chunk sizes are determined by requiring that
+//!
+//! 1. **no worker idles between installments** — the computation of chunk
+//!    `(j, i)` exactly covers the master's transmission of the rest of
+//!    installment `j` plus installment `j+1` up to and including worker `i`:
+//!
+//!    ```text
+//!    c(j,i)/S = [ Σ_{k>i} c(j,k) + Σ_{k≤i} c(j+1,k) ] / B
+//!    ```
+//!
+//! 2. **all workers finish the last installment simultaneously**:
+//!
+//!    ```text
+//!    c(x−1,i)/S = c(x−1,i+1)/B + c(x−1,i+1)/S
+//!    ```
+//!
+//! 3. **the chunks cover the workload**: `Σ c(j,i) = W`.
+//!
+//! That is an `xN × xN` dense linear system, solved here with the in-house
+//! LU decomposition. Unlike UMR, MI offers no principled way to choose `x`
+//! (a limitation the paper stresses), so the evaluation instantiates
+//! MI-1 … MI-4. Because MI plans with zero latencies but executes on a
+//! platform that has them, its simulated makespan degrades as `nLat`/`cLat`
+//! grow — exactly the effect the paper reports.
+
+use dls_numerics::linalg::{LinAlgError, Matrix};
+use dls_sim::{Decision, Platform, Scheduler, SimView};
+
+use crate::plan::{DispatchPlan, PlanReplayer};
+
+/// Errors from the MI planner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiError {
+    /// MI's closed-form model requires a homogeneous platform.
+    NotHomogeneous,
+    /// Workload must be finite and strictly positive.
+    InvalidWorkload {
+        /// The offending value.
+        w_total: f64,
+    },
+    /// `x` must be at least 1.
+    ZeroInstallments,
+    /// The no-idle system is singular or produced non-positive chunks; the
+    /// requested installment count is infeasible on this platform.
+    Infeasible {
+        /// The installment count that failed.
+        installments: usize,
+    },
+}
+
+impl std::fmt::Display for MiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MiError::NotHomogeneous => write!(f, "MI requires a homogeneous platform"),
+            MiError::InvalidWorkload { w_total } => write!(f, "invalid workload {w_total}"),
+            MiError::ZeroInstallments => write!(f, "installment count must be >= 1"),
+            MiError::Infeasible { installments } => {
+                write!(f, "MI-{installments} is infeasible on this platform")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MiError {}
+
+impl From<LinAlgError> for MiError {
+    fn from(_: LinAlgError) -> Self {
+        MiError::Infeasible { installments: 0 }
+    }
+}
+
+/// A solved multi-installment schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiSchedule {
+    n: usize,
+    installments: usize,
+    /// `chunks[j][i]`: chunk for worker `i` in installment `j`.
+    chunks: Vec<Vec<f64>>,
+    predicted_makespan: f64,
+}
+
+impl MiSchedule {
+    /// Plan MI-`x` for a homogeneous platform.
+    ///
+    /// # Errors
+    ///
+    /// See [`MiError`]; in particular [`MiError::Infeasible`] when the
+    /// no-idle conditions force non-positive chunks.
+    pub fn solve(platform: &Platform, w_total: f64, installments: usize) -> Result<Self, MiError> {
+        if !platform.is_homogeneous() {
+            return Err(MiError::NotHomogeneous);
+        }
+        if !w_total.is_finite() || w_total <= 0.0 {
+            return Err(MiError::InvalidWorkload { w_total });
+        }
+        if installments == 0 {
+            return Err(MiError::ZeroInstallments);
+        }
+        let n = platform.num_workers();
+        let s = platform.worker(0).speed;
+        let b = platform.worker(0).bandwidth;
+        let x = installments;
+        let dim = x * n;
+        let idx = |j: usize, i: usize| j * n + i;
+
+        let mut a = Matrix::zeros(dim, dim);
+        let mut rhs = vec![0.0; dim];
+        let mut row = 0;
+
+        // No-idle conditions for installments 0..x-1.
+        for j in 0..x.saturating_sub(1) {
+            for i in 0..n {
+                a[(row, idx(j, i))] += 1.0 / s;
+                for k in (i + 1)..n {
+                    a[(row, idx(j, k))] -= 1.0 / b;
+                }
+                for k in 0..=i {
+                    a[(row, idx(j + 1, k))] -= 1.0 / b;
+                }
+                row += 1;
+            }
+        }
+        // Equal finish in the last installment.
+        for i in 0..n.saturating_sub(1) {
+            a[(row, idx(x - 1, i))] += 1.0 / s;
+            a[(row, idx(x - 1, i + 1))] -= 1.0 / b + 1.0 / s;
+            row += 1;
+        }
+        // Total workload.
+        for u in 0..dim {
+            a[(row, u)] = 1.0;
+        }
+        rhs[row] = w_total;
+        row += 1;
+        debug_assert_eq!(row, dim);
+
+        let solution = a
+            .solve(&rhs)
+            .map_err(|_| MiError::Infeasible { installments: x })?;
+        if solution.iter().any(|&c| !c.is_finite() || c <= 0.0) {
+            return Err(MiError::Infeasible { installments: x });
+        }
+        debug_assert!(
+            a.residual_inf(&solution, &rhs).unwrap_or(f64::INFINITY) < 1e-6 * w_total.max(1.0),
+            "MI linear system residual too large"
+        );
+
+        let chunks: Vec<Vec<f64>> = (0..x)
+            .map(|j| (0..n).map(|i| solution[idx(j, i)]).collect())
+            .collect();
+
+        // Under the latency-free model worker 0 receives its first chunk at
+        // c(0,0)/B and computes continuously; all workers finish together.
+        let predicted_makespan =
+            chunks[0][0] / b + chunks.iter().map(|round| round[0] / s).sum::<f64>();
+
+        Ok(MiSchedule {
+            n,
+            installments: x,
+            chunks,
+            predicted_makespan,
+        })
+    }
+
+    /// Plan MI-`x`, decrementing `x` until a feasible installment count is
+    /// found (MI-1 always is). Returns the schedule actually used.
+    pub fn solve_with_fallback(
+        platform: &Platform,
+        w_total: f64,
+        installments: usize,
+    ) -> Result<Self, MiError> {
+        if installments == 0 {
+            return Err(MiError::ZeroInstallments);
+        }
+        let mut last_err = MiError::ZeroInstallments;
+        for x in (1..=installments).rev() {
+            match Self::solve(platform, w_total, x) {
+                Ok(s) => return Ok(s),
+                Err(e @ MiError::Infeasible { .. }) => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Number of installments actually planned.
+    pub fn installments(&self) -> usize {
+        self.installments
+    }
+
+    /// Chunk matrix: `chunks()[j][i]` for installment `j`, worker `i`.
+    pub fn chunks(&self) -> &[Vec<f64>] {
+        &self.chunks
+    }
+
+    /// Predicted makespan under MI's own latency-free model.
+    pub fn predicted_makespan(&self) -> f64 {
+        self.predicted_makespan
+    }
+
+    /// Dispatch plan: installments in order, workers `0..n` within each.
+    pub fn plan(&self) -> DispatchPlan {
+        let mut sends = Vec::with_capacity(self.installments * self.n);
+        for round in &self.chunks {
+            for (worker, &chunk) in round.iter().enumerate() {
+                sends.push((worker, chunk));
+            }
+        }
+        DispatchPlan { sends }
+    }
+}
+
+/// The MI-x scheduler: eager replay of the installment plan.
+#[derive(Debug)]
+pub struct MultiInstallment {
+    replayer: PlanReplayer,
+    schedule: MiSchedule,
+}
+
+impl MultiInstallment {
+    /// Plan and wrap MI-`installments` (with feasibility fallback).
+    pub fn new(platform: &Platform, w_total: f64, installments: usize) -> Result<Self, MiError> {
+        let schedule = MiSchedule::solve_with_fallback(platform, w_total, installments)?;
+        Ok(MultiInstallment {
+            replayer: PlanReplayer::new(schedule.plan()),
+            schedule,
+        })
+    }
+
+    /// The underlying schedule.
+    pub fn schedule(&self) -> &MiSchedule {
+        &self.schedule
+    }
+}
+
+impl Scheduler for MultiInstallment {
+    fn name(&self) -> String {
+        format!("MI-{}", self.schedule.installments)
+    }
+
+    fn next_dispatch(&mut self, _view: &SimView<'_>) -> Decision {
+        self.replayer.next_decision()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sim::{
+        simulate, ErrorInjector, ErrorModel, HomogeneousParams, Platform, SimConfig, WorkerSpec,
+    };
+
+    fn latency_free(n: usize, s: f64, b: f64) -> Platform {
+        Platform::homogeneous(
+            n,
+            WorkerSpec {
+                speed: s,
+                bandwidth: b,
+                comp_latency: 0.0,
+                net_latency: 0.0,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mi1_is_geometric() {
+        // Single installment: c_{i+1} = c_i · B/(B+S).
+        let p = latency_free(4, 1.0, 3.0);
+        let s = MiSchedule::solve(&p, 100.0, 1).unwrap();
+        let c = &s.chunks()[0];
+        let q = 3.0 / (3.0 + 1.0);
+        for i in 0..3 {
+            assert!(
+                (c[i + 1] - c[i] * q).abs() < 1e-9,
+                "geometric ratio violated: {c:?}"
+            );
+        }
+        let total: f64 = c.iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunks_positive_and_conserved_on_table1_grid() {
+        for n in [10usize, 20, 50] {
+            for r in [1.2, 1.6, 2.0] {
+                for x in 1..=4 {
+                    let p = HomogeneousParams::table1(n, r, 0.0, 0.0).build().unwrap();
+                    let s = MiSchedule::solve(&p, 1000.0, x)
+                        .unwrap_or_else(|e| panic!("n={n} r={r} x={x}: {e}"));
+                    let total: f64 = s.chunks().iter().flatten().sum();
+                    assert!((total - 1000.0).abs() < 1e-6, "n={n} r={r} x={x}");
+                    assert!((s.plan().total_work() - 1000.0).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_matches_predicted_on_latency_free_platform() {
+        // MI's model is exact when latencies are truly zero: the simulated
+        // makespan must equal the planner's prediction.
+        for x in 1..=4 {
+            let p = latency_free(6, 1.0, 9.0);
+            let mut mi = MultiInstallment::new(&p, 500.0, x).unwrap();
+            let predicted = mi.schedule().predicted_makespan();
+            let r = simulate(
+                &p,
+                &mut mi,
+                ErrorInjector::new(ErrorModel::None, 0),
+                SimConfig {
+                    record_trace: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                (r.makespan - predicted).abs() < 1e-6 * predicted,
+                "x={x}: sim {} vs predicted {}",
+                r.makespan,
+                predicted
+            );
+            assert!(r.trace.unwrap().validate(6).is_empty());
+        }
+    }
+
+    #[test]
+    fn more_installments_help_without_latency() {
+        // With zero latencies, more installments always shorten the predicted
+        // makespan (better pipeline startup).
+        let p = latency_free(8, 1.0, 12.0);
+        let mut prev = f64::INFINITY;
+        for x in 1..=4 {
+            let s = MiSchedule::solve(&p, 1000.0, x).unwrap();
+            assert!(
+                s.predicted_makespan() < prev,
+                "x={x} did not improve: {} vs {}",
+                s.predicted_makespan(),
+                prev
+            );
+            prev = s.predicted_makespan();
+        }
+    }
+
+    #[test]
+    fn latency_hurts_simulated_mi() {
+        // The same plan executed on a platform with latencies takes longer
+        // than MI predicted — the core weakness the paper exploits.
+        let with_lat = HomogeneousParams::table1(10, 1.5, 0.5, 0.5)
+            .build()
+            .unwrap();
+        let mut mi = MultiInstallment::new(&with_lat, 1000.0, 3).unwrap();
+        let predicted = mi.schedule().predicted_makespan();
+        let r = simulate(
+            &with_lat,
+            &mut mi,
+            ErrorInjector::new(ErrorModel::None, 0),
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            r.makespan > predicted + 1.0,
+            "sim {} should exceed latency-free prediction {}",
+            r.makespan,
+            predicted
+        );
+    }
+
+    #[test]
+    fn fallback_reaches_mi1() {
+        let p = latency_free(4, 1.0, 4.0);
+        // Even if higher x were infeasible, fallback must return something.
+        let s = MiSchedule::solve_with_fallback(&p, 100.0, 4).unwrap();
+        assert!(s.installments() >= 1 && s.installments() <= 4);
+    }
+
+    #[test]
+    fn input_validation() {
+        let p = latency_free(4, 1.0, 4.0);
+        assert!(matches!(
+            MiSchedule::solve(&p, -5.0, 2),
+            Err(MiError::InvalidWorkload { .. })
+        ));
+        assert!(matches!(
+            MiSchedule::solve(&p, 100.0, 0),
+            Err(MiError::ZeroInstallments)
+        ));
+
+        let mut w2 = *p.worker(0);
+        w2.speed = 9.0;
+        let het = Platform::new(vec![*p.worker(0), w2]).unwrap();
+        assert!(matches!(
+            MiSchedule::solve(&het, 100.0, 2),
+            Err(MiError::NotHomogeneous)
+        ));
+    }
+
+    #[test]
+    fn scheduler_name_reflects_installments() {
+        let p = latency_free(4, 1.0, 4.0);
+        let mi = MultiInstallment::new(&p, 100.0, 3).unwrap();
+        assert_eq!(mi.name(), format!("MI-{}", mi.schedule().installments()));
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            MiError::NotHomogeneous,
+            MiError::InvalidWorkload { w_total: -1.0 },
+            MiError::ZeroInstallments,
+            MiError::Infeasible { installments: 3 },
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Latency-aware one-round scheduling (the "one-round algorithm in \[11\]",
+//! Rosenberg 2001, that the UMR paper used as its second competitor).
+//!
+//! Unlike MI-1, which plans with a latency-free model, this planner solves
+//! the classic single-round divisible-load problem *with* the platform's
+//! latencies: chunk sizes `c_0 ≥ c_1 ≥ …` such that all workers finish
+//! simultaneously. With sequential sends, equating worker `i`'s and
+//! `i+1`'s finish times gives the affine recursion
+//!
+//! ```text
+//! c_{i+1} = κ·(c_i − nLat·S),    κ = B/(B + S)
+//! ```
+//!
+//! (`cLat` and `tLat` shift every worker equally and drop out). The first
+//! chunk follows from `Σ c_i = W`. With `nLat = 0` the recursion is purely
+//! geometric and the schedule coincides with MI-1 — a property the tests
+//! assert. Large `N·nLat` can make trailing chunks negative, i.e. the
+//! platform cannot usefully feed all workers in one round; the solver then
+//! reduces the worker count (the "resource selection" the divisible-load
+//! literature prescribes).
+
+use dls_sim::{Decision, Platform, Scheduler, SimView};
+
+use crate::plan::{DispatchPlan, PlanReplayer};
+use crate::umr::UmrError;
+
+/// A solved latency-aware one-round schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneRoundSchedule {
+    chunks: Vec<f64>,
+    predicted_makespan: f64,
+}
+
+impl OneRoundSchedule {
+    /// Solve for a homogeneous platform, reducing the worker count if the
+    /// equal-finish condition forces non-positive chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`UmrError::NotHomogeneous`] / [`UmrError::InvalidWorkload`] on bad
+    /// inputs; [`UmrError::NoFeasibleSchedule`] if not even one worker
+    /// works (cannot happen for positive workloads).
+    pub fn solve(platform: &Platform, w_total: f64) -> Result<Self, UmrError> {
+        if !platform.is_homogeneous() {
+            return Err(UmrError::NotHomogeneous);
+        }
+        if !w_total.is_finite() || w_total <= 0.0 {
+            return Err(UmrError::InvalidWorkload { w_total });
+        }
+        let w = platform.worker(0);
+        for n in (1..=platform.num_workers()).rev() {
+            if let Some(chunks) = Self::chunks_for(n, w.speed, w.bandwidth, w.net_latency, w_total)
+            {
+                let predicted_makespan = w.net_latency
+                    + chunks[0] / w.bandwidth
+                    + w.comp_latency
+                    + chunks[0] / w.speed
+                    + w.transfer_latency;
+                return Ok(OneRoundSchedule {
+                    chunks,
+                    predicted_makespan,
+                });
+            }
+        }
+        Err(UmrError::NoFeasibleSchedule)
+    }
+
+    /// Chunk sizes for `n` workers, or `None` if any chunk would be
+    /// non-positive.
+    fn chunks_for(n: usize, s: f64, b: f64, nlat: f64, w_total: f64) -> Option<Vec<f64>> {
+        // c_{i+1} = κ·c_i + λ with κ = B/(B+S), λ = −κ·nLat·S.
+        let kappa = b / (b + s);
+        let lambda = -kappa * nlat * s;
+        // Σ_{i<n} c_i = c_0·g_n + λ·t_n = W, where g_n = Σ κ^i and
+        // t_n = Σ_{i<n} (g_i) (prefix sums of the affine recursion).
+        let mut g = 0.0; // Σ κ^i for i < n
+        let mut t = 0.0; // Σ of partial geometric sums
+        let mut kpow = 1.0;
+        let mut gi = 0.0; // Σ κ^j for j < i
+        for _ in 0..n {
+            t += gi;
+            g += kpow;
+            gi += kpow;
+            kpow *= kappa;
+        }
+        let c0 = (w_total - lambda * t) / g;
+        let mut chunks = Vec::with_capacity(n);
+        let mut c = c0;
+        for _ in 0..n {
+            if !(c.is_finite() && c > 0.0) {
+                return None;
+            }
+            chunks.push(c);
+            c = kappa * c + lambda;
+        }
+        // Absorb the floating-point residual into the first (largest) chunk.
+        let sum: f64 = chunks.iter().sum();
+        chunks[0] += w_total - sum;
+        if chunks[0] <= 0.0 {
+            return None;
+        }
+        Some(chunks)
+    }
+
+    /// Per-worker chunk sizes (workers beyond `chunks().len()` are unused).
+    pub fn chunks(&self) -> &[f64] {
+        &self.chunks
+    }
+
+    /// Predicted makespan (all workers finish simultaneously).
+    pub fn predicted_makespan(&self) -> f64 {
+        self.predicted_makespan
+    }
+
+    /// The dispatch plan: worker `i` gets `chunks()[i]`, in order.
+    pub fn plan(&self) -> DispatchPlan {
+        DispatchPlan {
+            sends: self.chunks.iter().copied().enumerate().collect(),
+        }
+    }
+}
+
+/// The one-round scheduler (eager replay).
+#[derive(Debug)]
+pub struct OneRound {
+    replayer: PlanReplayer,
+    schedule: OneRoundSchedule,
+}
+
+impl OneRound {
+    /// Solve and wrap.
+    pub fn new(platform: &Platform, w_total: f64) -> Result<Self, UmrError> {
+        let schedule = OneRoundSchedule::solve(platform, w_total)?;
+        Ok(OneRound {
+            replayer: PlanReplayer::new(schedule.plan()),
+            schedule,
+        })
+    }
+
+    /// The underlying schedule.
+    pub fn schedule(&self) -> &OneRoundSchedule {
+        &self.schedule
+    }
+}
+
+impl Scheduler for OneRound {
+    fn name(&self) -> String {
+        "OneRound".into()
+    }
+
+    fn next_dispatch(&mut self, _view: &SimView<'_>) -> Decision {
+        self.replayer.next_decision()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mi::MiSchedule;
+    use dls_sim::{simulate, ErrorInjector, ErrorModel, HomogeneousParams, SimConfig, WorkerSpec};
+
+    #[test]
+    fn reduces_to_mi1_without_latencies() {
+        let platform = HomogeneousParams::table1(6, 1.5, 0.0, 0.0).build().unwrap();
+        let one = OneRoundSchedule::solve(&platform, 500.0).unwrap();
+        let mi1 = MiSchedule::solve(&platform, 500.0, 1).unwrap();
+        assert_eq!(one.chunks().len(), 6);
+        for (a, b) in one.chunks().iter().zip(&mi1.chunks()[0]) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn chunks_decrease_and_conserve() {
+        let platform = HomogeneousParams::table1(10, 1.5, 0.3, 0.2)
+            .build()
+            .unwrap();
+        let s = OneRoundSchedule::solve(&platform, 1000.0).unwrap();
+        let total: f64 = s.chunks().iter().sum();
+        assert!((total - 1000.0).abs() < 1e-6);
+        for pair in s.chunks().windows(2) {
+            assert!(
+                pair[1] < pair[0],
+                "one-round chunks must decrease: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_finish_in_simulation() {
+        // At error 0 every used worker must finish at the same instant
+        // (that is the defining property of the optimal single round).
+        let platform = HomogeneousParams::table1(8, 1.6, 0.4, 0.3).build().unwrap();
+        let mut s = OneRound::new(&platform, 1000.0).unwrap();
+        let predicted = s.schedule().predicted_makespan();
+        let r = simulate(
+            &platform,
+            &mut s,
+            ErrorInjector::new(ErrorModel::None, 0),
+            SimConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let trace = r.trace.unwrap();
+        assert!(trace.validate(8).is_empty());
+        // All ComputeEnd events coincide with the makespan.
+        let ends: Vec<f64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                dls_sim::TraceEvent::ComputeEnd { time, .. } => Some(*time),
+                _ => None,
+            })
+            .collect();
+        for t in &ends {
+            assert!(
+                (t - r.makespan).abs() < 1e-6,
+                "finish times not equal: {t} vs {}",
+                r.makespan
+            );
+        }
+        assert!((r.makespan - predicted).abs() < 1e-6 * predicted);
+    }
+
+    #[test]
+    fn beats_latency_blind_mi1_under_latency() {
+        let platform = HomogeneousParams::table1(10, 1.4, 0.2, 0.6)
+            .build()
+            .unwrap();
+        let run = |s: &mut dyn Scheduler| {
+            simulate(
+                &platform,
+                s,
+                ErrorInjector::new(ErrorModel::None, 0),
+                SimConfig::default(),
+            )
+            .unwrap()
+            .makespan
+        };
+        let mut one = OneRound::new(&platform, 1000.0).unwrap();
+        let mut mi1 = crate::mi::MultiInstallment::new(&platform, 1000.0, 1).unwrap();
+        let a = run(&mut one);
+        let b = run(&mut mi1);
+        assert!(a < b, "latency-aware one-round {a} should beat MI-1 {b}");
+    }
+
+    #[test]
+    fn drops_workers_when_nlat_is_prohibitive() {
+        // Tiny workload, huge nLat: feeding everyone costs more than the
+        // work is worth; the solver must use fewer workers.
+        let platform = dls_sim::Platform::homogeneous(
+            10,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 10.0,
+                comp_latency: 0.0,
+                net_latency: 5.0,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap();
+        let s = OneRoundSchedule::solve(&platform, 20.0).unwrap();
+        assert!(
+            s.chunks().len() < 10,
+            "expected worker reduction, got {}",
+            s.chunks().len()
+        );
+        let total: f64 = s.chunks().iter().sum();
+        assert!((total - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn input_validation() {
+        let platform = HomogeneousParams::table1(4, 1.5, 0.1, 0.1).build().unwrap();
+        assert!(matches!(
+            OneRoundSchedule::solve(&platform, -1.0),
+            Err(UmrError::InvalidWorkload { .. })
+        ));
+    }
+}

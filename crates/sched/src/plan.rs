@@ -1,0 +1,306 @@
+//! Shared dispatch plumbing: precalculated plans and pull-based sources.
+//!
+//! The paper's algorithms fall into two families:
+//!
+//! * **Precalculated** (UMR, multi-installment, single-round baselines):
+//!   a fixed `(worker, chunk)` sequence computed before execution and sent
+//!   "fire-and-forget" — the master pushes the next planned chunk as soon as
+//!   its interface frees. [`PlanReplayer`] implements this.
+//! * **Pull-based / self-scheduling** (Factoring, FSC, RUMR's phase 2):
+//!   chunk sizes come from a [`ChunkSource`]; a chunk is only sent when some
+//!   worker is *hungry* (idle with nothing queued or in flight), which is
+//!   exactly why these algorithms pay latency on every chunk and achieve
+//!   poor communication/computation overlap — the behaviour the paper's
+//!   phase 1 exists to avoid. [`PullDispatcher`] implements this.
+
+use dls_sim::{Decision, SimView};
+
+/// A precalculated dispatch sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchPlan {
+    /// `(worker, chunk)` pairs in dispatch order.
+    pub sends: Vec<(usize, f64)>,
+}
+
+impl DispatchPlan {
+    /// Total workload covered by the plan.
+    pub fn total_work(&self) -> f64 {
+        self.sends.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Number of planned chunks.
+    pub fn len(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// True when the plan contains no sends.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+    }
+}
+
+/// Eagerly replays a [`DispatchPlan`]: every time the master's link frees,
+/// the next planned chunk is sent to its planned destination.
+#[derive(Debug, Clone)]
+pub struct PlanReplayer {
+    plan: DispatchPlan,
+    next: usize,
+}
+
+impl PlanReplayer {
+    /// Wrap a plan for replay.
+    pub fn new(plan: DispatchPlan) -> Self {
+        PlanReplayer { plan, next: 0 }
+    }
+
+    /// Next decision: the next planned dispatch, or `Finished`.
+    pub fn next_decision(&mut self) -> Decision {
+        match self.plan.sends.get(self.next) {
+            Some(&(worker, chunk)) => {
+                self.next += 1;
+                Decision::Dispatch { worker, chunk }
+            }
+            None => Decision::Finished,
+        }
+    }
+
+    /// Peek at the next planned send without consuming it.
+    pub fn peek(&self) -> Option<(usize, f64)> {
+        self.plan.sends.get(self.next).copied()
+    }
+
+    /// Consume the next planned send, if any (used by RUMR's out-of-order
+    /// rerouting, which keeps the chunk-size sequence but overrides the
+    /// destination).
+    pub fn take_next(&mut self) -> Option<(usize, f64)> {
+        let send = self.peek()?;
+        self.next += 1;
+        Some(send)
+    }
+
+    /// True once every planned chunk has been dispatched.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.plan.sends.len()
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &DispatchPlan {
+        &self.plan
+    }
+}
+
+/// Produces successive chunk sizes for pull-based dispatching.
+pub trait ChunkSource {
+    /// The next chunk size, or `None` when the workload is exhausted.
+    /// Implementations must return finite, strictly positive sizes.
+    fn next_chunk(&mut self) -> Option<f64>;
+}
+
+/// Pull-based dispatcher: sends the source's next chunk to the least-loaded
+/// hungry worker; waits when nobody is hungry.
+#[derive(Debug)]
+pub struct PullDispatcher<S> {
+    source: S,
+    exhausted: bool,
+}
+
+impl<S: ChunkSource> PullDispatcher<S> {
+    /// Wrap a chunk source.
+    pub fn new(source: S) -> Self {
+        PullDispatcher {
+            source,
+            exhausted: false,
+        }
+    }
+
+    /// Next decision given the live view.
+    pub fn next_decision(&mut self, view: &SimView<'_>) -> Decision {
+        if self.exhausted {
+            return Decision::Finished;
+        }
+        let Some(worker) = view.least_loaded_hungry() else {
+            return Decision::Wait;
+        };
+        match self.source.next_chunk() {
+            Some(chunk) => Decision::Dispatch { worker, chunk },
+            None => {
+                self.exhausted = true;
+                Decision::Finished
+            }
+        }
+    }
+
+    /// Access the wrapped source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+}
+
+/// A [`ChunkSource`] over a fixed list of chunk sizes (used by FSC and in
+/// tests).
+#[derive(Debug, Clone)]
+pub struct ListSource {
+    chunks: Vec<f64>,
+    next: usize,
+}
+
+impl ListSource {
+    /// Create a source yielding `chunks` in order.
+    pub fn new(chunks: Vec<f64>) -> Self {
+        ListSource { chunks, next: 0 }
+    }
+}
+
+impl ChunkSource for ListSource {
+    fn next_chunk(&mut self) -> Option<f64> {
+        let c = self.chunks.get(self.next).copied();
+        if c.is_some() {
+            self.next += 1;
+        }
+        c
+    }
+}
+
+/// Split `total` into chunks of `size` with a final remainder chunk.
+///
+/// Remainders smaller than `size * REMAINDER_MERGE_FRACTION` are merged into
+/// the previous chunk instead of being dispatched separately — sending a
+/// near-empty chunk costs full latency for no work.
+pub fn equal_chunks(total: f64, size: f64) -> Vec<f64> {
+    assert!(total >= 0.0 && size > 0.0);
+    const REMAINDER_MERGE_FRACTION: f64 = 1e-9;
+    let mut chunks = Vec::new();
+    let mut remaining = total;
+    while remaining > size {
+        chunks.push(size);
+        remaining -= size;
+    }
+    if remaining > 0.0 {
+        if remaining < size * REMAINDER_MERGE_FRACTION && !chunks.is_empty() {
+            let last = chunks.last_mut().expect("non-empty");
+            *last += remaining;
+        } else {
+            chunks.push(remaining);
+        }
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sim::WorkerView;
+
+    fn hungry_view(workers: &[WorkerView]) -> SimView<'_> {
+        SimView { time: 0.0, workers }
+    }
+
+    #[test]
+    fn plan_accounting() {
+        let plan = DispatchPlan {
+            sends: vec![(0, 2.0), (1, 3.0)],
+        };
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert!((plan.total_work() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replayer_replays_in_order() {
+        let plan = DispatchPlan {
+            sends: vec![(0, 1.0), (1, 2.0)],
+        };
+        let mut r = PlanReplayer::new(plan);
+        assert_eq!(r.peek(), Some((0, 1.0)));
+        assert_eq!(
+            r.next_decision(),
+            Decision::Dispatch {
+                worker: 0,
+                chunk: 1.0
+            }
+        );
+        assert_eq!(
+            r.next_decision(),
+            Decision::Dispatch {
+                worker: 1,
+                chunk: 2.0
+            }
+        );
+        assert!(r.exhausted());
+        assert_eq!(r.next_decision(), Decision::Finished);
+    }
+
+    #[test]
+    fn replayer_take_next() {
+        let plan = DispatchPlan {
+            sends: vec![(3, 7.0)],
+        };
+        let mut r = PlanReplayer::new(plan);
+        assert_eq!(r.take_next(), Some((3, 7.0)));
+        assert_eq!(r.take_next(), None);
+    }
+
+    #[test]
+    fn pull_waits_without_hungry_worker() {
+        let mut d = PullDispatcher::new(ListSource::new(vec![1.0]));
+        let busy = [WorkerView {
+            computing: true,
+            ..Default::default()
+        }];
+        assert_eq!(d.next_decision(&hungry_view(&busy)), Decision::Wait);
+        let idle = [WorkerView::default()];
+        assert_eq!(
+            d.next_decision(&hungry_view(&idle)),
+            Decision::Dispatch {
+                worker: 0,
+                chunk: 1.0
+            }
+        );
+        assert_eq!(d.next_decision(&hungry_view(&idle)), Decision::Finished);
+        // Stays finished.
+        assert_eq!(d.next_decision(&hungry_view(&idle)), Decision::Finished);
+    }
+
+    #[test]
+    fn pull_prefers_least_loaded() {
+        let mut d = PullDispatcher::new(ListSource::new(vec![1.0]));
+        let workers = [
+            WorkerView {
+                assigned_work: 9.0,
+                ..Default::default()
+            },
+            WorkerView {
+                assigned_work: 1.0,
+                ..Default::default()
+            },
+        ];
+        assert_eq!(
+            d.next_decision(&hungry_view(&workers)),
+            Decision::Dispatch {
+                worker: 1,
+                chunk: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn equal_chunks_splits() {
+        let c = equal_chunks(10.0, 3.0);
+        assert_eq!(c.len(), 4);
+        assert!((c.iter().sum::<f64>() - 10.0).abs() < 1e-12);
+        assert!((c[3] - 1.0).abs() < 1e-12);
+
+        let c = equal_chunks(9.0, 3.0);
+        assert_eq!(c.len(), 3);
+
+        assert!(equal_chunks(0.0, 3.0).is_empty());
+    }
+
+    #[test]
+    fn equal_chunks_merges_dust() {
+        // 10 + 1e-12 would leave a dust chunk; it must be merged.
+        let c = equal_chunks(10.0 + 1e-12, 5.0);
+        assert_eq!(c.len(), 2);
+        assert!((c.iter().sum::<f64>() - (10.0 + 1e-12)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,517 @@
+//! RUMR — Robust Uniform Multi-Round scheduling (Yang & Casanova, HPDC'03).
+//!
+//! RUMR schedules the workload in **two consecutive phases**:
+//!
+//! * **Phase 1** (performance): a revised UMR over `W1 = W − W2`, with
+//!   *increasing* chunk sizes for communication/computation overlap. The
+//!   revision (§4.2(ii)): when the master's interface frees and some worker
+//!   finished its work prematurely, the next planned chunk is rerouted to
+//!   that hungry worker instead of its planned destination — the chunk-size
+//!   sequence is preserved, destinations become demand-driven.
+//! * **Phase 2** (robustness): Factoring over `W2`, with *decreasing*
+//!   chunk sizes dispatched greedily to idle workers, which caps the
+//!   absolute impact of prediction errors at the end of the run.
+//!
+//! Phase split (§4.2(i)), given an estimated prediction error `e`:
+//!
+//! * `e ≤ 0` → pure UMR (no phase 2);
+//! * `e ≥ 1` → pure Factoring (no phase 1);
+//! * otherwise `W2 = e·W`, **unless** the per-worker phase-2 work is below
+//!   the overhead of dispatching one round of empty chunks,
+//!   `W2/N < cLat + nLat·N`, in which case phase 2 is dropped;
+//! * when `e` is unknown, a fixed 80 %/20 % split is used (the paper's
+//!   §5.2.1 identifies 80 % in phase 1 as the best static choice).
+//!
+//! Phase-2 chunks are bounded below (§4.2(iii)) by `(cLat + nLat·N)/e` when
+//! `e` is known and by `cLat + nLat·N` otherwise.
+
+use dls_sim::{Decision, Platform, Scheduler, SimView};
+
+use crate::factoring::{min_chunk_bound, FactoringSource, DEFAULT_FACTOR};
+use crate::plan::{ChunkSource, PlanReplayer};
+use crate::umr::{UmrError, UmrInputs, UmrSchedule};
+
+/// RUMR configuration knobs (defaults reproduce the paper's "original
+/// RUMR").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RumrConfig {
+    /// Estimated prediction-error magnitude, when available. `None` selects
+    /// the fixed 80/20 split.
+    pub error_estimate: Option<f64>,
+    /// Force a fixed phase-1 workload fraction (the Fig. 6 ablation:
+    /// RUMR_50 … RUMR_90). Overrides the error-based split entirely.
+    pub phase1_fraction: Option<f64>,
+    /// Allow out-of-order chunk dispatching in phase 1 (§4.2(ii)). Disabled
+    /// for the Fig. 7 ablation ("plain UMR in phase 1").
+    pub out_of_order: bool,
+    /// Factoring factor `f` for phase 2.
+    pub factor: f64,
+    /// Use the error-aware minimum chunk bound `(cLat + nLat·N)/error` when
+    /// the error is known (§4.2(iii)); when false, always use the
+    /// error-unaware `cLat + nLat·N` (ablation knob).
+    pub error_aware_bound: bool,
+}
+
+impl Default for RumrConfig {
+    fn default() -> Self {
+        RumrConfig {
+            error_estimate: None,
+            phase1_fraction: None,
+            out_of_order: true,
+            factor: DEFAULT_FACTOR,
+            error_aware_bound: true,
+        }
+    }
+}
+
+impl RumrConfig {
+    /// The paper's primary configuration: error magnitude known.
+    pub fn with_known_error(error: f64) -> Self {
+        RumrConfig {
+            error_estimate: Some(error),
+            ..Default::default()
+        }
+    }
+
+    /// Fixed-split variant RUMR_p (Fig. 6): fraction `p` of the workload in
+    /// phase 1. The error estimate is still used for the phase-2 minimum
+    /// chunk bound.
+    pub fn with_fixed_fraction(p: f64, error: Option<f64>) -> Self {
+        RumrConfig {
+            error_estimate: error,
+            phase1_fraction: Some(p),
+            ..Default::default()
+        }
+    }
+}
+
+/// Fraction of the workload scheduled in phase 1 when the error magnitude
+/// is unknown (§5.2.1: "80% in phase #1 seems like a good practical
+/// choice").
+pub const DEFAULT_PHASE1_FRACTION: f64 = 0.8;
+
+/// How RUMR divides the workload between its two phases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSplit {
+    /// Workload scheduled by the (revised) UMR phase.
+    pub w1: f64,
+    /// Workload scheduled by the Factoring phase.
+    pub w2: f64,
+}
+
+/// Compute the phase split of §4.2(i). `n`, `comp_latency`, `net_latency`
+/// describe the (homogeneous) platform.
+pub fn phase_split(
+    w_total: f64,
+    n: usize,
+    comp_latency: f64,
+    net_latency: f64,
+    config: &RumrConfig,
+) -> PhaseSplit {
+    assert!(w_total.is_finite() && w_total > 0.0);
+    if let Some(p) = config.phase1_fraction {
+        let p = p.clamp(0.0, 1.0);
+        return PhaseSplit {
+            w1: p * w_total,
+            w2: (1.0 - p) * w_total,
+        };
+    }
+    match config.error_estimate {
+        Some(e) if e <= 0.0 => PhaseSplit {
+            w1: w_total,
+            w2: 0.0,
+        },
+        Some(e) if e >= 1.0 => PhaseSplit {
+            w1: 0.0,
+            w2: w_total,
+        },
+        Some(e) => {
+            let w2 = e * w_total;
+            // Overhead of one round of empty chunks: cLat + nLat·N. If the
+            // per-worker phase-2 share cannot amortize it, skip phase 2.
+            let round_overhead = comp_latency + net_latency * n as f64;
+            if w2 / (n as f64) < round_overhead {
+                PhaseSplit {
+                    w1: w_total,
+                    w2: 0.0,
+                }
+            } else {
+                PhaseSplit {
+                    w1: w_total - w2,
+                    w2,
+                }
+            }
+        }
+        None => PhaseSplit {
+            w1: DEFAULT_PHASE1_FRACTION * w_total,
+            w2: (1.0 - DEFAULT_PHASE1_FRACTION) * w_total,
+        },
+    }
+}
+
+/// The RUMR scheduler.
+#[derive(Debug)]
+pub struct Rumr {
+    config: RumrConfig,
+    split: PhaseSplit,
+    phase1: Option<PlanReplayer>,
+    phase1_schedule: Option<UmrSchedule>,
+    phase2: Option<FactoringSource>,
+    phase2_exhausted: bool,
+}
+
+impl Rumr {
+    /// Build RUMR for a homogeneous platform and total workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`UmrError`] from the phase-1 solver (heterogeneous
+    /// platform, invalid workload).
+    pub fn new(platform: &Platform, w_total: f64, config: RumrConfig) -> Result<Self, UmrError> {
+        // Validate via the UMR input extractor even when phase 1 ends up
+        // empty, so configuration errors surface uniformly.
+        let inputs = UmrInputs::from_platform(platform, w_total)?;
+        let n = inputs.n;
+        let split = phase_split(w_total, n, inputs.comp_latency, inputs.net_latency, &config);
+
+        let (phase1, phase1_schedule) = if split.w1 > 0.0 {
+            let schedule = UmrSchedule::solve(UmrInputs {
+                w_total: split.w1,
+                ..inputs
+            })?;
+            (Some(PlanReplayer::new(schedule.plan())), Some(schedule))
+        } else {
+            (None, None)
+        };
+
+        let phase2 = if split.w2 > 0.0 {
+            let bound_error = if config.error_aware_bound {
+                config.error_estimate
+            } else {
+                None
+            };
+            let bound = min_chunk_bound(n, inputs.comp_latency, inputs.net_latency, bound_error);
+            Some(FactoringSource::new(split.w2, n, config.factor, bound))
+        } else {
+            None
+        };
+
+        Ok(Rumr {
+            config,
+            split,
+            phase1,
+            phase1_schedule,
+            phase2,
+            phase2_exhausted: false,
+        })
+    }
+
+    /// The workload division between the phases.
+    pub fn split(&self) -> PhaseSplit {
+        self.split
+    }
+
+    /// The phase-1 UMR schedule, when phase 1 is used.
+    pub fn phase1_schedule(&self) -> Option<&UmrSchedule> {
+        self.phase1_schedule.as_ref()
+    }
+
+    /// True when the configuration produced a non-empty phase 2.
+    pub fn uses_phase2(&self) -> bool {
+        self.phase2.is_some()
+    }
+
+    /// The configuration this scheduler was built with.
+    pub fn config(&self) -> &RumrConfig {
+        &self.config
+    }
+
+    /// Phase-1 destination selection: keep the planned worker when it is
+    /// hungry itself (or nobody is); otherwise reroute to the least-loaded
+    /// hungry worker. With exact predictions no worker is ever prematurely
+    /// hungry, so this reduces to plain UMR — which is the paper's design
+    /// intent and is asserted by tests.
+    fn phase1_destination(&self, planned: usize, view: &SimView<'_>) -> usize {
+        if !self.config.out_of_order {
+            return planned;
+        }
+        if view.workers[planned].is_hungry() {
+            return planned;
+        }
+        view.least_loaded_hungry().unwrap_or(planned)
+    }
+}
+
+impl Scheduler for Rumr {
+    fn name(&self) -> String {
+        let mut name = String::from("RUMR");
+        if let Some(p) = self.config.phase1_fraction {
+            name.push_str(&format!("_{:.0}", p * 100.0));
+        }
+        if !self.config.out_of_order {
+            name.push_str("-plain");
+        }
+        name
+    }
+
+    fn next_dispatch(&mut self, view: &SimView<'_>) -> Decision {
+        // Phase 1: planned chunk sizes, demand-driven destinations.
+        if let Some(replayer) = &mut self.phase1 {
+            if let Some((planned, chunk)) = replayer.peek() {
+                let worker = self.phase1_destination(planned, view);
+                self.phase1
+                    .as_mut()
+                    .expect("phase1 present")
+                    .take_next()
+                    .expect("peeked send exists");
+                return Decision::Dispatch { worker, chunk };
+            }
+        }
+        // Phase 2: greedy factoring.
+        if let Some(source) = &mut self.phase2 {
+            if self.phase2_exhausted {
+                return Decision::Finished;
+            }
+            let Some(worker) = view.least_loaded_hungry() else {
+                return Decision::Wait;
+            };
+            return match source.next_chunk() {
+                Some(chunk) => Decision::Dispatch { worker, chunk },
+                None => {
+                    self.phase2_exhausted = true;
+                    Decision::Finished
+                }
+            };
+        }
+        Decision::Finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factoring::Factoring;
+    use crate::umr::Umr;
+    use dls_sim::{simulate, ErrorInjector, ErrorModel, HomogeneousParams, SimConfig};
+
+    fn table1(n: usize, r: f64, clat: f64, nlat: f64) -> dls_sim::Platform {
+        HomogeneousParams::table1(n, r, clat, nlat).build().unwrap()
+    }
+
+    #[test]
+    fn split_zero_error_is_pure_umr() {
+        let cfg = RumrConfig::with_known_error(0.0);
+        let s = phase_split(1000.0, 10, 0.3, 0.3, &cfg);
+        assert_eq!(s.w1, 1000.0);
+        assert_eq!(s.w2, 0.0);
+    }
+
+    #[test]
+    fn split_large_error_is_pure_factoring() {
+        let cfg = RumrConfig::with_known_error(1.0);
+        let s = phase_split(1000.0, 10, 0.3, 0.3, &cfg);
+        assert_eq!(s.w1, 0.0);
+        assert_eq!(s.w2, 1000.0);
+    }
+
+    #[test]
+    fn split_proportional_to_error() {
+        let cfg = RumrConfig::with_known_error(0.3);
+        let s = phase_split(1000.0, 10, 0.1, 0.1, &cfg);
+        assert!((s.w2 - 300.0).abs() < 1e-9);
+        assert!((s.w1 - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_threshold_drops_phase2() {
+        // W2/N = e·W/N = 0.05·1000/10 = 5 < cLat + nLat·N = 0.5 + 0.9·10 = 9.5
+        let cfg = RumrConfig::with_known_error(0.05);
+        let s = phase_split(1000.0, 10, 0.5, 0.9, &cfg);
+        assert_eq!(s.w2, 0.0);
+        assert_eq!(s.w1, 1000.0);
+        // Same error with negligible latencies: phase 2 kept.
+        let s = phase_split(1000.0, 10, 0.01, 0.01, &cfg);
+        assert!((s.w2 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_unknown_error_uses_80_20() {
+        let cfg = RumrConfig::default();
+        let s = phase_split(1000.0, 10, 0.5, 0.9, &cfg);
+        assert!((s.w1 - 800.0).abs() < 1e-9);
+        assert!((s.w2 - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_fixed_fraction_override() {
+        let cfg = RumrConfig::with_fixed_fraction(0.6, Some(0.4));
+        let s = phase_split(1000.0, 10, 0.5, 0.9, &cfg);
+        assert!((s.w1 - 600.0).abs() < 1e-9);
+        assert!((s.w2 - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rumr_equals_umr_at_zero_error() {
+        for (n, r, clat, nlat) in [(10, 1.5, 0.4, 0.2), (20, 1.8, 0.3, 0.9)] {
+            let platform = table1(n, r, clat, nlat);
+            let mut rumr = Rumr::new(&platform, 1000.0, RumrConfig::with_known_error(0.0)).unwrap();
+            assert!(!rumr.uses_phase2());
+            let mut umr = Umr::new(&platform, 1000.0).unwrap();
+            let run = |s: &mut dyn dls_sim::Scheduler| {
+                simulate(
+                    &platform,
+                    s,
+                    ErrorInjector::new(ErrorModel::None, 0),
+                    SimConfig::default(),
+                )
+                .unwrap()
+            };
+            let a = run(&mut rumr);
+            let b = run(&mut umr);
+            assert_eq!(a.num_chunks, b.num_chunks);
+            assert!(
+                (a.makespan - b.makespan).abs() < 1e-9,
+                "RUMR {} vs UMR {}",
+                a.makespan,
+                b.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn rumr_at_error_one_equals_factoring_with_matching_bound() {
+        // e = 1 makes the error-aware bound equal the error-unaware one, so
+        // RUMR degenerates to exactly the standalone Factoring scheduler.
+        let platform = table1(10, 1.5, 0.2, 0.3);
+        let seed = 1234;
+        let mut rumr = Rumr::new(&platform, 1000.0, RumrConfig::with_known_error(1.0)).unwrap();
+        assert!(rumr.uses_phase2());
+        assert!(rumr.phase1_schedule().is_none());
+        let mut fact = Factoring::new(&platform, 1000.0);
+        let err = ErrorModel::TruncatedNormal { error: 0.4 };
+        let a = simulate(
+            &platform,
+            &mut rumr,
+            ErrorInjector::new(err, seed),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let b = simulate(
+            &platform,
+            &mut fact,
+            ErrorInjector::new(err, seed),
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(a.num_chunks, b.num_chunks);
+        assert!((a.makespan - b.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_work_sums_to_total() {
+        let platform = table1(10, 1.5, 0.1, 0.1);
+        let rumr = Rumr::new(&platform, 1000.0, RumrConfig::with_known_error(0.3)).unwrap();
+        let split = rumr.split();
+        assert!((split.w1 + split.w2 - 1000.0).abs() < 1e-9);
+        let phase1_work = rumr
+            .phase1_schedule()
+            .map(|s| s.plan().total_work())
+            .unwrap_or(0.0);
+        assert!((phase1_work - split.w1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conservation_under_error() {
+        let platform = table1(15, 1.6, 0.4, 0.6);
+        for error in [0.1, 0.3, 0.5] {
+            let mut rumr =
+                Rumr::new(&platform, 1000.0, RumrConfig::with_known_error(error)).unwrap();
+            let r = simulate(
+                &platform,
+                &mut rumr,
+                ErrorInjector::new(ErrorModel::TruncatedNormal { error }, 42),
+                SimConfig {
+                    record_trace: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                (r.completed_work() - 1000.0).abs() < 1e-6,
+                "error={error}: completed {}",
+                r.completed_work()
+            );
+            assert!(r.trace.unwrap().validate(15).is_empty());
+        }
+    }
+
+    #[test]
+    fn plain_variant_disables_rerouting_and_still_works() {
+        let platform = table1(10, 1.5, 0.2, 0.2);
+        let mut cfg = RumrConfig::with_known_error(0.4);
+        cfg.out_of_order = false;
+        let mut rumr = Rumr::new(&platform, 1000.0, cfg).unwrap();
+        assert!(rumr.name().contains("plain"));
+        let r = simulate(
+            &platform,
+            &mut rumr,
+            ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.4 }, 11),
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert!((r.completed_work() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_fraction_names() {
+        let platform = table1(10, 1.5, 0.2, 0.2);
+        let rumr = Rumr::new(
+            &platform,
+            1000.0,
+            RumrConfig::with_fixed_fraction(0.7, Some(0.2)),
+        )
+        .unwrap();
+        assert_eq!(rumr.name(), "RUMR_70");
+        let s = rumr.split();
+        assert!((s.w1 - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn robustness_shape_rumr_beats_umr_at_high_error() {
+        // The paper's headline: under large prediction errors RUMR's
+        // two-phase schedule beats plain UMR on average.
+        let platform = table1(20, 1.6, 0.2, 0.1);
+        let error = 0.45;
+        let mut rumr_total = 0.0;
+        let mut umr_total = 0.0;
+        let reps = 30;
+        for seed in 0..reps {
+            let model = ErrorModel::TruncatedNormal { error };
+            let mut rumr =
+                Rumr::new(&platform, 1000.0, RumrConfig::with_known_error(error)).unwrap();
+            rumr_total += simulate(
+                &platform,
+                &mut rumr,
+                ErrorInjector::new(model, seed),
+                SimConfig::default(),
+            )
+            .unwrap()
+            .makespan;
+            let mut umr = Umr::new(&platform, 1000.0).unwrap();
+            umr_total += simulate(
+                &platform,
+                &mut umr,
+                ErrorInjector::new(model, seed),
+                SimConfig::default(),
+            )
+            .unwrap()
+            .makespan;
+        }
+        assert!(
+            rumr_total < umr_total,
+            "RUMR mean {} should beat UMR mean {}",
+            rumr_total / reps as f64,
+            umr_total / reps as f64
+        );
+    }
+}

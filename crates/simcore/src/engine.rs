@@ -1,0 +1,1242 @@
+//! The discrete-event simulation engine.
+//!
+//! Implements the platform semantics of §3.1 of the RUMR paper:
+//!
+//! * the master sends one chunk at a time (default); a transfer occupies
+//!   the master's interface for `nLat + chunk/B` (perturbed), then the
+//!   chunk spends `tLat` (perturbed by the same draw) in flight before
+//!   arriving;
+//! * workers have a front end: they receive while computing, and buffer
+//!   received chunks in FIFO order;
+//! * computing a chunk takes `cLat + chunk/S` (perturbed, one independent
+//!   draw per chunk).
+//!
+//! # Concurrent transfers (extension)
+//!
+//! The paper notes that "it could be beneficial to allow for simultaneous
+//! transfers for better throughput in some cases (e.g. WANs)" and leaves
+//! the study to future work. [`SimConfig::max_concurrent_sends`] enables
+//! that mode: up to `k` transfers may be in flight, each paying its own
+//! `nLat` setup concurrently, with the data phases sharing the master's
+//! optional uplink capacity by max-min fairness (each stream additionally
+//! capped by its own link rate `B_i`). `k = 1` reproduces the paper's
+//! serial model exactly.
+//!
+//! The engine drives a [`Scheduler`] as described in [`crate::scheduler`]
+//! and produces a [`SimResult`] (makespan, per-worker accounting, and
+//! optionally a full [`Trace`]).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+use crate::error::ErrorInjector;
+use crate::platform::Platform;
+use crate::scheduler::{Decision, Scheduler, SimView, WorkerView};
+use crate::trace::{Trace, TraceEvent};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Record a full [`Trace`] of the run (off by default: the paper's
+    /// sweeps run millions of simulations).
+    pub record_trace: bool,
+    /// Safety valve against runaway schedulers: the simulation aborts with
+    /// [`SimError::EventLimitExceeded`] after this many events.
+    pub max_events: u64,
+    /// Maximum simultaneous master transfers. `1` (default) is the paper's
+    /// serial-sends model.
+    pub max_concurrent_sends: usize,
+    /// Master uplink capacity in workload units/s, shared max-min among
+    /// concurrent data transfers. `None` leaves only the per-link rates
+    /// `B_i` binding (independent network paths). Irrelevant when
+    /// `max_concurrent_sends == 1`.
+    pub uplink_capacity: Option<f64>,
+    /// Output-data extension: after computing a chunk, the worker returns
+    /// `chunk · output_ratio` units of results to the master over the same
+    /// interface (returns compete with input sends for the send slots and
+    /// the uplink, and are drained with priority). `0` (default) is the
+    /// paper's input-only model. The makespan then includes result
+    /// collection.
+    pub output_ratio: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            record_trace: false,
+            max_events: 50_000_000,
+            max_concurrent_sends: 1,
+            uplink_capacity: None,
+            output_ratio: 0.0,
+        }
+    }
+}
+
+/// Why a simulation could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The scheduler returned `Wait` but no event is pending, so time can
+    /// never advance again. Always a scheduler bug.
+    Deadlock {
+        /// Simulation time at which the deadlock was detected.
+        time: f64,
+    },
+    /// The scheduler dispatched to a nonexistent worker or with a
+    /// non-finite / non-positive chunk size.
+    InvalidDispatch {
+        /// Target worker of the offending dispatch.
+        worker: usize,
+        /// Chunk size of the offending dispatch.
+        chunk: f64,
+    },
+    /// `SimConfig::max_events` was exceeded.
+    EventLimitExceeded,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { time } => {
+                write!(
+                    f,
+                    "scheduler deadlock: waiting with no pending events at t = {time}"
+                )
+            }
+            SimError::InvalidDispatch { worker, chunk } => {
+                write!(f, "invalid dispatch: worker {worker}, chunk {chunk}")
+            }
+            SimError::EventLimitExceeded => write!(f, "event limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Application makespan in seconds (time of the last computation end).
+    pub makespan: f64,
+    /// Total number of chunks dispatched.
+    pub num_chunks: usize,
+    /// Total workload units dispatched.
+    pub dispatched_work: f64,
+    /// Total output units returned to the master (0 unless
+    /// `SimConfig::output_ratio` is set).
+    pub returned_work: f64,
+    /// Per-worker workload units completed.
+    pub per_worker_work: Vec<f64>,
+    /// Per-worker total computing time (seconds).
+    pub per_worker_busy: Vec<f64>,
+    /// Full event trace when `SimConfig::record_trace` was set.
+    pub trace: Option<Trace>,
+}
+
+impl SimResult {
+    /// Total completed workload across workers.
+    pub fn completed_work(&self) -> f64 {
+        self.per_worker_work.iter().sum()
+    }
+
+    /// Mean worker utilization: busy time / makespan, averaged over workers.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.per_worker_busy.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.per_worker_busy.iter().sum();
+        total / (self.makespan * self.per_worker_busy.len() as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// A transfer's fixed `nLat` setup completed; its data phase joins the
+    /// shared pool.
+    SetupDone {
+        worker: usize,
+        chunk: f64,
+        /// Effective link rate `B_i / comm_factor` for this transfer.
+        link_rate: f64,
+        /// Perturbed `tLat` still to elapse after the last byte is pushed.
+        fly_time: f64,
+        /// First workload unit of the chunk (for trace-driven profiles).
+        unit_start: f64,
+        /// True for output returns (output-data extension).
+        is_return: bool,
+    },
+    /// Progress checkpoint for the transfer pool; stale epochs are ignored.
+    PoolCheck {
+        epoch: u64,
+    },
+    Arrival {
+        worker: usize,
+        chunk: f64,
+        unit_start: f64,
+    },
+    ComputeEnd {
+        worker: usize,
+        chunk: f64,
+    },
+}
+
+/// Heap entry ordered by (time, sequence) ascending; `BinaryHeap` is a
+/// max-heap, so comparisons are reversed. Sequence numbers make simultaneous
+/// events fire in insertion order, which keeps runs fully deterministic.
+struct QueuedEvent {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: earliest time (then lowest seq) is the heap maximum.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct WorkerState {
+    view: WorkerView,
+    /// Received chunks awaiting computation: (size, first unit).
+    queue: VecDeque<(f64, f64)>,
+}
+
+/// A transfer in its data phase, sharing the master's uplink.
+#[derive(Debug, Clone, Copy)]
+struct PoolTransfer {
+    worker: usize,
+    chunk: f64,
+    remaining: f64,
+    link_rate: f64,
+    /// Currently assigned rate (recomputed whenever the pool changes).
+    rate: f64,
+    fly_time: f64,
+    unit_start: f64,
+    /// False for master→worker input sends, true for worker→master output
+    /// returns (output-data extension).
+    is_return: bool,
+}
+
+/// Transfers with less than this much data left are considered complete
+/// (guards against floating-point residue in the progress integration).
+const POOL_EPS: f64 = 1e-9;
+
+/// The simulation engine. Construct with [`Engine::new`], run with
+/// [`Engine::run`]; a fresh engine is needed per run.
+pub struct Engine<'a> {
+    platform: &'a Platform,
+    injector: ErrorInjector,
+    config: SimConfig,
+    heap: BinaryHeap<QueuedEvent>,
+    seq: u64,
+    now: f64,
+    /// Transfers in flight (setup or data phase).
+    sending: usize,
+    /// Data-phase transfers sharing the uplink.
+    pool: Vec<PoolTransfer>,
+    pool_epoch: u64,
+    pool_updated: f64,
+    workers: Vec<WorkerState>,
+    trace: Trace,
+    num_chunks: usize,
+    dispatched_work: f64,
+    per_worker_busy: Vec<f64>,
+    events_processed: u64,
+    /// Next undispatched workload unit (chunks are carved sequentially).
+    next_unit: f64,
+    /// Output returns awaiting a free send slot (output-data extension).
+    return_queue: VecDeque<(usize, f64)>,
+    /// Total output units returned to the master.
+    returned_work: f64,
+}
+
+impl<'a> Engine<'a> {
+    /// Create an engine over `platform` with the given error injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_concurrent_sends == 0` or the uplink capacity
+    /// is non-positive.
+    pub fn new(platform: &'a Platform, injector: ErrorInjector, config: SimConfig) -> Self {
+        assert!(
+            config.max_concurrent_sends >= 1,
+            "need at least one send slot"
+        );
+        if let Some(c) = config.uplink_capacity {
+            assert!(c.is_finite() && c > 0.0, "uplink capacity must be positive");
+        }
+        assert!(
+            config.output_ratio.is_finite() && config.output_ratio >= 0.0,
+            "output ratio must be non-negative"
+        );
+        let n = platform.num_workers();
+        Engine {
+            platform,
+            injector,
+            config,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+            sending: 0,
+            pool: Vec::new(),
+            pool_epoch: 0,
+            pool_updated: 0.0,
+            workers: (0..n)
+                .map(|_| WorkerState {
+                    view: WorkerView::default(),
+                    queue: VecDeque::new(),
+                })
+                .collect(),
+            trace: Trace::new(),
+            num_chunks: 0,
+            dispatched_work: 0.0,
+            per_worker_busy: vec![0.0; n],
+            events_processed: 0,
+            next_unit: 0.0,
+            return_queue: VecDeque::new(),
+            returned_work: 0.0,
+        }
+    }
+
+    fn schedule(&mut self, time: f64, event: Event) {
+        debug_assert!(time.is_finite() && time >= self.now - 1e-9);
+        self.heap.push(QueuedEvent {
+            time: time.max(self.now),
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    fn record(&mut self, e: TraceEvent) {
+        if self.config.record_trace {
+            self.trace.push(e);
+        }
+    }
+
+    fn views(&self) -> Vec<WorkerView> {
+        self.workers.iter().map(|w| w.view).collect()
+    }
+
+    fn start_compute(&mut self, worker: usize, scheduler: &mut dyn Scheduler) {
+        let (chunk, unit_start) = match self.workers[worker].queue.pop_front() {
+            Some(c) => c,
+            None => return,
+        };
+        let w = &mut self.workers[worker];
+        w.view.queued_chunks -= 1;
+        w.view.queued_work -= chunk;
+        w.view.computing = true;
+        let predicted = self.platform.worker(worker).comp_time(chunk);
+        let effective =
+            self.injector
+                .effective_compute(worker, predicted, unit_start, unit_start + chunk);
+        self.per_worker_busy[worker] += effective;
+        self.record(TraceEvent::ComputeStart {
+            worker,
+            chunk,
+            time: self.now,
+        });
+        scheduler.on_compute_start(worker, chunk, self.now);
+        self.schedule(self.now + effective, Event::ComputeEnd { worker, chunk });
+    }
+
+    /// Integrate pool progress from the last update to `now`.
+    fn update_pool_progress(&mut self) {
+        let dt = self.now - self.pool_updated;
+        if dt > 0.0 {
+            for t in &mut self.pool {
+                t.remaining = (t.remaining - t.rate * dt).max(0.0);
+            }
+        }
+        self.pool_updated = self.now;
+    }
+
+    /// Max-min fair allocation of the uplink capacity across the pool,
+    /// each stream capped by its own link rate.
+    fn recompute_pool_rates(&mut self) {
+        match self.config.uplink_capacity {
+            None => {
+                for t in &mut self.pool {
+                    t.rate = t.link_rate;
+                }
+            }
+            Some(capacity) => {
+                let mut remaining_capacity = capacity;
+                let mut unassigned: Vec<usize> = (0..self.pool.len()).collect();
+                // Water-filling: streams capped below the fair share get
+                // their cap; the rest split what remains.
+                loop {
+                    if unassigned.is_empty() {
+                        break;
+                    }
+                    let share = remaining_capacity / unassigned.len() as f64;
+                    let mut progressed = false;
+                    unassigned.retain(|&i| {
+                        if self.pool[i].link_rate <= share {
+                            self.pool[i].rate = self.pool[i].link_rate;
+                            remaining_capacity -= self.pool[i].link_rate;
+                            progressed = true;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if !progressed {
+                        let share = remaining_capacity / unassigned.len() as f64;
+                        for &i in &unassigned {
+                            self.pool[i].rate = share;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invalidate outstanding pool checks and schedule the next one.
+    fn schedule_pool_check(&mut self) {
+        self.pool_epoch += 1;
+        if self.pool.is_empty() {
+            return;
+        }
+        let eta = self
+            .pool
+            .iter()
+            .map(|t| {
+                if t.rate > 0.0 {
+                    t.remaining / t.rate
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .fold(f64::INFINITY, f64::min);
+        debug_assert!(eta.is_finite(), "pool transfer with zero rate");
+        let epoch = self.pool_epoch;
+        self.schedule(self.now + eta, Event::PoolCheck { epoch });
+    }
+
+    /// Complete every pool transfer whose data has fully crossed the
+    /// master's interface.
+    fn drain_completed_transfers(&mut self) {
+        let mut i = 0;
+        while i < self.pool.len() {
+            if self.pool[i].remaining <= POOL_EPS {
+                let t = self.pool.remove(i);
+                self.sending -= 1;
+                if t.is_return {
+                    self.returned_work += t.chunk;
+                    self.record(TraceEvent::ReturnEnd {
+                        worker: t.worker,
+                        bytes: t.chunk,
+                        time: self.now,
+                    });
+                } else {
+                    self.record(TraceEvent::SendEnd {
+                        worker: t.worker,
+                        chunk: t.chunk,
+                        time: self.now,
+                    });
+                    self.schedule(
+                        self.now + t.fly_time,
+                        Event::Arrival {
+                            worker: t.worker,
+                            chunk: t.chunk,
+                            unit_start: t.unit_start,
+                        },
+                    );
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Start queued output returns while send slots are free (returns have
+    /// priority over new input dispatches: they complete the application).
+    fn start_returns(&mut self) {
+        while self.sending < self.config.max_concurrent_sends {
+            let Some((worker, bytes)) = self.return_queue.pop_front() else {
+                break;
+            };
+            self.sending += 1;
+            let spec = self.platform.worker(worker);
+            let factor = self.injector.comm_factor(worker);
+            let setup = spec.net_latency * factor;
+            let link_rate = spec.bandwidth / factor;
+            let fly_time = spec.transfer_latency * factor;
+            self.record(TraceEvent::ReturnStart {
+                worker,
+                bytes,
+                time: self.now,
+            });
+            self.schedule(
+                self.now + setup,
+                Event::SetupDone {
+                    worker,
+                    chunk: bytes,
+                    link_rate,
+                    fly_time,
+                    unit_start: 0.0,
+                    is_return: true,
+                },
+            );
+        }
+    }
+
+    /// Let the scheduler use the free send slots.
+    fn try_dispatch(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        finished: &mut bool,
+    ) -> Result<(), SimError> {
+        while !*finished && self.sending < self.config.max_concurrent_sends {
+            let views = self.views();
+            let decision = scheduler.next_dispatch(&SimView {
+                time: self.now,
+                workers: &views,
+            });
+            match decision {
+                Decision::Wait => break,
+                Decision::Finished => {
+                    *finished = true;
+                }
+                Decision::Dispatch { worker, chunk } => {
+                    if worker >= self.workers.len() || !chunk.is_finite() || chunk <= 0.0 {
+                        return Err(SimError::InvalidDispatch { worker, chunk });
+                    }
+                    self.sending += 1;
+                    self.num_chunks += 1;
+                    self.dispatched_work += chunk;
+                    let w = &mut self.workers[worker];
+                    w.view.in_flight_chunks += 1;
+                    w.view.in_flight_work += chunk;
+                    w.view.assigned_work += chunk;
+
+                    // One perturbation draw covers the whole communication
+                    // operation: it stretches the setup latency, slows the
+                    // effective link rate, and stretches the in-flight
+                    // latency alike.
+                    let spec = self.platform.worker(worker);
+                    let factor = self.injector.comm_factor(worker);
+                    let setup = spec.net_latency * factor;
+                    let link_rate = spec.bandwidth / factor;
+                    let fly_time = spec.transfer_latency * factor;
+                    let unit_start = self.next_unit;
+                    self.next_unit += chunk;
+
+                    self.record(TraceEvent::SendStart {
+                        worker,
+                        chunk,
+                        time: self.now,
+                    });
+                    self.schedule(
+                        self.now + setup,
+                        Event::SetupDone {
+                            worker,
+                            chunk,
+                            link_rate,
+                            fly_time,
+                            unit_start,
+                            is_return: false,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Result<SimResult, SimError> {
+        let mut finished = false;
+        loop {
+            // Returns first (they complete the run), then the scheduler.
+            self.start_returns();
+            self.try_dispatch(scheduler, &mut finished)?;
+
+            let Some(entry) = self.heap.pop() else {
+                if finished {
+                    break;
+                }
+                return Err(SimError::Deadlock { time: self.now });
+            };
+            self.events_processed += 1;
+            if self.events_processed > self.config.max_events {
+                return Err(SimError::EventLimitExceeded);
+            }
+            self.now = entry.time;
+            match entry.event {
+                Event::SetupDone {
+                    worker,
+                    chunk,
+                    link_rate,
+                    fly_time,
+                    unit_start,
+                    is_return,
+                } => {
+                    self.update_pool_progress();
+                    self.pool.push(PoolTransfer {
+                        worker,
+                        chunk,
+                        remaining: chunk,
+                        link_rate,
+                        rate: 0.0,
+                        fly_time,
+                        unit_start,
+                        is_return,
+                    });
+                    self.recompute_pool_rates();
+                    // A zero-size... chunks are > 0, but a chunk can finish
+                    // instantly only with infinite rate; schedule normally.
+                    self.schedule_pool_check();
+                }
+                Event::PoolCheck { epoch } => {
+                    if epoch != self.pool_epoch {
+                        continue; // Stale: the pool changed since.
+                    }
+                    self.update_pool_progress();
+                    self.drain_completed_transfers();
+                    self.recompute_pool_rates();
+                    self.schedule_pool_check();
+                }
+                Event::Arrival {
+                    worker,
+                    chunk,
+                    unit_start,
+                } => {
+                    self.record(TraceEvent::Arrival {
+                        worker,
+                        chunk,
+                        time: self.now,
+                    });
+                    let w = &mut self.workers[worker];
+                    w.view.in_flight_chunks -= 1;
+                    w.view.in_flight_work -= chunk;
+                    w.view.queued_chunks += 1;
+                    w.view.queued_work += chunk;
+                    w.queue.push_back((chunk, unit_start));
+                    scheduler.on_arrival(worker, chunk, self.now);
+                    if !self.workers[worker].view.computing {
+                        self.start_compute(worker, scheduler);
+                    }
+                }
+                Event::ComputeEnd { worker, chunk } => {
+                    self.record(TraceEvent::ComputeEnd {
+                        worker,
+                        chunk,
+                        time: self.now,
+                    });
+                    let w = &mut self.workers[worker];
+                    w.view.computing = false;
+                    w.view.completed_chunks += 1;
+                    w.view.completed_work += chunk;
+                    scheduler.on_compute_end(worker, chunk, self.now);
+                    if self.config.output_ratio > 0.0 {
+                        self.return_queue
+                            .push_back((worker, chunk * self.config.output_ratio));
+                    }
+                    self.start_compute(worker, scheduler);
+                }
+            }
+        }
+
+        Ok(SimResult {
+            makespan: self.now,
+            num_chunks: self.num_chunks,
+            dispatched_work: self.dispatched_work,
+            returned_work: self.returned_work,
+            per_worker_work: self.workers.iter().map(|w| w.view.completed_work).collect(),
+            per_worker_busy: self.per_worker_busy,
+            trace: if self.config.record_trace {
+                Some(self.trace)
+            } else {
+                None
+            },
+        })
+    }
+}
+
+/// Convenience wrapper: build an [`Engine`] and run `scheduler` on
+/// `platform` with the given injector and config.
+pub fn simulate(
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    injector: ErrorInjector,
+    config: SimConfig,
+) -> Result<SimResult, SimError> {
+    Engine::new(platform, injector, config).run(scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorModel;
+    use crate::platform::{HomogeneousParams, WorkerSpec};
+
+    /// Dispatches a fixed list of (worker, chunk) pairs eagerly.
+    struct ListScheduler {
+        plan: Vec<(usize, f64)>,
+        next: usize,
+    }
+
+    impl ListScheduler {
+        fn new(plan: Vec<(usize, f64)>) -> Self {
+            ListScheduler { plan, next: 0 }
+        }
+    }
+
+    impl Scheduler for ListScheduler {
+        fn name(&self) -> String {
+            "list".into()
+        }
+        fn next_dispatch(&mut self, _view: &SimView<'_>) -> Decision {
+            if self.next >= self.plan.len() {
+                return Decision::Finished;
+            }
+            let (worker, chunk) = self.plan[self.next];
+            self.next += 1;
+            Decision::Dispatch { worker, chunk }
+        }
+    }
+
+    fn exact(platform: &Platform) -> ErrorInjector {
+        let _ = platform;
+        ErrorInjector::new(ErrorModel::None, 0)
+    }
+
+    fn traced() -> SimConfig {
+        SimConfig {
+            record_trace: true,
+            ..Default::default()
+        }
+    }
+
+    fn concurrent(k: usize, capacity: Option<f64>) -> SimConfig {
+        SimConfig {
+            record_trace: true,
+            max_concurrent_sends: k,
+            uplink_capacity: capacity,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_worker_single_chunk() {
+        // S = 2, B = 10, cLat = 0.5, nLat = 0.1, tLat = 0.05; chunk = 10.
+        let platform = Platform::homogeneous(
+            1,
+            WorkerSpec {
+                speed: 2.0,
+                bandwidth: 10.0,
+                comp_latency: 0.5,
+                net_latency: 0.1,
+                transfer_latency: 0.05,
+            },
+        )
+        .unwrap();
+        let mut s = ListScheduler::new(vec![(0, 10.0)]);
+        let r = simulate(&platform, &mut s, exact(&platform), traced()).unwrap();
+        // Send: 0.1 + 10/10 = 1.1; arrival at 1.15; compute 0.5 + 5 = 5.5.
+        assert!((r.makespan - 6.65).abs() < 1e-9, "makespan {}", r.makespan);
+        assert_eq!(r.num_chunks, 1);
+        assert!((r.dispatched_work - 10.0).abs() < 1e-12);
+        assert!(r.trace.unwrap().validate(1).is_empty());
+    }
+
+    #[test]
+    fn two_chunks_pipeline_on_one_worker() {
+        // Second chunk transfers while the first computes (front-end model).
+        let platform = Platform::homogeneous(
+            1,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 10.0,
+                comp_latency: 0.0,
+                net_latency: 0.0,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap();
+        let mut s = ListScheduler::new(vec![(0, 10.0), (0, 10.0)]);
+        let r = simulate(&platform, &mut s, exact(&platform), traced()).unwrap();
+        // Send1 done at 1, compute1 [1, 11]; send2 done at 2 (overlapped),
+        // compute2 [11, 21].
+        assert!((r.makespan - 21.0).abs() < 1e-9, "makespan {}", r.makespan);
+        let trace = r.trace.unwrap();
+        assert!(trace.validate(1).is_empty());
+        assert_eq!(trace.num_chunks(), 2);
+    }
+
+    #[test]
+    fn sends_are_serialized_across_workers() {
+        // Two workers, equal chunks: worker 1's transfer starts only after
+        // worker 0's completes.
+        let platform = Platform::homogeneous(
+            2,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 1.0,
+                comp_latency: 0.0,
+                net_latency: 0.0,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap();
+        let mut s = ListScheduler::new(vec![(0, 5.0), (1, 5.0)]);
+        let r = simulate(&platform, &mut s, exact(&platform), traced()).unwrap();
+        // w0: recv at 5, compute [5, 10]; w1: recv at 10, compute [10, 15].
+        assert!((r.makespan - 15.0).abs() < 1e-9);
+        assert!((r.per_worker_work[0] - 5.0).abs() < 1e-12);
+        assert!((r.per_worker_work[1] - 5.0).abs() < 1e-12);
+        assert!(r.trace.unwrap().validate(2).is_empty());
+    }
+
+    #[test]
+    fn tlat_overlaps_next_send() {
+        // tLat = 10 is huge, but it must not delay the next transfer.
+        let platform = Platform::homogeneous(
+            2,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 1.0,
+                comp_latency: 0.0,
+                net_latency: 0.0,
+                transfer_latency: 10.0,
+            },
+        )
+        .unwrap();
+        let mut s = ListScheduler::new(vec![(0, 1.0), (1, 1.0)]);
+        let r = simulate(&platform, &mut s, exact(&platform), traced()).unwrap();
+        // Link busy [0,1] and [1,2]; arrivals at 11 and 12; computes end at
+        // 12 and 13.
+        assert!((r.makespan - 13.0).abs() < 1e-9, "makespan {}", r.makespan);
+        assert!(r.trace.unwrap().validate(2).is_empty());
+    }
+
+    #[test]
+    fn fifo_queue_on_worker() {
+        let platform = Platform::homogeneous(
+            1,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 100.0,
+                comp_latency: 0.0,
+                net_latency: 0.0,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap();
+        // Three chunks arrive much faster than they compute; order preserved.
+        let mut s = ListScheduler::new(vec![(0, 1.0), (0, 2.0), (0, 3.0)]);
+        let r = simulate(&platform, &mut s, exact(&platform), traced()).unwrap();
+        let trace = r.trace.unwrap();
+        assert!(trace.validate(1).is_empty());
+        let compute_order: Vec<f64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ComputeStart { chunk, .. } => Some(*chunk),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(compute_order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn invalid_dispatch_rejected() {
+        let platform = HomogeneousParams::table1(2, 1.5, 0.1, 0.1).build().unwrap();
+        for bad in [
+            (5usize, 1.0),  // bad worker
+            (0usize, 0.0),  // zero chunk
+            (0usize, -1.0), // negative chunk
+            (0usize, f64::NAN),
+        ] {
+            let mut s = ListScheduler::new(vec![bad]);
+            let e =
+                simulate(&platform, &mut s, exact(&platform), SimConfig::default()).unwrap_err();
+            assert!(matches!(e, SimError::InvalidDispatch { .. }), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn waiting_forever_is_deadlock() {
+        struct Waiter;
+        impl Scheduler for Waiter {
+            fn name(&self) -> String {
+                "waiter".into()
+            }
+            fn next_dispatch(&mut self, _view: &SimView<'_>) -> Decision {
+                Decision::Wait
+            }
+        }
+        let platform = HomogeneousParams::table1(2, 1.5, 0.1, 0.1).build().unwrap();
+        let e = simulate(
+            &platform,
+            &mut Waiter,
+            exact(&platform),
+            SimConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn empty_schedule_is_ok() {
+        struct Noop;
+        impl Scheduler for Noop {
+            fn name(&self) -> String {
+                "noop".into()
+            }
+            fn next_dispatch(&mut self, _view: &SimView<'_>) -> Decision {
+                Decision::Finished
+            }
+        }
+        let platform = HomogeneousParams::table1(2, 1.5, 0.1, 0.1).build().unwrap();
+        let r = simulate(&platform, &mut Noop, exact(&platform), SimConfig::default()).unwrap();
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.num_chunks, 0);
+    }
+
+    #[test]
+    fn event_limit_enforced() {
+        let platform = HomogeneousParams::table1(1, 1.5, 0.0, 0.0).build().unwrap();
+        let mut s = ListScheduler::new(vec![(0, 1.0); 100]);
+        let cfg = SimConfig {
+            max_events: 10,
+            ..Default::default()
+        };
+        let e = simulate(&platform, &mut s, exact(&platform), cfg).unwrap_err();
+        assert_eq!(e, SimError::EventLimitExceeded);
+    }
+
+    #[test]
+    fn deterministic_with_errors() {
+        let platform = HomogeneousParams::table1(4, 1.5, 0.2, 0.3).build().unwrap();
+        let run = |seed| {
+            let mut s = ListScheduler::new(vec![(0, 10.0), (1, 10.0), (2, 10.0), (3, 10.0)]);
+            let inj = ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.4 }, seed);
+            simulate(&platform, &mut s, inj, SimConfig::default())
+                .unwrap()
+                .makespan
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn perturbed_run_still_valid() {
+        let platform = HomogeneousParams::table1(3, 1.4, 0.1, 0.2).build().unwrap();
+        let mut plan = Vec::new();
+        for round in 0..5 {
+            for w in 0..3 {
+                plan.push((w, 1.0 + round as f64));
+            }
+        }
+        let mut s = ListScheduler::new(plan);
+        let inj = ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.5 }, 99);
+        let r = simulate(&platform, &mut s, inj, traced()).unwrap();
+        assert!(r.trace.unwrap().validate(3).is_empty());
+        assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn utilization_and_accounting() {
+        let platform = HomogeneousParams::table1(2, 1.5, 0.0, 0.0).build().unwrap();
+        let mut s = ListScheduler::new(vec![(0, 500.0), (1, 500.0)]);
+        let r = simulate(&platform, &mut s, exact(&platform), SimConfig::default()).unwrap();
+        assert!((r.completed_work() - 1000.0).abs() < 1e-9);
+        let u = r.mean_utilization();
+        assert!(u > 0.5 && u <= 1.0, "utilization {u}");
+    }
+
+    // --- Concurrent-transfer extension ---
+
+    #[test]
+    fn concurrent_unconstrained_sends_overlap() {
+        // Two workers, k = 2, no shared capacity: both transfers run at
+        // their full link rates simultaneously.
+        let platform = Platform::homogeneous(
+            2,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 1.0,
+                comp_latency: 0.0,
+                net_latency: 0.0,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap();
+        let mut s = ListScheduler::new(vec![(0, 5.0), (1, 5.0)]);
+        let r = simulate(&platform, &mut s, exact(&platform), concurrent(2, None)).unwrap();
+        // Both receive at t = 5 and compute [5, 10] — vs 15 serially.
+        assert!((r.makespan - 10.0).abs() < 1e-9, "makespan {}", r.makespan);
+        assert!(r.trace.unwrap().validate_with_concurrency(2, 2).is_empty());
+    }
+
+    #[test]
+    fn concurrent_shared_capacity_is_fair() {
+        // k = 2, shared capacity 1.0 = each link's rate: two equal streams
+        // each get 0.5, so overlapping them buys nothing — same finish as
+        // serial for the pair, but both arrive at t = 10.
+        let platform = Platform::homogeneous(
+            2,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 1.0,
+                comp_latency: 0.0,
+                net_latency: 0.0,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap();
+        let mut s = ListScheduler::new(vec![(0, 5.0), (1, 5.0)]);
+        let r = simulate(
+            &platform,
+            &mut s,
+            exact(&platform),
+            concurrent(2, Some(1.0)),
+        )
+        .unwrap();
+        // Each stream at 0.5 units/s: arrivals at 10; computes [10, 15].
+        assert!((r.makespan - 15.0).abs() < 1e-9, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn concurrent_max_min_respects_link_caps() {
+        // Worker 0's link is slow (0.5); worker 1's is fast (4.0). With
+        // capacity 2.0, max-min gives w0 its cap 0.5 and w1 the rest (1.5).
+        let w0 = WorkerSpec {
+            speed: 100.0,
+            bandwidth: 0.5,
+            comp_latency: 0.0,
+            net_latency: 0.0,
+            transfer_latency: 0.0,
+        };
+        let mut w1 = w0;
+        w1.bandwidth = 4.0;
+        let platform = Platform::new(vec![w0, w1]).unwrap();
+        let mut s = ListScheduler::new(vec![(0, 3.0), (1, 3.0)]);
+        let r = simulate(
+            &platform,
+            &mut s,
+            exact(&platform),
+            concurrent(2, Some(2.0)),
+        )
+        .unwrap();
+        let trace = r.trace.unwrap();
+        // w1 finishes its 3 units at 3/1.5 = 2.0 s; w0 at 3/0.5 = 6.0 s.
+        // (After w1 completes, w0 is still capped by its link at 0.5.)
+        let send_ends: Vec<(usize, f64)> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SendEnd { worker, time, .. } => Some((*worker, *time)),
+                _ => None,
+            })
+            .collect();
+        let w1_end = send_ends.iter().find(|(w, _)| *w == 1).unwrap().1;
+        let w0_end = send_ends.iter().find(|(w, _)| *w == 0).unwrap().1;
+        assert!((w1_end - 2.0).abs() < 1e-9, "w1 end {w1_end}");
+        assert!((w0_end - 6.0).abs() < 1e-9, "w0 end {w0_end}");
+    }
+
+    #[test]
+    fn concurrent_nlat_setups_overlap() {
+        // The whole point of the extension: with k = N, the N·nLat serial
+        // setup cost collapses to ~nLat.
+        let platform = Platform::homogeneous(
+            4,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 100.0,
+                comp_latency: 0.0,
+                net_latency: 1.0,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap();
+        let plan: Vec<(usize, f64)> = (0..4).map(|w| (w, 10.0)).collect();
+        let mut serial_s = ListScheduler::new(plan.clone());
+        let serial = simulate(&platform, &mut serial_s, exact(&platform), traced()).unwrap();
+        let mut conc_s = ListScheduler::new(plan);
+        let conc = simulate(
+            &platform,
+            &mut conc_s,
+            exact(&platform),
+            concurrent(4, None),
+        )
+        .unwrap();
+        // Serial: worker 3 receives after 4·(1 + 0.1) = 4.4 s; concurrent:
+        // after 1.1 s.
+        assert!(
+            conc.makespan + 3.0 < serial.makespan + 1e-9,
+            "concurrent {} vs serial {}",
+            conc.makespan,
+            serial.makespan
+        );
+    }
+
+    #[test]
+    fn concurrent_conserves_under_error() {
+        let platform = HomogeneousParams::table1(5, 1.5, 0.2, 0.3).build().unwrap();
+        let plan: Vec<(usize, f64)> = (0..20).map(|i| (i % 5, 50.0)).collect();
+        let mut s = ListScheduler::new(plan);
+        let inj = ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.4 }, 17);
+        let r = simulate(&platform, &mut s, inj, concurrent(3, Some(40.0))).unwrap();
+        assert!((r.completed_work() - 1000.0).abs() < 1e-6);
+        assert!(r.trace.unwrap().validate_with_concurrency(5, 3).is_empty());
+    }
+
+    #[test]
+    fn serial_config_is_paper_model() {
+        // k = 1 must behave exactly like the classic serial link.
+        let platform = HomogeneousParams::table1(3, 1.5, 0.1, 0.2).build().unwrap();
+        let plan: Vec<(usize, f64)> = (0..6).map(|i| (i % 3, 100.0)).collect();
+        let mut s = ListScheduler::new(plan);
+        let r = simulate(&platform, &mut s, exact(&platform), traced()).unwrap();
+        // Strict serial-send validation passes.
+        assert!(r.trace.unwrap().validate(3).is_empty());
+    }
+
+    // --- Output-data extension ---
+
+    fn with_output(ratio: f64) -> SimConfig {
+        SimConfig {
+            record_trace: true,
+            output_ratio: ratio,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn output_returns_extend_the_makespan() {
+        // One worker, one chunk, output ratio 0.5: after computing, 5 units
+        // of results cross back over the link.
+        let platform = Platform::homogeneous(
+            1,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 10.0,
+                comp_latency: 0.0,
+                net_latency: 0.1,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap();
+        let mut s = ListScheduler::new(vec![(0, 10.0)]);
+        let r = simulate(&platform, &mut s, exact(&platform), with_output(0.5)).unwrap();
+        // Input: 0.1 + 1.0 = 1.1; compute [1.1, 11.1]; return: 0.1 + 0.5.
+        assert!((r.makespan - 11.7).abs() < 1e-9, "makespan {}", r.makespan);
+        assert!((r.returned_work - 5.0).abs() < 1e-12);
+        let trace = r.trace.unwrap();
+        assert!(trace.validate(1).is_empty());
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ReturnEnd { .. })));
+    }
+
+    #[test]
+    fn returns_compete_with_input_sends() {
+        // Worker 0's return must delay worker 1's second input chunk: the
+        // interface is shared.
+        let platform = Platform::homogeneous(
+            2,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 1.0,
+                comp_latency: 0.0,
+                net_latency: 0.0,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap();
+        let plan = vec![(0, 2.0), (1, 2.0), (0, 2.0), (1, 2.0)];
+        let mut s_no = ListScheduler::new(plan.clone());
+        let no_output = simulate(&platform, &mut s_no, exact(&platform), traced()).unwrap();
+        let mut s_out = ListScheduler::new(plan);
+        let with_out = simulate(&platform, &mut s_out, exact(&platform), with_output(1.0)).unwrap();
+        assert!(
+            with_out.makespan > no_output.makespan + 1.0,
+            "returns should cost link time: {} vs {}",
+            with_out.makespan,
+            no_output.makespan
+        );
+        assert!((with_out.returned_work - 8.0).abs() < 1e-9);
+        assert!(with_out.trace.unwrap().validate(2).is_empty());
+    }
+
+    #[test]
+    fn zero_output_ratio_matches_paper_model() {
+        let platform = HomogeneousParams::table1(3, 1.5, 0.2, 0.1).build().unwrap();
+        let plan: Vec<(usize, f64)> = (0..6).map(|i| (i % 3, 50.0)).collect();
+        let mut a = ListScheduler::new(plan.clone());
+        let ra = simulate(&platform, &mut a, exact(&platform), SimConfig::default()).unwrap();
+        let mut b = ListScheduler::new(plan);
+        let rb = simulate(&platform, &mut b, exact(&platform), with_output(0.0)).unwrap();
+        assert_eq!(ra.makespan, rb.makespan);
+        assert_eq!(rb.returned_work, 0.0);
+    }
+
+    #[test]
+    fn output_with_concurrency_and_error_conserves() {
+        let platform = HomogeneousParams::table1(4, 1.6, 0.2, 0.2).build().unwrap();
+        let plan: Vec<(usize, f64)> = (0..12).map(|i| (i % 4, 25.0)).collect();
+        let mut s = ListScheduler::new(plan);
+        let cfg = SimConfig {
+            record_trace: true,
+            max_concurrent_sends: 2,
+            uplink_capacity: Some(30.0),
+            output_ratio: 0.25,
+            ..Default::default()
+        };
+        let inj = ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.3 }, 5);
+        let r = simulate(&platform, &mut s, inj, cfg).unwrap();
+        assert!((r.completed_work() - 300.0).abs() < 1e-6);
+        assert!((r.returned_work - 75.0).abs() < 1e-6);
+        assert!(r.trace.unwrap().validate_with_concurrency(4, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "output ratio")]
+    fn negative_output_ratio_rejected() {
+        let platform = HomogeneousParams::table1(2, 1.5, 0.1, 0.1).build().unwrap();
+        let cfg = SimConfig {
+            output_ratio: -0.5,
+            ..Default::default()
+        };
+        let _ = Engine::new(&platform, ErrorInjector::new(ErrorModel::None, 0), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "send slot")]
+    fn zero_send_slots_rejected() {
+        let platform = HomogeneousParams::table1(2, 1.5, 0.1, 0.1).build().unwrap();
+        let cfg = SimConfig {
+            max_concurrent_sends: 0,
+            ..Default::default()
+        };
+        let _ = Engine::new(&platform, ErrorInjector::new(ErrorModel::None, 0), cfg);
+    }
+}

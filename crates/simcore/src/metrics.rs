@@ -1,0 +1,310 @@
+//! Post-run trace analytics.
+//!
+//! The paper reasons about schedules in terms of *overlap* (is the master's
+//! dispatching hidden under computation?) and *gaps* (does a worker idle
+//! because its next chunk isn't there yet — §4.2(ii))? This module computes
+//! those quantities from an execution [`Trace`]:
+//!
+//! * per-worker computation gaps (idle intervals between consecutive
+//!   computations after the first arrival),
+//! * master-link utilization,
+//! * the chunk-size timeline (the increase-then-decrease signature of
+//!   RUMR is directly visible in it).
+
+use crate::trace::{Trace, TraceEvent};
+
+/// An idle interval on a worker between two computations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gap {
+    /// Worker that idled.
+    pub worker: usize,
+    /// Gap start (end of the previous computation).
+    pub start: f64,
+    /// Gap end (start of the next computation).
+    pub end: f64,
+}
+
+impl Gap {
+    /// Gap length in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Aggregated metrics of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMetrics {
+    /// Application makespan (time of the last event).
+    pub makespan: f64,
+    /// Fraction of the makespan the master's interface spent sending.
+    pub link_utilization: f64,
+    /// Mean fraction of the post-first-arrival window each worker spent
+    /// computing (1 = perfectly gap-free, the UMR design goal).
+    pub mean_compute_density: f64,
+    /// Every idle gap between consecutive computations on a worker.
+    pub gaps: Vec<Gap>,
+    /// Chunk sizes in dispatch order.
+    pub chunk_timeline: Vec<f64>,
+}
+
+impl TraceMetrics {
+    /// Compute metrics from a trace over `num_workers` workers.
+    pub fn from_trace(trace: &Trace, num_workers: usize) -> Self {
+        let makespan = trace
+            .events()
+            .iter()
+            .map(TraceEvent::time)
+            .fold(0.0_f64, f64::max);
+
+        let mut link_busy = 0.0;
+        let mut send_start: Option<f64> = None;
+        let mut chunk_timeline = Vec::new();
+
+        let mut first_compute: Vec<Option<f64>> = vec![None; num_workers];
+        let mut last_compute_end: Vec<Option<f64>> = vec![None; num_workers];
+        let mut busy: Vec<f64> = vec![0.0; num_workers];
+        let mut current_start: Vec<Option<f64>> = vec![None; num_workers];
+        let mut gaps = Vec::new();
+
+        for event in trace.events() {
+            match *event {
+                TraceEvent::SendStart { chunk, time, .. } => {
+                    send_start = Some(time);
+                    chunk_timeline.push(chunk);
+                }
+                TraceEvent::SendEnd { time, .. } => {
+                    if let Some(s) = send_start.take() {
+                        link_busy += time - s;
+                    }
+                }
+                TraceEvent::ComputeStart { worker, time, .. } if worker < num_workers => {
+                    if first_compute[worker].is_none() {
+                        first_compute[worker] = Some(time);
+                    }
+                    if let Some(prev_end) = last_compute_end[worker] {
+                        if time > prev_end + 1e-12 {
+                            gaps.push(Gap {
+                                worker,
+                                start: prev_end,
+                                end: time,
+                            });
+                        }
+                    }
+                    current_start[worker] = Some(time);
+                }
+                TraceEvent::ComputeEnd { worker, time, .. } if worker < num_workers => {
+                    if let Some(s) = current_start[worker].take() {
+                        busy[worker] += time - s;
+                    }
+                    last_compute_end[worker] = Some(time);
+                }
+                _ => {}
+            }
+        }
+
+        let mut density_sum = 0.0;
+        let mut density_count = 0usize;
+        for w in 0..num_workers {
+            if let (Some(first), Some(last)) = (first_compute[w], last_compute_end[w]) {
+                let window = last - first;
+                if window > 0.0 {
+                    density_sum += busy[w] / window;
+                    density_count += 1;
+                }
+            }
+        }
+
+        TraceMetrics {
+            makespan,
+            link_utilization: if makespan > 0.0 {
+                link_busy / makespan
+            } else {
+                0.0
+            },
+            mean_compute_density: if density_count > 0 {
+                density_sum / density_count as f64
+            } else {
+                0.0
+            },
+            gaps,
+            chunk_timeline,
+        }
+    }
+
+    /// Total idle time across all gaps.
+    pub fn total_gap_time(&self) -> f64 {
+        self.gaps.iter().map(Gap::duration).sum()
+    }
+
+    /// Index of the largest chunk in the dispatch timeline, if any — for an
+    /// original RUMR run this marks the phase-1/phase-2 boundary.
+    pub fn peak_chunk_index(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &c) in self.chunk_timeline.iter().enumerate() {
+            if best.map(|(_, b)| c > b).unwrap_or(true) {
+                best = Some((i, c));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn trace_two_workers() -> Trace {
+        let mut t = Trace::new();
+        let mut push = |e| t.push(e);
+        // Worker 0: computes [1,3] and [5,6] — a gap [3,5].
+        push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 2.0,
+            time: 0.0,
+        });
+        push(TraceEvent::SendEnd {
+            worker: 0,
+            chunk: 2.0,
+            time: 1.0,
+        });
+        push(TraceEvent::Arrival {
+            worker: 0,
+            chunk: 2.0,
+            time: 1.0,
+        });
+        push(TraceEvent::ComputeStart {
+            worker: 0,
+            chunk: 2.0,
+            time: 1.0,
+        });
+        push(TraceEvent::ComputeEnd {
+            worker: 0,
+            chunk: 2.0,
+            time: 3.0,
+        });
+        push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 1.0,
+            time: 4.0,
+        });
+        push(TraceEvent::SendEnd {
+            worker: 0,
+            chunk: 1.0,
+            time: 5.0,
+        });
+        push(TraceEvent::Arrival {
+            worker: 0,
+            chunk: 1.0,
+            time: 5.0,
+        });
+        push(TraceEvent::ComputeStart {
+            worker: 0,
+            chunk: 1.0,
+            time: 5.0,
+        });
+        push(TraceEvent::ComputeEnd {
+            worker: 0,
+            chunk: 1.0,
+            time: 6.0,
+        });
+        t
+    }
+
+    #[test]
+    fn gap_detection() {
+        let m = TraceMetrics::from_trace(&trace_two_workers(), 2);
+        assert_eq!(m.gaps.len(), 1);
+        let gap = m.gaps[0];
+        assert_eq!(gap.worker, 0);
+        assert!((gap.start - 3.0).abs() < 1e-12);
+        assert!((gap.end - 5.0).abs() < 1e-12);
+        assert!((gap.duration() - 2.0).abs() < 1e-12);
+        assert!((m.total_gap_time() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_utilization_and_density() {
+        let m = TraceMetrics::from_trace(&trace_two_workers(), 2);
+        assert!((m.makespan - 6.0).abs() < 1e-12);
+        // Link busy [0,1] and [4,5] of 6 s.
+        assert!((m.link_utilization - 2.0 / 6.0).abs() < 1e-12);
+        // Worker 0 computes 3 s in window [1,6]: density 0.6.
+        assert!((m.mean_compute_density - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunk_timeline() {
+        let m = TraceMetrics::from_trace(&trace_two_workers(), 2);
+        assert_eq!(m.chunk_timeline, vec![2.0, 1.0]);
+        assert_eq!(m.peak_chunk_index(), Some(0));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let m = TraceMetrics::from_trace(&Trace::new(), 3);
+        assert_eq!(m.makespan, 0.0);
+        assert_eq!(m.link_utilization, 0.0);
+        assert_eq!(m.mean_compute_density, 0.0);
+        assert!(m.gaps.is_empty());
+        assert!(m.peak_chunk_index().is_none());
+    }
+
+    #[test]
+    fn gapless_run_has_density_one() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 1.0,
+            time: 0.0,
+        });
+        t.push(TraceEvent::SendEnd {
+            worker: 0,
+            chunk: 1.0,
+            time: 0.5,
+        });
+        t.push(TraceEvent::Arrival {
+            worker: 0,
+            chunk: 1.0,
+            time: 0.5,
+        });
+        t.push(TraceEvent::ComputeStart {
+            worker: 0,
+            chunk: 1.0,
+            time: 0.5,
+        });
+        t.push(TraceEvent::ComputeEnd {
+            worker: 0,
+            chunk: 1.0,
+            time: 1.5,
+        });
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 1.0,
+            time: 0.5,
+        });
+        t.push(TraceEvent::SendEnd {
+            worker: 0,
+            chunk: 1.0,
+            time: 1.0,
+        });
+        t.push(TraceEvent::Arrival {
+            worker: 0,
+            chunk: 1.0,
+            time: 1.0,
+        });
+        t.push(TraceEvent::ComputeStart {
+            worker: 0,
+            chunk: 1.0,
+            time: 1.5,
+        });
+        t.push(TraceEvent::ComputeEnd {
+            worker: 0,
+            chunk: 1.0,
+            time: 2.5,
+        });
+        let m = TraceMetrics::from_trace(&t, 1);
+        assert!(m.gaps.is_empty());
+        assert!((m.mean_compute_density - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,362 @@
+//! The computing-platform model of the RUMR paper (§3.1, Figures 1–2).
+//!
+//! A single *master* holds all application input data and is connected to
+//! `N` *workers* by dedicated links. The master sends to one worker at a
+//! time; workers have a "front end" and can receive data while computing.
+//!
+//! Per-worker cost model, for a chunk of `chunk` workload units:
+//!
+//! * computation (Eq. 1): `Tcomp_i = cLat_i + chunk / S_i`
+//! * communication (Eq. 2): `Tcomm_i = nLat_i + chunk / B_i + tLat_i`,
+//!   where `nLat_i + chunk / B_i` occupies the master's network interface
+//!   serially (no two transfers overlap in that portion) while `tLat_i`
+//!   (the "time of flight" of the last byte) is overlappable.
+//!
+//! These are the *predicted* costs used by schedulers; the simulation engine
+//! perturbs them with the error model when executing.
+
+use std::fmt;
+
+/// Static description of one worker and its link from the master.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerSpec {
+    /// Computation speed `S_i` in workload units per second.
+    pub speed: f64,
+    /// Link transfer rate `B_i` in workload units per second.
+    pub bandwidth: f64,
+    /// Fixed computation start-up latency `cLat_i` in seconds.
+    pub comp_latency: f64,
+    /// Fixed transfer initiation overhead `nLat_i` in seconds (occupies the
+    /// master serially).
+    pub net_latency: f64,
+    /// Pipeline latency `tLat_i` in seconds (overlappable with other
+    /// transfers and with computation).
+    pub transfer_latency: f64,
+}
+
+impl WorkerSpec {
+    /// Predicted computation time for `chunk` units on this worker (Eq. 1).
+    #[inline]
+    pub fn comp_time(&self, chunk: f64) -> f64 {
+        self.comp_latency + chunk / self.speed
+    }
+
+    /// Predicted time the master's interface is occupied sending `chunk`
+    /// units to this worker (the non-overlappable part of Eq. 2).
+    #[inline]
+    pub fn link_occupancy(&self, chunk: f64) -> f64 {
+        self.net_latency + chunk / self.bandwidth
+    }
+
+    /// Predicted end-to-end communication time (full Eq. 2).
+    #[inline]
+    pub fn comm_time(&self, chunk: f64) -> f64 {
+        self.link_occupancy(chunk) + self.transfer_latency
+    }
+
+    fn validate(&self, index: usize) -> Result<(), PlatformError> {
+        let checks = [
+            ("speed", self.speed, true),
+            ("bandwidth", self.bandwidth, true),
+            ("comp_latency", self.comp_latency, false),
+            ("net_latency", self.net_latency, false),
+            ("transfer_latency", self.transfer_latency, false),
+        ];
+        for (what, v, strictly_positive) in checks {
+            if !v.is_finite() || v < 0.0 || (strictly_positive && v == 0.0) {
+                return Err(PlatformError::InvalidParameter {
+                    worker: index,
+                    what,
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error building or validating a [`Platform`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The platform must have at least one worker.
+    NoWorkers,
+    /// A worker parameter is non-finite, negative, or zero where a positive
+    /// value is required.
+    InvalidParameter {
+        /// Index of the offending worker.
+        worker: usize,
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoWorkers => write!(f, "platform has no workers"),
+            PlatformError::InvalidParameter {
+                worker,
+                what,
+                value,
+            } => write!(f, "worker {worker}: invalid {what} = {value}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// A master–worker platform: the star topology of Fig. 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    workers: Vec<WorkerSpec>,
+}
+
+impl Platform {
+    /// Build a platform from explicit worker specs.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::NoWorkers`] on an empty list and
+    /// [`PlatformError::InvalidParameter`] for non-finite/negative values
+    /// (speed and bandwidth must be strictly positive).
+    pub fn new(workers: Vec<WorkerSpec>) -> Result<Self, PlatformError> {
+        if workers.is_empty() {
+            return Err(PlatformError::NoWorkers);
+        }
+        for (i, w) in workers.iter().enumerate() {
+            w.validate(i)?;
+        }
+        Ok(Platform { workers })
+    }
+
+    /// Build the homogeneous platform of the paper's experiments: `n`
+    /// identical workers.
+    pub fn homogeneous(n: usize, spec: WorkerSpec) -> Result<Self, PlatformError> {
+        Platform::new(vec![spec; n])
+    }
+
+    /// Number of workers `N`.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Spec of worker `i` (0-based; the paper numbers workers from 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_workers()`.
+    #[inline]
+    pub fn worker(&self, i: usize) -> &WorkerSpec {
+        &self.workers[i]
+    }
+
+    /// All worker specs.
+    #[inline]
+    pub fn workers(&self) -> &[WorkerSpec] {
+        &self.workers
+    }
+
+    /// True when every worker has identical parameters.
+    pub fn is_homogeneous(&self) -> bool {
+        self.workers.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Aggregate compute speed `Σ S_i`.
+    pub fn total_speed(&self) -> f64 {
+        self.workers.iter().map(|w| w.speed).sum()
+    }
+
+    /// A simple lower bound on the makespan of dispatching and processing
+    /// `w_total` units: every byte must cross the master's interface
+    /// (serial), and the workload cannot be processed faster than the
+    /// aggregate speed allows even with perfect overlap.
+    ///
+    /// `max( Σ_i per-byte-send-time lower bound, nLat_min + W/ΣS_i )`
+    ///
+    /// This is deliberately conservative (no latency accounting beyond one
+    /// transfer initiation) — used as a sanity floor in tests.
+    pub fn makespan_lower_bound(&self, w_total: f64) -> f64 {
+        let max_bandwidth = self
+            .workers
+            .iter()
+            .map(|w| w.bandwidth)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_nlat = self
+            .workers
+            .iter()
+            .map(|w| w.net_latency)
+            .fold(f64::INFINITY, f64::min);
+        let comm_floor = min_nlat + w_total / max_bandwidth;
+        let comp_floor = min_nlat + w_total / self.total_speed();
+        comm_floor.max(comp_floor)
+    }
+}
+
+/// Convenience parameters for the paper's homogeneous experiments
+/// (Table 1): `S = 1`, `B = r·N`, `cLat`, `nLat` swept, `tLat = 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HomogeneousParams {
+    /// Number of workers `N`.
+    pub n: usize,
+    /// Worker speed `S` (units/s). Table 1 uses 1.
+    pub speed: f64,
+    /// Link rate `B` (units/s). Table 1 uses `r·N` with `r ∈ [1.2, 2.0]`.
+    pub bandwidth: f64,
+    /// Computation latency `cLat` (s).
+    pub comp_latency: f64,
+    /// Communication latency `nLat` (s).
+    pub net_latency: f64,
+    /// Pipeline latency `tLat` (s). Table 1 experiments use 0.
+    pub transfer_latency: f64,
+}
+
+impl HomogeneousParams {
+    /// The Table 1 instantiation: `S = 1`, `B = ratio·n`, `tLat = 0`.
+    pub fn table1(n: usize, ratio: f64, comp_latency: f64, net_latency: f64) -> Self {
+        HomogeneousParams {
+            n,
+            speed: 1.0,
+            bandwidth: ratio * n as f64,
+            comp_latency,
+            net_latency,
+            transfer_latency: 0.0,
+        }
+    }
+
+    /// Build the [`Platform`].
+    pub fn build(&self) -> Result<Platform, PlatformError> {
+        Platform::homogeneous(
+            self.n,
+            WorkerSpec {
+                speed: self.speed,
+                bandwidth: self.bandwidth,
+                comp_latency: self.comp_latency,
+                net_latency: self.net_latency,
+                transfer_latency: self.transfer_latency,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkerSpec {
+        WorkerSpec {
+            speed: 2.0,
+            bandwidth: 10.0,
+            comp_latency: 0.5,
+            net_latency: 0.1,
+            transfer_latency: 0.05,
+        }
+    }
+
+    #[test]
+    fn cost_model_equations() {
+        let w = spec();
+        // Eq. 1: cLat + chunk/S
+        assert!((w.comp_time(4.0) - (0.5 + 2.0)).abs() < 1e-12);
+        // Eq. 2 link part: nLat + chunk/B
+        assert!((w.link_occupancy(5.0) - (0.1 + 0.5)).abs() < 1e-12);
+        // Eq. 2 full: + tLat
+        assert!((w.comm_time(5.0) - (0.1 + 0.5 + 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_chunk_costs_latency_only() {
+        let w = spec();
+        assert!((w.comp_time(0.0) - 0.5).abs() < 1e-12);
+        assert!((w.comm_time(0.0) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_builder() {
+        let p = Platform::homogeneous(5, spec()).unwrap();
+        assert_eq!(p.num_workers(), 5);
+        assert!(p.is_homogeneous());
+        assert!((p.total_speed() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_detected() {
+        let mut s2 = spec();
+        s2.speed = 3.0;
+        let p = Platform::new(vec![spec(), s2]).unwrap();
+        assert!(!p.is_homogeneous());
+    }
+
+    #[test]
+    fn empty_platform_rejected() {
+        assert_eq!(Platform::new(vec![]).unwrap_err(), PlatformError::NoWorkers);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut bad = spec();
+        bad.speed = 0.0;
+        assert!(matches!(
+            Platform::new(vec![bad]),
+            Err(PlatformError::InvalidParameter { what: "speed", .. })
+        ));
+
+        let mut bad = spec();
+        bad.bandwidth = -1.0;
+        assert!(matches!(
+            Platform::new(vec![spec(), bad]),
+            Err(PlatformError::InvalidParameter {
+                worker: 1,
+                what: "bandwidth",
+                ..
+            })
+        ));
+
+        let mut bad = spec();
+        bad.comp_latency = f64::NAN;
+        assert!(Platform::new(vec![bad]).is_err());
+
+        // Zero latencies are fine.
+        let mut ok = spec();
+        ok.comp_latency = 0.0;
+        ok.net_latency = 0.0;
+        ok.transfer_latency = 0.0;
+        assert!(Platform::new(vec![ok]).is_ok());
+    }
+
+    #[test]
+    fn table1_parameters() {
+        let p = HomogeneousParams::table1(20, 1.8, 0.3, 0.9);
+        assert_eq!(p.n, 20);
+        assert!((p.bandwidth - 36.0).abs() < 1e-12);
+        assert_eq!(p.speed, 1.0);
+        assert_eq!(p.transfer_latency, 0.0);
+        let plat = p.build().unwrap();
+        assert_eq!(plat.num_workers(), 20);
+        assert!((plat.worker(0).bandwidth - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_sane() {
+        let p = HomogeneousParams::table1(10, 1.5, 0.1, 0.1)
+            .build()
+            .unwrap();
+        let lb = p.makespan_lower_bound(1000.0);
+        // 1000 units over B = 15 takes 66.7 s; over ΣS = 10 takes 100 s.
+        assert!(lb >= 100.0);
+        assert!(lb <= 101.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(format!("{}", PlatformError::NoWorkers).contains("no workers"));
+        let e = PlatformError::InvalidParameter {
+            worker: 2,
+            what: "speed",
+            value: -1.0,
+        };
+        assert!(format!("{e}").contains("worker 2"));
+    }
+}

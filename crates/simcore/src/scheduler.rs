@@ -1,0 +1,208 @@
+//! The online scheduling interface between algorithms and the engine.
+//!
+//! All algorithms in the suite — including the "precalculated" ones like UMR
+//! and multi-installment — are expressed as *online policies*: whenever the
+//! master's network interface is free, the engine asks the scheduler what to
+//! send next. Precalculated schedules simply replay a fixed list; reactive
+//! schedulers (Factoring, RUMR's greedy components) inspect the live
+//! [`SimView`] to make demand-driven decisions. This uniform interface is
+//! what lets the paper's robustness experiments compare both families under
+//! identical prediction errors.
+
+/// What the scheduler wants the master to do now.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Send `chunk` workload units to `worker` (0-based) immediately.
+    Dispatch {
+        /// Destination worker.
+        worker: usize,
+        /// Chunk size in workload units; must be finite and > 0.
+        chunk: f64,
+    },
+    /// Nothing to send right now; ask again after the next simulation event.
+    Wait,
+    /// The whole workload has been dispatched; never ask again.
+    Finished,
+}
+
+/// Live per-worker state visible to schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkerView {
+    /// True while a chunk's computation is in progress.
+    pub computing: bool,
+    /// Chunks received but not yet started.
+    pub queued_chunks: usize,
+    /// Workload units received but not yet started.
+    pub queued_work: f64,
+    /// Chunks dispatched (including one currently being sent) but not yet
+    /// arrived at the worker.
+    pub in_flight_chunks: usize,
+    /// Workload units in flight.
+    pub in_flight_work: f64,
+    /// Total workload units ever dispatched to this worker.
+    pub assigned_work: f64,
+    /// Total workload units whose computation completed.
+    pub completed_work: f64,
+    /// Number of chunks whose computation completed.
+    pub completed_chunks: usize,
+}
+
+impl WorkerView {
+    /// A worker is *hungry* when it has nothing to do and nothing on the
+    /// way: not computing, an empty local queue, and no in-flight transfer.
+    /// RUMR's out-of-order dispatch and all pull-based schedulers key off
+    /// this predicate.
+    #[inline]
+    pub fn is_hungry(&self) -> bool {
+        !self.computing && self.queued_chunks == 0 && self.in_flight_chunks == 0
+    }
+
+    /// Workload units dispatched to this worker whose computation has not
+    /// completed yet (in flight + queued + currently computing).
+    #[inline]
+    pub fn outstanding_work(&self) -> f64 {
+        self.assigned_work - self.completed_work
+    }
+}
+
+/// Read-only snapshot handed to the scheduler on every decision point.
+#[derive(Debug)]
+pub struct SimView<'a> {
+    /// Current simulation time in seconds.
+    pub time: f64,
+    /// Per-worker live state, indexed by worker id.
+    pub workers: &'a [WorkerView],
+}
+
+impl SimView<'_> {
+    /// Index of the first hungry worker, if any.
+    pub fn first_hungry(&self) -> Option<usize> {
+        self.workers.iter().position(WorkerView::is_hungry)
+    }
+
+    /// Among hungry workers, the one with the least assigned work
+    /// (deterministic tie-break: lowest index). `None` when nobody is
+    /// hungry.
+    pub fn least_loaded_hungry(&self) -> Option<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_hungry())
+            .min_by(|(i, a), (j, b)| {
+                a.assigned_work
+                    .partial_cmp(&b.assigned_work)
+                    .expect("finite work totals")
+                    .then(i.cmp(j))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// An online scheduling policy driven by the simulation engine.
+///
+/// The engine calls [`Scheduler::next_dispatch`] whenever the master's
+/// interface is free — at time 0, after every `SendEnd`, and after any other
+/// event following a [`Decision::Wait`]. Once a scheduler returns
+/// [`Decision::Finished`] it is never consulted again.
+pub trait Scheduler {
+    /// Human-readable algorithm name (used in reports).
+    fn name(&self) -> String;
+
+    /// Decide the master's next action. See [`Decision`].
+    fn next_dispatch(&mut self, view: &SimView<'_>) -> Decision;
+
+    /// Notification: a chunk's computation started on `worker` at `time`.
+    ///
+    /// Together with [`Scheduler::on_compute_end`] this lets reactive
+    /// schedulers *measure* effective computation times and compare them to
+    /// the platform's predictions — the basis of the online error
+    /// estimation the paper's §6 sketches as future work (implemented in
+    /// this suite as the adaptive RUMR variant).
+    fn on_compute_start(&mut self, worker: usize, chunk: f64, time: f64) {
+        let _ = (worker, chunk, time);
+    }
+
+    /// Notification: a chunk's computation completed on `worker` at `time`.
+    fn on_compute_end(&mut self, worker: usize, chunk: f64, time: f64) {
+        let _ = (worker, chunk, time);
+    }
+
+    /// Notification: a chunk fully arrived at `worker` at `time`.
+    fn on_arrival(&mut self, worker: usize, chunk: f64, time: f64) {
+        let _ = (worker, chunk, time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hungry_predicate() {
+        let mut w = WorkerView::default();
+        assert!(w.is_hungry());
+        w.computing = true;
+        assert!(!w.is_hungry());
+        w.computing = false;
+        w.queued_chunks = 1;
+        assert!(!w.is_hungry());
+        w.queued_chunks = 0;
+        w.in_flight_chunks = 1;
+        assert!(!w.is_hungry());
+    }
+
+    #[test]
+    fn outstanding_work() {
+        let w = WorkerView {
+            assigned_work: 10.0,
+            completed_work: 4.0,
+            ..Default::default()
+        };
+        assert!((w.outstanding_work() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn view_helpers() {
+        let workers = vec![
+            WorkerView {
+                computing: true,
+                ..Default::default()
+            },
+            WorkerView {
+                assigned_work: 5.0,
+                ..Default::default()
+            },
+            WorkerView {
+                assigned_work: 2.0,
+                ..Default::default()
+            },
+        ];
+        let view = SimView {
+            time: 0.0,
+            workers: &workers,
+        };
+        assert_eq!(view.first_hungry(), Some(1));
+        assert_eq!(view.least_loaded_hungry(), Some(2));
+
+        let busy = vec![WorkerView {
+            computing: true,
+            ..Default::default()
+        }];
+        let view = SimView {
+            time: 0.0,
+            workers: &busy,
+        };
+        assert_eq!(view.first_hungry(), None);
+        assert_eq!(view.least_loaded_hungry(), None);
+    }
+
+    #[test]
+    fn least_loaded_tie_break_is_lowest_index() {
+        let workers = vec![WorkerView::default(), WorkerView::default()];
+        let view = SimView {
+            time: 0.0,
+            workers: &workers,
+        };
+        assert_eq!(view.least_loaded_hungry(), Some(0));
+    }
+}

@@ -1,0 +1,824 @@
+//! Execution traces and their validation.
+//!
+//! The engine can record every simulated event. Traces serve three purposes:
+//!
+//! 1. **Debugging / inspection** — an ASCII Gantt chart ([`Trace::gantt`]).
+//! 2. **Validation** — [`Trace::validate`] checks the physical invariants of
+//!    the platform model (serial master link, one computation at a time per
+//!    worker, computation only after data arrival, workload conservation).
+//!    The property-based test suite runs every scheduler through this.
+//! 3. **Metrics** — per-worker busy/idle time, used by the examples.
+
+use std::fmt;
+
+/// One timestamped simulation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// The master started sending `chunk` units to `worker`.
+    SendStart {
+        /// Destination worker (0-based).
+        worker: usize,
+        /// Chunk size in workload units.
+        chunk: f64,
+        /// Simulation time (s).
+        time: f64,
+    },
+    /// The master's interface finished pushing the chunk (link freed).
+    SendEnd {
+        /// Destination worker.
+        worker: usize,
+        /// Chunk size.
+        chunk: f64,
+        /// Simulation time.
+        time: f64,
+    },
+    /// The last byte reached the worker (after `tLat`); the chunk is now in
+    /// the worker's local queue.
+    Arrival {
+        /// Receiving worker.
+        worker: usize,
+        /// Chunk size.
+        chunk: f64,
+        /// Simulation time.
+        time: f64,
+    },
+    /// The worker began computing a chunk.
+    ComputeStart {
+        /// Computing worker.
+        worker: usize,
+        /// Chunk size.
+        chunk: f64,
+        /// Simulation time.
+        time: f64,
+    },
+    /// The worker finished computing a chunk.
+    ComputeEnd {
+        /// Computing worker.
+        worker: usize,
+        /// Chunk size.
+        chunk: f64,
+        /// Simulation time.
+        time: f64,
+    },
+    /// The worker began returning output data to the master (output-data
+    /// extension; never emitted under the paper's input-only model).
+    ReturnStart {
+        /// Sending worker.
+        worker: usize,
+        /// Output size in workload-equivalent units.
+        bytes: f64,
+        /// Simulation time.
+        time: f64,
+    },
+    /// The master finished receiving a worker's output data.
+    ReturnEnd {
+        /// Sending worker.
+        worker: usize,
+        /// Output size.
+        bytes: f64,
+        /// Simulation time.
+        time: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> f64 {
+        match *self {
+            TraceEvent::SendStart { time, .. }
+            | TraceEvent::SendEnd { time, .. }
+            | TraceEvent::Arrival { time, .. }
+            | TraceEvent::ComputeStart { time, .. }
+            | TraceEvent::ComputeEnd { time, .. }
+            | TraceEvent::ReturnStart { time, .. }
+            | TraceEvent::ReturnEnd { time, .. } => time,
+        }
+    }
+
+    /// The worker the event refers to.
+    pub fn worker(&self) -> usize {
+        match *self {
+            TraceEvent::SendStart { worker, .. }
+            | TraceEvent::SendEnd { worker, .. }
+            | TraceEvent::Arrival { worker, .. }
+            | TraceEvent::ComputeStart { worker, .. }
+            | TraceEvent::ComputeEnd { worker, .. }
+            | TraceEvent::ReturnStart { worker, .. }
+            | TraceEvent::ReturnEnd { worker, .. } => worker,
+        }
+    }
+}
+
+/// A violation of the platform model's physical invariants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceViolation {
+    /// Events are not in chronological order.
+    OutOfOrder {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// Two master transfers overlapped.
+    OverlappingSends {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// A worker computed two chunks at once, or compute events don't pair.
+    OverlappingComputation {
+        /// Offending worker.
+        worker: usize,
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// A chunk arrived before the master finished sending it, or a worker
+    /// started computing a chunk it had not received.
+    CausalityViolation {
+        /// Offending worker.
+        worker: usize,
+        /// Description of the violated causal edge.
+        what: &'static str,
+    },
+    /// Computed workload does not equal dispatched workload.
+    WorkloadMismatch {
+        /// Total workload units dispatched by the master.
+        dispatched: f64,
+        /// Total workload units whose computation completed.
+        computed: f64,
+    },
+    /// A non-finite or negative timestamp or chunk size.
+    InvalidValue {
+        /// Index of the offending event.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceViolation::OutOfOrder { index } => write!(f, "event {index} out of order"),
+            TraceViolation::OverlappingSends { index } => {
+                write!(f, "overlapping master sends at event {index}")
+            }
+            TraceViolation::OverlappingComputation { worker, index } => {
+                write!(
+                    f,
+                    "overlapping computation on worker {worker} at event {index}"
+                )
+            }
+            TraceViolation::CausalityViolation { worker, what } => {
+                write!(f, "causality violation on worker {worker}: {what}")
+            }
+            TraceViolation::WorkloadMismatch {
+                dispatched,
+                computed,
+            } => write!(
+                f,
+                "workload mismatch: dispatched {dispatched}, computed {computed}"
+            ),
+            TraceViolation::InvalidValue { index } => {
+                write!(f, "invalid time or chunk at event {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceViolation {}
+
+/// Chronological record of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+/// Tolerance for floating-point comparisons inside the validator. Event
+/// times come from sums of perturbed durations, so exact equality can't be
+/// demanded.
+const TIME_EPS: f64 = 1e-9;
+
+impl Trace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append an event (engine use).
+    pub(crate) fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// All recorded events, in the order they fired.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no event was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total workload units for which a `SendStart` was recorded.
+    pub fn dispatched_work(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SendStart { chunk, .. } => Some(chunk),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total workload units for which a `ComputeEnd` was recorded.
+    pub fn computed_work(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ComputeEnd { chunk, .. } => Some(chunk),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of chunks dispatched.
+    pub fn num_chunks(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SendStart { .. }))
+            .count()
+    }
+
+    /// Check the physical invariants of the platform model; returns every
+    /// violation found (empty = valid).
+    ///
+    /// Invariants:
+    /// 1. Events are chronological, with finite non-negative times/chunks.
+    /// 2. Master sends never overlap (`SendStart`/`SendEnd` alternate) —
+    ///    the paper's serial-link model. For concurrent-transfer runs use
+    ///    [`Trace::validate_with_concurrency`].
+    /// 3. Per worker, computations never overlap and consume previously
+    ///    arrived chunks in FIFO order.
+    /// 4. `Arrival` follows the matching `SendEnd`; `ComputeStart` follows
+    ///    the arrival of the chunk it consumes.
+    /// 5. Every dispatched unit of workload is eventually computed.
+    pub fn validate(&self, num_workers: usize) -> Vec<TraceViolation> {
+        self.validate_with_concurrency(num_workers, 1)
+    }
+
+    /// [`Trace::validate`] generalized to a master allowed `max_sends`
+    /// simultaneous transfers (the concurrent-transfer extension).
+    pub fn validate_with_concurrency(
+        &self,
+        num_workers: usize,
+        max_sends: usize,
+    ) -> Vec<TraceViolation> {
+        let mut violations = Vec::new();
+        let mut last_time = 0.0_f64;
+        // Open sends per worker: chunks started but not yet `SendEnd`ed.
+        let mut open_sends: Vec<Vec<f64>> = vec![Vec::new(); num_workers];
+        // Open output returns per worker (output-data extension).
+        let mut open_returns: Vec<Vec<f64>> = vec![Vec::new(); num_workers];
+        let mut open_send_count = 0usize;
+        // Per worker: chunks sent but not yet arrived (FIFO), arrived but not
+        // consumed (FIFO), current computation.
+        let mut in_flight: Vec<std::collections::VecDeque<f64>> =
+            vec![Default::default(); num_workers];
+        let mut queued: Vec<std::collections::VecDeque<f64>> =
+            vec![Default::default(); num_workers];
+        let mut computing: Vec<Option<f64>> = vec![None; num_workers];
+        let mut sent_not_arrived: Vec<std::collections::VecDeque<f64>> =
+            vec![Default::default(); num_workers];
+
+        for (i, e) in self.events.iter().enumerate() {
+            let t = e.time();
+            let w = e.worker();
+            if !t.is_finite() || t < 0.0 {
+                violations.push(TraceViolation::InvalidValue { index: i });
+                continue;
+            }
+            if w >= num_workers {
+                violations.push(TraceViolation::InvalidValue { index: i });
+                continue;
+            }
+            if t < last_time - TIME_EPS {
+                violations.push(TraceViolation::OutOfOrder { index: i });
+            }
+            last_time = last_time.max(t);
+
+            match *e {
+                TraceEvent::SendStart { worker, chunk, .. } => {
+                    if !chunk.is_finite() || chunk < 0.0 {
+                        violations.push(TraceViolation::InvalidValue { index: i });
+                    }
+                    if open_send_count >= max_sends {
+                        violations.push(TraceViolation::OverlappingSends { index: i });
+                    }
+                    open_sends[worker].push(chunk);
+                    open_send_count += 1;
+                }
+                TraceEvent::SendEnd { worker, chunk, .. } => {
+                    match open_sends[worker]
+                        .iter()
+                        .position(|&sc| (sc - chunk).abs() < TIME_EPS)
+                    {
+                        Some(pos) => {
+                            open_sends[worker].remove(pos);
+                            open_send_count -= 1;
+                            in_flight[worker].push_back(chunk);
+                            sent_not_arrived[worker].push_back(chunk);
+                        }
+                        None => violations.push(TraceViolation::OverlappingSends { index: i }),
+                    }
+                }
+                TraceEvent::Arrival { worker, chunk, .. } => {
+                    match sent_not_arrived[worker].pop_front() {
+                        Some(sc) if (sc - chunk).abs() < TIME_EPS => {
+                            queued[worker].push_back(chunk);
+                        }
+                        _ => violations.push(TraceViolation::CausalityViolation {
+                            worker,
+                            what: "arrival without a completed send",
+                        }),
+                    }
+                }
+                TraceEvent::ComputeStart { worker, chunk, .. } => {
+                    if computing[worker].is_some() {
+                        violations
+                            .push(TraceViolation::OverlappingComputation { worker, index: i });
+                    }
+                    match queued[worker].pop_front() {
+                        Some(qc) if (qc - chunk).abs() < TIME_EPS => {
+                            computing[worker] = Some(chunk);
+                        }
+                        _ => violations.push(TraceViolation::CausalityViolation {
+                            worker,
+                            what: "compute started before chunk arrived",
+                        }),
+                    }
+                }
+                TraceEvent::ComputeEnd { worker, chunk, .. } => match computing[worker].take() {
+                    Some(cc) if (cc - chunk).abs() < TIME_EPS => {}
+                    _ => {
+                        violations.push(TraceViolation::OverlappingComputation { worker, index: i })
+                    }
+                },
+                TraceEvent::ReturnStart { worker, bytes, .. } => {
+                    if !bytes.is_finite() || bytes < 0.0 {
+                        violations.push(TraceViolation::InvalidValue { index: i });
+                    }
+                    // Returns share the master's interface with input sends.
+                    if open_send_count >= max_sends {
+                        violations.push(TraceViolation::OverlappingSends { index: i });
+                    }
+                    open_returns[worker].push(bytes);
+                    open_send_count += 1;
+                }
+                TraceEvent::ReturnEnd { worker, bytes, .. } => {
+                    match open_returns[worker]
+                        .iter()
+                        .position(|&b| (b - bytes).abs() < TIME_EPS)
+                    {
+                        Some(pos) => {
+                            open_returns[worker].remove(pos);
+                            open_send_count -= 1;
+                        }
+                        None => violations.push(TraceViolation::CausalityViolation {
+                            worker,
+                            what: "return completed without a matching start",
+                        }),
+                    }
+                }
+            }
+        }
+
+        if open_send_count > 0 {
+            violations.push(TraceViolation::OverlappingSends {
+                index: self.events.len(),
+            });
+        }
+        for (w, c) in computing.iter().enumerate() {
+            if c.is_some() {
+                violations.push(TraceViolation::OverlappingComputation {
+                    worker: w,
+                    index: self.events.len(),
+                });
+            }
+        }
+
+        let dispatched = self.dispatched_work();
+        let computed = self.computed_work();
+        let scale = dispatched.abs().max(1.0);
+        if (dispatched - computed).abs() > 1e-6 * scale {
+            violations.push(TraceViolation::WorkloadMismatch {
+                dispatched,
+                computed,
+            });
+        }
+        violations
+    }
+
+    /// Per-worker busy time (sum of computation intervals).
+    pub fn busy_time(&self, num_workers: usize) -> Vec<f64> {
+        let mut busy = vec![0.0; num_workers];
+        let mut start: Vec<Option<f64>> = vec![None; num_workers];
+        for e in &self.events {
+            match *e {
+                TraceEvent::ComputeStart { worker, time, .. } if worker < num_workers => {
+                    start[worker] = Some(time);
+                }
+                TraceEvent::ComputeEnd { worker, time, .. } if worker < num_workers => {
+                    if let Some(s) = start[worker].take() {
+                        busy[worker] += time - s;
+                    }
+                }
+                _ => {}
+            }
+        }
+        busy
+    }
+
+    /// Export the trace as CSV (`event,worker,chunk,time`), suitable for
+    /// external plotting tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("event,worker,chunk,time\n");
+        for e in &self.events {
+            let (name, worker, chunk, time) = match *e {
+                TraceEvent::SendStart {
+                    worker,
+                    chunk,
+                    time,
+                } => ("send_start", worker, chunk, time),
+                TraceEvent::SendEnd {
+                    worker,
+                    chunk,
+                    time,
+                } => ("send_end", worker, chunk, time),
+                TraceEvent::Arrival {
+                    worker,
+                    chunk,
+                    time,
+                } => ("arrival", worker, chunk, time),
+                TraceEvent::ComputeStart {
+                    worker,
+                    chunk,
+                    time,
+                } => ("compute_start", worker, chunk, time),
+                TraceEvent::ComputeEnd {
+                    worker,
+                    chunk,
+                    time,
+                } => ("compute_end", worker, chunk, time),
+                TraceEvent::ReturnStart {
+                    worker,
+                    bytes,
+                    time,
+                } => ("return_start", worker, bytes, time),
+                TraceEvent::ReturnEnd {
+                    worker,
+                    bytes,
+                    time,
+                } => ("return_end", worker, bytes, time),
+            };
+            out.push_str(&format!("{name},{worker},{chunk},{time}\n"));
+        }
+        out
+    }
+
+    /// Render a compact ASCII Gantt chart: one row per worker (`#` compute,
+    /// `.` idle) plus a master row (`=` sending). `width` is the number of
+    /// character columns the makespan is scaled to.
+    pub fn gantt(&self, num_workers: usize, width: usize) -> String {
+        let makespan = self.events.iter().map(|e| e.time()).fold(0.0_f64, f64::max);
+        if makespan <= 0.0 || width == 0 {
+            return String::from("(empty trace)\n");
+        }
+        let col = |t: f64| ((t / makespan) * width as f64).round() as usize;
+
+        let mut rows = vec![vec![b'.'; width + 1]; num_workers + 1];
+        let mut compute_start: Vec<Option<f64>> = vec![None; num_workers];
+        let mut send_start: Option<f64> = None;
+        for e in &self.events {
+            match *e {
+                TraceEvent::SendStart { time, .. } => send_start = Some(time),
+                TraceEvent::SendEnd { time, .. } => {
+                    if let Some(s) = send_start.take() {
+                        for cell in &mut rows[0][col(s)..=col(time).min(width)] {
+                            *cell = b'=';
+                        }
+                    }
+                }
+                TraceEvent::ComputeStart { worker, time, .. } if worker < num_workers => {
+                    compute_start[worker] = Some(time);
+                }
+                TraceEvent::ComputeEnd { worker, time, .. } if worker < num_workers => {
+                    if let Some(s) = compute_start[worker].take() {
+                        for cell in &mut rows[worker + 1][col(s)..=col(time).min(width)] {
+                            *cell = b'#';
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("master |{}|\n", String::from_utf8_lossy(&rows[0])));
+        for (w, row) in rows.iter().enumerate().skip(1) {
+            out.push_str(&format!(
+                "w{:<5} |{}|\n",
+                w - 1,
+                String::from_utf8_lossy(row)
+            ));
+        }
+        out.push_str(&format!("0 {:>width$.3} s\n", makespan, width = width));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_trace() -> Trace {
+        let mut t = Trace::new();
+        // Master sends 2 chunks to workers 0 and 1 sequentially; each
+        // computes after arrival.
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 5.0,
+            time: 0.0,
+        });
+        t.push(TraceEvent::SendEnd {
+            worker: 0,
+            chunk: 5.0,
+            time: 1.0,
+        });
+        t.push(TraceEvent::Arrival {
+            worker: 0,
+            chunk: 5.0,
+            time: 1.0,
+        });
+        t.push(TraceEvent::SendStart {
+            worker: 1,
+            chunk: 5.0,
+            time: 1.0,
+        });
+        t.push(TraceEvent::ComputeStart {
+            worker: 0,
+            chunk: 5.0,
+            time: 1.0,
+        });
+        t.push(TraceEvent::SendEnd {
+            worker: 1,
+            chunk: 5.0,
+            time: 2.0,
+        });
+        t.push(TraceEvent::Arrival {
+            worker: 1,
+            chunk: 5.0,
+            time: 2.0,
+        });
+        t.push(TraceEvent::ComputeStart {
+            worker: 1,
+            chunk: 5.0,
+            time: 2.0,
+        });
+        t.push(TraceEvent::ComputeEnd {
+            worker: 0,
+            chunk: 5.0,
+            time: 6.0,
+        });
+        t.push(TraceEvent::ComputeEnd {
+            worker: 1,
+            chunk: 5.0,
+            time: 7.0,
+        });
+        t
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        assert!(valid_trace().validate(2).is_empty());
+    }
+
+    #[test]
+    fn accounting() {
+        let t = valid_trace();
+        assert!((t.dispatched_work() - 10.0).abs() < 1e-12);
+        assert!((t.computed_work() - 10.0).abs() < 1e-12);
+        assert_eq!(t.num_chunks(), 2);
+        let busy = t.busy_time(2);
+        assert!((busy[0] - 5.0).abs() < 1e-12);
+        assert!((busy[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_overlapping_sends() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 1.0,
+            time: 0.0,
+        });
+        t.push(TraceEvent::SendStart {
+            worker: 1,
+            chunk: 1.0,
+            time: 0.5,
+        });
+        let v = t.validate(2);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, TraceViolation::OverlappingSends { .. })));
+    }
+
+    #[test]
+    fn detects_out_of_order() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 1.0,
+            time: 5.0,
+        });
+        t.push(TraceEvent::SendEnd {
+            worker: 0,
+            chunk: 1.0,
+            time: 1.0,
+        });
+        let v = t.validate(1);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, TraceViolation::OutOfOrder { .. })));
+    }
+
+    #[test]
+    fn detects_compute_without_arrival() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::ComputeStart {
+            worker: 0,
+            chunk: 1.0,
+            time: 0.0,
+        });
+        let v = t.validate(1);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, TraceViolation::CausalityViolation { .. })));
+    }
+
+    #[test]
+    fn detects_overlapping_computation() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 1.0,
+            time: 0.0,
+        });
+        t.push(TraceEvent::SendEnd {
+            worker: 0,
+            chunk: 1.0,
+            time: 0.1,
+        });
+        t.push(TraceEvent::Arrival {
+            worker: 0,
+            chunk: 1.0,
+            time: 0.1,
+        });
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 2.0,
+            time: 0.1,
+        });
+        t.push(TraceEvent::SendEnd {
+            worker: 0,
+            chunk: 2.0,
+            time: 0.2,
+        });
+        t.push(TraceEvent::Arrival {
+            worker: 0,
+            chunk: 2.0,
+            time: 0.2,
+        });
+        t.push(TraceEvent::ComputeStart {
+            worker: 0,
+            chunk: 1.0,
+            time: 0.2,
+        });
+        t.push(TraceEvent::ComputeStart {
+            worker: 0,
+            chunk: 2.0,
+            time: 0.3,
+        });
+        let v = t.validate(1);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, TraceViolation::OverlappingComputation { .. })));
+    }
+
+    #[test]
+    fn detects_workload_mismatch() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 5.0,
+            time: 0.0,
+        });
+        t.push(TraceEvent::SendEnd {
+            worker: 0,
+            chunk: 5.0,
+            time: 1.0,
+        });
+        t.push(TraceEvent::Arrival {
+            worker: 0,
+            chunk: 5.0,
+            time: 1.0,
+        });
+        // Never computed.
+        let v = t.validate(1);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, TraceViolation::WorkloadMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_unterminated_send() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 0.0,
+            time: 0.0,
+        });
+        let v = t.validate(1);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, TraceViolation::OverlappingSends { .. })));
+    }
+
+    #[test]
+    fn detects_invalid_values() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: f64::NAN,
+            time: 0.0,
+        });
+        assert!(!t.validate(1).is_empty());
+
+        let mut t = Trace::new();
+        t.push(TraceEvent::SendStart {
+            worker: 5,
+            chunk: 1.0,
+            time: 0.0,
+        });
+        assert!(!t.validate(1).is_empty());
+
+        let mut t = Trace::new();
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 1.0,
+            time: -1.0,
+        });
+        assert!(!t.validate(1).is_empty());
+    }
+
+    #[test]
+    fn csv_export() {
+        let csv = valid_trace().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "event,worker,chunk,time");
+        assert_eq!(lines.next().unwrap(), "send_start,0,5,0");
+        assert_eq!(csv.lines().count(), 11);
+        assert!(csv.contains("compute_end,1,5,7"));
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let g = valid_trace().gantt(2, 40);
+        assert!(g.contains("master"));
+        assert!(g.contains('#'));
+        assert!(g.contains('='));
+        assert!(Trace::new().gantt(2, 40).contains("empty"));
+    }
+
+    #[test]
+    fn violation_display() {
+        for v in [
+            TraceViolation::OutOfOrder { index: 1 },
+            TraceViolation::OverlappingSends { index: 2 },
+            TraceViolation::OverlappingComputation {
+                worker: 0,
+                index: 3,
+            },
+            TraceViolation::CausalityViolation {
+                worker: 1,
+                what: "x",
+            },
+            TraceViolation::WorkloadMismatch {
+                dispatched: 1.0,
+                computed: 0.5,
+            },
+            TraceViolation::InvalidValue { index: 4 },
+        ] {
+            assert!(!format!("{v}").is_empty());
+        }
+    }
+}

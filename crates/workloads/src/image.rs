@@ -1,0 +1,149 @@
+//! Image feature extraction: the paper's first motivating application.
+//!
+//! "A big image is segmented, and each segment is transferred to a worker
+//! and processed locally." The workload unit is one block of pixels; the
+//! cost of extracting features from a block depends on how much structure
+//! it contains, which we model with a smooth synthetic "detail map" (a sum
+//! of randomly placed 2-D Gaussian feature clusters over a uniform base
+//! cost).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::DivisibleApp;
+
+/// A synthetic image-processing workload.
+#[derive(Debug, Clone)]
+pub struct ImageFeatureExtraction {
+    width: usize,
+    height: usize,
+    costs: Vec<f64>,
+}
+
+impl ImageFeatureExtraction {
+    /// Generate an image of `width × height` blocks containing `clusters`
+    /// feature clusters. `detail_strength` scales how much more expensive a
+    /// cluster center is than featureless background (0 = uniform cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized image or negative `detail_strength`.
+    pub fn generate(
+        width: usize,
+        height: usize,
+        clusters: usize,
+        detail_strength: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        assert!(
+            detail_strength >= 0.0 && detail_strength.is_finite(),
+            "detail_strength must be non-negative"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<(f64, f64, f64)> = (0..clusters)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..width as f64),
+                    rng.gen_range(0.0..height as f64),
+                    // Cluster radius: 2–12 % of the image diagonal.
+                    rng.gen_range(0.02..0.12) * ((width * width + height * height) as f64).sqrt(),
+                )
+            })
+            .collect();
+
+        let mut costs = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let mut detail = 0.0;
+                for &(cx, cy, r) in &centers {
+                    let dx = x as f64 - cx;
+                    let dy = y as f64 - cy;
+                    detail += (-(dx * dx + dy * dy) / (2.0 * r * r)).exp();
+                }
+                costs.push(1.0 + detail_strength * detail);
+            }
+        }
+        ImageFeatureExtraction {
+            width,
+            height,
+            costs,
+        }
+    }
+
+    /// Image width in blocks.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in blocks.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Cost of the block at `(x, y)`.
+    pub fn block_cost(&self, x: usize, y: usize) -> f64 {
+        self.costs[y * self.width + x]
+    }
+}
+
+impl DivisibleApp for ImageFeatureExtraction {
+    fn name(&self) -> &str {
+        "image-feature-extraction"
+    }
+
+    fn unit_costs(&self) -> &[f64] {
+        &self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_units() {
+        let img = ImageFeatureExtraction::generate(40, 25, 5, 2.0, 1);
+        assert_eq!(img.width(), 40);
+        assert_eq!(img.height(), 25);
+        assert_eq!(img.unit_costs().len(), 1000);
+        assert_eq!(img.total_units(), 1000.0);
+    }
+
+    #[test]
+    fn uniform_image_has_zero_variability() {
+        let img = ImageFeatureExtraction::generate(20, 20, 0, 2.0, 1);
+        assert!(img.cost_variability() < 1e-12);
+        let flat = ImageFeatureExtraction::generate(20, 20, 5, 0.0, 1);
+        assert!(flat.cost_variability() < 1e-12);
+    }
+
+    #[test]
+    fn clusters_create_variability() {
+        let img = ImageFeatureExtraction::generate(40, 40, 8, 3.0, 7);
+        let cv = img.cost_variability();
+        assert!(cv > 0.05, "expected visible variability, got {cv}");
+        // Stronger detail, more variability.
+        let strong = ImageFeatureExtraction::generate(40, 40, 8, 9.0, 7);
+        assert!(strong.cost_variability() > cv);
+    }
+
+    #[test]
+    fn costs_positive_and_bounded_below_by_base() {
+        let img = ImageFeatureExtraction::generate(30, 30, 4, 5.0, 3);
+        for y in 0..30 {
+            for x in 0..30 {
+                assert!(img.block_cost(x, y) >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ImageFeatureExtraction::generate(16, 16, 3, 2.0, 42);
+        let b = ImageFeatureExtraction::generate(16, 16, 3, 2.0, 42);
+        assert_eq!(a.unit_costs(), b.unit_costs());
+        let c = ImageFeatureExtraction::generate(16, 16, 3, 2.0, 43);
+        assert_ne!(a.unit_costs(), c.unit_costs());
+    }
+}

@@ -1,0 +1,174 @@
+//! Synthetic divisible-workload applications.
+//!
+//! The RUMR paper motivates divisible-load scheduling with three application
+//! families (its introduction): *feature extraction* over a segmented
+//! image, *signal processing / sequence matching* over a large data file,
+//! and *ray tracing*, whose per-pixel cost is strongly data-dependent. This
+//! crate provides seeded synthetic generators for those families so the
+//! examples and tests can exercise the scheduler stack on
+//! realistically-shaped inputs:
+//!
+//! * each application generates its per-unit computation costs;
+//! * the *coefficient of variation* of those costs is the natural estimate
+//!   of the paper's `error` parameter (data-dependence is one of the two
+//!   error sources named in §4 — the other being resource contention);
+//! * [`DivisibleApp::scenario`] packages the application as a
+//!   [`rumr::Scenario`] whose error model matches the measured variability,
+//!   and [`DivisibleApp::recommended`] applies the paper's algorithm
+//!   selection rule.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod image;
+pub mod raytrace;
+pub mod sequence;
+pub mod signal;
+
+pub use image::ImageFeatureExtraction;
+pub use raytrace::RayTracing;
+pub use sequence::SequenceMatching;
+pub use signal::SignalProcessing;
+
+use dls_numerics::stats::OnlineStats;
+use rumr::sim::CostProfile;
+use rumr::{ErrorModel, Platform, RumrConfig, Scenario, SchedulerKind};
+
+/// A synthetic application that can be scheduled as a divisible workload.
+pub trait DivisibleApp {
+    /// Human-readable application name.
+    fn name(&self) -> &str;
+
+    /// Per-unit computation costs (seconds per unit on a speed-1 worker).
+    /// The workload has `unit_costs().len()` units.
+    fn unit_costs(&self) -> &[f64];
+
+    /// Total workload in units (the paper's `W_total`).
+    fn total_units(&self) -> f64 {
+        self.unit_costs().len() as f64
+    }
+
+    /// Coefficient of variation (std/mean) of the per-unit costs — the
+    /// application-intrinsic component of the paper's `error` parameter.
+    fn cost_variability(&self) -> f64 {
+        let mut stats = OnlineStats::new();
+        for &c in self.unit_costs() {
+            stats.push(c);
+        }
+        if stats.mean() <= 0.0 {
+            0.0
+        } else {
+            stats.std_dev() / stats.mean()
+        }
+    }
+
+    /// Package the application as a simulation scenario on `platform`,
+    /// modelling its data-dependent costs as a truncated-normal prediction
+    /// error of magnitude [`DivisibleApp::cost_variability`] — the paper's
+    /// abstraction of data-dependence.
+    fn scenario(&self, platform: Platform) -> Scenario {
+        let error = self.cost_variability();
+        Scenario {
+            platform,
+            w_total: self.total_units(),
+            error_model: if error > 0.0 {
+                ErrorModel::TruncatedNormal { error }
+            } else {
+                ErrorModel::None
+            },
+            cost_profile: None,
+            temporal_noise: None,
+        }
+    }
+
+    /// Package the application as a *trace-driven* scenario: computation
+    /// times follow the actual per-unit costs of each chunk's range instead
+    /// of a ratio distribution (the paper's §6 "use traces from real
+    /// applications"). `platform_noise` adds an optional truncated-normal
+    /// ratio on top, modelling resource contention.
+    fn scenario_trace_driven(&self, platform: Platform, platform_noise: f64) -> Scenario {
+        Scenario {
+            platform,
+            w_total: self.total_units(),
+            error_model: if platform_noise > 0.0 {
+                ErrorModel::TruncatedNormal {
+                    error: platform_noise,
+                }
+            } else {
+                ErrorModel::None
+            },
+            cost_profile: Some(CostProfile::from_unit_costs(self.unit_costs())),
+            temporal_noise: None,
+        }
+    }
+
+    /// The paper's algorithm selection rule applied to this application:
+    /// RUMR with the measured variability as the known error (which itself
+    /// degenerates to pure UMR below the phase-2 threshold and to pure
+    /// Factoring above error 1).
+    fn recommended(&self) -> SchedulerKind {
+        let error = self.cost_variability();
+        if error <= 0.0 {
+            SchedulerKind::Umr
+        } else {
+            SchedulerKind::Rumr(RumrConfig::with_known_error(error))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Flat;
+    impl DivisibleApp for Flat {
+        fn name(&self) -> &str {
+            "flat"
+        }
+        fn unit_costs(&self) -> &[f64] {
+            const COSTS: [f64; 4] = [1.0, 1.0, 1.0, 1.0];
+            &COSTS
+        }
+    }
+
+    struct Bumpy {
+        costs: Vec<f64>,
+    }
+    impl DivisibleApp for Bumpy {
+        fn name(&self) -> &str {
+            "bumpy"
+        }
+        fn unit_costs(&self) -> &[f64] {
+            &self.costs
+        }
+    }
+
+    #[test]
+    fn flat_costs_mean_umr() {
+        let app = Flat;
+        assert_eq!(app.total_units(), 4.0);
+        assert_eq!(app.cost_variability(), 0.0);
+        assert_eq!(app.recommended(), SchedulerKind::Umr);
+        let platform = rumr::HomogeneousParams::table1(2, 1.5, 0.1, 0.1)
+            .build()
+            .unwrap();
+        let s = app.scenario(platform);
+        assert_eq!(s.error_model, ErrorModel::None);
+        assert_eq!(s.w_total, 4.0);
+    }
+
+    #[test]
+    fn variable_costs_mean_rumr() {
+        let app = Bumpy {
+            costs: vec![1.0, 2.0, 1.0, 2.0],
+        };
+        let cv = app.cost_variability();
+        assert!((cv - (0.5 / 1.5)).abs() < 1e-12);
+        match app.recommended() {
+            SchedulerKind::Rumr(cfg) => {
+                assert!((cfg.error_estimate.unwrap() - cv).abs() < 1e-12)
+            }
+            other => panic!("expected RUMR, got {other:?}"),
+        }
+    }
+}

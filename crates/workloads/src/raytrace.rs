@@ -1,0 +1,129 @@
+//! Ray tracing: the paper's example of strongly data-dependent costs.
+//!
+//! "In a ray-tracing application the time taken to trace through one pixel
+//! depends greatly on the complexity of the scene" (§4). The workload unit
+//! is one pixel tile; its cost models primary-ray hits plus recursive
+//! reflection depth: tiles covering reflective/refractive objects cost a
+//! multiple of background tiles, producing much larger variability than the
+//! image-processing workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::DivisibleApp;
+
+/// A synthetic ray-tracing workload over a tiled screen.
+#[derive(Debug, Clone)]
+pub struct RayTracing {
+    costs: Vec<f64>,
+    tiles_x: usize,
+    tiles_y: usize,
+}
+
+impl RayTracing {
+    /// Generate a `tiles_x × tiles_y` screen over a scene with `objects`
+    /// objects. Each object covers a disc of tiles; tiles hit by an object
+    /// pay a cost multiplied by the object's recursive depth (1–`max_depth`
+    /// reflection bounces). Costs are in background-tile units.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty screen or `max_depth == 0`.
+    pub fn generate(
+        tiles_x: usize,
+        tiles_y: usize,
+        objects: usize,
+        max_depth: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(tiles_x > 0 && tiles_y > 0, "screen must be non-empty");
+        assert!(max_depth > 0, "max_depth must be at least 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut costs = vec![1.0; tiles_x * tiles_y];
+        for _ in 0..objects {
+            let cx = rng.gen_range(0.0..tiles_x as f64);
+            let cy = rng.gen_range(0.0..tiles_y as f64);
+            let radius = rng.gen_range(1.0..(tiles_x.min(tiles_y) as f64 / 3.0).max(1.5));
+            let depth = rng.gen_range(1..=max_depth);
+            // Each reflection bounce multiplies the per-ray work; cap the
+            // factor so a single pathological object cannot dominate W.
+            let factor = (1.5_f64).powi(depth as i32).min(20.0);
+            for ty in 0..tiles_y {
+                for tx in 0..tiles_x {
+                    let dx = tx as f64 - cx;
+                    let dy = ty as f64 - cy;
+                    if dx * dx + dy * dy <= radius * radius {
+                        costs[ty * tiles_x + tx] += factor;
+                    }
+                }
+            }
+        }
+        RayTracing {
+            costs,
+            tiles_x,
+            tiles_y,
+        }
+    }
+
+    /// Screen width in tiles.
+    pub fn tiles_x(&self) -> usize {
+        self.tiles_x
+    }
+
+    /// Screen height in tiles.
+    pub fn tiles_y(&self) -> usize {
+        self.tiles_y
+    }
+}
+
+impl DivisibleApp for RayTracing {
+    fn name(&self) -> &str {
+        "ray-tracing"
+    }
+
+    fn unit_costs(&self) -> &[f64] {
+        &self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let r = RayTracing::generate(40, 25, 12, 5, 3);
+        assert_eq!(r.tiles_x(), 40);
+        assert_eq!(r.tiles_y(), 25);
+        assert_eq!(r.unit_costs().len(), 1000);
+    }
+
+    #[test]
+    fn empty_scene_is_uniform() {
+        let r = RayTracing::generate(20, 20, 0, 5, 3);
+        assert!(r.cost_variability() < 1e-12);
+    }
+
+    #[test]
+    fn complex_scene_is_highly_variable() {
+        let r = RayTracing::generate(40, 40, 15, 8, 11);
+        assert!(
+            r.cost_variability() > 0.3,
+            "ray tracing should be strongly data-dependent, got {}",
+            r.cost_variability()
+        );
+    }
+
+    #[test]
+    fn costs_at_least_background() {
+        let r = RayTracing::generate(30, 30, 10, 6, 2);
+        assert!(r.unit_costs().iter().all(|&c| c >= 1.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = RayTracing::generate(16, 16, 5, 4, 1);
+        let b = RayTracing::generate(16, 16, 5, 4, 1);
+        assert_eq!(a.unit_costs(), b.unit_costs());
+    }
+}

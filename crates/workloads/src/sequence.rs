@@ -1,0 +1,121 @@
+//! Sequence matching: the paper's BLAST-style motivating application.
+//!
+//! "A single sequence is compared to a big dictionary file, and the running
+//! time is proportional to the letters in that dictionary." The workload
+//! unit is one dictionary entry; its cost is proportional to the entry's
+//! length, which we draw from a log-normal distribution (the classic shape
+//! of biological sequence-length distributions).
+
+use dls_numerics::dist::Normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::DivisibleApp;
+
+/// A synthetic sequence-matching workload.
+#[derive(Debug, Clone)]
+pub struct SequenceMatching {
+    costs: Vec<f64>,
+    total_letters: f64,
+}
+
+impl SequenceMatching {
+    /// Generate a dictionary of `entries` sequences with log-normal lengths
+    /// (`median_length` letters median, `spread` the σ of the underlying
+    /// normal — 0 gives identical lengths). Costs are normalized so one
+    /// median-length sequence costs 1 unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`, `median_length <= 0`, or `spread` is
+    /// negative.
+    pub fn generate(entries: usize, median_length: f64, spread: f64, seed: u64) -> Self {
+        assert!(entries > 0, "dictionary must be non-empty");
+        assert!(
+            median_length > 0.0 && median_length.is_finite(),
+            "median length must be positive"
+        );
+        assert!(spread >= 0.0 && spread.is_finite(), "spread must be >= 0");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut normal = Normal::new(0.0, spread);
+        let mut costs = Vec::with_capacity(entries);
+        let mut total_letters = 0.0;
+        for _ in 0..entries {
+            let length = median_length * normal.sample(&mut rng).exp();
+            total_letters += length;
+            costs.push(length / median_length);
+        }
+        SequenceMatching {
+            costs,
+            total_letters,
+        }
+    }
+
+    /// Number of dictionary entries.
+    pub fn entries(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Total number of letters in the dictionary.
+    pub fn total_letters(&self) -> f64 {
+        self.total_letters
+    }
+}
+
+impl DivisibleApp for SequenceMatching {
+    fn name(&self) -> &str {
+        "sequence-matching"
+    }
+
+    fn unit_costs(&self) -> &[f64] {
+        &self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_shape() {
+        let d = SequenceMatching::generate(2000, 350.0, 0.4, 5);
+        assert_eq!(d.entries(), 2000);
+        assert!(d.total_letters() > 0.0);
+        // Median cost should be near 1 (median-normalized).
+        let mut sorted = d.unit_costs().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[1000];
+        assert!((median - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn zero_spread_is_uniform() {
+        let d = SequenceMatching::generate(100, 350.0, 0.0, 5);
+        assert!(d.cost_variability() < 1e-12);
+        for &c in d.unit_costs() {
+            assert!((c - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spread_increases_variability() {
+        let narrow = SequenceMatching::generate(5000, 350.0, 0.1, 5);
+        let wide = SequenceMatching::generate(5000, 350.0, 0.6, 5);
+        assert!(wide.cost_variability() > narrow.cost_variability());
+        // Log-normal CV for σ=0.1 is ~0.1.
+        assert!((narrow.cost_variability() - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn costs_positive() {
+        let d = SequenceMatching::generate(1000, 200.0, 0.8, 9);
+        assert!(d.unit_costs().iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SequenceMatching::generate(100, 350.0, 0.4, 5);
+        let b = SequenceMatching::generate(100, 350.0, 0.4, 5);
+        assert_eq!(a.unit_costs(), b.unit_costs());
+    }
+}

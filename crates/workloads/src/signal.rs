@@ -1,0 +1,119 @@
+//! Signal processing: the paper's "recover a signal buried in a large file
+//! recording measurements" application.
+//!
+//! The workload unit is one window of samples to correlate against the
+//! target signature. Most windows cost the same (one FFT-sized correlation),
+//! but windows overlapping *candidate detections* trigger refinement passes
+//! that multiply the cost — producing a spiky, bursty cost profile quite
+//! unlike the smooth image map: long uniform stretches punctuated by short
+//! expensive bursts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::DivisibleApp;
+
+/// A synthetic signal-scan workload.
+#[derive(Debug, Clone)]
+pub struct SignalProcessing {
+    costs: Vec<f64>,
+}
+
+impl SignalProcessing {
+    /// Generate a scan over `windows` windows with `bursts` candidate
+    /// detections. Each burst spans a geometric handful of windows and
+    /// multiplies their cost by `refine_factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows == 0` or `refine_factor < 1`.
+    pub fn generate(windows: usize, bursts: usize, refine_factor: f64, seed: u64) -> Self {
+        assert!(windows > 0, "need at least one window");
+        assert!(
+            refine_factor >= 1.0 && refine_factor.is_finite(),
+            "refine_factor must be >= 1"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut costs = vec![1.0; windows];
+        for _ in 0..bursts {
+            let start = rng.gen_range(0..windows);
+            // Burst length: 1..~2% of the scan, geometric-ish.
+            let max_len = (windows / 50).max(1);
+            let len = rng.gen_range(1..=max_len);
+            for cost in costs.iter_mut().skip(start).take(len) {
+                *cost *= refine_factor;
+            }
+        }
+        SignalProcessing { costs }
+    }
+
+    /// Number of windows whose cost exceeds the base cost.
+    pub fn burst_windows(&self) -> usize {
+        self.costs.iter().filter(|&&c| c > 1.0).count()
+    }
+}
+
+impl DivisibleApp for SignalProcessing {
+    fn name(&self) -> &str {
+        "signal-processing"
+    }
+
+    fn unit_costs(&self) -> &[f64] {
+        &self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_scan_is_uniform() {
+        let s = SignalProcessing::generate(1000, 0, 8.0, 1);
+        assert_eq!(s.total_units(), 1000.0);
+        assert_eq!(s.burst_windows(), 0);
+        assert!(s.cost_variability() < 1e-12);
+    }
+
+    #[test]
+    fn bursts_create_spiky_variability() {
+        let s = SignalProcessing::generate(2000, 12, 8.0, 3);
+        assert!(s.burst_windows() > 0);
+        let cv = s.cost_variability();
+        assert!(cv > 0.1, "bursty scan should be variable, got {cv}");
+        // Costs are bimodal-ish: baseline exactly 1, bursts >= 8.
+        let baseline = s.unit_costs().iter().filter(|&&c| c == 1.0).count();
+        assert!(baseline > s.unit_costs().len() / 2, "mostly quiet");
+    }
+
+    #[test]
+    fn refine_factor_scales_variability() {
+        let mild = SignalProcessing::generate(2000, 10, 2.0, 5);
+        let hot = SignalProcessing::generate(2000, 10, 16.0, 5);
+        assert!(hot.cost_variability() > mild.cost_variability());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SignalProcessing::generate(500, 5, 4.0, 9);
+        let b = SignalProcessing::generate(500, 5, 4.0, 9);
+        assert_eq!(a.unit_costs(), b.unit_costs());
+    }
+
+    #[test]
+    fn plugs_into_scheduling() {
+        use rumr::SchedulerKind;
+        let s = SignalProcessing::generate(1000, 8, 6.0, 2);
+        let platform = rumr::HomogeneousParams::table1(8, 1.5, 0.1, 0.1)
+            .build()
+            .unwrap();
+        let scenario = s.scenario_trace_driven(platform, 0.05);
+        let r = scenario
+            .run(
+                &SchedulerKind::rumr_known_error(s.cost_variability().min(1.0)),
+                1,
+            )
+            .unwrap();
+        assert!((r.completed_work() - 1000.0).abs() < 1e-6);
+    }
+}

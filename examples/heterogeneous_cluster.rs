@@ -1,0 +1,71 @@
+//! Anatomy of a heterogeneous UMR schedule: how per-round chunks adapt to
+//! worker speed, and when resource selection drops badly-connected nodes.
+//!
+//! Run with: `cargo run --release --example heterogeneous_cluster`
+
+use dls_sched::HetUmrSchedule;
+use rumr::{Platform, WorkerSpec};
+
+fn node(speed: f64, bandwidth: f64, clat: f64, nlat: f64) -> WorkerSpec {
+    WorkerSpec {
+        speed,
+        bandwidth,
+        comp_latency: clat,
+        net_latency: nlat,
+        transfer_latency: 0.0,
+    }
+}
+
+fn main() {
+    let w_total = 2000.0;
+
+    println!("=== Balanced heterogeneous cluster ===");
+    let balanced = Platform::new(vec![
+        node(4.0, 40.0, 0.1, 0.05),
+        node(3.0, 30.0, 0.1, 0.05),
+        node(2.0, 25.0, 0.2, 0.10),
+        node(1.0, 15.0, 0.3, 0.10),
+    ])
+    .expect("valid platform");
+    describe(&balanced, w_total);
+
+    println!("\n=== Cluster with two starved stragglers ===");
+    let starved = Platform::new(vec![
+        node(8.0, 80.0, 0.1, 0.05),
+        node(8.0, 80.0, 0.1, 0.05),
+        node(6.0, 0.4, 0.1, 2.0), // fast CPU, terrible link
+        node(6.0, 0.3, 0.1, 2.5), // fast CPU, worse link
+    ])
+    .expect("valid platform");
+    describe(&starved, w_total);
+}
+
+fn describe(platform: &Platform, w_total: f64) {
+    let all = HetUmrSchedule::solve(platform, w_total).expect("feasible");
+    let selected = HetUmrSchedule::solve_with_selection(platform, w_total).expect("feasible");
+
+    println!(
+        "all workers : {} rounds, predicted makespan {:>8.2} s",
+        all.num_rounds(),
+        all.predicted_makespan()
+    );
+    println!(
+        "selected    : {} rounds, predicted makespan {:>8.2} s using workers {:?}",
+        selected.num_rounds(),
+        selected.predicted_makespan(),
+        selected.worker_ids()
+    );
+
+    let r0 = selected.round_sizes()[0];
+    let chunks = selected.round_chunks(r0);
+    println!("first round ({r0:.1} units total):");
+    for (wid, chunk) in selected.worker_ids().iter().zip(&chunks) {
+        let spec = platform.worker(*wid);
+        println!(
+            "  worker {wid}: chunk {chunk:>7.2} units (S = {:.1}, B = {:.1}) -> compute {:.2} s",
+            spec.speed,
+            spec.bandwidth,
+            spec.comp_time(*chunk)
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: schedule a divisible workload with RUMR and compare against
+//! the paper's competitors on one platform.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rumr::{Scenario, SchedulerKind};
+
+fn main() {
+    // A cluster of 20 workers, each computing 1 workload unit per second.
+    // The master's link runs at B = 1.8·N = 36 units/s; starting a transfer
+    // costs nLat = 0.1 s and starting a computation cLat = 0.3 s.
+    // Execution-time predictions are off by 25 % on average (resource
+    // contention, data-dependent costs, ...).
+    let error = 0.25;
+    let scenario = Scenario::table1(20, 1.8, 0.3, 0.1, error);
+
+    println!(
+        "Platform: {} workers, B = {:.0} units/s, cLat = 0.3 s, nLat = 0.1 s",
+        scenario.platform.num_workers(),
+        scenario.platform.worker(0).bandwidth,
+    );
+    println!(
+        "Workload: {} units, prediction error {:.0} %\n",
+        scenario.w_total,
+        error * 100.0
+    );
+
+    let algorithms = [
+        SchedulerKind::rumr_known_error(error),
+        SchedulerKind::Umr,
+        SchedulerKind::Mi { installments: 3 },
+        SchedulerKind::Factoring,
+        SchedulerKind::EqualStatic,
+    ];
+
+    println!(
+        "{:<14} {:>14} {:>10}",
+        "algorithm", "makespan (s)", "chunks"
+    );
+    let reps = 25;
+    for kind in &algorithms {
+        let mean = scenario
+            .mean_makespan(kind, 0, reps)
+            .expect("simulation succeeds");
+        let chunks = scenario
+            .run(kind, 0)
+            .expect("simulation succeeds")
+            .num_chunks;
+        println!("{:<14} {:>14.2} {:>10}", kind.label(), mean, chunks);
+    }
+
+    println!("\n(averages over {reps} runs; RUMR ramps chunk sizes up for overlap,");
+    println!(" then back down at the end to absorb the prediction errors)");
+}

@@ -1,0 +1,54 @@
+//! Ray tracing with strongly data-dependent pixel costs — the paper's
+//! example of why prediction errors are unavoidable (§4).
+//!
+//! Sweeps the scene complexity (and therefore the effective prediction
+//! error) and shows how the best algorithm shifts from UMR through RUMR
+//! toward Factoring as costs become less predictable — the crossover story
+//! of the paper's Figure 4.
+//!
+//! Run with: `cargo run --release --example raytracing_robustness`
+
+use dls_workloads::{DivisibleApp, RayTracing};
+use rumr::{HomogeneousParams, SchedulerKind};
+
+fn main() {
+    println!("Scene complexity sweep on a 24-worker render farm\n");
+    println!(
+        "{:<22} {:>7} {:>10} {:>10} {:>10}",
+        "scene", "error", "RUMR", "UMR", "Factoring"
+    );
+
+    for (label, objects, depth) in [
+        ("empty scene", 0usize, 1u32),
+        ("simple scene", 5, 2),
+        ("glossy scene", 12, 5),
+        ("hall of mirrors", 25, 8),
+    ] {
+        let scene = RayTracing::generate(40, 25, objects, depth, 99);
+        let error = scene.cost_variability();
+
+        let platform = HomogeneousParams::table1(24, 1.6, 0.2, 0.1)
+            .build()
+            .expect("valid platform");
+        let scenario = scene.scenario(platform);
+
+        let mut row = format!("{label:<22} {error:>7.3}");
+        for kind in [
+            SchedulerKind::rumr_known_error(error),
+            SchedulerKind::Umr,
+            SchedulerKind::Factoring,
+        ] {
+            let mean = scenario
+                .mean_makespan(&kind, 7, 20)
+                .expect("simulation succeeds");
+            row.push_str(&format!(" {mean:>10.2}"));
+        }
+        println!("{row}");
+
+        let _ = scenario; // scenario consumed above
+    }
+
+    println!("\nWith predictable scenes UMR's precalculated overlap wins;");
+    println!("as data-dependence grows, RUMR's factoring tail and eventually");
+    println!("pure Factoring take over — the paper's Figure 4 crossover.");
+}

@@ -1,0 +1,333 @@
+//! `dls` — command-line front end for the divisible-load scheduling suite.
+//!
+//! ```text
+//! dls simulate --algo rumr --workers 20 --ratio 1.8 --clat 0.3 --nlat 0.1 \
+//!              --error 0.25 [--workload 1000] [--seed 42] [--gantt]
+//! dls compare  --workers 20 --ratio 1.8 --clat 0.3 --nlat 0.1 --error 0.25 \
+//!              [--reps 25]
+//! dls plan     --algo umr --workers 10 --ratio 1.5 --clat 0.4 --nlat 0.2
+//! dls list
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use dls_sim::TraceMetrics;
+use rumr::{Scenario, SchedulerKind, UmrInputs, UmrSchedule};
+
+const USAGE: &str = "usage:
+  dls simulate --algo <name> [platform flags] [--seed N] [--gantt] [--trace-csv PATH]
+  dls compare  [platform flags] [--reps N]
+  dls plan     --algo umr|mi-<x>|one-round [platform flags]
+  dls list
+
+platform flags (defaults in brackets):
+  --workers N   worker count [20]       --ratio R    B = R*N [1.6]
+  --clat S      computation latency [0.2]
+  --nlat S      communication latency [0.1]
+  --error E     prediction error magnitude [0.25]
+  --workload W  total workload units [1000]
+
+algorithms: rumr, rumr-adaptive, umr, mi-1..mi-9, factoring, fsc, gss, tss,
+            one-round, equal-static, self-sched";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{arg}'"));
+        };
+        if name == "gantt" {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn flag_usize(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn scenario_from(flags: &HashMap<String, String>) -> Result<Scenario, String> {
+    let workers = flag_usize(flags, "workers", 20)?;
+    if workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    let ratio = flag_f64(flags, "ratio", 1.6)?;
+    let clat = flag_f64(flags, "clat", 0.2)?;
+    let nlat = flag_f64(flags, "nlat", 0.1)?;
+    let error = flag_f64(flags, "error", 0.25)?;
+    let workload = flag_f64(flags, "workload", 1000.0)?;
+    let mut s = Scenario::table1(workers, ratio, clat, nlat, error);
+    s.w_total = workload;
+    Ok(s)
+}
+
+fn algo_from(name: &str, error: f64) -> Result<SchedulerKind, String> {
+    if let Some(x) = name.strip_prefix("mi-") {
+        let installments: usize = x.parse().map_err(|e| format!("mi-<x>: {e}"))?;
+        return Ok(SchedulerKind::Mi { installments });
+    }
+    Ok(match name {
+        "rumr" => SchedulerKind::rumr_known_error(error),
+        "rumr-adaptive" => SchedulerKind::AdaptiveRumr,
+        "umr" => SchedulerKind::Umr,
+        "factoring" => SchedulerKind::Factoring,
+        "fsc" => SchedulerKind::Fsc { error },
+        "gss" => SchedulerKind::Gss,
+        "tss" => SchedulerKind::Tss,
+        "one-round" => SchedulerKind::OneRound,
+        "equal-static" => SchedulerKind::EqualStatic,
+        "self-sched" => SchedulerKind::SelfScheduling { unit: 1.0 },
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scenario = scenario_from(flags)?;
+    let error = scenario.error();
+    let algo = algo_from(
+        flags.get("algo").map(String::as_str).unwrap_or("rumr"),
+        error,
+    )?;
+    let seed = flag_usize(flags, "seed", 42)? as u64;
+    let result = scenario
+        .run_traced(&algo, seed)
+        .map_err(|e| format!("simulation failed: {e}"))?;
+    let n = scenario.platform.num_workers();
+    let trace = result.trace.as_ref().expect("trace recorded");
+    let metrics = TraceMetrics::from_trace(trace, n);
+
+    println!("algorithm        : {}", algo.label());
+    println!("makespan         : {:.3} s", result.makespan);
+    println!("chunks dispatched: {}", result.num_chunks);
+    println!(
+        "mean utilization : {:.1} %",
+        result.mean_utilization() * 100.0
+    );
+    println!(
+        "link utilization : {:.1} %",
+        metrics.link_utilization * 100.0
+    );
+    println!(
+        "worker idle time : {:.3} s (across {} gaps)",
+        metrics.total_gap_time(),
+        metrics.gaps.len()
+    );
+    if flags.contains_key("gantt") {
+        println!("\n{}", trace.gantt(n, 100));
+    }
+    if let Some(path) = flags.get("trace-csv") {
+        std::fs::write(path, trace.to_csv()).map_err(|e| format!("--trace-csv: {e}"))?;
+        println!("trace written to : {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scenario = scenario_from(flags)?;
+    let error = scenario.error();
+    let reps = flag_usize(flags, "reps", 25)? as u64;
+    println!(
+        "N = {}, B = {:.1}, cLat = {}, nLat = {}, error = {}, W = {} ({} reps)\n",
+        scenario.platform.num_workers(),
+        scenario.platform.worker(0).bandwidth,
+        scenario.platform.worker(0).comp_latency,
+        scenario.platform.worker(0).net_latency,
+        error,
+        scenario.w_total,
+        reps
+    );
+    println!("{:<16} {:>12}", "algorithm", "makespan (s)");
+    for kind in [
+        SchedulerKind::rumr_known_error(error),
+        SchedulerKind::AdaptiveRumr,
+        SchedulerKind::Umr,
+        SchedulerKind::Mi { installments: 3 },
+        SchedulerKind::OneRound,
+        SchedulerKind::Factoring,
+        SchedulerKind::Tss,
+        SchedulerKind::EqualStatic,
+    ] {
+        let mean = scenario
+            .mean_makespan(&kind, 0, reps)
+            .map_err(|e| format!("{kind}: {e}"))?;
+        println!("{:<16} {:>12.2}", kind.label(), mean);
+    }
+    Ok(())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scenario = scenario_from(flags)?;
+    let algo = flags.get("algo").map(String::as_str).unwrap_or("umr");
+    match algo {
+        "umr" => {
+            let inputs = UmrInputs::from_platform(&scenario.platform, scenario.w_total)
+                .map_err(|e| e.to_string())?;
+            let s = UmrSchedule::solve(inputs).map_err(|e| e.to_string())?;
+            println!(
+                "UMR: {} rounds, predicted makespan {:.3} s",
+                s.num_rounds(),
+                s.predicted_makespan()
+            );
+            println!("per-worker chunk sizes by round:");
+            for (j, c) in s.round_chunks().iter().enumerate() {
+                println!("  round {j:>2}: {c:>10.3} units");
+            }
+        }
+        "one-round" => {
+            let s = rumr::sched::OneRoundSchedule::solve(&scenario.platform, scenario.w_total)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "one-round: {} workers used, predicted makespan {:.3} s",
+                s.chunks().len(),
+                s.predicted_makespan()
+            );
+            for (i, c) in s.chunks().iter().enumerate() {
+                println!("  worker {i:>2}: {c:>10.3} units");
+            }
+        }
+        mi if mi.starts_with("mi-") => {
+            let x: usize = mi[3..].parse().map_err(|e| format!("mi-<x>: {e}"))?;
+            let s = rumr::sched::MiSchedule::solve(&scenario.platform, scenario.w_total, x)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "MI-{}: predicted makespan {:.3} s (latency-free model)",
+                s.installments(),
+                s.predicted_makespan()
+            );
+            for (j, round) in s.chunks().iter().enumerate() {
+                let sizes: Vec<String> = round.iter().map(|c| format!("{c:.2}")).collect();
+                println!("  installment {j}: [{}]", sizes.join(", "));
+            }
+        }
+        other => {
+            return Err(format!(
+                "plan supports umr, one-round, mi-<x>; got '{other}'"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_list() {
+    println!("available algorithms:");
+    for (name, desc) in [
+        ("rumr", "RUMR with known error (the paper's contribution)"),
+        ("rumr-adaptive", "RUMR with online error estimation"),
+        ("umr", "Uniform Multi-Round (increasing chunks)"),
+        ("mi-<x>", "multi-installment with x installments"),
+        ("one-round", "latency-aware optimal single round"),
+        ("factoring", "Hummel '92 factoring (decreasing chunks)"),
+        ("fsc", "fixed-size chunking (Kruskal-Weiss)"),
+        ("gss", "guided self-scheduling"),
+        ("tss", "trapezoid self-scheduling"),
+        ("equal-static", "one round of equal chunks"),
+        ("self-sched", "unit-granularity self-scheduling"),
+    ] {
+        println!("  {name:<14} {desc}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> HashMap<String, String> {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let f = flags(&["--workers", "12", "--error", "0.4", "--gantt"]);
+        assert_eq!(f.get("workers").unwrap(), "12");
+        assert_eq!(f.get("error").unwrap(), "0.4");
+        assert_eq!(f.get("gantt").unwrap(), "true");
+
+        assert!(parse_flags(&["--workers".to_string()]).is_err());
+        assert!(parse_flags(&["oops".to_string()]).is_err());
+    }
+
+    #[test]
+    fn scenario_construction() {
+        let s = scenario_from(&flags(&["--workers", "12", "--ratio", "2.0"])).unwrap();
+        assert_eq!(s.platform.num_workers(), 12);
+        assert!((s.platform.worker(0).bandwidth - 24.0).abs() < 1e-12);
+        assert!(scenario_from(&flags(&["--workers", "0"])).is_err());
+        assert!(scenario_from(&flags(&["--ratio", "abc"])).is_err());
+    }
+
+    #[test]
+    fn algorithm_lookup() {
+        assert_eq!(algo_from("umr", 0.3).unwrap().label(), "UMR");
+        assert_eq!(algo_from("rumr", 0.3).unwrap().label(), "RUMR");
+        assert_eq!(algo_from("mi-4", 0.3).unwrap().label(), "MI-4");
+        assert_eq!(algo_from("tss", 0.3).unwrap().label(), "TSS");
+        assert!(algo_from("nope", 0.3).is_err());
+        assert!(algo_from("mi-x", 0.3).is_err());
+    }
+
+    #[test]
+    fn simulate_and_compare_run_end_to_end() {
+        cmd_simulate(&flags(&["--workers", "4", "--error", "0.2", "--seed", "1"])).unwrap();
+        cmd_compare(&flags(&["--workers", "4", "--reps", "2"])).unwrap();
+        cmd_plan(&flags(&["--algo", "umr", "--workers", "4"])).unwrap();
+        cmd_plan(&flags(&["--algo", "mi-2", "--workers", "4"])).unwrap();
+        cmd_plan(&flags(&["--algo", "one-round", "--workers", "4"])).unwrap();
+        assert!(cmd_plan(&flags(&["--algo", "factoring"])).is_err());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "simulate" | "compare" | "plan" => match parse_flags(rest) {
+            Ok(flags) => match command.as_str() {
+                "simulate" => cmd_simulate(&flags),
+                "compare" => cmd_compare(&flags),
+                _ => cmd_plan(&flags),
+            },
+            Err(e) => Err(e),
+        },
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Structural checks on executed schedules, via the trace-metrics module:
+//! chunk-size signatures, gap-freedom, and link utilization match what the
+//! paper's Figure 3 (UMR) and the RUMR two-phase design promise.
+
+use dls_sim::TraceMetrics;
+use rumr::{Scenario, SchedulerKind};
+
+fn metrics(scenario: &Scenario, kind: &SchedulerKind, seed: u64) -> TraceMetrics {
+    let result = scenario
+        .run_traced(kind, seed)
+        .expect("simulation succeeds");
+    TraceMetrics::from_trace(
+        result.trace.as_ref().expect("trace recorded"),
+        scenario.platform.num_workers(),
+    )
+}
+
+#[test]
+fn umr_is_gap_free_with_exact_predictions() {
+    // The whole point of the uniform-round condition: once a worker starts
+    // computing it never waits for data again.
+    for (n, r, clat, nlat) in [(10, 1.5, 0.4, 0.2), (20, 1.8, 0.3, 0.1)] {
+        let scenario = Scenario::table1(n, r, clat, nlat, 0.0);
+        let m = metrics(&scenario, &SchedulerKind::Umr, 0);
+        assert!(
+            m.total_gap_time() < 1e-9,
+            "UMR must be gap-free at error 0, gaps: {:?}",
+            m.gaps
+        );
+        assert!((m.mean_compute_density - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn umr_chunk_timeline_is_non_decreasing() {
+    let scenario = Scenario::table1(10, 1.5, 0.3, 0.1, 0.0);
+    let m = metrics(&scenario, &SchedulerKind::Umr, 0);
+    for pair in m.chunk_timeline.windows(2) {
+        assert!(
+            pair[1] >= pair[0] - 1e-9,
+            "UMR chunks must not shrink: {:?}",
+            pair
+        );
+    }
+}
+
+#[test]
+fn rumr_chunk_timeline_rises_then_falls() {
+    // The two-phase signature: increasing (phase 1) then decreasing
+    // (phase 2). The peak must sit strictly inside the timeline.
+    let error = 0.35;
+    let scenario = Scenario::table1(10, 1.6, 0.2, 0.05, error);
+    let m = metrics(&scenario, &SchedulerKind::rumr_known_error(error), 3);
+    let peak = m.peak_chunk_index().expect("chunks dispatched");
+    assert!(peak > 0, "first chunk should not be the largest");
+    assert!(
+        peak < m.chunk_timeline.len() - 1,
+        "last chunk should not be the largest (phase 2 shrinks chunks)"
+    );
+    // Phase 1 rises to the peak.
+    for pair in m.chunk_timeline[..=peak].windows(2) {
+        assert!(
+            pair[1] >= pair[0] - 1e-9,
+            "phase 1 must ramp up: {:?}",
+            pair
+        );
+    }
+    // Phase 2 (after the peak) never exceeds the peak again and ends small.
+    let peak_size = m.chunk_timeline[peak];
+    let last = *m.chunk_timeline.last().unwrap();
+    assert!(last < peak_size * 0.5, "tail chunks should be small");
+}
+
+#[test]
+fn factoring_gaps_reflect_missing_overlap() {
+    // Factoring's pull-based dispatch cannot overlap transfers with the
+    // requesting worker's computation: with exact predictions it must show
+    // strictly more worker idleness than UMR.
+    let scenario = Scenario::table1(10, 1.5, 0.3, 0.2, 0.0);
+    let umr = metrics(&scenario, &SchedulerKind::Umr, 0);
+    let fac = metrics(&scenario, &SchedulerKind::Factoring, 0);
+    assert!(
+        fac.total_gap_time() > umr.total_gap_time() + 1.0,
+        "factoring gaps {} vs UMR gaps {}",
+        fac.total_gap_time(),
+        umr.total_gap_time()
+    );
+    assert!(fac.mean_compute_density < umr.mean_compute_density);
+}
+
+#[test]
+fn link_utilization_sane() {
+    let scenario = Scenario::table1(10, 1.2, 0.1, 0.1, 0.0);
+    for kind in [SchedulerKind::Umr, SchedulerKind::Factoring] {
+        let m = metrics(&scenario, &kind, 0);
+        assert!(
+            m.link_utilization > 0.0 && m.link_utilization <= 1.0 + 1e-9,
+            "{kind}: utilization {}",
+            m.link_utilization
+        );
+    }
+}
+
+#[test]
+fn trace_driven_costs_shift_hot_chunks() {
+    // A workload whose second half is 3x as expensive: under a trace-driven
+    // profile the makespan must exceed the uniform-cost run because the
+    // planner mispredicts the hot region.
+    use rumr::sim::CostProfile;
+    let mut costs = vec![1.0; 500];
+    costs.extend(std::iter::repeat_n(3.0, 500));
+    let uniform = Scenario::table1(10, 1.5, 0.2, 0.1, 0.0);
+    let mut hot = uniform.clone();
+    hot.cost_profile = Some(CostProfile::from_unit_costs(&costs));
+
+    let kind = SchedulerKind::Umr;
+    let base = uniform.run(&kind, 0).unwrap().makespan;
+    let skewed = hot.run(&kind, 0).unwrap().makespan;
+    assert!(
+        skewed > base * 1.05,
+        "hot tail must hurt the static plan: {skewed} vs {base}"
+    );
+
+    // A reactive scheduler absorbs the same skew better than the plan.
+    let fac_skew = hot.run(&SchedulerKind::Factoring, 0).unwrap().makespan;
+    let umr_skew = skewed;
+    assert!(
+        fac_skew < umr_skew,
+        "factoring should absorb the skew: {fac_skew} vs {umr_skew}"
+    );
+}
