@@ -46,8 +46,9 @@ pub use kind::{BuildError, SchedulerKind};
 pub use scenario::{RunError, Scenario};
 
 pub use dls_sched as sched;
-pub use dls_sched::{RumrConfig, UmrInputs, UmrSchedule};
+pub use dls_sched::{Recovering, RecoveryConfig, RumrConfig, UmrInputs, UmrSchedule};
 pub use dls_sim as sim;
 pub use dls_sim::{
-    ErrorModel, HomogeneousParams, Platform, PlatformError, SimConfig, SimResult, WorkerSpec,
+    ErrorModel, FaultModel, FaultPlan, HomogeneousParams, Platform, PlatformError, PoissonFaults,
+    SimConfig, SimResult, WorkerSpec,
 };

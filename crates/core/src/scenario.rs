@@ -5,8 +5,10 @@
 //! by (scenario, algorithm, seed). This is the API the experiment harness,
 //! the examples and downstream users drive.
 
+use dls_sched::recovery::{Recovering, RecoveryConfig};
 use dls_sim::{
-    simulate, CostProfile, ErrorInjector, ErrorModel, Platform, SimConfig, SimError, SimResult,
+    simulate, CostProfile, ErrorInjector, ErrorModel, FaultModel, Platform, SimConfig, SimError,
+    SimResult,
 };
 
 use crate::kind::{BuildError, SchedulerKind};
@@ -95,6 +97,47 @@ impl Scenario {
         )
     }
 
+    /// Run under a fault model (worker crashes, link drops — see
+    /// `dls_sim::faults`). The scheduler is used as-is; plain schedulers
+    /// lose the destroyed work and under-complete. Wrap with
+    /// [`Scenario::run_recovering`] for full completion.
+    pub fn run_with_faults(
+        &self,
+        kind: &SchedulerKind,
+        seed: u64,
+        faults: FaultModel,
+    ) -> Result<SimResult, RunError> {
+        self.run_with_config(
+            kind,
+            seed,
+            SimConfig {
+                faults,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Run with the scheduler wrapped in the fault-recovery layer
+    /// (`dls_sched::recovery::Recovering`): lost work is redispatched and
+    /// dispatches are routed around dead workers. Pass the fault model via
+    /// `config.faults`.
+    pub fn run_recovering(
+        &self,
+        kind: &SchedulerKind,
+        seed: u64,
+        config: SimConfig,
+        recovery: RecoveryConfig,
+    ) -> Result<SimResult, RunError> {
+        let scheduler = kind.build(&self.platform, self.w_total)?;
+        let mut wrapped = Recovering::with_config(scheduler, recovery);
+        Ok(simulate(
+            &self.platform,
+            &mut wrapped,
+            self.injector(seed),
+            config,
+        )?)
+    }
+
     /// Run with an explicit engine configuration.
     pub fn run_with_config(
         &self,
@@ -103,6 +146,16 @@ impl Scenario {
         config: SimConfig,
     ) -> Result<SimResult, RunError> {
         let mut scheduler = kind.build(&self.platform, self.w_total)?;
+        Ok(simulate(
+            &self.platform,
+            scheduler.as_mut(),
+            self.injector(seed),
+            config,
+        )?)
+    }
+
+    /// The scenario's seeded error injector.
+    fn injector(&self, seed: u64) -> ErrorInjector {
         let mut injector = match &self.cost_profile {
             Some(profile) => ErrorInjector::with_profile(self.error_model, seed, profile.clone()),
             None => ErrorInjector::new(self.error_model, seed),
@@ -110,12 +163,7 @@ impl Scenario {
         if let Some(noise) = self.temporal_noise {
             injector = injector.with_temporal_noise(noise);
         }
-        Ok(simulate(
-            &self.platform,
-            scheduler.as_mut(),
-            injector,
-            config,
-        )?)
+        injector
     }
 
     /// Mean makespan of `kind` over `reps` seeded repetitions
@@ -264,6 +312,56 @@ mod tests {
         let c = plain.run(&SchedulerKind::Factoring, 1).unwrap();
         assert_ne!(a.makespan, c.makespan);
         assert!((a.completed_work() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovery_completes_what_plain_loses() {
+        use dls_sim::FaultPlan;
+        // Crash-stop worker 2 mid-run. Raw UMR keeps feeding the corpse
+        // and loses its work; the recovery wrapper redispatches every lost
+        // unit and still finishes the whole workload.
+        let s = Scenario::table1(6, 1.5, 0.2, 0.2, 0.0);
+        let faults = FaultModel::Plan(FaultPlan::new().crash(60.0, 2));
+        let raw = s
+            .run_with_faults(&SchedulerKind::Umr, 1, faults.clone())
+            .unwrap();
+        assert!(raw.lost_work > 0.0, "crash at t=60 must destroy work");
+        assert!(raw.completed_work() < 1000.0 - 1e-6);
+
+        let cfg = SimConfig {
+            faults,
+            record_trace: true,
+            ..Default::default()
+        };
+        let rec = s
+            .run_recovering(
+                &SchedulerKind::rumr_known_error(0.0),
+                1,
+                cfg,
+                RecoveryConfig::default(),
+            )
+            .unwrap();
+        assert!(
+            (rec.completed_work() - 1000.0).abs() < 1e-6,
+            "recovering RUMR must complete everything: {}",
+            rec.completed_work()
+        );
+        assert!(rec.redispatched_work > 0.0);
+        assert!(rec.conservation_residual().abs() < 1e-6);
+        assert!(rec.trace.unwrap().validate(6).is_empty());
+    }
+
+    #[test]
+    fn fault_free_recovering_run_matches_plain() {
+        // With no faults the wrapper is a strict pass-through.
+        let s = Scenario::table1(10, 1.5, 0.2, 0.2, 0.3);
+        let kind = SchedulerKind::rumr_known_error(0.3);
+        let plain = s.run(&kind, 42).unwrap();
+        let wrapped = s
+            .run_recovering(&kind, 42, SimConfig::default(), RecoveryConfig::default())
+            .unwrap();
+        assert_eq!(plain.makespan.to_bits(), wrapped.makespan.to_bits());
+        assert_eq!(plain.num_chunks, wrapped.num_chunks);
     }
 
     #[test]

@@ -6,16 +6,15 @@
 //! exactly the granularity at which the paper reports (each data point is
 //! an average over 40 repetitions).
 //!
-//! Work is fanned out over OS threads with crossbeam's scoped threads; each
-//! cell's seeds are derived deterministically from (root seed, cell index,
-//! repetition) so results are independent of thread count and scheduling
-//! order.
+//! Work is fanned out over std scoped threads; each cell's seeds are derived
+//! deterministically from (root seed, cell index, repetition) so results are
+//! independent of thread count and scheduling order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use dls_numerics::rng::SeedDeriver;
 use dls_sim::ErrorModel;
-use parking_lot::Mutex;
 use rumr::{RumrConfig, Scenario, SchedulerKind};
 
 use crate::grid::{GridPoint, Table1Grid};
@@ -249,30 +248,33 @@ pub fn run_sweep(config: &SweepConfig, competitors: &[Competitor]) -> SweepResul
     let done = AtomicUsize::new(0);
     let threads = config.effective_threads().min(work.len()).max(1);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= work.len() {
                     break;
                 }
                 let (idx, point, error) = work[i];
                 let cell = compute_cell(config, competitors, idx, point, error);
-                *slots[idx].lock() = Some(cell);
+                *slots[idx].lock().expect("sweep worker panicked") = Some(cell);
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if config.progress && (finished.is_multiple_of(500) || finished == work.len()) {
                     eprintln!("sweep: {finished}/{} cells", work.len());
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     SweepResult {
         labels: competitors.iter().map(Competitor::label).collect(),
         cells: slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("all cells computed"))
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("sweep worker panicked")
+                    .expect("all cells computed")
+            })
             .collect(),
     }
 }

@@ -14,6 +14,7 @@
 //! | [`baselines`] | equal static split, unit self-scheduling | constant | eager / pull |
 //! | [`umr_het`] | heterogeneous UMR extension | increasing | precalculated, eager |
 //! | [`adaptive`] | adaptive RUMR (online error estimation, the paper's §6) | increasing, then decreasing | planned + measured switch |
+//! | [`recovery`] | fault-recovery wrapper over any of the above | factoring-style redispatch | reactive |
 //!
 //! Shared plumbing (precalculated-plan replay, pull-based dispatching) lives
 //! in [`plan`].
@@ -29,6 +30,7 @@ pub mod loop_sched;
 pub mod mi;
 pub mod one_round;
 pub mod plan;
+pub mod recovery;
 pub mod rumr;
 pub mod rumr_het;
 pub mod umr;
@@ -42,6 +44,7 @@ pub use loop_sched::{Gss, Tss};
 pub use mi::{MiError, MiSchedule, MultiInstallment};
 pub use one_round::{OneRound, OneRoundSchedule};
 pub use plan::{ChunkSource, DispatchPlan, PlanReplayer, PullDispatcher};
+pub use recovery::{Recovering, RecoveryConfig};
 pub use rumr::{phase_split, PhaseSplit, Rumr, RumrConfig, DEFAULT_PHASE1_FRACTION};
 pub use rumr_het::HetRumr;
 pub use umr::{SolverPath, Umr, UmrError, UmrInputs, UmrSchedule, MAX_ROUNDS};

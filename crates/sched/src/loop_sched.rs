@@ -209,7 +209,7 @@ mod tests {
             match tss.next_dispatch(&view) {
                 Decision::Dispatch { chunk, .. } => chunks.push(chunk),
                 Decision::Finished => break,
-                Decision::Wait => panic!("all workers hungry"),
+                other => panic!("unexpected decision: {other:?}"),
             }
         }
         let total: f64 = chunks.iter().sum();

@@ -26,14 +26,25 @@
 //! and produces a [`SimResult`] (makespan, per-worker accounting, and
 //! optionally a full [`Trace`]).
 
+//! # Fault injection (extension)
+//!
+//! [`SimConfig::faults`] subjects the platform to worker crashes,
+//! recoveries, and transient link failures (see [`crate::faults`]). The
+//! engine keeps a per-chunk *work ledger* so that every dispatched unit of
+//! workload is provably either completed, lost to a fault, or still
+//! outstanding — [`SimResult::conservation_residual`] exposes the identity.
+//! With `FaultModel::None` (the default) every fault path is dormant and
+//! results are bit-identical to a fault-free build.
+
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 use crate::error::ErrorInjector;
+use crate::faults::{FaultAction, FaultInjector, FaultModel};
 use crate::platform::Platform;
 use crate::scheduler::{Decision, Scheduler, SimView, WorkerView};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{LostStage, Trace, TraceEvent};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -59,6 +70,10 @@ pub struct SimConfig {
     /// paper's input-only model. The makespan then includes result
     /// collection.
     pub output_ratio: f64,
+    /// Fault model applied during the run (worker crashes / recoveries /
+    /// link drops). [`FaultModel::None`] (default) is the paper's reliable
+    /// platform and leaves results bit-identical to a fault-free build.
+    pub faults: FaultModel,
 }
 
 impl Default for SimConfig {
@@ -69,6 +84,7 @@ impl Default for SimConfig {
             max_concurrent_sends: 1,
             uplink_capacity: None,
             output_ratio: 0.0,
+            faults: FaultModel::None,
         }
     }
 }
@@ -129,6 +145,23 @@ pub struct SimResult {
     pub per_worker_work: Vec<f64>,
     /// Per-worker total computing time (seconds).
     pub per_worker_busy: Vec<f64>,
+    /// Workload units destroyed by faults (summed over every loss: a
+    /// redispatched chunk that is lost again counts again). 0 on a
+    /// fault-free run.
+    pub lost_work: f64,
+    /// Number of chunk-loss events.
+    pub lost_chunks: usize,
+    /// Workload units re-sent via `Decision::Redispatch` (a subset of
+    /// `dispatched_work`).
+    pub redispatched_work: f64,
+    /// Workload units dispatched but neither completed nor lost when the
+    /// run ended. 0 for a run that terminated normally; non-zero only when
+    /// the fault-mode engine gave up on unreachable work.
+    pub outstanding_work: f64,
+    /// Unit ranges `(first_unit, length)` lost to faults and never
+    /// redispatched — the part of the workload a non-recovering scheduler
+    /// simply dropped. Empty when every loss was re-sent.
+    pub lost_ranges: Vec<(f64, f64)>,
     /// Full event trace when `SimConfig::record_trace` was set.
     pub trace: Option<Trace>,
 }
@@ -137,6 +170,14 @@ impl SimResult {
     /// Total completed workload across workers.
     pub fn completed_work(&self) -> f64 {
         self.per_worker_work.iter().sum()
+    }
+
+    /// Work-conservation residual of the run's ledger:
+    /// `dispatched − (completed + lost + outstanding)`. Always ≈ 0 (up to
+    /// floating-point accumulation); the engine debug-asserts this before
+    /// returning.
+    pub fn conservation_residual(&self) -> f64 {
+        self.dispatched_work - (self.completed_work() + self.lost_work + self.outstanding_work)
     }
 
     /// Mean worker utilization: busy time / makespan, averaged over workers.
@@ -164,20 +205,68 @@ enum Event {
         unit_start: f64,
         /// True for output returns (output-data extension).
         is_return: bool,
+        /// Ledger id of the chunk ([`RETURN_ID`] for output returns).
+        id: usize,
     },
     /// Progress checkpoint for the transfer pool; stale epochs are ignored.
-    PoolCheck {
-        epoch: u64,
-    },
+    PoolCheck { epoch: u64 },
     Arrival {
         worker: usize,
         chunk: f64,
         unit_start: f64,
+        id: usize,
     },
     ComputeEnd {
         worker: usize,
         chunk: f64,
+        id: usize,
     },
+    /// A fault strikes (fault-injection extension). The next fault is
+    /// queued into the heap only when this one fires, so the fault-free
+    /// path allocates no event sequence numbers to faults.
+    Fault { worker: usize, action: FaultAction },
+}
+
+/// Sentinel ledger id for output returns, which carry no workload units and
+/// are not tracked by the work ledger.
+const RETURN_ID: usize = usize::MAX;
+
+/// Lifecycle of one dispatched chunk in the work ledger. The state machine
+/// doubles as stale-event invalidation: an `Arrival` or `ComputeEnd` whose
+/// chunk is already [`ChunkState::Lost`] is ignored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ChunkState {
+    /// Occupying a send slot: `nLat` setup or the shared data phase.
+    Sending,
+    /// Fully pushed; spending `tLat` in flight.
+    InFlight,
+    /// Arrived; waiting in the worker's FIFO queue.
+    Queued,
+    /// Being computed.
+    Computing,
+    /// Computation finished.
+    Completed,
+    /// Destroyed by a fault.
+    Lost,
+}
+
+impl ChunkState {
+    /// Still holds workload units that are neither completed nor lost.
+    fn is_outstanding(self) -> bool {
+        matches!(
+            self,
+            ChunkState::Sending | ChunkState::InFlight | ChunkState::Queued | ChunkState::Computing
+        )
+    }
+}
+
+/// One dispatched chunk's ledger record.
+#[derive(Debug, Clone, Copy)]
+struct ChunkRecord {
+    worker: usize,
+    size: f64,
+    unit_start: f64,
+    state: ChunkState,
 }
 
 /// Heap entry ordered by (time, sequence) ascending; `BinaryHeap` is a
@@ -213,8 +302,8 @@ impl Ord for QueuedEvent {
 
 struct WorkerState {
     view: WorkerView,
-    /// Received chunks awaiting computation: (size, first unit).
-    queue: VecDeque<(f64, f64)>,
+    /// Received chunks awaiting computation: (ledger id, size, first unit).
+    queue: VecDeque<(usize, f64, f64)>,
 }
 
 /// A transfer in its data phase, sharing the master's uplink.
@@ -231,6 +320,8 @@ struct PoolTransfer {
     /// False for master→worker input sends, true for worker→master output
     /// returns (output-data extension).
     is_return: bool,
+    /// Ledger id ([`RETURN_ID`] for output returns).
+    id: usize,
 }
 
 /// Transfers with less than this much data left are considered complete
@@ -264,6 +355,25 @@ pub struct Engine<'a> {
     return_queue: VecDeque<(usize, f64)>,
     /// Total output units returned to the master.
     returned_work: f64,
+    /// Work ledger: one record per dispatched chunk, indexed by chunk id.
+    ledger: Vec<ChunkRecord>,
+    /// Remaining faults, fed into the heap one at a time.
+    fault_injector: FaultInjector,
+    /// True when `config.faults` can produce faults; gates every semantic
+    /// change relative to the fault-free engine.
+    fault_mode: bool,
+    /// Per-worker current computation: (ledger id, scheduled end time).
+    /// Needed to refund pre-credited busy time when a crash kills the
+    /// computation.
+    current_compute: Vec<Option<(usize, f64)>>,
+    /// Lost unit ranges `(first_unit, length)` awaiting redispatch, FIFO.
+    lost_units: VecDeque<(f64, f64)>,
+    lost_work: f64,
+    lost_chunks: usize,
+    redispatched_work: f64,
+    /// Chunks in an outstanding ledger state (dispatched, not yet completed
+    /// or lost).
+    outstanding_chunks: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -286,6 +396,8 @@ impl<'a> Engine<'a> {
             "output ratio must be non-negative"
         );
         let n = platform.num_workers();
+        let fault_injector = FaultInjector::new(&config.faults, n);
+        let fault_mode = config.faults.is_active();
         Engine {
             platform,
             injector,
@@ -311,6 +423,15 @@ impl<'a> Engine<'a> {
             next_unit: 0.0,
             return_queue: VecDeque::new(),
             returned_work: 0.0,
+            ledger: Vec::new(),
+            fault_injector,
+            fault_mode,
+            current_compute: vec![None; n],
+            lost_units: VecDeque::new(),
+            lost_work: 0.0,
+            lost_chunks: 0,
+            redispatched_work: 0.0,
+            outstanding_chunks: 0,
         }
     }
 
@@ -335,7 +456,7 @@ impl<'a> Engine<'a> {
     }
 
     fn start_compute(&mut self, worker: usize, scheduler: &mut dyn Scheduler) {
-        let (chunk, unit_start) = match self.workers[worker].queue.pop_front() {
+        let (id, chunk, unit_start) = match self.workers[worker].queue.pop_front() {
             Some(c) => c,
             None => return,
         };
@@ -343,18 +464,23 @@ impl<'a> Engine<'a> {
         w.view.queued_chunks -= 1;
         w.view.queued_work -= chunk;
         w.view.computing = true;
+        self.ledger[id].state = ChunkState::Computing;
         let predicted = self.platform.worker(worker).comp_time(chunk);
         let effective =
             self.injector
                 .effective_compute(worker, predicted, unit_start, unit_start + chunk);
         self.per_worker_busy[worker] += effective;
+        self.current_compute[worker] = Some((id, self.now + effective));
         self.record(TraceEvent::ComputeStart {
             worker,
             chunk,
             time: self.now,
         });
         scheduler.on_compute_start(worker, chunk, self.now);
-        self.schedule(self.now + effective, Event::ComputeEnd { worker, chunk });
+        self.schedule(
+            self.now + effective,
+            Event::ComputeEnd { worker, chunk, id },
+        );
     }
 
     /// Integrate pool progress from the last update to `now`.
@@ -448,6 +574,7 @@ impl<'a> Engine<'a> {
                         time: self.now,
                     });
                 } else {
+                    self.ledger[t.id].state = ChunkState::InFlight;
                     self.record(TraceEvent::SendEnd {
                         worker: t.worker,
                         chunk: t.chunk,
@@ -459,6 +586,7 @@ impl<'a> Engine<'a> {
                             worker: t.worker,
                             chunk: t.chunk,
                             unit_start: t.unit_start,
+                            id: t.id,
                         },
                     );
                 }
@@ -495,6 +623,7 @@ impl<'a> Engine<'a> {
                     fly_time,
                     unit_start: 0.0,
                     is_return: true,
+                    id: RETURN_ID,
                 },
             );
         }
@@ -518,49 +647,286 @@ impl<'a> Engine<'a> {
                     *finished = true;
                 }
                 Decision::Dispatch { worker, chunk } => {
-                    if worker >= self.workers.len() || !chunk.is_finite() || chunk <= 0.0 {
-                        return Err(SimError::InvalidDispatch { worker, chunk });
-                    }
-                    self.sending += 1;
-                    self.num_chunks += 1;
-                    self.dispatched_work += chunk;
-                    let w = &mut self.workers[worker];
-                    w.view.in_flight_chunks += 1;
-                    w.view.in_flight_work += chunk;
-                    w.view.assigned_work += chunk;
-
-                    // One perturbation draw covers the whole communication
-                    // operation: it stretches the setup latency, slows the
-                    // effective link rate, and stretches the in-flight
-                    // latency alike.
-                    let spec = self.platform.worker(worker);
-                    let factor = self.injector.comm_factor(worker);
-                    let setup = spec.net_latency * factor;
-                    let link_rate = spec.bandwidth / factor;
-                    let fly_time = spec.transfer_latency * factor;
-                    let unit_start = self.next_unit;
-                    self.next_unit += chunk;
-
-                    self.record(TraceEvent::SendStart {
-                        worker,
-                        chunk,
-                        time: self.now,
-                    });
-                    self.schedule(
-                        self.now + setup,
-                        Event::SetupDone {
-                            worker,
-                            chunk,
-                            link_rate,
-                            fly_time,
-                            unit_start,
-                            is_return: false,
-                        },
-                    );
+                    self.dispatch_chunk(worker, chunk, false)?;
+                }
+                Decision::Redispatch { worker, chunk } => {
+                    self.dispatch_chunk(worker, chunk, true)?;
                 }
             }
         }
         Ok(())
+    }
+
+    /// Validate and start one input transfer; shared by `Dispatch` and
+    /// `Redispatch`.
+    fn dispatch_chunk(
+        &mut self,
+        worker: usize,
+        chunk: f64,
+        redispatch: bool,
+    ) -> Result<(), SimError> {
+        if worker >= self.workers.len() || !chunk.is_finite() || chunk <= 0.0 {
+            return Err(SimError::InvalidDispatch { worker, chunk });
+        }
+        self.sending += 1;
+        self.num_chunks += 1;
+        self.dispatched_work += chunk;
+        let w = &mut self.workers[worker];
+        w.view.in_flight_chunks += 1;
+        w.view.in_flight_work += chunk;
+        w.view.assigned_work += chunk;
+
+        // One perturbation draw covers the whole communication
+        // operation: it stretches the setup latency, slows the
+        // effective link rate, and stretches the in-flight
+        // latency alike.
+        let spec = self.platform.worker(worker);
+        let factor = self.injector.comm_factor(worker);
+        let setup = spec.net_latency * factor;
+        let link_rate = spec.bandwidth / factor;
+        let fly_time = spec.transfer_latency * factor;
+        let unit_start = if redispatch {
+            self.redispatched_work += chunk;
+            self.record(TraceEvent::Redispatch {
+                worker,
+                chunk,
+                time: self.now,
+            });
+            self.take_lost_units(chunk)
+        } else {
+            let u = self.next_unit;
+            self.next_unit += chunk;
+            u
+        };
+        let id = self.ledger.len();
+        self.ledger.push(ChunkRecord {
+            worker,
+            size: chunk,
+            unit_start,
+            state: ChunkState::Sending,
+        });
+        self.outstanding_chunks += 1;
+
+        self.record(TraceEvent::SendStart {
+            worker,
+            chunk,
+            time: self.now,
+        });
+        self.schedule(
+            self.now + setup,
+            Event::SetupDone {
+                worker,
+                chunk,
+                link_rate,
+                fly_time,
+                unit_start,
+                is_return: false,
+                id,
+            },
+        );
+        Ok(())
+    }
+
+    /// Carve `chunk` units for a redispatch from the lost-unit pool, FIFO.
+    ///
+    /// Returns the first unit of the re-sent range. A redispatch no larger
+    /// than the front lost range stays exactly contiguous (the common case:
+    /// recovery schedulers split lost ranges, never merge them); a larger
+    /// one greedily consumes several ranges and is tagged with the first —
+    /// an approximation that only matters to trace-driven cost profiles.
+    /// If the pool is empty (scheduler re-sent more than was lost), fresh
+    /// units are carved instead.
+    fn take_lost_units(&mut self, chunk: f64) -> f64 {
+        let Some(&(start, len)) = self.lost_units.front() else {
+            let u = self.next_unit;
+            self.next_unit += chunk;
+            return u;
+        };
+        if chunk < len - POOL_EPS {
+            self.lost_units[0] = (start + chunk, len - chunk);
+            return start;
+        }
+        self.lost_units.pop_front();
+        let mut covered = len;
+        while covered < chunk - POOL_EPS {
+            let Some((s2, l2)) = self.lost_units.pop_front() else {
+                break;
+            };
+            let needed = chunk - covered;
+            if l2 > needed + POOL_EPS {
+                self.lost_units.push_front((s2 + needed, l2 - needed));
+                covered = chunk;
+            } else {
+                covered += l2;
+            }
+        }
+        start
+    }
+
+    /// Destroy a dispatched chunk (fault semantics). Handles the per-state
+    /// bookkeeping, marks the ledger record lost, and notifies the
+    /// scheduler. Returns true when a data-phase pool transfer was removed
+    /// (the caller must then recompute pool rates).
+    fn lose_chunk(&mut self, id: usize, scheduler: &mut dyn Scheduler) -> bool {
+        let rec = self.ledger[id];
+        debug_assert!(rec.state.is_outstanding(), "losing a settled chunk");
+        let worker = rec.worker;
+        let mut pool_touched = false;
+        match rec.state {
+            ChunkState::Sending => {
+                // Data phase: abort the transfer and free the slot now.
+                // Setup phase: the slot stays busy until its `SetupDone`
+                // fires, which sees the Lost state and frees it.
+                if let Some(pos) = self.pool.iter().position(|t| !t.is_return && t.id == id) {
+                    self.pool.remove(pos);
+                    self.sending -= 1;
+                    pool_touched = true;
+                }
+                let v = &mut self.workers[worker].view;
+                v.in_flight_chunks -= 1;
+                v.in_flight_work -= rec.size;
+            }
+            ChunkState::InFlight => {
+                let v = &mut self.workers[worker].view;
+                v.in_flight_chunks -= 1;
+                v.in_flight_work -= rec.size;
+            }
+            ChunkState::Queued => {
+                let ws = &mut self.workers[worker];
+                if let Some(pos) = ws.queue.iter().position(|&(qid, _, _)| qid == id) {
+                    ws.queue.remove(pos);
+                }
+                ws.view.queued_chunks -= 1;
+                ws.view.queued_work -= rec.size;
+            }
+            ChunkState::Computing => {
+                self.workers[worker].view.computing = false;
+                if let Some((cid, end)) = self.current_compute[worker].take() {
+                    debug_assert_eq!(cid, id, "current-compute ledger mismatch");
+                    // Refund the pre-credited busy time the worker will
+                    // never spend; its stale `ComputeEnd` is ignored later.
+                    self.per_worker_busy[worker] -= end - self.now;
+                }
+            }
+            ChunkState::Completed | ChunkState::Lost => unreachable!("settled chunk"),
+        }
+        let stage = match rec.state {
+            ChunkState::Sending => LostStage::Sending,
+            ChunkState::InFlight => LostStage::InFlight,
+            ChunkState::Queued => LostStage::Queued,
+            ChunkState::Computing => LostStage::Computing,
+            ChunkState::Completed | ChunkState::Lost => unreachable!("settled chunk"),
+        };
+        self.workers[worker].view.assigned_work -= rec.size;
+        self.ledger[id].state = ChunkState::Lost;
+        self.outstanding_chunks -= 1;
+        self.lost_work += rec.size;
+        self.lost_chunks += 1;
+        self.lost_units.push_back((rec.unit_start, rec.size));
+        self.record(TraceEvent::ChunkLost {
+            worker,
+            chunk: rec.size,
+            stage,
+            time: self.now,
+        });
+        scheduler.on_chunk_lost(worker, rec.size, self.now);
+        pool_touched
+    }
+
+    /// Apply one fault. Sets `*finished = false` whenever the fault may
+    /// give the scheduler new work to do (losses to re-queue, a recovered
+    /// worker to use), so the engine resumes consulting it.
+    fn apply_fault(
+        &mut self,
+        worker: usize,
+        action: FaultAction,
+        scheduler: &mut dyn Scheduler,
+        finished: &mut bool,
+    ) {
+        match action {
+            FaultAction::Down => {
+                if !self.workers[worker].view.alive {
+                    return; // already down
+                }
+                self.workers[worker].view.alive = false;
+                self.record(TraceEvent::WorkerDown {
+                    worker,
+                    time: self.now,
+                });
+                scheduler.on_worker_failed(worker, self.now);
+                // Lost now: queued + computing chunks (the worker's memory)
+                // and transfers occupying the master (setup or data phase).
+                // Fly-phase chunks keep flying and die on arrival only if
+                // the worker is still down then.
+                let doomed: Vec<usize> = self
+                    .ledger
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| {
+                        r.worker == worker
+                            && matches!(
+                                r.state,
+                                ChunkState::Sending | ChunkState::Queued | ChunkState::Computing
+                            )
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                self.destroy_chunks(&doomed, scheduler, finished);
+            }
+            FaultAction::Up => {
+                if self.workers[worker].view.alive {
+                    return; // already up
+                }
+                debug_assert!(self.workers[worker].queue.is_empty(), "dead worker queue");
+                self.workers[worker].view.alive = true;
+                self.record(TraceEvent::WorkerUp {
+                    worker,
+                    time: self.now,
+                });
+                scheduler.on_worker_recovered(worker, self.now);
+                // The recovered worker is new capacity: re-consult the
+                // scheduler even if it had declared itself finished.
+                *finished = false;
+            }
+            FaultAction::LinkDrop => {
+                // Everything currently in transit to the worker dies; its
+                // queued/computing chunks already crossed the link safely.
+                let doomed: Vec<usize> = self
+                    .ledger
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| {
+                        r.worker == worker
+                            && matches!(r.state, ChunkState::Sending | ChunkState::InFlight)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                self.destroy_chunks(&doomed, scheduler, finished);
+            }
+        }
+    }
+
+    /// Lose a batch of chunks at the current time, fixing up the transfer
+    /// pool once at the end.
+    fn destroy_chunks(
+        &mut self,
+        ids: &[usize],
+        scheduler: &mut dyn Scheduler,
+        finished: &mut bool,
+    ) {
+        if ids.is_empty() {
+            return;
+        }
+        self.update_pool_progress();
+        let mut pool_touched = false;
+        for &id in ids {
+            pool_touched |= self.lose_chunk(id, scheduler);
+        }
+        if pool_touched {
+            self.recompute_pool_rates();
+            self.schedule_pool_check();
+        }
+        *finished = false;
     }
 
     /// Run the simulation to completion.
@@ -570,13 +936,38 @@ impl<'a> Engine<'a> {
     /// See [`SimError`].
     pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Result<SimResult, SimError> {
         let mut finished = false;
+        // Seed the first fault; each fault event enqueues its successor, so
+        // exactly one is pending at a time and `FaultModel::None` consumes
+        // no event sequence numbers (bit-identical fault-free runs).
+        if let Some(f) = self.fault_injector.pop() {
+            self.schedule(
+                f.time,
+                Event::Fault {
+                    worker: f.worker,
+                    action: f.action,
+                },
+            );
+        }
         loop {
             // Returns first (they complete the run), then the scheduler.
             self.start_returns();
             self.try_dispatch(scheduler, &mut finished)?;
 
+            // In fault mode, stop as soon as all work is settled: pending
+            // fault events must not stretch the makespan, and with
+            // crash-stop losses the heap can drain with work undone —
+            // partial completion, not a scheduler deadlock.
+            if self.fault_mode
+                && finished
+                && self.outstanding_chunks == 0
+                && self.sending == 0
+                && self.return_queue.is_empty()
+            {
+                break;
+            }
+
             let Some(entry) = self.heap.pop() else {
-                if finished {
+                if finished || self.fault_mode {
                     break;
                 }
                 return Err(SimError::Deadlock { time: self.now });
@@ -594,7 +985,14 @@ impl<'a> Engine<'a> {
                     fly_time,
                     unit_start,
                     is_return,
+                    id,
                 } => {
+                    if !is_return && self.ledger[id].state == ChunkState::Lost {
+                        // Destroyed during setup by a fault; the loss was
+                        // accounted then — just free the send slot.
+                        self.sending -= 1;
+                        continue;
+                    }
                     self.update_pool_progress();
                     self.pool.push(PoolTransfer {
                         worker,
@@ -605,6 +1003,7 @@ impl<'a> Engine<'a> {
                         fly_time,
                         unit_start,
                         is_return,
+                        id,
                     });
                     self.recompute_pool_rates();
                     // A zero-size... chunks are > 0, but a chunk can finish
@@ -624,7 +1023,20 @@ impl<'a> Engine<'a> {
                     worker,
                     chunk,
                     unit_start,
+                    id,
                 } => {
+                    if self.ledger[id].state != ChunkState::InFlight {
+                        continue; // Destroyed mid-flight by a link drop.
+                    }
+                    if !self.workers[worker].view.alive {
+                        // Delivered to a crashed worker: destroyed on
+                        // arrival (no Arrival is recorded — the worker
+                        // never received it).
+                        self.lose_chunk(id, scheduler);
+                        finished = false;
+                        continue;
+                    }
+                    self.ledger[id].state = ChunkState::Queued;
                     self.record(TraceEvent::Arrival {
                         worker,
                         chunk,
@@ -635,13 +1047,19 @@ impl<'a> Engine<'a> {
                     w.view.in_flight_work -= chunk;
                     w.view.queued_chunks += 1;
                     w.view.queued_work += chunk;
-                    w.queue.push_back((chunk, unit_start));
+                    w.queue.push_back((id, chunk, unit_start));
                     scheduler.on_arrival(worker, chunk, self.now);
                     if !self.workers[worker].view.computing {
                         self.start_compute(worker, scheduler);
                     }
                 }
-                Event::ComputeEnd { worker, chunk } => {
+                Event::ComputeEnd { worker, chunk, id } => {
+                    if self.ledger[id].state != ChunkState::Computing {
+                        continue; // Stale: the chunk died with its worker.
+                    }
+                    self.ledger[id].state = ChunkState::Completed;
+                    self.outstanding_chunks -= 1;
+                    self.current_compute[worker] = None;
                     self.record(TraceEvent::ComputeEnd {
                         worker,
                         chunk,
@@ -658,9 +1076,41 @@ impl<'a> Engine<'a> {
                     }
                     self.start_compute(worker, scheduler);
                 }
+                Event::Fault { worker, action } => {
+                    self.apply_fault(worker, action, scheduler, &mut finished);
+                    if let Some(f) = self.fault_injector.pop() {
+                        self.schedule(
+                            f.time,
+                            Event::Fault {
+                                worker: f.worker,
+                                action: f.action,
+                            },
+                        );
+                    }
+                }
             }
         }
 
+        let outstanding_work: f64 = self
+            .ledger
+            .iter()
+            .filter(|r| r.state.is_outstanding())
+            .map(|r| r.size)
+            .sum();
+        debug_assert!(
+            {
+                let residual = self.dispatched_work
+                    - (self
+                        .workers
+                        .iter()
+                        .map(|w| w.view.completed_work)
+                        .sum::<f64>()
+                        + self.lost_work
+                        + outstanding_work);
+                residual.abs() <= 1e-6 * self.dispatched_work.abs().max(1.0)
+            },
+            "work-ledger conservation violated"
+        );
         Ok(SimResult {
             makespan: self.now,
             num_chunks: self.num_chunks,
@@ -668,6 +1118,11 @@ impl<'a> Engine<'a> {
             returned_work: self.returned_work,
             per_worker_work: self.workers.iter().map(|w| w.view.completed_work).collect(),
             per_worker_busy: self.per_worker_busy,
+            lost_work: self.lost_work,
+            lost_chunks: self.lost_chunks,
+            redispatched_work: self.redispatched_work,
+            outstanding_work,
+            lost_ranges: self.lost_units.into_iter().collect(),
             trace: if self.config.record_trace {
                 Some(self.trace)
             } else {
@@ -1238,5 +1693,310 @@ mod tests {
             ..Default::default()
         };
         let _ = Engine::new(&platform, ErrorInjector::new(ErrorModel::None, 0), cfg);
+    }
+
+    // ---- fault injection ----
+
+    use crate::faults::{FaultModel, FaultPlan, PoissonFaults};
+
+    /// A unit platform: speed 1, bandwidth 1, no latencies.
+    fn unit_platform(n: usize) -> Platform {
+        Platform::homogeneous(
+            n,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 1.0,
+                comp_latency: 0.0,
+                net_latency: 0.0,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap()
+    }
+
+    fn faulty(plan: FaultPlan) -> SimConfig {
+        SimConfig {
+            record_trace: true,
+            faults: FaultModel::Plan(plan),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn crash_stop_loses_computing_chunk() {
+        // w0: send [0,5], compute [5,10]. w1: send [5,10], compute [10,15],
+        // crashed at 12 — its chunk is lost mid-computation.
+        let platform = unit_platform(2);
+        let mut s = ListScheduler::new(vec![(0, 5.0), (1, 5.0)]);
+        let cfg = faulty(FaultPlan::new().crash(12.0, 1));
+        let r = simulate(&platform, &mut s, exact(&platform), cfg).unwrap();
+        assert!((r.completed_work() - 5.0).abs() < 1e-12);
+        assert!((r.lost_work - 5.0).abs() < 1e-12);
+        assert_eq!(r.lost_chunks, 1);
+        assert!((r.outstanding_work).abs() < 1e-12);
+        assert!(r.conservation_residual().abs() < 1e-9);
+        // Worker 1's chunk covered units [5, 10) — never redispatched.
+        assert_eq!(r.lost_ranges, vec![(5.0, 5.0)]);
+        assert!((r.makespan - 12.0).abs() < 1e-9, "makespan {}", r.makespan);
+        assert!(r.trace.unwrap().validate(2).is_empty());
+    }
+
+    #[test]
+    fn crash_loses_queued_chunks_too() {
+        // Fast link: both chunks are on the worker when it crashes at 0.5
+        // (one computing, one queued). Everything dies with it.
+        let platform = Platform::homogeneous(
+            1,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 100.0,
+                comp_latency: 0.0,
+                net_latency: 0.0,
+                transfer_latency: 0.0,
+            },
+        )
+        .unwrap();
+        let mut s = ListScheduler::new(vec![(0, 1.0), (0, 3.0)]);
+        let cfg = faulty(FaultPlan::new().crash(0.5, 0));
+        let r = simulate(&platform, &mut s, exact(&platform), cfg).unwrap();
+        assert_eq!(r.completed_work(), 0.0);
+        assert!((r.lost_work - 4.0).abs() < 1e-12);
+        assert_eq!(r.lost_chunks, 2);
+        assert!(r.conservation_residual().abs() < 1e-9);
+        assert!(r.trace.unwrap().validate(1).is_empty());
+    }
+
+    #[test]
+    fn fly_phase_chunk_dies_on_arrival_at_dead_worker() {
+        // tLat = 2: the chunk leaves the master at t=5 and is in its fly
+        // phase when the worker crashes at 6; it is destroyed on arrival
+        // (t=7), not at crash time.
+        let platform = Platform::homogeneous(
+            1,
+            WorkerSpec {
+                speed: 1.0,
+                bandwidth: 1.0,
+                comp_latency: 0.0,
+                net_latency: 0.0,
+                transfer_latency: 2.0,
+            },
+        )
+        .unwrap();
+        let mut s = ListScheduler::new(vec![(0, 5.0)]);
+        let cfg = faulty(FaultPlan::new().crash(6.0, 0));
+        let r = simulate(&platform, &mut s, exact(&platform), cfg).unwrap();
+        assert_eq!(r.completed_work(), 0.0);
+        assert!((r.lost_work - 5.0).abs() < 1e-12);
+        assert!((r.makespan - 7.0).abs() < 1e-9, "makespan {}", r.makespan);
+        let trace = r.trace.unwrap();
+        // The loss happened at arrival time, after the crash.
+        let lost_at = trace
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::ChunkLost { time, .. } => Some(*time),
+                _ => None,
+            })
+            .unwrap();
+        assert!((lost_at - 7.0).abs() < 1e-9);
+        assert!(trace.validate(1).is_empty());
+    }
+
+    #[test]
+    fn recovered_worker_computes_again() {
+        // Crash at 2.5 kills the computing chunk and the one on the wire;
+        // recovery at 3.0 lets the third chunk (dispatched at 2.5 when the
+        // send slot freed) arrive at a live worker and complete.
+        let platform = unit_platform(1);
+        let mut s = ListScheduler::new(vec![(0, 2.0), (0, 2.0), (0, 2.0)]);
+        let cfg = faulty(FaultPlan::new().crash_recover(2.5, 0, 0.5));
+        let r = simulate(&platform, &mut s, exact(&platform), cfg).unwrap();
+        assert!((r.completed_work() - 2.0).abs() < 1e-12);
+        assert!((r.lost_work - 4.0).abs() < 1e-12);
+        assert!(r.conservation_residual().abs() < 1e-9);
+        let trace = r.trace.unwrap();
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::WorkerUp { worker: 0, .. })));
+        assert!(trace.validate(1).is_empty());
+    }
+
+    #[test]
+    fn link_drop_spares_worker_memory() {
+        // At t=3 chunk 1 computes on the worker (safe) while chunk 2 is on
+        // the wire (destroyed). The worker itself never goes down.
+        let platform = unit_platform(1);
+        let mut s = ListScheduler::new(vec![(0, 2.0), (0, 2.0)]);
+        let cfg = faulty(FaultPlan::new().link_drop(3.0, 0));
+        let r = simulate(&platform, &mut s, exact(&platform), cfg).unwrap();
+        assert!((r.completed_work() - 2.0).abs() < 1e-12);
+        assert!((r.lost_work - 2.0).abs() < 1e-12);
+        let trace = r.trace.unwrap();
+        assert!(!trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::WorkerDown { .. })));
+        assert!(trace.validate(1).is_empty());
+    }
+
+    /// Dispatches one chunk, then re-sends anything reported lost.
+    struct RedispatchOnLoss {
+        sent: bool,
+        pending: Option<f64>,
+    }
+
+    impl Scheduler for RedispatchOnLoss {
+        fn name(&self) -> String {
+            "redispatch-on-loss".into()
+        }
+        fn next_dispatch(&mut self, _view: &SimView<'_>) -> Decision {
+            if !self.sent {
+                self.sent = true;
+                return Decision::Dispatch {
+                    worker: 0,
+                    chunk: 4.0,
+                };
+            }
+            match self.pending.take() {
+                Some(chunk) => Decision::Redispatch { worker: 0, chunk },
+                None => Decision::Finished,
+            }
+        }
+        fn on_chunk_lost(&mut self, _worker: usize, chunk: f64, _time: f64) {
+            self.pending = Some(chunk);
+        }
+    }
+
+    #[test]
+    fn redispatch_recovers_lost_units() {
+        // The link drop at t=1 destroys the send in progress; the scheduler
+        // re-sends the same units and the run completes fully.
+        let platform = unit_platform(1);
+        let mut s = RedispatchOnLoss {
+            sent: false,
+            pending: None,
+        };
+        let cfg = faulty(FaultPlan::new().link_drop(1.0, 0));
+        let r = simulate(&platform, &mut s, exact(&platform), cfg).unwrap();
+        assert!((r.completed_work() - 4.0).abs() < 1e-12);
+        assert!((r.lost_work - 4.0).abs() < 1e-12);
+        assert!((r.redispatched_work - 4.0).abs() < 1e-12);
+        assert!((r.dispatched_work - 8.0).abs() < 1e-12);
+        // The lost unit range was consumed by the redispatch.
+        assert!(r.lost_ranges.is_empty(), "{:?}", r.lost_ranges);
+        assert!(r.conservation_residual().abs() < 1e-9);
+        let trace = r.trace.unwrap();
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Redispatch { .. })));
+        assert!(trace.validate(1).is_empty());
+    }
+
+    #[test]
+    fn invalid_redispatch_rejected() {
+        struct Bad(Option<Decision>);
+        impl Scheduler for Bad {
+            fn name(&self) -> String {
+                "bad".into()
+            }
+            fn next_dispatch(&mut self, _view: &SimView<'_>) -> Decision {
+                self.0.take().unwrap_or(Decision::Finished)
+            }
+        }
+        let platform = HomogeneousParams::table1(2, 1.5, 0.1, 0.1).build().unwrap();
+        for bad in [
+            Decision::Redispatch {
+                worker: 9,
+                chunk: 1.0,
+            },
+            Decision::Redispatch {
+                worker: 0,
+                chunk: f64::NAN,
+            },
+            Decision::Redispatch {
+                worker: 0,
+                chunk: f64::INFINITY,
+            },
+            Decision::Redispatch {
+                worker: 0,
+                chunk: -2.0,
+            },
+            Decision::Dispatch {
+                worker: 0,
+                chunk: f64::INFINITY,
+            },
+        ] {
+            let mut s = Bad(Some(bad));
+            let e =
+                simulate(&platform, &mut s, exact(&platform), SimConfig::default()).unwrap_err();
+            assert!(matches!(e, SimError::InvalidDispatch { .. }), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_down_and_up_are_no_ops() {
+        // The second chunk (dispatched at 0.5 when the crash frees the send
+        // slot) keeps the run alive across all four fault events.
+        let platform = unit_platform(1);
+        let mut s = ListScheduler::new(vec![(0, 2.0), (0, 2.0)]);
+        let plan = FaultPlan::new()
+            .crash(0.5, 0)
+            .crash(0.6, 0) // already down
+            .add(0.7, 0, crate::faults::FaultAction::Up)
+            .add(0.8, 0, crate::faults::FaultAction::Up); // already up
+        let r = simulate(&platform, &mut s, exact(&platform), faulty(plan)).unwrap();
+        let trace = r.trace.unwrap();
+        let downs = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::WorkerDown { .. }))
+            .count();
+        let ups = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::WorkerUp { .. }))
+            .count();
+        assert_eq!((downs, ups), (1, 1));
+        assert!(trace.validate(1).is_empty());
+    }
+
+    #[test]
+    fn poisson_fault_runs_are_reproducible() {
+        let platform = HomogeneousParams::table1(4, 1.5, 0.2, 0.2).build().unwrap();
+        let run = || {
+            let plan: Vec<(usize, f64)> = (0..12).map(|i| (i % 4, 25.0)).collect();
+            let mut s = ListScheduler::new(plan);
+            let cfg = SimConfig {
+                record_trace: true,
+                faults: FaultModel::Poisson(PoissonFaults::crash_recovery(40.0, 10.0, 1000.0, 7)),
+                ..Default::default()
+            };
+            let inj = ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.3 }, 5);
+            simulate(&platform, &mut s, inj, cfg).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.lost_work.to_bits(), b.lost_work.to_bits());
+        assert_eq!(a.lost_chunks, b.lost_chunks);
+        assert!(a.conservation_residual().abs() < 1e-9);
+        assert!(a.trace.unwrap().validate(4).is_empty());
+    }
+
+    #[test]
+    fn fault_mode_partial_completion_is_not_deadlock() {
+        // Crash-stop with no recovery scheduler: the run ends with work
+        // lost, but that is a partial result, not a deadlock error.
+        let platform = unit_platform(2);
+        let mut s = ListScheduler::new(vec![(0, 5.0), (1, 5.0)]);
+        let cfg = SimConfig {
+            faults: FaultModel::Plan(FaultPlan::new().crash(6.0, 1)),
+            ..Default::default()
+        };
+        let r = simulate(&platform, &mut s, exact(&platform), cfg).unwrap();
+        assert!(r.lost_work > 0.0);
+        assert!(r.completed_work() < r.dispatched_work);
     }
 }

@@ -48,6 +48,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod metrics;
 pub mod platform;
 pub mod profile;
@@ -56,8 +57,9 @@ pub mod trace;
 
 pub use engine::{simulate, Engine, SimConfig, SimError, SimResult};
 pub use error::{ErrorInjector, ErrorModel, TemporalNoise};
+pub use faults::{FaultAction, FaultEvent, FaultModel, FaultPlan, PoissonFaults};
 pub use metrics::{Gap, TraceMetrics};
 pub use platform::{HomogeneousParams, Platform, PlatformError, WorkerSpec};
 pub use profile::CostProfile;
 pub use scheduler::{Decision, Scheduler, SimView, WorkerView};
-pub use trace::{Trace, TraceEvent, TraceViolation};
+pub use trace::{LostStage, Trace, TraceEvent, TraceViolation};

@@ -45,6 +45,13 @@ pub struct TraceMetrics {
     pub gaps: Vec<Gap>,
     /// Chunk sizes in dispatch order.
     pub chunk_timeline: Vec<f64>,
+    /// Workload units destroyed by faults (sum over `ChunkLost` events).
+    pub work_lost: f64,
+    /// Workload units re-sent after a loss (sum over `Redispatch` markers).
+    pub work_redispatched: f64,
+    /// Seconds each worker spent crashed. Down intervals still open at the
+    /// end of the trace are counted up to the makespan.
+    pub per_worker_downtime: Vec<f64>,
 }
 
 impl TraceMetrics {
@@ -65,6 +72,11 @@ impl TraceMetrics {
         let mut busy: Vec<f64> = vec![0.0; num_workers];
         let mut current_start: Vec<Option<f64>> = vec![None; num_workers];
         let mut gaps = Vec::new();
+
+        let mut work_lost = 0.0;
+        let mut work_redispatched = 0.0;
+        let mut per_worker_downtime = vec![0.0; num_workers];
+        let mut down_since: Vec<Option<f64>> = vec![None; num_workers];
 
         for event in trace.events() {
             match *event {
@@ -98,7 +110,26 @@ impl TraceMetrics {
                     }
                     last_compute_end[worker] = Some(time);
                 }
+                TraceEvent::ChunkLost { chunk, .. } => {
+                    work_lost += chunk;
+                }
+                TraceEvent::Redispatch { chunk, .. } => {
+                    work_redispatched += chunk;
+                }
+                TraceEvent::WorkerDown { worker, time } if worker < num_workers => {
+                    down_since[worker] = Some(time);
+                }
+                TraceEvent::WorkerUp { worker, time } if worker < num_workers => {
+                    if let Some(s) = down_since[worker].take() {
+                        per_worker_downtime[worker] += time - s;
+                    }
+                }
                 _ => {}
+            }
+        }
+        for (w, since) in down_since.iter().enumerate() {
+            if let Some(s) = since {
+                per_worker_downtime[w] += makespan - s;
             }
         }
 
@@ -128,6 +159,9 @@ impl TraceMetrics {
             },
             gaps,
             chunk_timeline,
+            work_lost,
+            work_redispatched,
+            per_worker_downtime,
         }
     }
 
@@ -306,5 +340,48 @@ mod tests {
         let m = TraceMetrics::from_trace(&t, 1);
         assert!(m.gaps.is_empty());
         assert!((m.mean_compute_density - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_accounting() {
+        let mut t = trace_two_workers();
+        t.push(TraceEvent::WorkerDown {
+            worker: 1,
+            time: 2.0,
+        });
+        t.push(TraceEvent::ChunkLost {
+            worker: 1,
+            chunk: 3.0,
+            stage: crate::trace::LostStage::Computing,
+            time: 2.0,
+        });
+        t.push(TraceEvent::WorkerUp {
+            worker: 1,
+            time: 4.5,
+        });
+        t.push(TraceEvent::Redispatch {
+            worker: 0,
+            chunk: 3.0,
+            time: 5.0,
+        });
+        // Worker 0 goes down at 5.5 and never recovers: open interval
+        // counts up to the makespan (6.0).
+        t.push(TraceEvent::WorkerDown {
+            worker: 0,
+            time: 5.5,
+        });
+        let m = TraceMetrics::from_trace(&t, 2);
+        assert!((m.work_lost - 3.0).abs() < 1e-12);
+        assert!((m.work_redispatched - 3.0).abs() < 1e-12);
+        assert!((m.per_worker_downtime[1] - 2.5).abs() < 1e-12);
+        assert!((m.per_worker_downtime[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_free_trace_has_zero_fault_metrics() {
+        let m = TraceMetrics::from_trace(&trace_two_workers(), 2);
+        assert_eq!(m.work_lost, 0.0);
+        assert_eq!(m.work_redispatched, 0.0);
+        assert!(m.per_worker_downtime.iter().all(|&d| d == 0.0));
     }
 }

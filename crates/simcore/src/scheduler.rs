@@ -19,15 +19,34 @@ pub enum Decision {
         /// Chunk size in workload units; must be finite and > 0.
         chunk: f64,
     },
+    /// Like [`Decision::Dispatch`], but flags the chunk as *redispatched*
+    /// work — a re-send of workload that was previously lost to a fault.
+    /// The engine treats it identically to a dispatch for platform
+    /// semantics, but accounts it separately (`SimResult::redispatched_work`,
+    /// `TraceEvent::Redispatch`) so degradation studies can distinguish
+    /// first-pass from recovery traffic.
+    Redispatch {
+        /// Destination worker.
+        worker: usize,
+        /// Chunk size in workload units; must be finite and > 0.
+        chunk: f64,
+    },
     /// Nothing to send right now; ask again after the next simulation event.
     Wait,
-    /// The whole workload has been dispatched; never ask again.
+    /// The whole workload has been dispatched; never ask again — unless
+    /// work is later lost to a fault, in which case the engine resumes
+    /// consulting the scheduler (recovery-aware schedulers then re-queue
+    /// the lost work; plain schedulers just return `Finished` again).
     Finished,
 }
 
 /// Live per-worker state visible to schedulers.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkerView {
+    /// False while the worker is crashed (fault injection). Dead workers
+    /// accept no computation; chunks sent to them are lost on arrival.
+    /// Always `true` when fault injection is disabled.
+    pub alive: bool,
     /// True while a chunk's computation is in progress.
     pub computing: bool,
     /// Chunks received but not yet started.
@@ -47,14 +66,32 @@ pub struct WorkerView {
     pub completed_chunks: usize,
 }
 
+impl Default for WorkerView {
+    /// A fresh, idle, *alive* worker.
+    fn default() -> Self {
+        WorkerView {
+            alive: true,
+            computing: false,
+            queued_chunks: 0,
+            queued_work: 0.0,
+            in_flight_chunks: 0,
+            in_flight_work: 0.0,
+            assigned_work: 0.0,
+            completed_work: 0.0,
+            completed_chunks: 0,
+        }
+    }
+}
+
 impl WorkerView {
-    /// A worker is *hungry* when it has nothing to do and nothing on the
-    /// way: not computing, an empty local queue, and no in-flight transfer.
-    /// RUMR's out-of-order dispatch and all pull-based schedulers key off
-    /// this predicate.
+    /// A worker is *hungry* when it is alive and has nothing to do and
+    /// nothing on the way: not computing, an empty local queue, and no
+    /// in-flight transfer. RUMR's out-of-order dispatch and all pull-based
+    /// schedulers key off this predicate, which makes every pull-based
+    /// policy avoid crashed workers automatically.
     #[inline]
     pub fn is_hungry(&self) -> bool {
-        !self.computing && self.queued_chunks == 0 && self.in_flight_chunks == 0
+        self.alive && !self.computing && self.queued_chunks == 0 && self.in_flight_chunks == 0
     }
 
     /// Workload units dispatched to this worker whose computation has not
@@ -130,6 +167,57 @@ pub trait Scheduler {
     /// Notification: a chunk fully arrived at `worker` at `time`.
     fn on_arrival(&mut self, worker: usize, chunk: f64, time: f64) {
         let _ = (worker, chunk, time);
+    }
+
+    /// Notification: `worker` crashed at `time` (fault injection). Any
+    /// work it held is reported separately through
+    /// [`Scheduler::on_chunk_lost`], once per lost chunk, immediately after
+    /// this call.
+    fn on_worker_failed(&mut self, worker: usize, time: f64) {
+        let _ = (worker, time);
+    }
+
+    /// Notification: `worker` came back up at `time` with an empty queue
+    /// (crash-recovery fault model).
+    fn on_worker_recovered(&mut self, worker: usize, time: f64) {
+        let _ = (worker, time);
+    }
+
+    /// Notification: a dispatched chunk of `chunk` units bound for (or held
+    /// by) `worker` was destroyed at `time` by a fault. Recovery-aware
+    /// schedulers re-queue the work (see `Decision::Redispatch`); plain
+    /// schedulers ignore it and simply under-complete.
+    fn on_chunk_lost(&mut self, worker: usize, chunk: f64, time: f64) {
+        let _ = (worker, chunk, time);
+    }
+}
+
+/// Boxed schedulers are schedulers, so wrappers like a recovery layer can
+/// compose with `Box<dyn Scheduler>` produced by scheduler factories.
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn next_dispatch(&mut self, view: &SimView<'_>) -> Decision {
+        (**self).next_dispatch(view)
+    }
+    fn on_compute_start(&mut self, worker: usize, chunk: f64, time: f64) {
+        (**self).on_compute_start(worker, chunk, time)
+    }
+    fn on_compute_end(&mut self, worker: usize, chunk: f64, time: f64) {
+        (**self).on_compute_end(worker, chunk, time)
+    }
+    fn on_arrival(&mut self, worker: usize, chunk: f64, time: f64) {
+        (**self).on_arrival(worker, chunk, time)
+    }
+    fn on_worker_failed(&mut self, worker: usize, time: f64) {
+        (**self).on_worker_failed(worker, time)
+    }
+    fn on_worker_recovered(&mut self, worker: usize, time: f64) {
+        (**self).on_worker_recovered(worker, time)
+    }
+    fn on_chunk_lost(&mut self, worker: usize, chunk: f64, time: f64) {
+        (**self).on_chunk_lost(worker, chunk, time)
     }
 }
 

@@ -11,6 +11,21 @@
 
 use std::fmt;
 
+/// Which lifecycle stage a chunk was in when a fault destroyed it. Lets the
+/// validator retire the chunk from exactly the right stage even when several
+/// same-sized chunks are live at once (factoring rounds send equal sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LostStage {
+    /// The master was still pushing it (setup or data phase).
+    Sending,
+    /// Fly phase: it had left the master but not yet arrived.
+    InFlight,
+    /// Sitting in the worker's local queue.
+    Queued,
+    /// Being computed.
+    Computing,
+}
+
 /// One timestamped simulation event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
@@ -79,6 +94,43 @@ pub enum TraceEvent {
         /// Simulation time.
         time: f64,
     },
+    /// The worker crashed (fault injection). Chunks it held are reported by
+    /// individual [`TraceEvent::ChunkLost`] events.
+    WorkerDown {
+        /// Crashed worker.
+        worker: usize,
+        /// Simulation time.
+        time: f64,
+    },
+    /// The worker came back up with an empty queue (crash-recovery).
+    WorkerUp {
+        /// Recovered worker.
+        worker: usize,
+        /// Simulation time.
+        time: f64,
+    },
+    /// A dispatched chunk was destroyed by a fault — mid-transfer, queued,
+    /// or mid-computation.
+    ChunkLost {
+        /// Worker the chunk was bound for or held by.
+        worker: usize,
+        /// Chunk size in workload units.
+        chunk: f64,
+        /// Lifecycle stage the chunk was in when destroyed.
+        stage: LostStage,
+        /// Simulation time.
+        time: f64,
+    },
+    /// Marker: the next `SendStart` to this worker re-sends previously lost
+    /// work (`Decision::Redispatch`). Carries no platform semantics.
+    Redispatch {
+        /// Destination worker.
+        worker: usize,
+        /// Chunk size in workload units.
+        chunk: f64,
+        /// Simulation time.
+        time: f64,
+    },
 }
 
 impl TraceEvent {
@@ -91,7 +143,11 @@ impl TraceEvent {
             | TraceEvent::ComputeStart { time, .. }
             | TraceEvent::ComputeEnd { time, .. }
             | TraceEvent::ReturnStart { time, .. }
-            | TraceEvent::ReturnEnd { time, .. } => time,
+            | TraceEvent::ReturnEnd { time, .. }
+            | TraceEvent::WorkerDown { time, .. }
+            | TraceEvent::WorkerUp { time, .. }
+            | TraceEvent::ChunkLost { time, .. }
+            | TraceEvent::Redispatch { time, .. } => time,
         }
     }
 
@@ -104,7 +160,11 @@ impl TraceEvent {
             | TraceEvent::ComputeStart { worker, .. }
             | TraceEvent::ComputeEnd { worker, .. }
             | TraceEvent::ReturnStart { worker, .. }
-            | TraceEvent::ReturnEnd { worker, .. } => worker,
+            | TraceEvent::ReturnEnd { worker, .. }
+            | TraceEvent::WorkerDown { worker, .. }
+            | TraceEvent::WorkerUp { worker, .. }
+            | TraceEvent::ChunkLost { worker, .. }
+            | TraceEvent::Redispatch { worker, .. } => worker,
         }
     }
 }
@@ -137,11 +197,13 @@ pub enum TraceViolation {
         /// Description of the violated causal edge.
         what: &'static str,
     },
-    /// Computed workload does not equal dispatched workload.
+    /// Accounted workload (computed + explicitly lost) does not equal
+    /// dispatched workload.
     WorkloadMismatch {
         /// Total workload units dispatched by the master.
         dispatched: f64,
-        /// Total workload units whose computation completed.
+        /// Total workload units accounted for: computation completed plus
+        /// explicitly lost to faults.
         computed: f64,
     },
     /// A non-finite or negative timestamp or chunk size.
@@ -242,6 +304,17 @@ impl Trace {
             .sum()
     }
 
+    /// Total workload units destroyed by faults (`ChunkLost` events).
+    pub fn lost_work(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ChunkLost { chunk, .. } => Some(chunk),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// Number of chunks dispatched.
     pub fn num_chunks(&self) -> usize {
         self.events
@@ -262,7 +335,11 @@ impl Trace {
     ///    arrived chunks in FIFO order.
     /// 4. `Arrival` follows the matching `SendEnd`; `ComputeStart` follows
     ///    the arrival of the chunk it consumes.
-    /// 5. Every dispatched unit of workload is eventually computed.
+    /// 5. Every dispatched unit of workload is eventually computed **or
+    ///    explicitly lost to a fault** (`ChunkLost`); a lost chunk is
+    ///    removed from whatever lifecycle stage it occupied.
+    /// 6. Fault events alternate sanely: no `WorkerDown` while down, no
+    ///    `WorkerUp` while up.
     pub fn validate(&self, num_workers: usize) -> Vec<TraceViolation> {
         self.validate_with_concurrency(num_workers, 1)
     }
@@ -290,6 +367,8 @@ impl Trace {
         let mut computing: Vec<Option<f64>> = vec![None; num_workers];
         let mut sent_not_arrived: Vec<std::collections::VecDeque<f64>> =
             vec![Default::default(); num_workers];
+        let mut alive = vec![true; num_workers];
+        let mut lost_total = 0.0_f64;
 
         for (i, e) in self.events.iter().enumerate() {
             let t = e.time();
@@ -390,6 +469,78 @@ impl Trace {
                         }),
                     }
                 }
+                TraceEvent::WorkerDown { worker, .. } => {
+                    if !alive[worker] {
+                        violations.push(TraceViolation::CausalityViolation {
+                            worker,
+                            what: "worker went down while already down",
+                        });
+                    }
+                    alive[worker] = false;
+                }
+                TraceEvent::WorkerUp { worker, .. } => {
+                    if alive[worker] {
+                        violations.push(TraceViolation::CausalityViolation {
+                            worker,
+                            what: "worker recovered while already up",
+                        });
+                    }
+                    alive[worker] = true;
+                }
+                TraceEvent::ChunkLost {
+                    worker,
+                    chunk,
+                    stage,
+                    ..
+                } => {
+                    if !chunk.is_finite() || chunk < 0.0 {
+                        violations.push(TraceViolation::InvalidValue { index: i });
+                        continue;
+                    }
+                    lost_total += chunk;
+                    // Retire the chunk from exactly the stage the event
+                    // claims (a mid-send loss leaves its SendStart without
+                    // a SendEnd).
+                    let near = |&sc: &f64| (sc - chunk).abs() < TIME_EPS;
+                    let found = match stage {
+                        LostStage::Computing => computing[worker]
+                            .filter(|c| near(c))
+                            .map(|_| computing[worker] = None)
+                            .is_some(),
+                        LostStage::Queued => queued[worker]
+                            .iter()
+                            .position(near)
+                            .map(|pos| {
+                                queued[worker].remove(pos);
+                            })
+                            .is_some(),
+                        LostStage::InFlight => sent_not_arrived[worker]
+                            .iter()
+                            .position(near)
+                            .map(|pos| {
+                                sent_not_arrived[worker].remove(pos);
+                            })
+                            .is_some(),
+                        LostStage::Sending => open_sends[worker]
+                            .iter()
+                            .position(near)
+                            .map(|pos| {
+                                open_sends[worker].remove(pos);
+                                open_send_count -= 1;
+                            })
+                            .is_some(),
+                    };
+                    if !found {
+                        violations.push(TraceViolation::CausalityViolation {
+                            worker,
+                            what: "chunk lost in a stage it never reached",
+                        });
+                    }
+                }
+                TraceEvent::Redispatch { .. } => {
+                    // Accounting marker only; the actual transfer is the
+                    // SendStart that follows.
+                }
             }
         }
 
@@ -407,13 +558,15 @@ impl Trace {
             }
         }
 
+        // Conservation: everything dispatched is computed or explicitly
+        // lost to a fault (lost_total = 0 on fault-free traces).
         let dispatched = self.dispatched_work();
         let computed = self.computed_work();
         let scale = dispatched.abs().max(1.0);
-        if (dispatched - computed).abs() > 1e-6 * scale {
+        if (dispatched - computed - lost_total).abs() > 1e-6 * scale {
             violations.push(TraceViolation::WorkloadMismatch {
                 dispatched,
-                computed,
+                computed: computed + lost_total,
             });
         }
         violations
@@ -480,6 +633,19 @@ impl Trace {
                     bytes,
                     time,
                 } => ("return_end", worker, bytes, time),
+                TraceEvent::WorkerDown { worker, time } => ("worker_down", worker, 0.0, time),
+                TraceEvent::WorkerUp { worker, time } => ("worker_up", worker, 0.0, time),
+                TraceEvent::ChunkLost {
+                    worker,
+                    chunk,
+                    time,
+                    ..
+                } => ("chunk_lost", worker, chunk, time),
+                TraceEvent::Redispatch {
+                    worker,
+                    chunk,
+                    time,
+                } => ("redispatch", worker, chunk, time),
             };
             out.push_str(&format!("{name},{worker},{chunk},{time}\n"));
         }
@@ -520,6 +686,35 @@ impl Trace {
                     }
                 }
                 _ => {}
+            }
+        }
+        // Downtime overlay (`x`): crashed intervals, open ones running to
+        // the end of the chart.
+        let mut down_since: Vec<Option<f64>> = vec![None; num_workers];
+        for e in &self.events {
+            match *e {
+                TraceEvent::WorkerDown { worker, time } if worker < num_workers => {
+                    down_since[worker] = Some(time);
+                }
+                TraceEvent::WorkerUp { worker, time } if worker < num_workers => {
+                    if let Some(s) = down_since[worker].take() {
+                        for cell in &mut rows[worker + 1][col(s)..=col(time).min(width)] {
+                            if *cell == b'.' {
+                                *cell = b'x';
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (w, since) in down_since.iter().enumerate() {
+            if let Some(s) = since {
+                for cell in &mut rows[w + 1][col(*s)..=width] {
+                    if *cell == b'.' {
+                        *cell = b'x';
+                    }
+                }
             }
         }
         let mut out = String::new();
@@ -820,5 +1015,161 @@ mod tests {
         ] {
             assert!(!format!("{v}").is_empty());
         }
+    }
+
+    /// A crash mid-transfer: worker 1 dies while its chunk is on the wire,
+    /// so the SendStart is never matched by a SendEnd.
+    fn faulty_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceEvent::SendStart {
+            worker: 0,
+            chunk: 5.0,
+            time: 0.0,
+        });
+        t.push(TraceEvent::SendEnd {
+            worker: 0,
+            chunk: 5.0,
+            time: 1.0,
+        });
+        t.push(TraceEvent::Arrival {
+            worker: 0,
+            chunk: 5.0,
+            time: 1.0,
+        });
+        t.push(TraceEvent::ComputeStart {
+            worker: 0,
+            chunk: 5.0,
+            time: 1.0,
+        });
+        t.push(TraceEvent::SendStart {
+            worker: 1,
+            chunk: 5.0,
+            time: 1.0,
+        });
+        t.push(TraceEvent::WorkerDown {
+            worker: 1,
+            time: 1.5,
+        });
+        t.push(TraceEvent::ChunkLost {
+            worker: 1,
+            chunk: 5.0,
+            stage: LostStage::Sending,
+            time: 1.5,
+        });
+        t.push(TraceEvent::ComputeEnd {
+            worker: 0,
+            chunk: 5.0,
+            time: 6.0,
+        });
+        t
+    }
+
+    #[test]
+    fn mid_transfer_loss_validates_cleanly() {
+        let t = faulty_trace();
+        assert!(t.validate(2).is_empty(), "{:?}", t.validate(2));
+        assert!((t.lost_work() - 5.0).abs() < 1e-12);
+        // Lost work counts toward conservation: 10 dispatched = 5 + 5.
+        assert!((t.dispatched_work() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn down_up_cycle_validates() {
+        let mut t = faulty_trace();
+        t.push(TraceEvent::WorkerUp {
+            worker: 1,
+            time: 7.0,
+        });
+        assert!(t.validate(2).is_empty());
+    }
+
+    #[test]
+    fn detects_double_down() {
+        let mut t = faulty_trace();
+        t.push(TraceEvent::WorkerDown {
+            worker: 1,
+            time: 7.0,
+        });
+        assert!(t
+            .validate(2)
+            .iter()
+            .any(|v| matches!(v, TraceViolation::CausalityViolation { worker: 1, .. })));
+    }
+
+    #[test]
+    fn detects_spurious_up() {
+        let mut t = valid_trace();
+        t.push(TraceEvent::WorkerUp {
+            worker: 0,
+            time: 8.0,
+        });
+        assert!(t
+            .validate(2)
+            .iter()
+            .any(|v| matches!(v, TraceViolation::CausalityViolation { worker: 0, .. })));
+    }
+
+    #[test]
+    fn detects_phantom_chunk_loss() {
+        // Claiming a loss in a stage the chunk never reached is a
+        // causality violation (here: nothing was ever sent to worker 1).
+        let mut t = valid_trace();
+        t.push(TraceEvent::ChunkLost {
+            worker: 1,
+            chunk: 5.0,
+            stage: LostStage::Queued,
+            time: 8.0,
+        });
+        assert!(t.validate(2).iter().any(|v| matches!(
+            v,
+            TraceViolation::CausalityViolation {
+                worker: 1,
+                what: "chunk lost in a stage it never reached",
+            }
+        )));
+    }
+
+    #[test]
+    fn detects_wrong_stage_chunk_loss() {
+        // The chunk really was lost mid-send; corrupting the stage to
+        // Computing must be flagged.
+        let t = faulty_trace();
+        let events = t.events().to_vec();
+        let mut corrupted = Trace::new();
+        for e in events {
+            corrupted.push(match e {
+                TraceEvent::ChunkLost {
+                    worker,
+                    chunk,
+                    time,
+                    ..
+                } => TraceEvent::ChunkLost {
+                    worker,
+                    chunk,
+                    stage: LostStage::Computing,
+                    time,
+                },
+                other => other,
+            });
+        }
+        assert!(!corrupted.validate(2).is_empty());
+    }
+
+    #[test]
+    fn csv_includes_fault_events() {
+        let csv = faulty_trace().to_csv();
+        assert!(csv.contains("worker_down,1,0,1.5"));
+        assert!(csv.contains("chunk_lost,1,5,1.5"));
+    }
+
+    #[test]
+    fn gantt_marks_downtime() {
+        let mut t = faulty_trace();
+        t.push(TraceEvent::WorkerUp {
+            worker: 1,
+            time: 4.0,
+        });
+        let g = t.gantt(2, 40);
+        assert!(g.contains('x'), "{g}");
     }
 }

@@ -249,6 +249,40 @@ fn cmd_list() {
     }
 }
 
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "simulate" | "compare" | "plan" => match parse_flags(rest) {
+            Ok(flags) => match command.as_str() {
+                "simulate" => cmd_simulate(&flags),
+                "compare" => cmd_compare(&flags),
+                _ => cmd_plan(&flags),
+            },
+            Err(e) => Err(e),
+        },
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,39 +329,5 @@ mod tests {
         cmd_plan(&flags(&["--algo", "mi-2", "--workers", "4"])).unwrap();
         cmd_plan(&flags(&["--algo", "one-round", "--workers", "4"])).unwrap();
         assert!(cmd_plan(&flags(&["--algo", "factoring"])).is_err());
-    }
-}
-
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((command, rest)) = args.split_first() else {
-        eprintln!("{USAGE}");
-        return ExitCode::from(2);
-    };
-    let result = match command.as_str() {
-        "list" => {
-            cmd_list();
-            Ok(())
-        }
-        "simulate" | "compare" | "plan" => match parse_flags(rest) {
-            Ok(flags) => match command.as_str() {
-                "simulate" => cmd_simulate(&flags),
-                "compare" => cmd_compare(&flags),
-                _ => cmd_plan(&flags),
-            },
-            Err(e) => Err(e),
-        },
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command '{other}'\n{USAGE}")),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("{e}");
-            ExitCode::from(2)
-        }
     }
 }

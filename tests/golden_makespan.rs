@@ -1,0 +1,119 @@
+//! Golden-value regression tests: the fault-injection machinery must leave
+//! fault-free runs **bit-for-bit** identical.
+//!
+//! The expected bit patterns below were captured from the engine before the
+//! fault extension landed (same scenario constructors, same seeds). Every
+//! one of these runs uses `FaultModel::None` — the default — so any drift
+//! here means the fault machinery leaked into the reliable-platform path
+//! (e.g. by consuming an extra event sequence number or RNG draw).
+
+use rumr::{Scenario, SchedulerKind};
+
+fn table1() -> Scenario {
+    Scenario::table1(10, 1.5, 0.2, 0.2, 0.3)
+}
+
+#[test]
+fn rumr_makespans_are_bit_identical() {
+    let s = table1();
+    let kind = SchedulerKind::rumr_known_error(0.3);
+    for (seed, bits, chunks) in [
+        (1_u64, 0x405db99083535599_u64, 111_usize),
+        (42, 0x405d4f22e1bfb2a9, 111),
+        (20030623, 0x405d1fdd4888ce5c, 111),
+    ] {
+        let r = s.run(&kind, seed).unwrap();
+        assert_eq!(
+            r.makespan.to_bits(),
+            bits,
+            "rumr seed {seed}: got {} ({:#x})",
+            r.makespan,
+            r.makespan.to_bits()
+        );
+        assert_eq!(r.num_chunks, chunks, "rumr seed {seed} chunk count");
+    }
+}
+
+#[test]
+fn umr_makespans_are_bit_identical() {
+    let s = table1();
+    for (seed, bits, chunks) in [
+        (1_u64, 0x40604bfbb7ef18ec_u64, 90_usize),
+        (42, 0x405e2f0564bee54c, 90),
+        (20030623, 0x405f679799aa810e, 90),
+    ] {
+        let r = s.run(&SchedulerKind::Umr, seed).unwrap();
+        assert_eq!(
+            r.makespan.to_bits(),
+            bits,
+            "umr seed {seed}: got {} ({:#x})",
+            r.makespan,
+            r.makespan.to_bits()
+        );
+        assert_eq!(r.num_chunks, chunks, "umr seed {seed} chunk count");
+    }
+}
+
+#[test]
+fn factoring_makespans_are_bit_identical() {
+    let s = table1();
+    for (seed, bits, chunks) in [
+        (1_u64, 0x4060250614218a2f_u64, 69_usize),
+        (42, 0x405f692df0d471cd, 69),
+        (20030623, 0x4060f462b31f9fa2, 69),
+    ] {
+        let r = s.run(&SchedulerKind::Factoring, seed).unwrap();
+        assert_eq!(
+            r.makespan.to_bits(),
+            bits,
+            "factoring seed {seed}: got {} ({:#x})",
+            r.makespan,
+            r.makespan.to_bits()
+        );
+        assert_eq!(r.num_chunks, chunks, "factoring seed {seed} chunk count");
+    }
+}
+
+#[test]
+fn exact_umr_is_bit_identical() {
+    // Error-free scenario: exercises the no-injector code path.
+    let s = Scenario::table1(10, 1.5, 0.2, 0.2, 0.0);
+    let r = s.run(&SchedulerKind::Umr, 0).unwrap();
+    assert_eq!(
+        r.makespan.to_bits(),
+        0x405af6e29754aefa,
+        "got {} ({:#x})",
+        r.makespan,
+        r.makespan.to_bits()
+    );
+    assert_eq!(r.num_chunks, 90);
+}
+
+#[test]
+fn concurrent_factoring_is_bit_identical() {
+    // Concurrent-transfer extension path (max-min fair uplink pool).
+    let s = table1();
+    let r = s
+        .run_concurrent(&SchedulerKind::Factoring, 7, 3, Some(15.0))
+        .unwrap();
+    assert_eq!(
+        r.makespan.to_bits(),
+        0x40614b7863a637fb,
+        "got {} ({:#x})",
+        r.makespan,
+        r.makespan.to_bits()
+    );
+    assert_eq!(r.num_chunks, 69);
+}
+
+#[test]
+fn fault_free_results_have_empty_fault_accounting() {
+    let s = table1();
+    let r = s.run(&SchedulerKind::rumr_known_error(0.3), 1).unwrap();
+    assert_eq!(r.lost_work, 0.0);
+    assert_eq!(r.lost_chunks, 0);
+    assert_eq!(r.redispatched_work, 0.0);
+    assert_eq!(r.outstanding_work, 0.0);
+    assert!(r.lost_ranges.is_empty());
+    assert!(r.conservation_residual().abs() < 1e-9);
+}

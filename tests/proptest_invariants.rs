@@ -125,6 +125,58 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under seeded Poisson faults the work ledger balances exactly —
+    /// dispatched = completed + lost + outstanding — and the trace (with
+    /// its fault events) still satisfies every platform invariant. Runs
+    /// both the raw scheduler (under-completes on crash-stop) and the
+    /// recovery wrapper. Debug builds additionally exercise the engine's
+    /// internal conservation `debug_assert` on every one of these runs.
+    #[test]
+    fn fault_conservation_and_valid_traces(
+        (scenario, error) in scenario_strategy(),
+        seed in 0u64..500,
+        fault_seed in 0u64..500,
+        mttf in 20.0f64..=200.0,
+        recover in proptest::bool::ANY,
+        wrap in proptest::bool::ANY,
+    ) {
+        use rumr::{FaultModel, PoissonFaults, RecoveryConfig, SimConfig};
+        let faults = if recover {
+            PoissonFaults::crash_recovery(mttf, mttf / 4.0, 20_000.0, fault_seed)
+        } else {
+            PoissonFaults::crash_stop(mttf, 20_000.0, fault_seed)
+        };
+        let config = SimConfig {
+            record_trace: true,
+            faults: FaultModel::Poisson(faults),
+            ..Default::default()
+        };
+        let kind = SchedulerKind::rumr_known_error(error);
+        let result = if wrap {
+            scenario.run_recovering(&kind, seed, config, RecoveryConfig::default())
+        } else {
+            scenario.run_with_config(&kind, seed, config)
+        }.unwrap_or_else(|e| panic!("{e}"));
+        prop_assert!(
+            result.conservation_residual().abs() <= 1e-6 * result.dispatched_work.abs().max(1.0),
+            "ledger residual {} (dispatched {}, lost {}, outstanding {})",
+            result.conservation_residual(), result.dispatched_work,
+            result.lost_work, result.outstanding_work
+        );
+        prop_assert!(
+            result.completed_work() <= scenario.w_total * (1.0 + 1e-6),
+            "completed more than the workload: {}", result.completed_work()
+        );
+        let n = scenario.platform.num_workers();
+        let trace = result.trace.expect("trace recorded");
+        let violations = trace.validate(n);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// The UMR chunk sequence satisfies the uniform-round recursion and the
@@ -225,6 +277,29 @@ proptest! {
             // falls back to fewer installments in that case.
             Err(rumr::sched::MiError::Infeasible { .. }) => {}
             Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+
+    /// Pinned regression (from the checked-in proptest seed file): this
+    /// parameter combination once produced an increasing chunk pair in the
+    /// factoring tail. Kept as an explicit test so the case survives even
+    /// if the regression file is pruned.
+    #[test]
+    fn factoring_regression_n6(_x in 0u8..1) {
+        use dls_sched::{ChunkSource, FactoringSource};
+        let (n, w, factor, min_chunk) = (6usize, 933.3110134737071f64, 1.2f64, 0.5f64);
+        let mut source = FactoringSource::new(w, n, factor, min_chunk);
+        let mut chunks = Vec::new();
+        while let Some(c) = source.next_chunk() {
+            prop_assert!(c > 0.0);
+            chunks.push(c);
+            prop_assert!(chunks.len() < 100_000);
+        }
+        let total: f64 = chunks.iter().sum();
+        prop_assert!((total - w).abs() < 1e-6 * w);
+        let body = chunks.len().saturating_sub(n);
+        for pair in chunks[..body.max(1)].windows(2) {
+            prop_assert!(pair[1] <= pair[0] + 1e-9, "increasing chunks: {:?}", pair);
         }
     }
 
