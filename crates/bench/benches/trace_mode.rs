@@ -1,0 +1,60 @@
+//! Engine observability cost: the same simulation run under each
+//! [`TraceMode`], through the buffer-reusing runner (so the comparison
+//! isolates recording cost, not allocation or planning cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rumr::{Scenario, SchedulerKind, SimConfig, TraceMode};
+
+fn bench_trace_modes(c: &mut Criterion) {
+    let error = 0.3;
+    let scenario = Scenario::table1(20, 1.6, 0.3, 0.2, error);
+    let kind = SchedulerKind::rumr_known_error(error);
+    let modes = [
+        ("off", TraceMode::Off),
+        ("metrics_only", TraceMode::MetricsOnly),
+        ("full", TraceMode::Full),
+    ];
+    let mut group = c.benchmark_group("trace_mode");
+    for (label, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            let mut runner = scenario.runner(SimConfig {
+                trace_mode: mode,
+                ..Default::default()
+            });
+            let proto = runner.prototype(&kind).expect("planner accepts Table 1");
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(runner.run_prototype(&proto, seed).unwrap().makespan)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_with_consumers(c: &mut Criterion) {
+    // What a traced sweep actually pays per run: record, validate the
+    // trace's protocol invariants, derive trace metrics.
+    let scenario = Scenario::table1(20, 1.6, 0.3, 0.2, 0.3);
+    let kind = SchedulerKind::rumr_known_error(0.3);
+    c.bench_function("trace_mode/full_validated", |b| {
+        let mut runner = scenario.runner(SimConfig {
+            trace_mode: TraceMode::Full,
+            ..Default::default()
+        });
+        let proto = runner.prototype(&kind).expect("planner accepts Table 1");
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let result = runner.run_prototype(&proto, seed).unwrap();
+            let trace = result.trace.as_ref().expect("full mode records");
+            assert!(trace.validate(20).is_empty());
+            black_box(rumr::TraceMetrics::from_trace(trace, 20).link_utilization)
+        })
+    });
+}
+
+criterion_group!(benches, bench_trace_modes, bench_full_with_consumers);
+criterion_main!(benches);

@@ -14,6 +14,7 @@
 //! This library only hosts small shared helpers for those benches.
 
 use dls_experiments::{ErrorModelKind, SweepConfig, Table1Grid};
+use rumr::TraceMode;
 
 /// A deliberately small sweep configuration so each bench iteration stays
 /// in the millisecond range: 4 platform points, 3 error values, 2 reps.
@@ -32,5 +33,6 @@ pub fn bench_sweep_config() -> SweepConfig {
         model: ErrorModelKind::Normal,
         w_total: 1000.0,
         progress: false,
+        trace_mode: TraceMode::Off,
     }
 }

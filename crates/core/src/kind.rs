@@ -114,7 +114,24 @@ impl SchedulerKind {
         platform: &Platform,
         w_total: f64,
     ) -> Result<Box<dyn Scheduler>, BuildError> {
-        Ok(match *self {
+        Ok(self.prototype(platform, w_total)?.into_inner())
+    }
+
+    /// Build a reusable [`SchedulerPrototype`]: the planner runs once, and
+    /// [`SchedulerPrototype::fresh`] stamps out initial-state schedulers by
+    /// cloning. For precalculated algorithms (UMR, RUMR, MI, heterogeneous
+    /// variants) this removes the per-repetition solve from repetition
+    /// loops; the clones behave bit-identically to [`SchedulerKind::build`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SchedulerKind::build`].
+    pub fn prototype(
+        &self,
+        platform: &Platform,
+        w_total: f64,
+    ) -> Result<SchedulerPrototype, BuildError> {
+        let proto: Box<dyn CloneScheduler> = match *self {
             SchedulerKind::Rumr(cfg) => Box::new(Rumr::new(platform, w_total, cfg)?),
             SchedulerKind::Umr => Box::new(Umr::new(platform, w_total)?),
             SchedulerKind::Mi { installments } => {
@@ -136,7 +153,52 @@ impl SchedulerKind {
             SchedulerKind::OneRound => Box::new(OneRound::new(platform, w_total)?),
             SchedulerKind::Gss => Box::new(Gss::new(platform, w_total)),
             SchedulerKind::Tss => Box::new(Tss::new(platform, w_total)),
-        })
+        };
+        Ok(SchedulerPrototype { proto })
+    }
+}
+
+/// Object-safe cloning bridge: lets a boxed prototype produce fresh
+/// `Box<dyn Scheduler>` copies without exposing `Clone` on the public
+/// [`Scheduler`] trait.
+trait CloneScheduler: Scheduler {
+    fn clone_scheduler(&self) -> Box<dyn Scheduler>;
+    fn into_scheduler(self: Box<Self>) -> Box<dyn Scheduler>;
+}
+
+impl<T: Scheduler + Clone + 'static> CloneScheduler for T {
+    fn clone_scheduler(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
+    fn into_scheduler(self: Box<Self>) -> Box<dyn Scheduler> {
+        self
+    }
+}
+
+/// A pre-planned scheduler in its initial state. Created by
+/// [`SchedulerKind::prototype`]; every [`SchedulerPrototype::fresh`] call
+/// clones it, so the (possibly expensive) planning work is paid once per
+/// (platform, workload, kind) instead of once per run.
+pub struct SchedulerPrototype {
+    proto: Box<dyn CloneScheduler>,
+}
+
+impl SchedulerPrototype {
+    /// A fresh scheduler in the prototype's initial state.
+    pub fn fresh(&self) -> Box<dyn Scheduler> {
+        self.proto.clone_scheduler()
+    }
+
+    /// Consume the prototype, yielding its scheduler directly (no clone).
+    pub fn into_inner(self) -> Box<dyn Scheduler> {
+        self.proto.into_scheduler()
+    }
+}
+
+impl fmt::Debug for SchedulerPrototype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SchedulerPrototype({})", self.proto.name())
     }
 }
 

@@ -42,13 +42,13 @@
 pub mod kind;
 pub mod scenario;
 
-pub use kind::{BuildError, SchedulerKind};
-pub use scenario::{RunError, Scenario};
+pub use kind::{BuildError, SchedulerKind, SchedulerPrototype};
+pub use scenario::{RunError, Scenario, ScenarioRunner};
 
 pub use dls_sched as sched;
 pub use dls_sched::{Recovering, RecoveryConfig, RumrConfig, UmrInputs, UmrSchedule};
 pub use dls_sim as sim;
 pub use dls_sim::{
-    ErrorModel, FaultModel, FaultPlan, HomogeneousParams, Platform, PlatformError, PoissonFaults,
-    SimConfig, SimResult, WorkerSpec,
+    ErrorModel, FaultModel, FaultPlan, HomogeneousParams, MetricsSummary, Platform, PlatformError,
+    PoissonFaults, SimConfig, SimResult, TraceMetrics, TraceMode, WorkerSpec,
 };

@@ -7,11 +7,11 @@
 
 use dls_sched::recovery::{Recovering, RecoveryConfig};
 use dls_sim::{
-    simulate, CostProfile, ErrorInjector, ErrorModel, FaultModel, Platform, SimConfig, SimError,
-    SimResult,
+    simulate, CostProfile, Engine, ErrorInjector, ErrorModel, FaultModel, Platform, SimConfig,
+    SimError, SimResult, TraceMode, WorkerSpec,
 };
 
-use crate::kind::{BuildError, SchedulerKind};
+use crate::kind::{BuildError, SchedulerKind, SchedulerPrototype};
 
 /// One experimental setting: platform + workload + error model.
 #[derive(Debug, Clone)]
@@ -54,9 +54,57 @@ impl Scenario {
         }
     }
 
+    /// A pinned heterogeneous star platform: worker speeds, link rates and
+    /// latencies vary deterministically with the worker index (no RNG), so
+    /// runs on it are bit-for-bit reproducible. Used by the benchmark
+    /// snapshot suite and the golden-value regression tests.
+    pub fn heterogeneous_demo(n: usize, error: f64) -> Self {
+        assert!(n >= 1, "need at least one worker");
+        let workers = (0..n)
+            .map(|i| {
+                let f = i as f64 / n as f64;
+                WorkerSpec {
+                    speed: 0.6 + 1.2 * f,
+                    bandwidth: 1.5 * n as f64 * (0.5 + f),
+                    comp_latency: 0.1 + 0.2 * f,
+                    net_latency: 0.1,
+                    transfer_latency: 0.0,
+                }
+            })
+            .collect();
+        let platform = Platform::new(workers).expect("demo platform is valid");
+        Scenario {
+            platform,
+            w_total: 1000.0,
+            error_model: if error > 0.0 {
+                ErrorModel::TruncatedNormal { error }
+            } else {
+                ErrorModel::None
+            },
+            cost_profile: None,
+            temporal_noise: None,
+        }
+    }
+
     /// The error magnitude of the scenario's error model.
     pub fn error(&self) -> f64 {
         self.error_model.magnitude()
+    }
+
+    /// A reusable runner over this scenario: one [`Engine`] whose buffers
+    /// (event heap, ledger, worker queues, view snapshot) persist across
+    /// runs, so repetition loops stop paying per-run allocation. Used by
+    /// the sweep harness; results are bit-identical to [`Scenario::run`].
+    pub fn runner(&self, config: SimConfig) -> ScenarioRunner<'_> {
+        let engine = Engine::new(
+            &self.platform,
+            ErrorInjector::new(ErrorModel::None, 0),
+            config,
+        );
+        ScenarioRunner {
+            scenario: self,
+            engine,
+        }
     }
 
     /// Run one simulation.
@@ -70,7 +118,7 @@ impl Scenario {
             kind,
             seed,
             SimConfig {
-                record_trace: true,
+                trace_mode: TraceMode::Full,
                 ..Default::default()
             },
         )
@@ -180,6 +228,65 @@ impl Scenario {
             total += self.run(kind, seed_base + rep)?.makespan;
         }
         Ok(total / reps as f64)
+    }
+}
+
+/// Repeated-run handle created by [`Scenario::runner`]. Holds one engine
+/// and resets it between runs instead of rebuilding it, eliminating
+/// per-repetition allocation in sweep and benchmark loops.
+pub struct ScenarioRunner<'a> {
+    scenario: &'a Scenario,
+    engine: Engine<'a>,
+}
+
+impl ScenarioRunner<'_> {
+    /// Run one simulation, reusing the engine's buffers. Bit-identical to
+    /// [`Scenario::run_with_config`] with the runner's configuration.
+    pub fn run(&mut self, kind: &SchedulerKind, seed: u64) -> Result<SimResult, RunError> {
+        let mut scheduler = kind.build(&self.scenario.platform, self.scenario.w_total)?;
+        self.engine.reset(self.scenario.injector(seed));
+        Ok(self.engine.run_reusing(scheduler.as_mut())?)
+    }
+
+    /// Pre-plan a scheduler for this runner's scenario (see
+    /// [`SchedulerKind::prototype`]). Pair with
+    /// [`ScenarioRunner::run_prototype`] in repetition loops to pay the
+    /// planner cost once instead of per run.
+    pub fn prototype(&self, kind: &SchedulerKind) -> Result<SchedulerPrototype, RunError> {
+        Ok(kind.prototype(&self.scenario.platform, self.scenario.w_total)?)
+    }
+
+    /// Run one simulation from a pre-planned prototype, reusing the
+    /// engine's buffers. Bit-identical to [`ScenarioRunner::run`] with the
+    /// prototype's kind.
+    pub fn run_prototype(
+        &mut self,
+        proto: &SchedulerPrototype,
+        seed: u64,
+    ) -> Result<SimResult, RunError> {
+        let mut scheduler = proto.fresh();
+        self.engine.reset(self.scenario.injector(seed));
+        Ok(self.engine.run_reusing(scheduler.as_mut())?)
+    }
+
+    /// Run one simulation with the scheduler wrapped in the fault-recovery
+    /// layer, reusing the engine's buffers. Bit-identical to
+    /// [`Scenario::run_recovering`] with the runner's configuration.
+    pub fn run_recovering(
+        &mut self,
+        kind: &SchedulerKind,
+        seed: u64,
+        recovery: RecoveryConfig,
+    ) -> Result<SimResult, RunError> {
+        let scheduler = kind.build(&self.scenario.platform, self.scenario.w_total)?;
+        let mut wrapped = Recovering::with_config(scheduler, recovery);
+        self.engine.reset(self.scenario.injector(seed));
+        Ok(self.engine.run_reusing(&mut wrapped)?)
+    }
+
+    /// The scenario this runner simulates.
+    pub fn scenario(&self) -> &Scenario {
+        self.scenario
     }
 }
 
@@ -330,7 +437,7 @@ mod tests {
 
         let cfg = SimConfig {
             faults,
-            record_trace: true,
+            trace_mode: TraceMode::Full,
             ..Default::default()
         };
         let rec = s

@@ -11,17 +11,17 @@
 //!   variants redispatch them and should stay at 100 %.
 //!
 //! Everything is seeded and iterated in a fixed order, so the output is
-//! bit-for-bit reproducible across runs. Usage:
+//! bit-for-bit reproducible across runs. Takes the standard flag set
+//! (`--reps N` seeds per cell, `--seed N` first seed, `--csv PATH`):
 //!
 //! ```text
-//! cargo run --release --bin faults [-- --csv PATH]
+//! cargo run --release --bin faults [-- --reps N --seed N --csv PATH]
 //! ```
 
 use dls_experiments::write_file;
 use rumr::{FaultModel, PoissonFaults, RecoveryConfig, Scenario, SchedulerKind, SimConfig};
 
 const ERROR: f64 = 0.3;
-const SEEDS: [u64; 3] = [1, 2, 3];
 /// Mean time to failure per worker (s); the fault-free makespan is ~120 s,
 /// so these span "rare", "likely once", and "several times per run".
 const MTTFS: [f64; 3] = [400.0, 120.0, 40.0];
@@ -33,10 +33,16 @@ struct CellStats {
     completion: f64,
 }
 
-fn run_cell(scenario: &Scenario, kind: &SchedulerKind, mttf: f64, recovering: bool) -> CellStats {
+fn run_cell(
+    scenario: &Scenario,
+    kind: &SchedulerKind,
+    mttf: f64,
+    recovering: bool,
+    seeds: &[u64],
+) -> CellStats {
     let mut ratio_sum = 0.0;
     let mut completion_sum = 0.0;
-    for seed in SEEDS {
+    for &seed in seeds {
         let baseline = scenario.run(kind, seed).expect("fault-free run").makespan;
         let config = SimConfig {
             faults: FaultModel::Poisson(PoissonFaults::crash_recovery(mttf, MTTR, HORIZON, seed)),
@@ -51,7 +57,7 @@ fn run_cell(scenario: &Scenario, kind: &SchedulerKind, mttf: f64, recovering: bo
         ratio_sum += result.makespan / baseline;
         completion_sum += result.completed_work() / scenario.w_total;
     }
-    let n = SEEDS.len() as f64;
+    let n = seeds.len() as f64;
     CellStats {
         makespan_ratio: ratio_sum / n,
         completion: completion_sum / n,
@@ -59,13 +65,17 @@ fn run_cell(scenario: &Scenario, kind: &SchedulerKind, mttf: f64, recovering: bo
 }
 
 fn main() {
-    let csv_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--csv")
-            .and_then(|i| args.get(i + 1))
-            .cloned()
+    let opts = match dls_experiments::parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     };
+    let csv_path = opts.csv.clone();
+    let seeds: Vec<u64> = (0..opts.reps_or(3))
+        .map(|i| opts.sweep.root_seed.wrapping_add(i))
+        .collect();
 
     let scenario = Scenario::table1(10, 1.5, 0.2, 0.2, ERROR);
     let algorithms: [(&str, SchedulerKind); 3] = [
@@ -77,7 +87,7 @@ fn main() {
     println!("Fault-degradation sweep (crash-recovery Poisson faults)");
     println!(
         "N = 10, W = 1000, error = {ERROR}, MTTR = {MTTR} s, {} seeds per cell\n",
-        SEEDS.len()
+        seeds.len()
     );
     println!(
         "{:<22} {:>9} {:>11} {:>8}",
@@ -92,7 +102,7 @@ fn main() {
                 (*name).to_string()
             };
             for mttf in MTTFS {
-                let cell = run_cell(&scenario, kind, mttf, recovering);
+                let cell = run_cell(&scenario, kind, mttf, recovering, &seeds);
                 println!(
                     "{:<22} {:>9} {:>11.4} {:>8.2}",
                     label,
@@ -111,7 +121,7 @@ fn main() {
     println!("makespan x is relative to the same scheduler's fault-free run.");
 
     if let Some(path) = csv_path {
-        write_file(std::path::Path::new(&path), &csv).expect("write CSV");
-        eprintln!("wrote {path}");
+        write_file(&path, &csv).expect("write CSV");
+        eprintln!("wrote {}", path.display());
     }
 }

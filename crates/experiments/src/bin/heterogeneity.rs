@@ -41,7 +41,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let platforms_per_level = opts.sweep.reps.max(5);
+    let platforms_per_level = opts.reps_or(5);
     let root = opts.sweep.root_seed;
     let error = 0.2;
 

@@ -16,7 +16,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let reps = opts.sweep.reps.max(10);
+    let reps = opts.reps_or(10);
     let seed = opts.sweep.root_seed;
 
     for (regime, clat, nlat) in [("low latency", 0.1, 0.05), ("high latency", 0.5, 0.5)] {

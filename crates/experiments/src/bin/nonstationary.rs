@@ -26,7 +26,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let reps = opts.sweep.reps.max(15);
+    let reps = opts.reps_or(15);
     let seed = opts.sweep.root_seed;
     let sigma = 0.3;
 

@@ -25,7 +25,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let reps = opts.sweep.reps.max(10);
+    let reps = opts.reps_or(10);
     let seed = opts.sweep.root_seed;
     let error = 0.3;
 

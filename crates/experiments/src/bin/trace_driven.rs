@@ -36,7 +36,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let reps = opts.sweep.reps.max(5);
+    let reps = opts.reps_or(5);
     let seed = opts.sweep.root_seed;
 
     let apps: Vec<Box<dyn DivisibleApp>> = vec![

@@ -26,6 +26,20 @@ pub struct CliOptions {
     pub sweep: SweepConfig,
     /// CSV output path, if requested.
     pub csv: Option<PathBuf>,
+    /// `--reps` exactly as given on the command line, if present. Bins whose
+    /// natural default differs from the sweep default should use [`Self::reps_or`]
+    /// rather than clamping `sweep.reps`, which would silently override an
+    /// explicit `--reps`.
+    pub explicit_reps: Option<u64>,
+}
+
+impl CliOptions {
+    /// Repetition count for bins with their own default: the explicit
+    /// `--reps` value when one was given, otherwise `default`.
+    #[must_use]
+    pub fn reps_or(&self, default: u64) -> u64 {
+        self.explicit_reps.unwrap_or(default)
+    }
 }
 
 /// Parse the standard flag set from an iterator of arguments (excluding the
@@ -120,7 +134,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
     }
     sweep.progress = !quiet;
 
-    Ok(CliOptions { sweep, csv })
+    Ok(CliOptions {
+        sweep,
+        csv,
+        explicit_reps: reps,
+    })
 }
 
 /// Parse from the process environment.
@@ -181,6 +199,18 @@ mod tests {
         assert_eq!(o.csv.unwrap().to_str().unwrap(), "/tmp/x.csv");
         assert_eq!(o.sweep.errors.len(), 6);
         assert!(!o.sweep.progress);
+    }
+
+    #[test]
+    fn explicit_reps_override_bin_defaults() {
+        // A bin with `reps_or(10)` must respect an explicit smaller --reps
+        // (the old `reps.max(10)` clamp silently ignored it).
+        let o = parse(&["--reps", "3"]).unwrap();
+        assert_eq!(o.explicit_reps, Some(3));
+        assert_eq!(o.reps_or(10), 3);
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.explicit_reps, None);
+        assert_eq!(o.reps_or(10), 10);
     }
 
     #[test]

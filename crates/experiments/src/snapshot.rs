@@ -1,0 +1,816 @@
+//! The persisted benchmark snapshot (`BENCH_sim.json`).
+//!
+//! [`run_snapshot`] executes a pinned scenario suite — homogeneous and
+//! heterogeneous platforms × UMR / RUMR / Factoring / MI × fault-free and
+//! Poisson-faulty — through the buffer-reusing [`ScenarioRunner`]
+//! (`rumr::ScenarioRunner`) and measures engine throughput (ns/event,
+//! runs/sec) per case, plus the wall time of a reduced sweep under
+//! [`TraceMode::Off`] vs [`TraceMode::Full`]. The result serializes to a
+//! small JSON document with machine and commit metadata so successive
+//! commits can be compared (`docs/BENCHMARKS.md`).
+//!
+//! No serde: the JSON is emitted by hand and re-parsed for schema
+//! validation by a deliberately minimal recursive-descent parser
+//! ([`validate_snapshot_json`]), which CI runs against the artifact.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use rumr::{
+    FaultModel, PoissonFaults, RecoveryConfig, RumrConfig, Scenario, SchedulerKind, SimConfig,
+    TraceMode,
+};
+
+use crate::grid::Table1Grid;
+use crate::sweep::{run_sweep, Competitor, ErrorModelKind, SweepConfig};
+
+/// Version of the `BENCH_sim.json` schema this module reads and writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Error magnitude used by every pinned case.
+const CASE_ERROR: f64 = 0.3;
+
+/// How much work each part of the snapshot does.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotConfig {
+    /// Timed repetitions per engine case.
+    pub case_reps: u64,
+    /// Repetitions per cell in the Off-vs-Full sweep comparison.
+    pub sweep_reps: u64,
+}
+
+impl SnapshotConfig {
+    /// The default measurement budget (a few seconds of wall time).
+    pub fn standard() -> Self {
+        SnapshotConfig {
+            case_reps: 200,
+            sweep_reps: 40,
+        }
+    }
+
+    /// A reduced budget for CI smoke runs (sub-second).
+    pub fn quick() -> Self {
+        SnapshotConfig {
+            case_reps: 10,
+            sweep_reps: 2,
+        }
+    }
+}
+
+/// Throughput measurement of one pinned case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case label, `<platform>/<scheduler>/<faults>`.
+    pub name: String,
+    /// Timed repetitions.
+    pub runs: u64,
+    /// Engine events processed across all timed runs.
+    pub events: u64,
+    /// Wall time of the timed runs, seconds.
+    pub wall_s: f64,
+    /// Nanoseconds per engine event.
+    pub ns_per_event: f64,
+    /// Completed simulations per second.
+    pub runs_per_sec: f64,
+    /// Mean makespan over the timed runs (sanity anchor, not a timing).
+    pub mean_makespan: f64,
+}
+
+/// Wall-time comparison of one pinned sweep under `TraceMode::Off` vs
+/// `TraceMode::Full`.
+#[derive(Debug, Clone)]
+pub struct SweepComparison {
+    /// Cells in the pinned sweep grid.
+    pub cells: u64,
+    /// Repetitions per cell.
+    pub reps: u64,
+    /// Wall seconds with [`TraceMode::Off`].
+    pub off_s: f64,
+    /// Wall seconds with [`TraceMode::Full`] (trace recorded and trace
+    /// metrics derived per run, as a trace consumer would).
+    pub full_s: f64,
+    /// `full_s / off_s` — the throughput factor bought by turning tracing
+    /// off.
+    pub speedup: f64,
+}
+
+/// One complete benchmark snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Unix timestamp (seconds) of the measurement.
+    pub created_unix: u64,
+    /// Hostname of the measuring machine.
+    pub host: String,
+    /// Available hardware parallelism.
+    pub cpus: u64,
+    /// `git rev-parse HEAD` of the measured tree, or `"unknown"`.
+    pub commit: String,
+    /// Peak resident set size of the process, bytes (`VmHWM`; 0 where
+    /// `/proc` is unavailable).
+    pub peak_rss_bytes: u64,
+    /// Per-case engine throughput.
+    pub cases: Vec<CaseResult>,
+    /// The Off-vs-Full sweep comparison.
+    pub sweep: SweepComparison,
+}
+
+/// One entry of the pinned suite.
+struct CaseSpec {
+    name: String,
+    scenario: Scenario,
+    kind: SchedulerKind,
+    faulty: bool,
+}
+
+/// The pinned suite: 2 platforms × 4 schedulers × {fault-free, faulty}.
+fn pinned_cases() -> Vec<CaseSpec> {
+    let homog = || Scenario::table1(20, 1.6, 0.3, 0.2, CASE_ERROR);
+    let het = || Scenario::heterogeneous_demo(20, CASE_ERROR);
+    let homog_kinds: [(&'static str, SchedulerKind); 4] = [
+        ("umr", SchedulerKind::Umr),
+        ("rumr", SchedulerKind::rumr_known_error(CASE_ERROR)),
+        ("factoring", SchedulerKind::Factoring),
+        ("mi3", SchedulerKind::Mi { installments: 3 }),
+    ];
+    let het_kinds: [(&'static str, SchedulerKind); 4] = [
+        ("umr", SchedulerKind::HetUmr),
+        (
+            "rumr",
+            SchedulerKind::HetRumr(RumrConfig::with_known_error(CASE_ERROR)),
+        ),
+        ("factoring", SchedulerKind::Factoring),
+        // MI's closed-form planner is homogeneous-only; GSS stands in as
+        // the fourth family on the heterogeneous platform.
+        ("gss", SchedulerKind::Gss),
+    ];
+    let mut cases = Vec::new();
+    for faulty in [false, true] {
+        for (label, kind) in &homog_kinds {
+            cases.push(CaseSpec {
+                name: case_name("homogeneous", label, faulty),
+                scenario: homog(),
+                kind: *kind,
+                faulty,
+            });
+        }
+        for (label, kind) in &het_kinds {
+            cases.push(CaseSpec {
+                name: case_name("heterogeneous", label, faulty),
+                scenario: het(),
+                kind: *kind,
+                faulty,
+            });
+        }
+    }
+    cases
+}
+
+fn case_name(platform: &str, sched: &str, faulty: bool) -> String {
+    format!(
+        "{platform}/{sched}/{}",
+        if faulty { "faulty" } else { "fault-free" }
+    )
+}
+
+/// The Poisson fault process of the faulty cases: recoverable crashes,
+/// frequent enough that every run sees several.
+fn pinned_faults() -> FaultModel {
+    FaultModel::Poisson(PoissonFaults {
+        mttf: 60.0,
+        mttr: Some(15.0),
+        link_mtbf: None,
+        horizon: 2000.0,
+        seed: 11,
+    })
+}
+
+/// The pinned sweep used for the Off-vs-Full comparison: 4 Table 1 points
+/// × 3 error values × 4 competitors, single-threaded so the two timings
+/// are comparable.
+pub fn snapshot_sweep_config(reps: u64, trace_mode: TraceMode) -> SweepConfig {
+    SweepConfig {
+        grid: Table1Grid {
+            n_values: vec![10, 20],
+            ratio_values: vec![1.5],
+            clat_values: vec![0.2],
+            nlat_values: vec![0.2, 0.6],
+        },
+        errors: vec![0.04, 0.24, 0.44],
+        reps,
+        root_seed: 20030623,
+        threads: 1,
+        model: ErrorModelKind::Normal,
+        w_total: 1000.0,
+        progress: false,
+        trace_mode,
+    }
+}
+
+/// Competitors of the pinned sweep.
+fn sweep_competitors() -> Vec<Competitor> {
+    vec![
+        Competitor::RumrKnown,
+        Competitor::Umr,
+        Competitor::Mi(3),
+        Competitor::Factoring,
+    ]
+}
+
+fn measure_case(spec: &CaseSpec, reps: u64) -> CaseResult {
+    let config = SimConfig {
+        trace_mode: TraceMode::Off,
+        faults: if spec.faulty {
+            pinned_faults()
+        } else {
+            FaultModel::None
+        },
+        ..SimConfig::default()
+    };
+    let mut runner = spec.scenario.runner(config);
+    let proto = runner
+        .prototype(&spec.kind)
+        .unwrap_or_else(|e| panic!("snapshot case {} failed to plan: {e}", spec.name));
+    let mut run = |seed: u64| {
+        if spec.faulty {
+            runner.run_recovering(&spec.kind, seed, RecoveryConfig::default())
+        } else {
+            runner.run_prototype(&proto, seed)
+        }
+        .unwrap_or_else(|e| panic!("snapshot case {} failed: {e}", spec.name))
+    };
+    // Warm the engine's buffers so the timed loop measures the steady state.
+    run(u64::MAX);
+
+    let mut events = 0u64;
+    let mut makespan_sum = 0.0;
+    let start = Instant::now();
+    for seed in 0..reps {
+        let result = run(seed);
+        events += result.events;
+        makespan_sum += result.makespan;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    CaseResult {
+        name: spec.name.to_string(),
+        runs: reps,
+        events,
+        wall_s,
+        ns_per_event: wall_s * 1e9 / events.max(1) as f64,
+        runs_per_sec: reps as f64 / wall_s.max(1e-12),
+        mean_makespan: makespan_sum / reps as f64,
+    }
+}
+
+fn measure_sweep(reps: u64) -> SweepComparison {
+    let competitors = sweep_competitors();
+    let time = |mode: TraceMode| {
+        let config = snapshot_sweep_config(reps, mode);
+        let start = Instant::now();
+        let result = run_sweep(&config, &competitors);
+        (start.elapsed().as_secs_f64(), result.cells.len() as u64)
+    };
+    // Warm-up pass (untimed) so neither mode pays first-touch costs, then
+    // best-of-3 per mode: the minimum is the least noise-contaminated
+    // estimate of the true cost on a shared machine.
+    time(TraceMode::Off);
+    let mut off_s = f64::INFINITY;
+    let mut full_s = f64::INFINITY;
+    let mut cells = 0;
+    for _ in 0..3 {
+        let (t, c) = time(TraceMode::Off);
+        off_s = off_s.min(t);
+        cells = c;
+        let (t, _) = time(TraceMode::Full);
+        full_s = full_s.min(t);
+    }
+    SweepComparison {
+        cells,
+        reps,
+        off_s,
+        full_s,
+        speedup: full_s / off_s.max(1e-12),
+    }
+}
+
+/// Run the full pinned suite and assemble a [`Snapshot`].
+pub fn run_snapshot(config: SnapshotConfig) -> Snapshot {
+    let cases: Vec<CaseResult> = pinned_cases()
+        .iter()
+        .map(|spec| measure_case(spec, config.case_reps))
+        .collect();
+    let sweep = measure_sweep(config.sweep_reps);
+    Snapshot {
+        schema_version: SCHEMA_VERSION,
+        created_unix: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        host: hostname(),
+        cpus: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+        commit: git_commit(),
+        peak_rss_bytes: peak_rss_bytes(),
+        cases,
+        sweep,
+    }
+}
+
+fn hostname() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .map(|s| s.trim().to_string())
+        .ok()
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`), or
+/// 0 where unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        // NaN/inf are not JSON; a snapshot producing them is broken anyway,
+        // so surface an impossible-but-parsable value.
+        "-1".into()
+    }
+}
+
+impl Snapshot {
+    /// Serialize to the `BENCH_sim.json` document (pretty-printed, stable
+    /// key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"schema_version\": {},\n  \"created_unix\": {},\n",
+            self.schema_version, self.created_unix
+        ));
+        s.push_str(&format!(
+            "  \"machine\": {{\"host\": \"{}\", \"cpus\": {}}},\n",
+            json_escape(&self.host),
+            self.cpus
+        ));
+        s.push_str(&format!(
+            "  \"commit\": \"{}\",\n  \"peak_rss_bytes\": {},\n",
+            json_escape(&self.commit),
+            self.peak_rss_bytes
+        ));
+        s.push_str("  \"cases\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"runs\": {}, \"events\": {}, \"wall_s\": {}, \
+                 \"ns_per_event\": {}, \"runs_per_sec\": {}, \"mean_makespan\": {}}}{}\n",
+                json_escape(&c.name),
+                c.runs,
+                c.events,
+                json_num(c.wall_s),
+                json_num(c.ns_per_event),
+                json_num(c.runs_per_sec),
+                json_num(c.mean_makespan),
+                if i + 1 < self.cases.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"sweep\": {{\"cells\": {}, \"reps\": {}, \"off_s\": {}, \"full_s\": {}, \
+             \"speedup\": {}}}\n",
+            self.sweep.cells,
+            self.sweep.reps,
+            json_num(self.sweep.off_s),
+            json_num(self.sweep.full_s),
+            json_num(self.sweep.speedup)
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing + schema validation
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — the minimal shape needed to validate the snapshot
+/// schema (and nothing else; this is not a general-purpose JSON library).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error("bad number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 character, not just one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing garbage"));
+    }
+    Ok(v)
+}
+
+fn require_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::num)
+        .ok_or_else(|| format!("{ctx}: missing or non-numeric field '{key}'"))
+}
+
+fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::str)
+        .ok_or_else(|| format!("{ctx}: missing or non-string field '{key}'"))
+}
+
+/// Validate a `BENCH_sim.json` document against the snapshot schema.
+/// Checks structure and value sanity (positive timings, non-empty case
+/// list), not timing thresholds.
+pub fn validate_snapshot_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let version = require_num(&doc, "schema_version", "root")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+        ));
+    }
+    require_num(&doc, "created_unix", "root")?;
+    require_num(&doc, "peak_rss_bytes", "root")?;
+    require_str(&doc, "commit", "root")?;
+    let machine = doc
+        .get("machine")
+        .ok_or_else(|| "root: missing 'machine'".to_string())?;
+    require_str(machine, "host", "machine")?;
+    if require_num(machine, "cpus", "machine")? < 1.0 {
+        return Err("machine: cpus must be >= 1".into());
+    }
+
+    let cases = match doc.get("cases") {
+        Some(Json::Arr(cases)) => cases,
+        _ => return Err("root: missing or non-array 'cases'".into()),
+    };
+    if cases.is_empty() {
+        return Err("cases: must not be empty".into());
+    }
+    for (i, case) in cases.iter().enumerate() {
+        let ctx = format!("cases[{i}]");
+        let name = require_str(case, "name", &ctx)?;
+        if name.split('/').count() != 3 {
+            return Err(format!("{ctx}: name '{name}' is not platform/sched/faults"));
+        }
+        for key in ["runs", "events", "wall_s", "ns_per_event", "runs_per_sec"] {
+            if require_num(case, key, &ctx)? <= 0.0 {
+                return Err(format!("{ctx}: field '{key}' must be positive"));
+            }
+        }
+        require_num(case, "mean_makespan", &ctx)?;
+    }
+
+    let sweep = doc
+        .get("sweep")
+        .ok_or_else(|| "root: missing 'sweep'".to_string())?;
+    for key in ["cells", "reps", "off_s", "full_s", "speedup"] {
+        if require_num(sweep, key, "sweep")? <= 0.0 {
+            return Err(format!("sweep: field '{key}' must be positive"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_snapshot() -> Snapshot {
+        Snapshot {
+            schema_version: SCHEMA_VERSION,
+            created_unix: 1_700_000_000,
+            host: "test\"host".into(),
+            cpus: 8,
+            commit: "deadbeef".into(),
+            peak_rss_bytes: 1024,
+            cases: vec![CaseResult {
+                name: "homogeneous/umr/fault-free".into(),
+                runs: 3,
+                events: 900,
+                wall_s: 0.001,
+                ns_per_event: 1111.1,
+                runs_per_sec: 3000.0,
+                mean_makespan: 63.5,
+            }],
+            sweep: SweepComparison {
+                cells: 12,
+                reps: 2,
+                off_s: 0.1,
+                full_s: 0.25,
+                speedup: 2.5,
+            },
+        }
+    }
+
+    #[test]
+    fn emitted_json_round_trips_validation() {
+        let json = dummy_snapshot().to_json();
+        validate_snapshot_json(&json).expect("emitted snapshot must validate");
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_snapshot_json("not json").is_err());
+        assert!(validate_snapshot_json("{}").is_err());
+        // Wrong schema version.
+        let mut snap = dummy_snapshot();
+        snap.schema_version = 99;
+        assert!(validate_snapshot_json(&snap.to_json()).is_err());
+        // Empty case list.
+        let mut snap = dummy_snapshot();
+        snap.cases.clear();
+        assert!(validate_snapshot_json(&snap.to_json()).is_err());
+        // Non-positive timing.
+        let mut snap = dummy_snapshot();
+        snap.cases[0].wall_s = 0.0;
+        assert!(validate_snapshot_json(&snap.to_json()).is_err());
+        // Malformed case name.
+        let mut snap = dummy_snapshot();
+        snap.cases[0].name = "plain".into();
+        assert!(validate_snapshot_json(&snap.to_json()).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5e1, "x\ny\"z"], "b": {"c": null}}"#).unwrap();
+        let a = v.get("a").unwrap();
+        match a {
+            Json::Arr(items) => {
+                assert_eq!(items[0], Json::Num(1.0));
+                assert_eq!(items[1], Json::Num(-25.0));
+                assert_eq!(items[2], Json::Str("x\ny\"z".into()));
+            }
+            _ => panic!("a must be an array"),
+        }
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn quick_snapshot_runs_and_validates() {
+        let snap = run_snapshot(SnapshotConfig {
+            case_reps: 2,
+            sweep_reps: 1,
+        });
+        assert_eq!(snap.cases.len(), 16);
+        for case in &snap.cases {
+            assert!(case.events > 0, "{}: no events recorded", case.name);
+            assert!(case.mean_makespan > 0.0);
+        }
+        assert!(snap.sweep.cells == 12);
+        validate_snapshot_json(&snap.to_json()).expect("real snapshot must validate");
+    }
+}

@@ -15,7 +15,7 @@ use std::sync::Mutex;
 
 use dls_numerics::rng::SeedDeriver;
 use dls_sim::ErrorModel;
-use rumr::{RumrConfig, Scenario, SchedulerKind};
+use rumr::{RumrConfig, Scenario, SchedulerKind, SimConfig, TraceMetrics, TraceMode};
 
 use crate::grid::{GridPoint, Table1Grid};
 
@@ -154,6 +154,13 @@ pub struct SweepConfig {
     pub w_total: f64,
     /// Print progress to stderr.
     pub progress: bool,
+    /// How much the engine records per run. [`TraceMode::Off`] (the
+    /// default) is the fast path for makespan-only sweeps;
+    /// [`TraceMode::MetricsOnly`] adds cheap incremental link/gap metrics;
+    /// [`TraceMode::Full`] is the self-checking configuration — the
+    /// complete event trace is recorded, validated against the engine's
+    /// protocol invariants, and distilled into [`TraceMetrics`] per run.
+    pub trace_mode: TraceMode,
 }
 
 impl SweepConfig {
@@ -168,6 +175,7 @@ impl SweepConfig {
             model: ErrorModelKind::Normal,
             w_total: 1000.0,
             progress: false,
+            trace_mode: TraceMode::Off,
         }
     }
 
@@ -203,6 +211,9 @@ pub struct Cell {
     /// Mean makespan per competitor (indexed like the competitor slice),
     /// averaged over the repetitions.
     pub means: Vec<f64>,
+    /// Mean master-link utilization per competitor, present when the sweep
+    /// ran with [`TraceMode::MetricsOnly`] or [`TraceMode::Full`].
+    pub link_util: Option<Vec<f64>>,
 }
 
 /// Result of a sweep: one [`Cell`] per (point, error), in deterministic
@@ -294,6 +305,7 @@ fn compute_cell(
     )
     .build()
     .expect("grid parameters are valid");
+    let num_workers = platform.num_workers();
     let scenario = Scenario {
         platform,
         w_total: config.w_total,
@@ -301,17 +313,43 @@ fn compute_cell(
         cost_profile: None,
         temporal_noise: None,
     };
+    // One engine per cell: the runner resets it between repetitions so the
+    // event heap, ledger and queues are allocated once, not reps × comps
+    // times.
+    let mut runner = scenario.runner(SimConfig {
+        trace_mode: config.trace_mode,
+        ..SimConfig::default()
+    });
+    // Plan each competitor once per cell; repetitions stamp out fresh
+    // schedulers by cloning instead of re-running the (expensive) solvers.
+    let prototypes: Vec<_> = competitors
+        .iter()
+        .map(|competitor| {
+            runner
+                .prototype(&competitor.kind_for(error))
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "planner failed: {e} (competitor {}, N={}, r={}, cLat={}, nLat={}, error={error})",
+                        competitor.label(),
+                        point.n,
+                        point.ratio,
+                        point.comp_latency,
+                        point.net_latency,
+                    )
+                })
+        })
+        .collect();
     let seeds = SeedDeriver::new(config.root_seed).child(cell_index as u64);
 
     let mut means = vec![0.0; competitors.len()];
+    let mut link_util = vec![0.0; competitors.len()];
     for rep in 0..config.reps {
         let rep_seeds = seeds.child(rep);
         for (c, competitor) in competitors.iter().enumerate() {
             // Independent error realizations per algorithm, matching the
             // paper's methodology (each experiment is a fresh run).
             let seed = rep_seeds.child(c as u64).seed();
-            let kind = competitor.kind_for(error);
-            let result = scenario.run(&kind, seed).unwrap_or_else(|e| {
+            let result = runner.run_prototype(&prototypes[c], seed).unwrap_or_else(|e| {
                 panic!(
                     "simulation failed: {e} (competitor {}, N={}, r={}, cLat={}, nLat={}, error={error}, rep={rep})",
                     competitor.label(),
@@ -322,15 +360,49 @@ fn compute_cell(
                 )
             });
             means[c] += result.makespan;
+            match config.trace_mode {
+                TraceMode::Off => {}
+                TraceMode::MetricsOnly => {
+                    if let Some(metrics) = &result.metrics {
+                        link_util[c] += metrics.link_utilization(result.makespan);
+                    }
+                }
+                TraceMode::Full => {
+                    // A fully traced sweep is the self-checking
+                    // configuration: every run's trace is validated against
+                    // the engine's protocol invariants (serial sends, FIFO
+                    // queues, conservation) and the derived trace metrics
+                    // feed the cell aggregates.
+                    if let Some(trace) = &result.trace {
+                        let violations = trace.validate(num_workers);
+                        assert!(
+                            violations.is_empty(),
+                            "trace violations (competitor {}, N={}, error={error}, rep={rep}): {violations:?}",
+                            competitor.label(),
+                            point.n,
+                        );
+                        let tm = TraceMetrics::from_trace(trace, num_workers);
+                        link_util[c] += tm.link_utilization;
+                    }
+                }
+            }
         }
     }
+    let denom = config.reps as f64;
     for m in &mut means {
-        *m /= config.reps as f64;
+        *m /= denom;
     }
+    let link_util = config.trace_mode.records_summary().then(|| {
+        for u in &mut link_util {
+            *u /= denom;
+        }
+        link_util
+    });
     Cell {
         point,
         error,
         means,
+        link_util,
     }
 }
 
@@ -353,6 +425,7 @@ mod tests {
             model: ErrorModelKind::Normal,
             w_total: 1000.0,
             progress: false,
+            trace_mode: TraceMode::Off,
         }
     }
 
@@ -401,6 +474,25 @@ mod tests {
                 "RUMR(0) must equal UMR: {:?}",
                 cell
             );
+        }
+    }
+
+    #[test]
+    fn trace_modes_agree_on_means_and_populate_link_util() {
+        let comps = vec![Competitor::RumrKnown, Competitor::Factoring];
+        let off = run_sweep(&tiny_config(), &comps);
+        for mode in [TraceMode::MetricsOnly, TraceMode::Full] {
+            let mut cfg = tiny_config();
+            cfg.trace_mode = mode;
+            let r = run_sweep(&cfg, &comps);
+            for (a, b) in off.cells.iter().zip(&r.cells) {
+                assert_eq!(a.means, b.means, "{mode:?} changed makespans");
+                assert!(a.link_util.is_none());
+                let util = b.link_util.as_ref().expect("metrics recorded");
+                for &u in util {
+                    assert!(u > 0.0 && u <= 1.0 + 1e-9, "bad utilization {u}");
+                }
+            }
         }
     }
 

@@ -132,24 +132,28 @@ mod tests {
                 point: point(),
                 error: 0.02,
                 means: vec![100.0, 110.0, 95.0],
+                link_util: None,
             },
             // Band 0 again: RUMR beats both.
             Cell {
                 point: point(),
                 error: 0.06,
                 means: vec![100.0, 120.0, 130.0],
+                link_util: None,
             },
             // Band 4: ties are not wins.
             Cell {
                 point: point(),
                 error: 0.44,
                 means: vec![100.0, 100.0, 101.0],
+                link_util: None,
             },
             // Gap value (0.5) is ignored.
             Cell {
                 point: point(),
                 error: 0.5,
                 means: vec![100.0, 1000.0, 1000.0],
+                link_util: None,
             },
         ];
         let t = win_rate_table(&sweep_with(cells), 1.0);
@@ -171,6 +175,7 @@ mod tests {
             point: point(),
             error: 0.02,
             means: vec![100.0, 105.0, 115.0],
+            link_util: None,
         }];
         let any = win_rate_table(&sweep_with(cells.clone()), 1.0);
         assert!((any.percentages[0][0] - 100.0).abs() < 1e-9);
@@ -187,11 +192,13 @@ mod tests {
                 point: point(),
                 error: 0.1,
                 means: vec![100.0, 110.0, 90.0],
+                link_util: None,
             },
             Cell {
                 point: point(),
                 error: 0.2,
                 means: vec![100.0, 120.0, 130.0],
+                link_util: None,
             },
         ];
         // Wins: 3 of 4 comparisons.

@@ -52,7 +52,7 @@ impl Default for AdaptiveConfig {
 }
 
 /// RUMR with on-the-fly error estimation (no a-priori error input).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveRumr {
     n: usize,
     speed: f64,
@@ -250,7 +250,7 @@ mod tests {
             scheduler,
             ErrorInjector::new(model, seed),
             SimConfig {
-                record_trace: true,
+                trace_mode: dls_sim::TraceMode::Full,
                 ..Default::default()
             },
         )

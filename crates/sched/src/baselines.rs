@@ -15,7 +15,7 @@ use dls_sim::{Decision, Platform, Scheduler, SimView};
 use crate::plan::{equal_chunks, DispatchPlan, ListSource, PlanReplayer, PullDispatcher};
 
 /// One round of equal chunks, sent eagerly to workers `0..N`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EqualSingleRound {
     replayer: PlanReplayer,
 }
@@ -44,7 +44,7 @@ impl Scheduler for EqualSingleRound {
 
 /// Pull-based self-scheduling with chunks of the given unit size (1 unit by
 /// default — one sequence, one block of pixels, ... in the paper's terms).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UnitSelfScheduling {
     dispatcher: PullDispatcher<ListSource>,
     unit: f64,
@@ -99,7 +99,7 @@ mod tests {
             &mut s,
             ErrorInjector::new(ErrorModel::None, 0),
             SimConfig {
-                record_trace: true,
+                trace_mode: dls_sim::TraceMode::Full,
                 ..Default::default()
             },
         )

@@ -131,7 +131,7 @@ impl ChunkSource for FactoringSource {
 }
 
 /// The Factoring scheduler: pull-based dispatch of the factoring sequence.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Factoring {
     dispatcher: PullDispatcher<FactoringSource>,
 }
@@ -266,7 +266,7 @@ mod tests {
             &mut f,
             ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.3 }, 7),
             SimConfig {
-                record_trace: true,
+                trace_mode: dls_sim::TraceMode::Full,
                 ..Default::default()
             },
         )

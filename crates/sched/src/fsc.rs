@@ -37,7 +37,7 @@ pub fn fsc_chunk_size(w_total: f64, n: usize, overhead: f64, sigma: f64) -> f64 
 }
 
 /// The FSC scheduler: equal fixed-size chunks, pull-based dispatch.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Fsc {
     dispatcher: PullDispatcher<ListSource>,
     chunk: f64,
@@ -130,7 +130,7 @@ mod tests {
             &mut fsc,
             ErrorInjector::new(ErrorModel::TruncatedNormal { error: 0.3 }, 5),
             SimConfig {
-                record_trace: true,
+                trace_mode: dls_sim::TraceMode::Full,
                 ..Default::default()
             },
         )

@@ -19,7 +19,7 @@ use dls_sim::{Decision, Platform, Scheduler, SimView};
 use crate::factoring::UNIT_FLOOR;
 
 /// Guided self-scheduling: `chunk = max(R/N, min_chunk)` per pull.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Gss {
     n: usize,
     remaining: f64,
@@ -76,7 +76,7 @@ impl Scheduler for Gss {
 
 /// Trapezoid self-scheduling: linearly decreasing chunks from `first` to
 /// `last`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Tss {
     remaining: f64,
     next_chunk: f64,
@@ -165,7 +165,7 @@ mod tests {
             s,
             ErrorInjector::new(model, seed),
             SimConfig {
-                record_trace: true,
+                trace_mode: dls_sim::TraceMode::Full,
                 ..Default::default()
             },
         )

@@ -216,7 +216,7 @@ impl MiSchedule {
 }
 
 /// The MI-x scheduler: eager replay of the installment plan.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MultiInstallment {
     replayer: PlanReplayer,
     schedule: MiSchedule,
@@ -315,7 +315,7 @@ mod tests {
                 &mut mi,
                 ErrorInjector::new(ErrorModel::None, 0),
                 SimConfig {
-                    record_trace: true,
+                    trace_mode: dls_sim::TraceMode::Full,
                     ..Default::default()
                 },
             )

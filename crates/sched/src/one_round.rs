@@ -121,7 +121,7 @@ impl OneRoundSchedule {
 }
 
 /// The one-round scheduler (eager replay).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OneRound {
     replayer: PlanReplayer,
     schedule: OneRoundSchedule,
@@ -198,7 +198,7 @@ mod tests {
             &mut s,
             ErrorInjector::new(ErrorModel::None, 0),
             SimConfig {
-                record_trace: true,
+                trace_mode: dls_sim::TraceMode::Full,
                 ..Default::default()
             },
         )

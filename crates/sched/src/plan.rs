@@ -98,7 +98,7 @@ pub trait ChunkSource {
 
 /// Pull-based dispatcher: sends the source's next chunk to the least-loaded
 /// hungry worker; waits when nobody is hungry.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PullDispatcher<S> {
     source: S,
     exhausted: bool,

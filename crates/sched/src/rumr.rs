@@ -150,7 +150,7 @@ pub fn phase_split(
 }
 
 /// The RUMR scheduler.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Rumr {
     config: RumrConfig,
     split: PhaseSplit,
@@ -431,7 +431,7 @@ mod tests {
                 &mut rumr,
                 ErrorInjector::new(ErrorModel::TruncatedNormal { error }, 42),
                 SimConfig {
-                    record_trace: true,
+                    trace_mode: dls_sim::TraceMode::Full,
                     ..Default::default()
                 },
             )

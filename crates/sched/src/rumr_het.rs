@@ -26,7 +26,7 @@ use crate::umr::UmrError;
 use crate::umr_het::HetUmrSchedule;
 
 /// Heterogeneous two-phase robust scheduler.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HetRumr {
     workers: Vec<WorkerSpec>,
     config: RumrConfig,
@@ -236,7 +236,7 @@ mod tests {
             s,
             ErrorInjector::new(model, seed),
             SimConfig {
-                record_trace: true,
+                trace_mode: dls_sim::TraceMode::Full,
                 ..Default::default()
             },
         )

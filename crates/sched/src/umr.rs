@@ -437,7 +437,7 @@ impl UmrSchedule {
 /// The UMR scheduler: replays the precalculated schedule fire-and-forget
 /// (under exact predictions the master's interface is continuously busy, so
 /// eager replay *is* the planned timeline).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Umr {
     replayer: PlanReplayer,
     schedule: UmrSchedule,

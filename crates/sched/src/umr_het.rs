@@ -290,7 +290,7 @@ impl HetUmrSchedule {
 }
 
 /// Heterogeneous UMR scheduler (eager plan replay).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HetUmr {
     replayer: PlanReplayer,
     schedule: HetUmrSchedule,
@@ -425,7 +425,7 @@ mod tests {
             &mut sched,
             ErrorInjector::new(ErrorModel::None, 0),
             SimConfig {
-                record_trace: true,
+                trace_mode: dls_sim::TraceMode::Full,
                 ..Default::default()
             },
         )

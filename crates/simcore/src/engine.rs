@@ -42,16 +42,60 @@ use std::fmt;
 
 use crate::error::ErrorInjector;
 use crate::faults::{FaultAction, FaultInjector, FaultModel};
+use crate::metrics::MetricsSummary;
 use crate::platform::Platform;
 use crate::scheduler::{Decision, Scheduler, SimView, WorkerView};
 use crate::trace::{LostStage, Trace, TraceEvent};
 
+/// How much per-run observability the engine records.
+///
+/// The paper's sweeps run millions of simulations and only consume
+/// makespans, so everything beyond the plain [`SimResult`] accounting is
+/// opt-in. Modes are strictly ordered by cost:
+///
+/// * [`TraceMode::Off`] — no trace, no summary. The hot path allocates
+///   nothing per event.
+/// * [`TraceMode::MetricsOnly`] — maintains an incremental
+///   [`MetricsSummary`] (event counts, master-link busy time, per-worker
+///   idle gaps) without storing any events.
+/// * [`TraceMode::Full`] — additionally records every event into a
+///   [`Trace`] for validation, Gantt charts, and
+///   [`crate::metrics::TraceMetrics`].
+///
+/// All three modes produce bit-identical makespans, per-worker accounting,
+/// and conservation-ledger totals (the equivalence property suite pins
+/// this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No per-event recording at all (default; fastest).
+    #[default]
+    Off,
+    /// Aggregate [`MetricsSummary`] only; no event storage.
+    MetricsOnly,
+    /// Aggregate summary plus the full [`Trace`].
+    Full,
+}
+
+impl TraceMode {
+    /// True when an incremental [`MetricsSummary`] is maintained.
+    #[inline]
+    pub fn records_summary(self) -> bool {
+        !matches!(self, TraceMode::Off)
+    }
+
+    /// True when a full [`Trace`] is recorded.
+    #[inline]
+    pub fn records_trace(self) -> bool {
+        matches!(self, TraceMode::Full)
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Record a full [`Trace`] of the run (off by default: the paper's
-    /// sweeps run millions of simulations).
-    pub record_trace: bool,
+    /// Observability level of the run (off by default: the paper's sweeps
+    /// run millions of simulations). See [`TraceMode`].
+    pub trace_mode: TraceMode,
     /// Safety valve against runaway schedulers: the simulation aborts with
     /// [`SimError::EventLimitExceeded`] after this many events.
     pub max_events: u64,
@@ -79,12 +123,23 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
-            record_trace: false,
+            trace_mode: TraceMode::Off,
             max_events: 50_000_000,
             max_concurrent_sends: 1,
             uplink_capacity: None,
             output_ratio: 0.0,
             faults: FaultModel::None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Default configuration with full trace recording — the common setup
+    /// for validation tests and debugging.
+    pub fn traced() -> Self {
+        SimConfig {
+            trace_mode: TraceMode::Full,
+            ..Default::default()
         }
     }
 }
@@ -162,7 +217,13 @@ pub struct SimResult {
     /// redispatched — the part of the workload a non-recovering scheduler
     /// simply dropped. Empty when every loss was re-sent.
     pub lost_ranges: Vec<(f64, f64)>,
-    /// Full event trace when `SimConfig::record_trace` was set.
+    /// Number of discrete events the engine processed — the denominator of
+    /// the benchmark harness's ns/event metric.
+    pub events: u64,
+    /// Incremental run metrics when the trace mode was
+    /// [`TraceMode::MetricsOnly`] or [`TraceMode::Full`].
+    pub metrics: Option<MetricsSummary>,
+    /// Full event trace when the trace mode was [`TraceMode::Full`].
     pub trace: Option<Trace>,
 }
 
@@ -329,7 +390,13 @@ struct PoolTransfer {
 const POOL_EPS: f64 = 1e-9;
 
 /// The simulation engine. Construct with [`Engine::new`], run with
-/// [`Engine::run`]; a fresh engine is needed per run.
+/// [`Engine::run`].
+///
+/// For repeated runs over the same platform (sweeps, benchmarks), keep one
+/// engine alive and alternate [`Engine::reset`] / [`Engine::run_reusing`]:
+/// every internal buffer — event heap, work ledger, worker queues, transfer
+/// pool, scheduler-view snapshot — retains its allocation across runs, so
+/// steady-state repetitions allocate almost nothing.
 pub struct Engine<'a> {
     platform: &'a Platform,
     injector: ErrorInjector,
@@ -374,6 +441,24 @@ pub struct Engine<'a> {
     /// Chunks in an outstanding ledger state (dispatched, not yet completed
     /// or lost).
     outstanding_chunks: usize,
+    /// Reusable scheduler-view snapshot: filled in place on every dispatch
+    /// consultation instead of allocating a fresh `Vec` per decision.
+    views_buf: Vec<WorkerView>,
+    /// True after `run_reusing` consumed this engine's state; cleared by
+    /// `reset`.
+    used: bool,
+    /// Trace events generated (whether or not they were stored).
+    trace_events: u64,
+    /// Master-interface busy time (any transfer active) and the instant the
+    /// interface last became busy.
+    link_busy: f64,
+    link_busy_since: f64,
+    /// Per-worker end time of the last completed computation (`NAN` before
+    /// the first), for incremental gap accounting.
+    last_compute_end: Vec<f64>,
+    /// Per-worker idle time between consecutive computations.
+    gap_time: Vec<f64>,
+    num_gaps: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -398,11 +483,17 @@ impl<'a> Engine<'a> {
         let n = platform.num_workers();
         let fault_injector = FaultInjector::new(&config.faults, n);
         let fault_mode = config.faults.is_active();
+        // Pre-size the hot collections from the platform shape: a run
+        // typically keeps a handful of events per worker pending (one
+        // transfer chain plus one computation each), and dispatches at
+        // least a few chunks per worker. Reuse via `reset` then holds the
+        // high-water capacity across repetitions.
+        let event_capacity = 32 + 4 * n;
         Engine {
             platform,
             injector,
             config,
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(event_capacity),
             seq: 0,
             now: 0.0,
             sending: 0,
@@ -423,7 +514,7 @@ impl<'a> Engine<'a> {
             next_unit: 0.0,
             return_queue: VecDeque::new(),
             returned_work: 0.0,
-            ledger: Vec::new(),
+            ledger: Vec::with_capacity(event_capacity),
             fault_injector,
             fault_mode,
             current_compute: vec![None; n],
@@ -432,7 +523,62 @@ impl<'a> Engine<'a> {
             lost_chunks: 0,
             redispatched_work: 0.0,
             outstanding_chunks: 0,
+            views_buf: Vec::with_capacity(n),
+            used: false,
+            trace_events: 0,
+            link_busy: 0.0,
+            link_busy_since: 0.0,
+            last_compute_end: vec![f64::NAN; n],
+            gap_time: vec![0.0; n],
+            num_gaps: 0,
         }
+    }
+
+    /// Restore the engine to its just-constructed state for another run,
+    /// keeping every buffer's allocation. `injector` replaces the previous
+    /// run's error injector (each repetition uses a fresh seed); the fault
+    /// injector is re-derived from the configured fault model.
+    pub fn reset(&mut self, injector: ErrorInjector) {
+        let n = self.platform.num_workers();
+        self.injector = injector;
+        self.heap.clear();
+        self.seq = 0;
+        self.now = 0.0;
+        self.sending = 0;
+        self.pool.clear();
+        self.pool_epoch = 0;
+        self.pool_updated = 0.0;
+        for w in &mut self.workers {
+            w.view = WorkerView::default();
+            w.queue.clear();
+        }
+        self.trace = Trace::new();
+        self.num_chunks = 0;
+        self.dispatched_work = 0.0;
+        self.per_worker_busy.clear();
+        self.per_worker_busy.resize(n, 0.0);
+        self.events_processed = 0;
+        self.next_unit = 0.0;
+        self.return_queue.clear();
+        self.returned_work = 0.0;
+        self.ledger.clear();
+        self.fault_injector = FaultInjector::new(&self.config.faults, n);
+        self.current_compute.clear();
+        self.current_compute.resize(n, None);
+        self.lost_units.clear();
+        self.lost_work = 0.0;
+        self.lost_chunks = 0;
+        self.redispatched_work = 0.0;
+        self.outstanding_chunks = 0;
+        self.used = false;
+        self.trace_events = 0;
+        self.link_busy = 0.0;
+        self.link_busy_since = 0.0;
+        self.last_compute_end.clear();
+        self.last_compute_end.resize(n, f64::NAN);
+        self.gap_time.clear();
+        self.gap_time.resize(n, 0.0);
+        self.num_gaps = 0;
     }
 
     fn schedule(&mut self, time: f64, event: Event) {
@@ -446,13 +592,29 @@ impl<'a> Engine<'a> {
     }
 
     fn record(&mut self, e: TraceEvent) {
-        if self.config.record_trace {
+        self.trace_events += 1;
+        if self.config.trace_mode.records_trace() {
             self.trace.push(e);
         }
     }
 
-    fn views(&self) -> Vec<WorkerView> {
-        self.workers.iter().map(|w| w.view).collect()
+    /// A transfer started occupying the master's interface. Tracks the
+    /// interface's busy time across the 0↔non-zero transitions.
+    #[inline]
+    fn inc_sending(&mut self) {
+        if self.sending == 0 {
+            self.link_busy_since = self.now;
+        }
+        self.sending += 1;
+    }
+
+    /// A transfer released the master's interface.
+    #[inline]
+    fn dec_sending(&mut self) {
+        self.sending -= 1;
+        if self.sending == 0 {
+            self.link_busy += self.now - self.link_busy_since;
+        }
     }
 
     fn start_compute(&mut self, worker: usize, scheduler: &mut dyn Scheduler) {
@@ -464,6 +626,11 @@ impl<'a> Engine<'a> {
         w.view.queued_chunks -= 1;
         w.view.queued_work -= chunk;
         w.view.computing = true;
+        let last_end = self.last_compute_end[worker];
+        if last_end.is_finite() && self.now > last_end + 1e-12 {
+            self.gap_time[worker] += self.now - last_end;
+            self.num_gaps += 1;
+        }
         self.ledger[id].state = ChunkState::Computing;
         let predicted = self.platform.worker(worker).comp_time(chunk);
         let effective =
@@ -565,7 +732,7 @@ impl<'a> Engine<'a> {
         while i < self.pool.len() {
             if self.pool[i].remaining <= POOL_EPS {
                 let t = self.pool.remove(i);
-                self.sending -= 1;
+                self.dec_sending();
                 if t.is_return {
                     self.returned_work += t.chunk;
                     self.record(TraceEvent::ReturnEnd {
@@ -603,7 +770,7 @@ impl<'a> Engine<'a> {
             let Some((worker, bytes)) = self.return_queue.pop_front() else {
                 break;
             };
-            self.sending += 1;
+            self.inc_sending();
             let spec = self.platform.worker(worker);
             let factor = self.injector.comm_factor(worker);
             let setup = spec.net_latency * factor;
@@ -629,32 +796,40 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Let the scheduler use the free send slots.
+    /// Let the scheduler use the free send slots. The per-worker view
+    /// snapshot is rebuilt in place in a reused buffer — the dispatch loop
+    /// runs several times per chunk, and a fresh `Vec` per consultation
+    /// used to dominate the engine's allocation profile.
     fn try_dispatch(
         &mut self,
         scheduler: &mut dyn Scheduler,
         finished: &mut bool,
     ) -> Result<(), SimError> {
+        let mut views = std::mem::take(&mut self.views_buf);
+        let mut outcome = Ok(());
         while !*finished && self.sending < self.config.max_concurrent_sends {
-            let views = self.views();
+            views.clear();
+            views.extend(self.workers.iter().map(|w| w.view));
             let decision = scheduler.next_dispatch(&SimView {
                 time: self.now,
                 workers: &views,
             });
-            match decision {
+            let step = match decision {
                 Decision::Wait => break,
                 Decision::Finished => {
                     *finished = true;
+                    Ok(())
                 }
-                Decision::Dispatch { worker, chunk } => {
-                    self.dispatch_chunk(worker, chunk, false)?;
-                }
-                Decision::Redispatch { worker, chunk } => {
-                    self.dispatch_chunk(worker, chunk, true)?;
-                }
+                Decision::Dispatch { worker, chunk } => self.dispatch_chunk(worker, chunk, false),
+                Decision::Redispatch { worker, chunk } => self.dispatch_chunk(worker, chunk, true),
+            };
+            if let Err(e) = step {
+                outcome = Err(e);
+                break;
             }
         }
-        Ok(())
+        self.views_buf = views;
+        outcome
     }
 
     /// Validate and start one input transfer; shared by `Dispatch` and
@@ -668,7 +843,7 @@ impl<'a> Engine<'a> {
         if worker >= self.workers.len() || !chunk.is_finite() || chunk <= 0.0 {
             return Err(SimError::InvalidDispatch { worker, chunk });
         }
-        self.sending += 1;
+        self.inc_sending();
         self.num_chunks += 1;
         self.dispatched_work += chunk;
         let w = &mut self.workers[worker];
@@ -779,7 +954,7 @@ impl<'a> Engine<'a> {
                 // fires, which sees the Lost state and frees it.
                 if let Some(pos) = self.pool.iter().position(|t| !t.is_return && t.id == id) {
                     self.pool.remove(pos);
-                    self.sending -= 1;
+                    self.dec_sending();
                     pool_touched = true;
                 }
                 let v = &mut self.workers[worker].view;
@@ -929,12 +1104,28 @@ impl<'a> Engine<'a> {
         *finished = false;
     }
 
-    /// Run the simulation to completion.
+    /// Run the simulation to completion, consuming the engine.
     ///
     /// # Errors
     ///
     /// See [`SimError`].
     pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Result<SimResult, SimError> {
+        self.run_reusing(scheduler)
+    }
+
+    /// Run the simulation to completion without consuming the engine, so
+    /// its buffers can be reused for the next run after [`Engine::reset`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called again without an intervening [`Engine::reset`].
+    pub fn run_reusing(&mut self, scheduler: &mut dyn Scheduler) -> Result<SimResult, SimError> {
+        assert!(!self.used, "engine already ran; call reset() first");
+        self.used = true;
         let mut finished = false;
         // Seed the first fault; each fault event enqueues its successor, so
         // exactly one is pending at a time and `FaultModel::None` consumes
@@ -990,7 +1181,7 @@ impl<'a> Engine<'a> {
                     if !is_return && self.ledger[id].state == ChunkState::Lost {
                         // Destroyed during setup by a fault; the loss was
                         // accounted then — just free the send slot.
-                        self.sending -= 1;
+                        self.dec_sending();
                         continue;
                     }
                     self.update_pool_progress();
@@ -1060,6 +1251,7 @@ impl<'a> Engine<'a> {
                     self.ledger[id].state = ChunkState::Completed;
                     self.outstanding_chunks -= 1;
                     self.current_compute[worker] = None;
+                    self.last_compute_end[worker] = self.now;
                     self.record(TraceEvent::ComputeEnd {
                         worker,
                         chunk,
@@ -1111,20 +1303,38 @@ impl<'a> Engine<'a> {
             },
             "work-ledger conservation violated"
         );
+        // Close a still-open interface-busy interval (fault-mode runs can
+        // terminate while a doomed transfer nominally holds the link).
+        if self.sending > 0 {
+            self.link_busy += self.now - self.link_busy_since;
+            self.link_busy_since = self.now;
+        }
+        let metrics = self
+            .config
+            .trace_mode
+            .records_summary()
+            .then(|| MetricsSummary {
+                trace_events: self.trace_events,
+                link_busy: self.link_busy,
+                per_worker_gap: std::mem::take(&mut self.gap_time),
+                num_gaps: self.num_gaps,
+            });
         Ok(SimResult {
             makespan: self.now,
             num_chunks: self.num_chunks,
             dispatched_work: self.dispatched_work,
             returned_work: self.returned_work,
             per_worker_work: self.workers.iter().map(|w| w.view.completed_work).collect(),
-            per_worker_busy: self.per_worker_busy,
+            per_worker_busy: std::mem::take(&mut self.per_worker_busy),
             lost_work: self.lost_work,
             lost_chunks: self.lost_chunks,
             redispatched_work: self.redispatched_work,
             outstanding_work,
-            lost_ranges: self.lost_units.into_iter().collect(),
-            trace: if self.config.record_trace {
-                Some(self.trace)
+            lost_ranges: self.lost_units.drain(..).collect(),
+            events: self.events_processed,
+            metrics,
+            trace: if self.config.trace_mode.records_trace() {
+                Some(std::mem::take(&mut self.trace))
             } else {
                 None
             },
@@ -1182,14 +1392,14 @@ mod tests {
 
     fn traced() -> SimConfig {
         SimConfig {
-            record_trace: true,
+            trace_mode: TraceMode::Full,
             ..Default::default()
         }
     }
 
     fn concurrent(k: usize, capacity: Option<f64>) -> SimConfig {
         SimConfig {
-            record_trace: true,
+            trace_mode: TraceMode::Full,
             max_concurrent_sends: k,
             uplink_capacity: capacity,
             ..Default::default()
@@ -1578,7 +1788,7 @@ mod tests {
 
     fn with_output(ratio: f64) -> SimConfig {
         SimConfig {
-            record_trace: true,
+            trace_mode: TraceMode::Full,
             output_ratio: ratio,
             ..Default::default()
         }
@@ -1660,7 +1870,7 @@ mod tests {
         let plan: Vec<(usize, f64)> = (0..12).map(|i| (i % 4, 25.0)).collect();
         let mut s = ListScheduler::new(plan);
         let cfg = SimConfig {
-            record_trace: true,
+            trace_mode: TraceMode::Full,
             max_concurrent_sends: 2,
             uplink_capacity: Some(30.0),
             output_ratio: 0.25,
@@ -1716,7 +1926,7 @@ mod tests {
 
     fn faulty(plan: FaultPlan) -> SimConfig {
         SimConfig {
-            record_trace: true,
+            trace_mode: TraceMode::Full,
             faults: FaultModel::Plan(plan),
             ..Default::default()
         }
@@ -1969,7 +2179,7 @@ mod tests {
             let plan: Vec<(usize, f64)> = (0..12).map(|i| (i % 4, 25.0)).collect();
             let mut s = ListScheduler::new(plan);
             let cfg = SimConfig {
-                record_trace: true,
+                trace_mode: TraceMode::Full,
                 faults: FaultModel::Poisson(PoissonFaults::crash_recovery(40.0, 10.0, 1000.0, 7)),
                 ..Default::default()
             };

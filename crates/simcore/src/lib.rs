@@ -55,10 +55,10 @@ pub mod profile;
 pub mod scheduler;
 pub mod trace;
 
-pub use engine::{simulate, Engine, SimConfig, SimError, SimResult};
+pub use engine::{simulate, Engine, SimConfig, SimError, SimResult, TraceMode};
 pub use error::{ErrorInjector, ErrorModel, TemporalNoise};
 pub use faults::{FaultAction, FaultEvent, FaultModel, FaultPlan, PoissonFaults};
-pub use metrics::{Gap, TraceMetrics};
+pub use metrics::{Gap, MetricsSummary, TraceMetrics};
 pub use platform::{HomogeneousParams, Platform, PlatformError, WorkerSpec};
 pub use profile::CostProfile;
 pub use scheduler::{Decision, Scheduler, SimView, WorkerView};

@@ -13,6 +13,41 @@
 
 use crate::trace::{Trace, TraceEvent};
 
+/// Cheap aggregate metrics the engine maintains *incrementally* during a
+/// run under [`crate::TraceMode::MetricsOnly`] or
+/// [`crate::TraceMode::Full`] — no event storage, no post-run scan.
+///
+/// These cover the quantities sweeps actually consume (link utilization and
+/// worker idle gaps, §4.2(ii) of the paper) at a fraction of the cost of
+/// recording a full [`Trace`] and running [`TraceMetrics::from_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSummary {
+    /// Number of trace events the run generated (whether or not a full
+    /// trace stored them).
+    pub trace_events: u64,
+    /// Total time the master's interface had at least one active transfer.
+    pub link_busy: f64,
+    /// Per-worker idle time between consecutive computations.
+    pub per_worker_gap: Vec<f64>,
+    /// Number of distinct idle gaps across all workers.
+    pub num_gaps: usize,
+}
+
+impl MetricsSummary {
+    /// Fraction of the makespan the master's interface spent busy.
+    pub fn link_utilization(&self, makespan: f64) -> f64 {
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        self.link_busy / makespan
+    }
+
+    /// Total idle-gap time summed over workers.
+    pub fn total_gap_time(&self) -> f64 {
+        self.per_worker_gap.iter().sum()
+    }
+}
+
 /// An idle interval on a worker between two computations.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Gap {

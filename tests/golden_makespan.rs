@@ -7,7 +7,7 @@
 //! here means the fault machinery leaked into the reliable-platform path
 //! (e.g. by consuming an extra event sequence number or RNG draw).
 
-use rumr::{Scenario, SchedulerKind};
+use rumr::{FaultModel, FaultPlan, RecoveryConfig, RumrConfig, Scenario, SchedulerKind, SimConfig};
 
 fn table1() -> Scenario {
     Scenario::table1(10, 1.5, 0.2, 0.2, 0.3)
@@ -104,6 +104,92 @@ fn concurrent_factoring_is_bit_identical() {
         r.makespan.to_bits()
     );
     assert_eq!(r.num_chunks, 69);
+}
+
+#[test]
+fn heterogeneous_umr_makespans_are_bit_identical() {
+    // Heterogeneous planner path (per-worker closed-form rounds). Guards the
+    // buffer-reuse/prototype refactor on the non-uniform platform too.
+    let s = Scenario::heterogeneous_demo(12, 0.3);
+    for (seed, bits, chunks) in [
+        (1_u64, 0x40561b076906d836_u64, 132_usize),
+        (42, 0x40569e18c289ac14, 132),
+        (20030623, 0x40578dcca1992a5a, 132),
+    ] {
+        let r = s.run(&SchedulerKind::HetUmr, seed).unwrap();
+        assert_eq!(
+            r.makespan.to_bits(),
+            bits,
+            "het umr seed {seed}: got {} ({:#x})",
+            r.makespan,
+            r.makespan.to_bits()
+        );
+        assert_eq!(r.num_chunks, chunks, "het umr seed {seed} chunk count");
+    }
+}
+
+#[test]
+fn heterogeneous_rumr_makespans_are_bit_identical() {
+    let s = Scenario::heterogeneous_demo(12, 0.3);
+    let kind = SchedulerKind::HetRumr(RumrConfig::with_known_error(0.3));
+    for (seed, bits, chunks) in [
+        (1_u64, 0x40567732a913534d_u64, 150_usize),
+        (42, 0x405593bbb298cee5, 150),
+        (20030623, 0x4055a1ed35dc2e3f, 150),
+    ] {
+        let r = s.run(&kind, seed).unwrap();
+        assert_eq!(
+            r.makespan.to_bits(),
+            bits,
+            "het rumr seed {seed}: got {} ({:#x})",
+            r.makespan,
+            r.makespan.to_bits()
+        );
+        assert_eq!(r.num_chunks, chunks, "het rumr seed {seed} chunk count");
+    }
+}
+
+#[test]
+fn recovering_factoring_faulty_run_is_bit_identical() {
+    // Recovery path under a pinned fault plan: one crash that recovers and
+    // one that does not. Pins the makespan bits *and* the loss accounting,
+    // so engine-reuse changes cannot silently shift the redispatch path.
+    let s = table1();
+    let faults = FaultModel::Plan(FaultPlan::new().crash_recover(20.0, 3, 25.0).crash(45.0, 7));
+    let cfg = SimConfig {
+        faults,
+        ..Default::default()
+    };
+    for (seed, bits, chunks) in [
+        (1_u64, 0x4062ecdacebfd583_u64, 117_usize),
+        (42, 0x40622efd15f99f4b, 117),
+    ] {
+        let r = s
+            .run_recovering(
+                &SchedulerKind::Factoring,
+                seed,
+                cfg.clone(),
+                RecoveryConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(
+            r.makespan.to_bits(),
+            bits,
+            "recovering factoring seed {seed}: got {} ({:#x})",
+            r.makespan,
+            r.makespan.to_bits()
+        );
+        assert_eq!(
+            r.num_chunks, chunks,
+            "recovering factoring seed {seed} chunks"
+        );
+        assert!(r.lost_chunks > 0, "the pinned plan must actually lose work");
+        assert!(
+            (r.completed_work() - s.w_total).abs() < 1e-9,
+            "all work must still complete after recovery (got {})",
+            r.completed_work()
+        );
+    }
 }
 
 #[test]

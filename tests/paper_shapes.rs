@@ -23,6 +23,7 @@ fn micro_config(errors: Vec<f64>, reps: u64) -> SweepConfig {
         model: ErrorModelKind::Normal,
         w_total: 1000.0,
         progress: false,
+        trace_mode: rumr::TraceMode::Off,
     }
 }
 

@@ -95,10 +95,10 @@ proptest! {
         output_pct in 0u8..=100,
         capped in proptest::bool::ANY,
     ) {
-        use rumr::SimConfig;
+        use rumr::{SimConfig, TraceMode};
         let capacity = capped.then(|| scenario.platform.worker(0).bandwidth * 0.8);
         let config = SimConfig {
-            record_trace: true,
+            trace_mode: TraceMode::Full,
             max_concurrent_sends: max_sends,
             uplink_capacity: capacity,
             output_ratio: output_pct as f64 / 100.0,
@@ -142,14 +142,14 @@ proptest! {
         recover in proptest::bool::ANY,
         wrap in proptest::bool::ANY,
     ) {
-        use rumr::{FaultModel, PoissonFaults, RecoveryConfig, SimConfig};
+        use rumr::{FaultModel, PoissonFaults, RecoveryConfig, SimConfig, TraceMode};
         let faults = if recover {
             PoissonFaults::crash_recovery(mttf, mttf / 4.0, 20_000.0, fault_seed)
         } else {
             PoissonFaults::crash_stop(mttf, 20_000.0, fault_seed)
         };
         let config = SimConfig {
-            record_trace: true,
+            trace_mode: TraceMode::Full,
             faults: FaultModel::Poisson(faults),
             ..Default::default()
         };

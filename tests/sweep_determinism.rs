@@ -1,0 +1,104 @@
+//! Cross-thread determinism of the sweep harness.
+//!
+//! `sweep.rs` states its contract: each cell's seeds derive from
+//! (root seed, cell index, repetition, competitor), so results are
+//! independent of thread count and scheduling order. This test pins that
+//! contract *byte-for-byte* — every cell table is serialized with exact
+//! f64 bits and compared across `threads = 1, 2, 8` and across two runs at
+//! the same root seed, in both the fast and the fully traced mode.
+
+use std::fmt::Write as _;
+
+use dls_experiments::{run_sweep, Competitor, ErrorModelKind, SweepConfig, Table1Grid};
+use rumr::TraceMode;
+
+fn pinned_config(threads: usize, trace_mode: TraceMode) -> SweepConfig {
+    SweepConfig {
+        grid: Table1Grid {
+            n_values: vec![10, 20],
+            ratio_values: vec![1.5],
+            clat_values: vec![0.2],
+            nlat_values: vec![0.1, 0.4],
+        },
+        errors: vec![0.0, 0.2, 0.4],
+        reps: 3,
+        root_seed: 20030623,
+        threads,
+        model: ErrorModelKind::Normal,
+        w_total: 1000.0,
+        progress: false,
+        trace_mode,
+    }
+}
+
+fn competitors() -> Vec<Competitor> {
+    vec![
+        Competitor::RumrKnown,
+        Competitor::Umr,
+        Competitor::Mi(2),
+        Competitor::Factoring,
+    ]
+}
+
+/// Serialize a sweep result to an exact byte string: labels, grid points,
+/// and every mean as raw f64 bits (no rounding that could mask drift).
+fn serialize(result: &dls_experiments::SweepResult) -> String {
+    let mut out = String::new();
+    for label in &result.labels {
+        let _ = writeln!(out, "label {label}");
+    }
+    for cell in &result.cells {
+        let _ = write!(
+            out,
+            "cell n={} r={} clat={} nlat={} err={:016x}",
+            cell.point.n,
+            cell.point.ratio,
+            cell.point.comp_latency,
+            cell.point.net_latency,
+            cell.error.to_bits()
+        );
+        for m in &cell.means {
+            let _ = write!(out, " {:016x}", m.to_bits());
+        }
+        if let Some(util) = &cell.link_util {
+            for u in util {
+                let _ = write!(out, " u{:016x}", u.to_bits());
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn sweep_is_byte_identical_across_thread_counts() {
+    let comps = competitors();
+    for mode in [TraceMode::Off, TraceMode::Full] {
+        let reference = serialize(&run_sweep(&pinned_config(1, mode), &comps));
+        for threads in [2, 8] {
+            let other = serialize(&run_sweep(&pinned_config(threads, mode), &comps));
+            assert_eq!(
+                reference, other,
+                "threads={threads} changed {mode:?} sweep results"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_is_byte_identical_across_runs_at_same_root_seed() {
+    let comps = competitors();
+    let a = serialize(&run_sweep(&pinned_config(4, TraceMode::Off), &comps));
+    let b = serialize(&run_sweep(&pinned_config(4, TraceMode::Off), &comps));
+    assert_eq!(a, b, "same root seed must reproduce the exact cell table");
+}
+
+#[test]
+fn different_root_seed_changes_results() {
+    let comps = competitors();
+    let a = serialize(&run_sweep(&pinned_config(2, TraceMode::Off), &comps));
+    let mut cfg = pinned_config(2, TraceMode::Off);
+    cfg.root_seed = 1;
+    let b = serialize(&run_sweep(&cfg, &comps));
+    assert_ne!(a, b, "the root seed must actually drive the realizations");
+}
