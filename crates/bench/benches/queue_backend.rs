@@ -1,0 +1,86 @@
+//! Event-queue backend comparison: the same pinned runs on the binary-heap
+//! and calendar-queue backends, fault-free and under the benchmark's
+//! Poisson fault process. Pair with `BENCH_sim.json`'s per-backend case
+//! rows — this group is the microbench view of the same question ("which
+//! backend moves events faster for this workload shape?").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rumr::{
+    FaultModel, PoissonFaults, QueueBackend, RecoveryConfig, Scenario, SchedulerKind, SimConfig,
+};
+
+/// The benchmark snapshot's Poisson fault process (mttf 60, mttr 15).
+fn faults() -> FaultModel {
+    FaultModel::Poisson(PoissonFaults {
+        mttf: 60.0,
+        mttr: Some(15.0),
+        link_mtbf: None,
+        horizon: 2000.0,
+        seed: 11,
+    })
+}
+
+fn config(backend: QueueBackend, faulty: bool) -> SimConfig {
+    SimConfig {
+        queue_backend: backend,
+        faults: if faulty { faults() } else { FaultModel::None },
+        ..SimConfig::default()
+    }
+}
+
+/// Fault-free runs through the buffer-reusing runner, per backend.
+fn bench_backends_fault_free(c: &mut Criterion) {
+    let scenario = Scenario::table1(20, 1.6, 0.3, 0.2, 0.3);
+    let kind = SchedulerKind::rumr_known_error(0.3);
+    let mut group = c.benchmark_group("queue_backend/fault_free");
+    for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backend.name()),
+            &backend,
+            |b, &backend| {
+                let mut runner = scenario.runner(config(backend, false));
+                let proto = runner.prototype(&kind).unwrap();
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(runner.run_prototype(&proto, seed).unwrap().makespan)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Faulty runs (crash/recover + redispatch churn) — the workload the
+/// calendar backend and the fault-path pooling were built for.
+fn bench_backends_faulty(c: &mut Criterion) {
+    let scenario = Scenario::heterogeneous_demo(20, 0.3);
+    let kind = SchedulerKind::HetUmr;
+    let mut group = c.benchmark_group("queue_backend/faulty");
+    for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backend.name()),
+            &backend,
+            |b, &backend| {
+                let mut runner = scenario.runner(config(backend, true));
+                let proto = runner.prototype(&kind).unwrap();
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(
+                        runner
+                            .run_recovering_prototype(&proto, seed, RecoveryConfig::default())
+                            .unwrap()
+                            .makespan,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends_fault_free, bench_backends_faulty);
+criterion_main!(benches);

@@ -49,6 +49,7 @@ pub use dls_sched as sched;
 pub use dls_sched::{Recovering, RecoveryConfig, RumrConfig, UmrInputs, UmrSchedule};
 pub use dls_sim as sim;
 pub use dls_sim::{
-    ErrorModel, FaultModel, FaultPlan, HomogeneousParams, MetricsSummary, Platform, PlatformError,
-    PoissonFaults, SimConfig, SimResult, TraceMetrics, TraceMode, WorkerSpec,
+    ErrorModel, EventCounts, FaultModel, FaultPlan, HomogeneousParams, MetricsSummary, Platform,
+    PlatformError, PoissonFaults, QueueBackend, SimConfig, SimResult, TraceMetrics, TraceMode,
+    WorkerSpec,
 };

@@ -284,9 +284,32 @@ impl ScenarioRunner<'_> {
         Ok(self.engine.run_reusing(&mut wrapped)?)
     }
 
+    /// Run one simulation from a pre-planned prototype wrapped in the
+    /// fault-recovery layer, reusing the engine's buffers. Bit-identical to
+    /// [`ScenarioRunner::run_recovering`] with the prototype's kind, but
+    /// pays the planner cost once (at [`ScenarioRunner::prototype`] time)
+    /// instead of per repetition.
+    pub fn run_recovering_prototype(
+        &mut self,
+        proto: &SchedulerPrototype,
+        seed: u64,
+        recovery: RecoveryConfig,
+    ) -> Result<SimResult, RunError> {
+        let mut wrapped = Recovering::with_config(proto.fresh(), recovery);
+        self.engine.reset(self.scenario.injector(seed));
+        Ok(self.engine.run_reusing(&mut wrapped)?)
+    }
+
     /// The scenario this runner simulates.
     pub fn scenario(&self) -> &Scenario {
         self.scenario
+    }
+
+    /// Current event-queue storage footprint (see
+    /// [`Engine::debug_queue_capacity`]). Test instrumentation only.
+    #[doc(hidden)]
+    pub fn debug_queue_capacity(&self) -> usize {
+        self.engine.debug_queue_capacity()
     }
 }
 

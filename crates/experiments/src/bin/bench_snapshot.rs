@@ -10,6 +10,8 @@
 //! * `--out PATH`   output path (default `BENCH_sim.json`)
 //! * `--reps N`     timed repetitions per engine case (default 200)
 //! * `--quick`      reduced CI budget (10 case reps, 2 sweep reps)
+//! * `--queue Q`    heap | calendar | both — event-queue backends to
+//!   measure (default both; each selected backend gets its own case rows)
 //! * `--check PATH` validate an existing snapshot file and exit
 //! * `--min-speedup X`  exit non-zero unless the Off-vs-Full sweep
 //!   speedup is at least `X` (timing gate, off by default)
@@ -17,10 +19,10 @@
 use std::path::PathBuf;
 use std::process::exit;
 
-use dls_experiments::{run_snapshot, validate_snapshot_json, SnapshotConfig};
+use dls_experiments::{run_snapshot, validate_snapshot_json, QueueSelection, SnapshotConfig};
 
 const USAGE: &str = "usage: bench_snapshot [--out PATH] [--reps N] [--quick] \
-                     [--min-speedup X] [--check PATH]";
+                     [--queue heap|calendar|both] [--min-speedup X] [--check PATH]";
 
 struct Options {
     out: PathBuf,
@@ -52,7 +54,16 @@ fn parse_options(args: impl IntoIterator<Item = String>) -> Result<Options, Stri
                     return Err("--reps must be positive".into());
                 }
             }
-            "--quick" => opts.config = SnapshotConfig::quick(),
+            "--quick" => {
+                let queues = opts.config.queues;
+                opts.config = SnapshotConfig::quick();
+                opts.config.queues = queues;
+            }
+            "--queue" => {
+                let v = value("--queue")?;
+                opts.config.queues = QueueSelection::parse(&v)
+                    .ok_or_else(|| format!("unknown queue selection '{v}'\n{USAGE}"))?;
+            }
             "--check" => opts.check = Some(PathBuf::from(value("--check")?)),
             "--min-speedup" => {
                 opts.min_speedup = Some(
@@ -111,14 +122,15 @@ fn main() {
         snapshot.cases.len(),
         snapshot.commit
     );
-    let mut fastest = (f64::INFINITY, "");
-    let mut slowest = (0.0f64, "");
+    let mut fastest = (f64::INFINITY, String::new());
+    let mut slowest = (0.0f64, String::new());
     for case in &snapshot.cases {
+        let label = format!("{} [{}]", case.name, case.queue.name());
         if case.ns_per_event < fastest.0 {
-            fastest = (case.ns_per_event, &case.name);
+            fastest = (case.ns_per_event, label.clone());
         }
         if case.ns_per_event > slowest.0 {
-            slowest = (case.ns_per_event, &case.name);
+            slowest = (case.ns_per_event, label);
         }
     }
     eprintln!(

@@ -10,11 +10,14 @@
 //! --seed N         root seed (default fixed, runs are reproducible)
 //! --threads N      worker threads (default: all cores)
 //! --model M        normal | uniform | inverse
+//! --queue Q        heap | calendar (event-queue backend; default calendar)
 //! --csv PATH       also write results as CSV to PATH
 //! --quiet          suppress progress output
 //! ```
 
 use std::path::PathBuf;
+
+use rumr::QueueBackend;
 
 use crate::grid::error_values;
 use crate::sweep::{ErrorModelKind, SweepConfig};
@@ -55,6 +58,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut model: Option<ErrorModelKind> = None;
+    let mut queue: Option<QueueBackend> = None;
     let mut csv: Option<PathBuf> = None;
     let mut quiet = false;
 
@@ -103,6 +107,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                     other => return Err(format!("unknown model '{other}'")),
                 })
             }
+            "--queue" => {
+                let v = value_for("--queue")?;
+                queue = Some(
+                    QueueBackend::parse(&v)
+                        .ok_or_else(|| format!("unknown queue backend '{v}'"))?,
+                )
+            }
             "--csv" => csv = Some(PathBuf::from(value_for("--csv")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -132,6 +143,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
     if let Some(m) = model {
         sweep.model = m;
     }
+    if let Some(q) = queue {
+        sweep.queue_backend = q;
+    }
     sweep.progress = !quiet;
 
     Ok(CliOptions {
@@ -148,7 +162,7 @@ pub fn parse_env() -> Result<CliOptions, String> {
 
 /// Usage string shared by the binaries.
 pub const USAGE: &str = "flags: [--full] [--reps N] [--error-step S] [--seed N] [--threads N] \
-[--model normal|uniform|inverse] [--csv PATH] [--quiet]";
+[--model normal|uniform|inverse] [--queue heap|calendar] [--csv PATH] [--quiet]";
 
 #[cfg(test)]
 mod tests {
@@ -163,6 +177,7 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert_eq!(o.sweep.reps, 10);
         assert_eq!(o.sweep.grid.len(), 144);
+        assert_eq!(o.sweep.queue_backend, QueueBackend::Calendar);
         assert!(o.csv.is_none());
     }
 
@@ -185,6 +200,8 @@ mod tests {
             "2",
             "--model",
             "uniform",
+            "--queue",
+            "heap",
             "--csv",
             "/tmp/x.csv",
             "--error-step",
@@ -196,6 +213,7 @@ mod tests {
         assert_eq!(o.sweep.root_seed, 9);
         assert_eq!(o.sweep.threads, 2);
         assert_eq!(o.sweep.model, ErrorModelKind::Uniform);
+        assert_eq!(o.sweep.queue_backend, QueueBackend::Heap);
         assert_eq!(o.csv.unwrap().to_str().unwrap(), "/tmp/x.csv");
         assert_eq!(o.sweep.errors.len(), 6);
         assert!(!o.sweep.progress);
@@ -220,6 +238,7 @@ mod tests {
         assert!(parse(&["--reps", "zero"]).is_err());
         assert!(parse(&["--reps", "0"]).is_err());
         assert!(parse(&["--model", "weird"]).is_err());
+        assert!(parse(&["--queue", "ladder"]).is_err());
         assert!(parse(&["--error-step", "0"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }

@@ -15,7 +15,7 @@ use std::sync::Mutex;
 
 use dls_numerics::rng::SeedDeriver;
 use dls_sim::ErrorModel;
-use rumr::{RumrConfig, Scenario, SchedulerKind, SimConfig, TraceMetrics, TraceMode};
+use rumr::{QueueBackend, RumrConfig, Scenario, SchedulerKind, SimConfig, TraceMetrics, TraceMode};
 
 use crate::grid::{GridPoint, Table1Grid};
 
@@ -161,6 +161,9 @@ pub struct SweepConfig {
     /// complete event trace is recorded, validated against the engine's
     /// protocol invariants, and distilled into [`TraceMetrics`] per run.
     pub trace_mode: TraceMode,
+    /// Event-queue backend for every engine the sweep builds. Results are
+    /// bit-identical across backends; this only changes performance.
+    pub queue_backend: QueueBackend,
 }
 
 impl SweepConfig {
@@ -176,6 +179,7 @@ impl SweepConfig {
             w_total: 1000.0,
             progress: false,
             trace_mode: TraceMode::Off,
+            queue_backend: QueueBackend::default(),
         }
     }
 
@@ -318,6 +322,7 @@ fn compute_cell(
     // times.
     let mut runner = scenario.runner(SimConfig {
         trace_mode: config.trace_mode,
+        queue_backend: config.queue_backend,
         ..SimConfig::default()
     });
     // Plan each competitor once per cell; repetitions stamp out fresh
@@ -426,6 +431,7 @@ mod tests {
             w_total: 1000.0,
             progress: false,
             trace_mode: TraceMode::Off,
+            queue_backend: QueueBackend::default(),
         }
     }
 
@@ -493,6 +499,18 @@ mod tests {
                     assert!(u > 0.0 && u <= 1.0 + 1e-9, "bad utilization {u}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn queue_backends_agree_bit_for_bit() {
+        let comps = vec![Competitor::RumrKnown, Competitor::Factoring];
+        let calendar = run_sweep(&tiny_config(), &comps);
+        let mut cfg = tiny_config();
+        cfg.queue_backend = QueueBackend::Heap;
+        let heap = run_sweep(&cfg, &comps);
+        for (a, b) in calendar.cells.iter().zip(&heap.cells) {
+            assert_eq!(a.means, b.means, "queue backend changed results");
         }
     }
 

@@ -36,14 +36,14 @@
 //! With `FaultModel::None` (the default) every fault path is dormant and
 //! results are bit-identical to a fault-free build.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 use crate::error::ErrorInjector;
 use crate::faults::{FaultAction, FaultInjector, FaultModel};
-use crate::metrics::MetricsSummary;
+use crate::metrics::{EventCounts, MetricsSummary};
 use crate::platform::Platform;
+use crate::queue::{EventQueue, QueueBackend};
 use crate::scheduler::{Decision, Scheduler, SimView, WorkerView};
 use crate::trace::{LostStage, Trace, TraceEvent};
 
@@ -118,6 +118,10 @@ pub struct SimConfig {
     /// link drops). [`FaultModel::None`] (default) is the paper's reliable
     /// platform and leaves results bit-identical to a fault-free build.
     pub faults: FaultModel,
+    /// Pending-event queue implementation (see [`QueueBackend`]). Both
+    /// backends pop the identical event order, so results are byte-for-byte
+    /// independent of the choice; only the speed differs.
+    pub queue_backend: QueueBackend,
 }
 
 impl Default for SimConfig {
@@ -129,6 +133,7 @@ impl Default for SimConfig {
             uplink_capacity: None,
             output_ratio: 0.0,
             faults: FaultModel::None,
+            queue_backend: QueueBackend::default(),
         }
     }
 }
@@ -330,37 +335,6 @@ struct ChunkRecord {
     state: ChunkState,
 }
 
-/// Heap entry ordered by (time, sequence) ascending; `BinaryHeap` is a
-/// max-heap, so comparisons are reversed. Sequence numbers make simultaneous
-/// events fire in insertion order, which keeps runs fully deterministic.
-struct QueuedEvent {
-    time: f64,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: earliest time (then lowest seq) is the heap maximum.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 struct WorkerState {
     view: WorkerView,
     /// Received chunks awaiting computation: (ledger id, size, first unit).
@@ -401,7 +375,7 @@ pub struct Engine<'a> {
     platform: &'a Platform,
     injector: ErrorInjector,
     config: SimConfig,
-    heap: BinaryHeap<QueuedEvent>,
+    queue: EventQueue<Event>,
     seq: u64,
     now: f64,
     /// Transfers in flight (setup or data phase).
@@ -434,7 +408,12 @@ pub struct Engine<'a> {
     /// computation.
     current_compute: Vec<Option<(usize, f64)>>,
     /// Lost unit ranges `(first_unit, length)` awaiting redispatch, FIFO.
+    /// Exactly adjacent ranges are coalesced on insert, so a burst of
+    /// losses from one fault occupies one entry instead of one per chunk.
     lost_units: VecDeque<(f64, f64)>,
+    /// Reused scratch for `apply_fault`'s doomed-chunk scan (a fresh `Vec`
+    /// per fault used to dominate the fault path's allocations).
+    doomed_buf: Vec<usize>,
     lost_work: f64,
     lost_chunks: usize,
     redispatched_work: f64,
@@ -459,6 +438,9 @@ pub struct Engine<'a> {
     /// Per-worker idle time between consecutive computations.
     gap_time: Vec<f64>,
     num_gaps: usize,
+    /// Per-event-type counters, maintained when the trace mode records a
+    /// summary.
+    counts: EventCounts,
 }
 
 impl<'a> Engine<'a> {
@@ -489,11 +471,12 @@ impl<'a> Engine<'a> {
         // least a few chunks per worker. Reuse via `reset` then holds the
         // high-water capacity across repetitions.
         let event_capacity = 32 + 4 * n;
+        let queue = EventQueue::with_capacity(config.queue_backend, event_capacity);
         Engine {
             platform,
             injector,
             config,
-            heap: BinaryHeap::with_capacity(event_capacity),
+            queue,
             seq: 0,
             now: 0.0,
             sending: 0,
@@ -519,6 +502,7 @@ impl<'a> Engine<'a> {
             fault_mode,
             current_compute: vec![None; n],
             lost_units: VecDeque::new(),
+            doomed_buf: Vec::new(),
             lost_work: 0.0,
             lost_chunks: 0,
             redispatched_work: 0.0,
@@ -531,17 +515,20 @@ impl<'a> Engine<'a> {
             last_compute_end: vec![f64::NAN; n],
             gap_time: vec![0.0; n],
             num_gaps: 0,
+            counts: EventCounts::default(),
         }
     }
 
     /// Restore the engine to its just-constructed state for another run,
     /// keeping every buffer's allocation. `injector` replaces the previous
     /// run's error injector (each repetition uses a fresh seed); the fault
-    /// injector is re-derived from the configured fault model.
+    /// injector rewinds to the start of its materialized sequence (the
+    /// fault model is part of the engine's fixed configuration, so the
+    /// sequence is identical every repetition and need not be regenerated).
     pub fn reset(&mut self, injector: ErrorInjector) {
         let n = self.platform.num_workers();
         self.injector = injector;
-        self.heap.clear();
+        self.queue.clear();
         self.seq = 0;
         self.now = 0.0;
         self.sending = 0;
@@ -562,7 +549,7 @@ impl<'a> Engine<'a> {
         self.return_queue.clear();
         self.returned_work = 0.0;
         self.ledger.clear();
-        self.fault_injector = FaultInjector::new(&self.config.faults, n);
+        self.fault_injector.rewind();
         self.current_compute.clear();
         self.current_compute.resize(n, None);
         self.lost_units.clear();
@@ -579,20 +566,28 @@ impl<'a> Engine<'a> {
         self.gap_time.clear();
         self.gap_time.resize(n, 0.0);
         self.num_gaps = 0;
+        self.counts = EventCounts::default();
+    }
+
+    /// Debug probe: the pending-event queue's allocated capacity (see
+    /// `EventQueue::capacity_probe`). Reuse tests assert this stops
+    /// growing across `reset`/`run_reusing` repetitions.
+    #[doc(hidden)]
+    pub fn debug_queue_capacity(&self) -> usize {
+        self.queue.capacity_probe()
     }
 
     fn schedule(&mut self, time: f64, event: Event) {
         debug_assert!(time.is_finite() && time >= self.now - 1e-9);
-        self.heap.push(QueuedEvent {
-            time: time.max(self.now),
-            seq: self.seq,
-            event,
-        });
+        self.queue.push(time.max(self.now), self.seq, event);
         self.seq += 1;
     }
 
     fn record(&mut self, e: TraceEvent) {
         self.trace_events += 1;
+        if self.config.trace_mode.records_summary() {
+            self.counts.count(&e);
+        }
         if self.config.trace_mode.records_trace() {
             self.trace.push(e);
         }
@@ -997,7 +992,14 @@ impl<'a> Engine<'a> {
         self.outstanding_chunks -= 1;
         self.lost_work += rec.size;
         self.lost_chunks += 1;
-        self.lost_units.push_back((rec.unit_start, rec.size));
+        // Coalesce exactly adjacent ranges in place: one fault typically
+        // destroys a worker's whole contiguous backlog, which would
+        // otherwise enter the pool as one entry per chunk. Unit starts are
+        // carved by exact f64 accumulation, so adjacency is an exact `==`.
+        match self.lost_units.back_mut() {
+            Some((start, len)) if *start + *len == rec.unit_start => *len += rec.size,
+            _ => self.lost_units.push_back((rec.unit_start, rec.size)),
+        }
         self.record(TraceEvent::ChunkLost {
             worker,
             chunk: rec.size,
@@ -1033,20 +1035,18 @@ impl<'a> Engine<'a> {
                 // and transfers occupying the master (setup or data phase).
                 // Fly-phase chunks keep flying and die on arrival only if
                 // the worker is still down then.
-                let doomed: Vec<usize> = self
-                    .ledger
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| {
-                        r.worker == worker
-                            && matches!(
-                                r.state,
-                                ChunkState::Sending | ChunkState::Queued | ChunkState::Computing
-                            )
-                    })
-                    .map(|(i, _)| i)
-                    .collect();
+                let mut doomed = std::mem::take(&mut self.doomed_buf);
+                doomed.clear();
+                doomed.extend(self.ledger.iter().enumerate().filter_map(|(i, r)| {
+                    (r.worker == worker
+                        && matches!(
+                            r.state,
+                            ChunkState::Sending | ChunkState::Queued | ChunkState::Computing
+                        ))
+                    .then_some(i)
+                }));
                 self.destroy_chunks(&doomed, scheduler, finished);
+                self.doomed_buf = doomed;
             }
             FaultAction::Up => {
                 if self.workers[worker].view.alive {
@@ -1066,17 +1066,15 @@ impl<'a> Engine<'a> {
             FaultAction::LinkDrop => {
                 // Everything currently in transit to the worker dies; its
                 // queued/computing chunks already crossed the link safely.
-                let doomed: Vec<usize> = self
-                    .ledger
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| {
-                        r.worker == worker
-                            && matches!(r.state, ChunkState::Sending | ChunkState::InFlight)
-                    })
-                    .map(|(i, _)| i)
-                    .collect();
+                let mut doomed = std::mem::take(&mut self.doomed_buf);
+                doomed.clear();
+                doomed.extend(self.ledger.iter().enumerate().filter_map(|(i, r)| {
+                    (r.worker == worker
+                        && matches!(r.state, ChunkState::Sending | ChunkState::InFlight))
+                    .then_some(i)
+                }));
                 self.destroy_chunks(&doomed, scheduler, finished);
+                self.doomed_buf = doomed;
             }
         }
     }
@@ -1157,7 +1155,7 @@ impl<'a> Engine<'a> {
                 break;
             }
 
-            let Some(entry) = self.heap.pop() else {
+            let Some((time, _seq, event)) = self.queue.pop() else {
                 if finished || self.fault_mode {
                     break;
                 }
@@ -1167,8 +1165,8 @@ impl<'a> Engine<'a> {
             if self.events_processed > self.config.max_events {
                 return Err(SimError::EventLimitExceeded);
             }
-            self.now = entry.time;
-            match entry.event {
+            self.now = time;
+            match event {
                 Event::SetupDone {
                     worker,
                     chunk,
@@ -1318,6 +1316,7 @@ impl<'a> Engine<'a> {
                 link_busy: self.link_busy,
                 per_worker_gap: std::mem::take(&mut self.gap_time),
                 num_gaps: self.num_gaps,
+                event_counts: std::mem::take(&mut self.counts),
             });
         Ok(SimResult {
             makespan: self.now,

@@ -254,10 +254,19 @@ impl FaultModel {
 }
 
 /// Iterator over a run's fault sequence, in time order (engine use).
+///
+/// The sequence is materialized and sorted once at construction; `pop`
+/// only advances a cursor, and [`FaultInjector::rewind`] restarts it.
+/// Repetition loops (`Engine::reset`) therefore replay the identical
+/// sequence without re-generating or re-sorting it — for Poisson models
+/// that regeneration used to be a measurable share of every faulty
+/// repetition.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
-    /// Remaining events, reverse-chronological (pop from the back).
-    queue: Vec<FaultEvent>,
+    /// The full materialized sequence, chronological.
+    events: Vec<FaultEvent>,
+    /// Index of the next event to pop.
+    next: usize,
 }
 
 impl FaultInjector {
@@ -275,23 +284,35 @@ impl FaultInjector {
         events.retain(|e| e.worker < num_workers);
         // Stable sort keeps insertion order among exact ties.
         events.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("fault times are finite"));
-        events.reverse();
-        FaultInjector { queue: events }
+        FaultInjector { events, next: 0 }
     }
 
     /// Time of the next fault, if any.
     pub fn peek_time(&self) -> Option<f64> {
-        self.queue.last().map(|e| e.time)
+        self.events.get(self.next).map(|e| e.time)
     }
 
-    /// Remove and return the next fault.
+    /// Return the next fault and advance the cursor.
     pub fn pop(&mut self) -> Option<FaultEvent> {
-        self.queue.pop()
+        let e = self.events.get(self.next).copied();
+        self.next += usize::from(e.is_some());
+        e
     }
 
     /// True when no faults remain.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.next >= self.events.len()
+    }
+
+    /// Restart the sequence from the beginning (engine reuse across
+    /// repetitions).
+    pub fn rewind(&mut self) {
+        self.next = 0;
+    }
+
+    /// The not-yet-popped tail of the sequence, chronological.
+    pub fn remaining(&self) -> &[FaultEvent] {
+        &self.events[self.next..]
     }
 }
 
@@ -349,10 +370,9 @@ mod tests {
         let p = PoissonFaults::crash_recovery(50.0, 10.0, 500.0, 7);
         let a = FaultInjector::new(&FaultModel::Poisson(p), 6);
         let b = FaultInjector::new(&FaultModel::Poisson(p), 6);
-        assert_eq!(a.queue, b.queue);
+        assert_eq!(a.remaining(), b.remaining());
         assert!(!a.is_empty(), "mttf 50 over horizon 500 should fault");
-        let mut times: Vec<f64> = a.queue.iter().map(|e| e.time).collect();
-        times.reverse();
+        let times: Vec<f64> = a.remaining().iter().map(|e| e.time).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted by time");
         assert!(times.iter().all(|&t| t <= 500.0));
 
@@ -360,7 +380,7 @@ mod tests {
             &FaultModel::Poisson(PoissonFaults::crash_recovery(50.0, 10.0, 500.0, 8)),
             6,
         );
-        assert_ne!(a.queue, c.queue, "seed must matter");
+        assert_ne!(a.remaining(), c.remaining(), "seed must matter");
     }
 
     #[test]
@@ -369,13 +389,16 @@ mod tests {
         let inj = FaultInjector::new(&FaultModel::Poisson(p), 4);
         for w in 0..4 {
             let downs = inj
-                .queue
+                .remaining()
                 .iter()
                 .filter(|e| e.worker == w && e.action == FaultAction::Down)
                 .count();
             assert_eq!(downs, 1, "crash-stop: exactly one Down for worker {w}");
         }
-        assert!(inj.queue.iter().all(|e| e.action == FaultAction::Down));
+        assert!(inj
+            .remaining()
+            .iter()
+            .all(|e| e.action == FaultAction::Down));
     }
 
     #[test]
@@ -408,8 +431,14 @@ mod tests {
             seed: 5,
         };
         let inj = FaultInjector::new(&FaultModel::Poisson(p), 3);
-        assert!(inj.queue.iter().any(|e| e.action == FaultAction::LinkDrop));
-        assert!(inj.queue.iter().all(|e| e.action == FaultAction::LinkDrop));
+        assert!(inj
+            .remaining()
+            .iter()
+            .any(|e| e.action == FaultAction::LinkDrop));
+        assert!(inj
+            .remaining()
+            .iter()
+            .all(|e| e.action == FaultAction::LinkDrop));
     }
 
     #[test]

@@ -52,14 +52,16 @@ pub mod faults;
 pub mod metrics;
 pub mod platform;
 pub mod profile;
+pub mod queue;
 pub mod scheduler;
 pub mod trace;
 
 pub use engine::{simulate, Engine, SimConfig, SimError, SimResult, TraceMode};
 pub use error::{ErrorInjector, ErrorModel, TemporalNoise};
 pub use faults::{FaultAction, FaultEvent, FaultModel, FaultPlan, PoissonFaults};
-pub use metrics::{Gap, MetricsSummary, TraceMetrics};
+pub use metrics::{EventCounts, Gap, MetricsSummary, TraceMetrics};
 pub use platform::{HomogeneousParams, Platform, PlatformError, WorkerSpec};
 pub use profile::CostProfile;
+pub use queue::{EventQueue, QueueBackend};
 pub use scheduler::{Decision, Scheduler, SimView, WorkerView};
 pub use trace::{LostStage, Trace, TraceEvent, TraceViolation};

@@ -13,6 +13,48 @@
 
 use crate::trace::{Trace, TraceEvent};
 
+/// Per-event-type counters, maintained incrementally under
+/// [`crate::TraceMode::MetricsOnly`] and [`crate::TraceMode::Full`].
+///
+/// The benchmark harness uses these to attribute an ns/event regression to
+/// an event class (did the run dispatch more? lose more? redispatch more?)
+/// without re-running in `Full` mode and scanning a stored trace. A
+/// transient link drop surfaces only as its `chunk_losses` — it has no
+/// worker up/down marker of its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCounts {
+    /// Input dispatches started (`SendStart`), redispatches included.
+    pub dispatches: u64,
+    /// Chunks delivered to a worker's front end (`Arrival`).
+    pub arrivals: u64,
+    /// Computations finished (`ComputeEnd`).
+    pub computes: u64,
+    /// Output returns completed (`ReturnEnd`; output-data extension).
+    pub returns: u64,
+    /// Worker state transitions (`WorkerDown` + `WorkerUp`).
+    pub faults: u64,
+    /// Chunks destroyed by faults (`ChunkLost`).
+    pub chunk_losses: u64,
+    /// Lost work re-sent (`Redispatch` markers).
+    pub redispatches: u64,
+}
+
+impl EventCounts {
+    /// Fold one trace event into the counters (engine use).
+    pub fn count(&mut self, e: &TraceEvent) {
+        match e {
+            TraceEvent::SendStart { .. } => self.dispatches += 1,
+            TraceEvent::Arrival { .. } => self.arrivals += 1,
+            TraceEvent::ComputeEnd { .. } => self.computes += 1,
+            TraceEvent::ReturnEnd { .. } => self.returns += 1,
+            TraceEvent::WorkerDown { .. } | TraceEvent::WorkerUp { .. } => self.faults += 1,
+            TraceEvent::ChunkLost { .. } => self.chunk_losses += 1,
+            TraceEvent::Redispatch { .. } => self.redispatches += 1,
+            _ => {}
+        }
+    }
+}
+
 /// Cheap aggregate metrics the engine maintains *incrementally* during a
 /// run under [`crate::TraceMode::MetricsOnly`] or
 /// [`crate::TraceMode::Full`] — no event storage, no post-run scan.
@@ -31,6 +73,8 @@ pub struct MetricsSummary {
     pub per_worker_gap: Vec<f64>,
     /// Number of distinct idle gaps across all workers.
     pub num_gaps: usize,
+    /// Per-event-type counter table (see [`EventCounts`]).
+    pub event_counts: EventCounts,
 }
 
 impl MetricsSummary {

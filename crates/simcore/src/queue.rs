@@ -1,0 +1,576 @@
+//! Pluggable pending-event queues for the simulation engine.
+//!
+//! The engine needs one operation pair — insert an event keyed by
+//! `(time, seq)` and remove the smallest such key — and its determinism
+//! contract requires the *exact* `(time, seq)` ascending total order, so
+//! simultaneous events fire in insertion (`seq`) order. Two backends
+//! provide it:
+//!
+//! * [`QueueBackend::Heap`] — a plain binary heap. `O(log n)` per
+//!   operation, no tuning, the reference implementation.
+//! * [`QueueBackend::Calendar`] — a calendar queue (Brown '88): events
+//!   hash into time buckets of width `w`, the dequeue cursor walks the
+//!   buckets in time order, and events beyond the bucket window wait in a
+//!   sorted overflow rung. Amortized `O(1)` per operation for the
+//!   near-monotone, bounded-horizon timestamps a DES produces. The bucket
+//!   width re-tunes itself from the observed event rate whenever the queue
+//!   is cleared ([`EventQueue::clear`]), so repetition loops that reuse
+//!   the queue run with a width fitted to the previous run.
+//!
+//! Both backends pop the identical sequence for any push history — the
+//! bucketing only ever *partitions* the key order (all keys in bucket `d`
+//! sort strictly before all keys in bucket `d + 1`), never reorders it —
+//! so simulation results are byte-identical across backends. The
+//! equivalence proptests in `tests/queue_backend_equivalence.rs` pin this.
+
+/// Which pending-event queue implementation a run uses.
+///
+/// Selected per run via `SimConfig::queue_backend`. The calendar queue is
+/// the default: it is at least as fast as the heap on the benchmark's
+/// pinned cases and strictly faster on fault-heavy runs, where far-future
+/// fault events would otherwise churn the heap. See
+/// `docs/BENCHMARKS.md` ("Queue backends") for when each wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Binary min-heap on `(time, seq)` — the reference backend.
+    Heap,
+    /// Calendar queue with dynamic bucket width and a sorted overflow
+    /// rung (default).
+    #[default]
+    Calendar,
+}
+
+impl QueueBackend {
+    /// Parse a backend name as used by CLI flags (`"heap"` / `"calendar"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "heap" => Some(QueueBackend::Heap),
+            "calendar" => Some(QueueBackend::Calendar),
+            _ => None,
+        }
+    }
+
+    /// The CLI/JSON name of the backend (`"heap"` / `"calendar"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueBackend::Heap => "heap",
+            QueueBackend::Calendar => "calendar",
+        }
+    }
+}
+
+impl std::fmt::Display for QueueBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One queued entry: the ordering key plus the caller's payload.
+type Entry<T> = (f64, u64, T);
+
+#[inline]
+fn key<T>(e: &Entry<T>) -> (f64, u64) {
+    (e.0, e.1)
+}
+
+/// Compare two `(time, seq)` keys; times must be finite (the engine
+/// asserts this on every push).
+#[inline]
+fn key_lt(a: (f64, u64), b: (f64, u64)) -> bool {
+    match a.0.partial_cmp(&b.0).expect("event times are finite") {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
+/// A pending-event priority queue over `(time, seq)` keys with a
+/// selectable backend. `pop` always returns the entry with the smallest
+/// key; keys are unique because the engine never reuses a sequence number
+/// within a run.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    imp: Imp<T>,
+}
+
+#[derive(Debug)]
+enum Imp<T> {
+    Heap(HeapQueue<T>),
+    Calendar(CalendarQueue<T>),
+}
+
+impl<T> EventQueue<T> {
+    /// Create a queue of the given backend, pre-sized for roughly
+    /// `capacity` simultaneously pending events.
+    pub fn with_capacity(backend: QueueBackend, capacity: usize) -> Self {
+        let imp = match backend {
+            QueueBackend::Heap => Imp::Heap(HeapQueue::with_capacity(capacity)),
+            QueueBackend::Calendar => Imp::Calendar(CalendarQueue::with_capacity(capacity)),
+        };
+        EventQueue { imp }
+    }
+
+    /// The backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.imp {
+            Imp::Heap(_) => QueueBackend::Heap,
+            Imp::Calendar(_) => QueueBackend::Calendar,
+        }
+    }
+
+    /// Insert an entry. `time` must be finite and non-negative.
+    #[inline]
+    pub fn push(&mut self, time: f64, seq: u64, item: T) {
+        debug_assert!(time.is_finite() && time >= 0.0, "event time {time}");
+        match &mut self.imp {
+            Imp::Heap(q) => q.push(time, seq, item),
+            Imp::Calendar(q) => q.push(time, seq, item),
+        }
+    }
+
+    /// Remove and return the entry with the smallest `(time, seq)` key.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(f64, u64, T)> {
+        match &mut self.imp {
+            Imp::Heap(q) => q.pop(),
+            Imp::Calendar(q) => q.pop(),
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        match &self.imp {
+            Imp::Heap(q) => q.heap.len(),
+            Imp::Calendar(q) => q.len,
+        }
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Empty the queue, keeping every buffer's allocation for reuse. The
+    /// calendar backend additionally re-tunes its bucket width from the
+    /// finished run's observed event rate, so the next run over the same
+    /// scenario starts fitted.
+    pub fn clear(&mut self) {
+        match &mut self.imp {
+            Imp::Heap(q) => q.heap.clear(),
+            Imp::Calendar(q) => q.clear(),
+        }
+    }
+
+    /// Debug probe: total allocated capacity (entries) across the queue's
+    /// internal buffers, plus the bucket count for the calendar backend.
+    /// Used by the reuse tests to assert that repetition loops stop
+    /// growing allocations; not part of the stable API.
+    #[doc(hidden)]
+    pub fn capacity_probe(&self) -> usize {
+        match &self.imp {
+            Imp::Heap(q) => q.heap.capacity(),
+            Imp::Calendar(q) => {
+                q.buckets.len()
+                    + q.buckets.iter().map(Vec::capacity).sum::<usize>()
+                    + q.overflow.capacity()
+            }
+        }
+    }
+}
+
+/// Binary-heap backend. `std`'s `BinaryHeap` is a max-heap, so the entry
+/// ordering is reversed: the earliest `(time, seq)` compares greatest.
+#[derive(Debug)]
+struct HeapQueue<T> {
+    heap: std::collections::BinaryHeap<HeapEntry<T>>,
+}
+
+struct HeapEntry<T> {
+    time: f64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> std::fmt::Debug for HeapEntry<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapEntry")
+            .field("time", &self.time)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: earliest time (then lowest seq) is the heap maximum.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> HeapQueue<T> {
+    fn with_capacity(capacity: usize) -> Self {
+        HeapQueue {
+            heap: std::collections::BinaryHeap::with_capacity(capacity),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, time: f64, seq: u64, item: T) {
+        self.heap.push(HeapEntry { time, seq, item });
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(f64, u64, T)> {
+        self.heap.pop().map(|e| (e.time, e.seq, e.item))
+    }
+}
+
+/// Smallest and largest bucket widths the tuner may pick. The lower bound
+/// keeps `time / width` well inside `u64` range for any simulation-scale
+/// timestamp; the upper bound keeps day indices meaningful.
+const MIN_WIDTH: f64 = 1e-9;
+const MAX_WIDTH: f64 = 1e12;
+
+/// Target mean entries per bucket when re-tuning the width: a couple of
+/// entries keeps the sorted-insert cheap while the cursor rarely walks an
+/// empty bucket.
+const WIDTH_EVENTS_PER_BUCKET: f64 = 3.0;
+
+/// Calendar-queue backend (Brown '88, simplified to a sliding window).
+///
+/// Time is divided into *days* of width `width`; day `d` covers
+/// `[d·width, (d+1)·width)`. The queue keeps a window of `buckets.len()`
+/// (a power of two) consecutive days starting at `cur_day`, mapping day
+/// `d` to bucket `d % buckets.len()`; entries beyond the window sit in
+/// the sorted `overflow` rung and migrate into buckets as the cursor
+/// advances. Each bucket is kept sorted *descending* by `(time, seq)`, so
+/// the minimum is a `Vec::pop` from the back.
+///
+/// Correctness does not depend on the width: bucketing by
+/// `floor(time / width)` preserves the key order between buckets, each
+/// in-window day owns exactly one bucket, and overflow entries are by
+/// construction later than every in-window entry. Width only moves cost
+/// between empty-bucket cursor walks (too small) and long sorted inserts
+/// (too large).
+#[derive(Debug)]
+struct CalendarQueue<T> {
+    buckets: Vec<Vec<Entry<T>>>,
+    /// `buckets.len() - 1`; bucket index is `day & day_mask`.
+    day_mask: u64,
+    width: f64,
+    inv_width: f64,
+    /// Day the dequeue cursor is on. Never decreases within a run.
+    cur_day: u64,
+    len: usize,
+    /// Entries with `day >= cur_day + buckets.len()`, sorted descending by
+    /// `(time, seq)` (minimum at the back).
+    overflow: Vec<Entry<T>>,
+    /// Pop statistics of the current run, for the width re-tune on
+    /// `clear`.
+    pops: u64,
+    first_pop_time: f64,
+    last_pop_time: f64,
+}
+
+impl<T> CalendarQueue<T> {
+    fn with_capacity(capacity: usize) -> Self {
+        let nbuckets = capacity.max(64).next_power_of_two();
+        CalendarQueue {
+            buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
+            day_mask: nbuckets as u64 - 1,
+            width: 0.25,
+            inv_width: 4.0,
+            cur_day: 0,
+            len: 0,
+            overflow: Vec::new(),
+            pops: 0,
+            first_pop_time: 0.0,
+            last_pop_time: 0.0,
+        }
+    }
+
+    #[inline]
+    fn day(&self, time: f64) -> u64 {
+        // Saturating cast: negative → 0 (cannot occur; the engine clamps
+        // times to `now ≥ 0`), and times are finite by the push contract.
+        (time * self.inv_width) as u64
+    }
+
+    /// Insert into the bucket owning `day`, keeping it sorted descending.
+    #[inline]
+    fn insert_bucket(&mut self, day: u64, entry: Entry<T>) {
+        let bucket = &mut self.buckets[(day & self.day_mask) as usize];
+        let k = key(&entry);
+        // Descending: everything greater than the new key stays in front.
+        let pos = bucket.partition_point(|e| key_lt(k, key(e)));
+        bucket.insert(pos, entry);
+    }
+
+    #[inline]
+    fn push(&mut self, time: f64, seq: u64, item: T) {
+        let d = self.day(time);
+        self.len += 1;
+        if d >= self.cur_day.saturating_add(self.buckets.len() as u64) {
+            let entry = (time, seq, item);
+            let k = key(&entry);
+            let pos = self.overflow.partition_point(|e| key_lt(k, key(e)));
+            self.overflow.insert(pos, entry);
+        } else {
+            // A day before the cursor (possible right after a resize
+            // re-based the window) clamps onto the cursor's bucket; the
+            // sorted bucket still pops it first, so order is preserved.
+            self.insert_bucket(d.max(self.cur_day), (time, seq, item));
+            if self.len - self.overflow.len() > 4 * self.buckets.len() {
+                self.grow();
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(f64, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Migrate overflow entries whose day has entered the window.
+            while let Some(e) = self.overflow.last() {
+                let d = self.day(e.0);
+                if d < self.cur_day.saturating_add(self.buckets.len() as u64) {
+                    let entry = self.overflow.pop().expect("just peeked");
+                    self.insert_bucket(d.max(self.cur_day), entry);
+                } else {
+                    break;
+                }
+            }
+            if self.len == self.overflow.len() {
+                // Every remaining entry is beyond the window: jump the
+                // cursor to the earliest one instead of walking day by day.
+                let t = self.overflow.last().expect("len > 0").0;
+                self.cur_day = self.day(t);
+                continue;
+            }
+            let slot = (self.cur_day & self.day_mask) as usize;
+            if let Some(entry) = self.buckets[slot].pop() {
+                self.len -= 1;
+                if self.pops == 0 {
+                    self.first_pop_time = entry.0;
+                }
+                self.last_pop_time = entry.0;
+                self.pops += 1;
+                return Some((entry.0, entry.1, entry.2));
+            }
+            self.cur_day += 1;
+        }
+    }
+
+    /// Double the bucket count and re-base the window on the earliest
+    /// pending entry. `O(len)`; triggered only when occupancy exceeds
+    /// four entries per bucket, so the cost amortizes.
+    fn grow(&mut self) {
+        let mut entries: Vec<Entry<T>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        entries.append(&mut self.overflow);
+        let nbuckets = (self.buckets.len() * 2).max(64);
+        self.buckets.resize_with(nbuckets, Vec::new);
+        self.day_mask = nbuckets as u64 - 1;
+        let tmin = entries.iter().map(|e| e.0).fold(f64::INFINITY, f64::min);
+        if tmin.is_finite() {
+            self.cur_day = self.day(tmin);
+        }
+        let total = std::mem::replace(&mut self.len, 0);
+        for (time, seq, item) in entries {
+            self.push(time, seq, item);
+        }
+        debug_assert_eq!(self.len, total);
+    }
+
+    fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.overflow.clear();
+        self.len = 0;
+        self.cur_day = 0;
+        // Re-tune the width to the finished run's mean event spacing, so
+        // the next run over the same scenario starts with ~3 entries per
+        // occupied bucket instead of the construction-time guess.
+        if self.pops >= 64 {
+            let span = self.last_pop_time - self.first_pop_time;
+            if span > 0.0 {
+                let mean_gap = span / self.pops as f64;
+                self.set_width(mean_gap * WIDTH_EVENTS_PER_BUCKET);
+            }
+        }
+        self.pops = 0;
+        self.first_pop_time = 0.0;
+        self.last_pop_time = 0.0;
+    }
+
+    fn set_width(&mut self, width: f64) {
+        let w = width.clamp(MIN_WIDTH, MAX_WIDTH);
+        self.width = w;
+        self.inv_width = 1.0 / w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T>(q: &mut EventQueue<T>) -> Vec<(f64, u64)> {
+        std::iter::from_fn(|| q.pop().map(|(t, s, _)| (t, s))).collect()
+    }
+
+    fn both_backends() -> [EventQueue<u32>; 2] {
+        [
+            EventQueue::with_capacity(QueueBackend::Heap, 8),
+            EventQueue::with_capacity(QueueBackend::Calendar, 8),
+        ]
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [QueueBackend::Heap, QueueBackend::Calendar] {
+            assert_eq!(QueueBackend::parse(b.name()), Some(b));
+            assert_eq!(format!("{b}"), b.name());
+        }
+        assert_eq!(QueueBackend::parse("nope"), None);
+        assert_eq!(QueueBackend::default(), QueueBackend::Calendar);
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        for mut q in both_backends() {
+            assert_eq!(q.pop(), None);
+            q.push(3.0, 0, 0);
+            q.push(1.0, 1, 1);
+            q.push(2.0, 2, 2);
+            q.push(1.0, 3, 3); // same time as seq 1: seq breaks the tie
+            assert_eq!(
+                drain(&mut q),
+                vec![(1.0, 1), (1.0, 3), (2.0, 2), (3.0, 0)],
+                "{:?}",
+                q.backend()
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_heap() {
+        // A deterministic near-monotone workload with simultaneous events,
+        // far-future outliers (fault-style) and mid-run insertions.
+        let mut heap = EventQueue::with_capacity(QueueBackend::Heap, 4);
+        let mut cal = EventQueue::with_capacity(QueueBackend::Calendar, 4);
+        let mut seq = 0u64;
+        let mut now = 0.0f64;
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let mut rand = move || {
+            // xorshift: deterministic pseudo-random stream, no RNG dep.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for round in 0..5000 {
+            let n_push = (rand() % 4) as usize;
+            for _ in 0..n_push {
+                let r = rand();
+                let dt = match r % 10 {
+                    0 => 0.0,                           // simultaneous
+                    1..=7 => (r % 1000) as f64 / 997.0, // near future
+                    _ => 50.0 + (r % 5000) as f64,      // far future
+                };
+                heap.push(now + dt, seq, round);
+                cal.push(now + dt, seq, round);
+                seq += 1;
+            }
+            if rand() % 3 != 0 {
+                let a = heap.pop();
+                let b = cal.pop();
+                match (a, b) {
+                    (None, None) => {}
+                    (Some((ta, sa, _)), Some((tb, sb, _))) => {
+                        assert_eq!((ta.to_bits(), sa), (tb.to_bits(), sb), "round {round}");
+                        assert!(ta >= now);
+                        now = ta;
+                    }
+                    (a, b) => panic!("backend divergence: {a:?} vs {b:?}"),
+                }
+            }
+            assert_eq!(heap.len(), cal.len());
+        }
+        let (a, b) = (drain(&mut heap), drain(&mut cal));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grow_preserves_order() {
+        let mut q = EventQueue::with_capacity(QueueBackend::Calendar, 1);
+        // Push far more entries than buckets, all clustered: forces grow().
+        for i in 0..5000u64 {
+            q.push((i % 7) as f64 * 1e-3, i, ());
+        }
+        let order = drain(&mut q);
+        let mut expect: Vec<(f64, u64)> =
+            (0..5000u64).map(|i| ((i % 7) as f64 * 1e-3, i)).collect();
+        expect.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_retunes() {
+        let mut q = EventQueue::with_capacity(QueueBackend::Calendar, 8);
+        for rep in 0..5 {
+            for i in 0..500u64 {
+                q.push(i as f64 * 0.01, i, ());
+            }
+            assert_eq!(drain(&mut q).len(), 500, "rep {rep}");
+            q.clear();
+            assert!(q.is_empty());
+        }
+        let probe_after_warm = q.capacity_probe();
+        for _ in 0..20 {
+            for i in 0..500u64 {
+                q.push(i as f64 * 0.01, i, ());
+            }
+            while q.pop().is_some() {}
+            q.clear();
+        }
+        assert_eq!(
+            q.capacity_probe(),
+            probe_after_warm,
+            "steady-state repetitions must not grow the calendar's buffers"
+        );
+    }
+
+    #[test]
+    fn heap_capacity_probe_reports_heap_capacity() {
+        let q: EventQueue<()> = EventQueue::with_capacity(QueueBackend::Heap, 100);
+        assert!(q.capacity_probe() >= 100);
+    }
+
+    #[test]
+    fn overflow_jump_skips_empty_days() {
+        let mut q = EventQueue::with_capacity(QueueBackend::Calendar, 8);
+        q.push(0.0, 0, ());
+        q.push(1e6, 1, ()); // far beyond the initial window
+        q.push(2e6, 2, ());
+        assert_eq!(drain(&mut q), vec![(0.0, 0), (1e6, 1), (2e6, 2)]);
+    }
+}

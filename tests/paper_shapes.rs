@@ -24,6 +24,7 @@ fn micro_config(errors: Vec<f64>, reps: u64) -> SweepConfig {
         w_total: 1000.0,
         progress: false,
         trace_mode: rumr::TraceMode::Off,
+        queue_backend: rumr::QueueBackend::default(),
     }
 }
 

@@ -1,0 +1,316 @@
+//! Queue-backend equivalence: the calendar queue is an optimization, not
+//! a semantic change.
+//!
+//! The engine's event queue pops events in exact `(time, seq)` order for
+//! both backends, so every run — any scheduler kind, any fault plan, any
+//! platform — must be *bit-identical* between `Heap` and `Calendar`:
+//! same makespans, same work accounting, and byte-identical `Full`
+//! traces. These properties are what allowed flipping the default backend
+//! to `Calendar` without touching a single golden value.
+
+use proptest::prelude::*;
+use rumr::{
+    FaultModel, FaultPlan, PoissonFaults, QueueBackend, RecoveryConfig, RumrConfig, Scenario,
+    SchedulerKind, SimConfig, SimResult, TraceMode,
+};
+
+/// Random-but-sane Table-1-style scenario (kept small for debug builds).
+fn scenario_strategy() -> impl Strategy<Value = (Scenario, f64)> {
+    (
+        2usize..=8,       // workers
+        1.1f64..=3.0,     // bandwidth ratio
+        0.0f64..=0.8,     // cLat
+        0.0f64..=0.8,     // nLat
+        0.0f64..=0.6,     // error
+        100.0f64..=400.0, // workload
+    )
+        .prop_map(|(n, ratio, clat, nlat, error, w)| {
+            let mut s = Scenario::table1(n, ratio, clat, nlat, error);
+            s.w_total = w;
+            (s, error)
+        })
+}
+
+fn kinds(error: f64) -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::rumr_known_error(error),
+        SchedulerKind::AdaptiveRumr,
+        SchedulerKind::HetRumr(RumrConfig::with_known_error(error)),
+        SchedulerKind::Umr,
+        SchedulerKind::HetUmr,
+        SchedulerKind::Mi { installments: 2 },
+        SchedulerKind::OneRound,
+        SchedulerKind::Factoring,
+        SchedulerKind::Fsc { error },
+        SchedulerKind::Gss,
+        SchedulerKind::Tss,
+        SchedulerKind::EqualStatic,
+    ]
+}
+
+fn config(backend: QueueBackend, faults: &FaultModel) -> SimConfig {
+    SimConfig {
+        trace_mode: TraceMode::Full,
+        faults: faults.clone(),
+        queue_backend: backend,
+        ..Default::default()
+    }
+}
+
+fn fault_plans(n: usize) -> Vec<FaultModel> {
+    vec![
+        FaultModel::None,
+        FaultModel::Plan(
+            FaultPlan::new()
+                .crash_recover(10.0, n / 2, 15.0)
+                .crash(18.0, 0),
+        ),
+        // A dense Poisson process so calendar-bucket migration and
+        // overflow paths are exercised under redispatch load.
+        FaultModel::Poisson(PoissonFaults {
+            mttf: 30.0,
+            mttr: Some(8.0),
+            link_mtbf: None,
+            horizon: 500.0,
+            seed: 5,
+        }),
+    ]
+}
+
+/// Bit-for-bit comparison of everything a run reports, including the full
+/// event trace (compared via `Debug` formatting, which prints every f64
+/// exactly — a byte-identical check, not an epsilon one).
+fn assert_runs_identical(heap: &SimResult, cal: &SimResult, label: &str) {
+    assert_eq!(
+        heap.makespan.to_bits(),
+        cal.makespan.to_bits(),
+        "{label}: makespan differs: {} vs {}",
+        heap.makespan,
+        cal.makespan
+    );
+    assert_eq!(heap.num_chunks, cal.num_chunks, "{label}: num_chunks");
+    assert_eq!(heap.events, cal.events, "{label}: event count");
+    assert_eq!(
+        heap.dispatched_work.to_bits(),
+        cal.dispatched_work.to_bits(),
+        "{label}: dispatched_work"
+    );
+    assert_eq!(
+        heap.lost_work.to_bits(),
+        cal.lost_work.to_bits(),
+        "{label}: lost_work"
+    );
+    assert_eq!(heap.lost_chunks, cal.lost_chunks, "{label}: lost_chunks");
+    assert_eq!(
+        heap.redispatched_work.to_bits(),
+        cal.redispatched_work.to_bits(),
+        "{label}: redispatched_work"
+    );
+    for (w, (x, y)) in heap
+        .per_worker_work
+        .iter()
+        .zip(&cal.per_worker_work)
+        .enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: per_worker_work[{w}]");
+    }
+    let (ht, ct) = (
+        heap.trace.as_ref().expect("Full records a trace"),
+        cal.trace.as_ref().expect("Full records a trace"),
+    );
+    assert_eq!(
+        ht.events().len(),
+        ct.events().len(),
+        "{label}: trace length"
+    );
+    for (i, (a, b)) in ht.events().iter().zip(ct.events()).enumerate() {
+        let (da, db) = (format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(da, db, "{label}: trace event {i} differs");
+    }
+    let (hm, cm) = (
+        heap.metrics.as_ref().expect("summary recorded"),
+        cal.metrics.as_ref().expect("summary recorded"),
+    );
+    assert_eq!(
+        hm.event_counts, cm.event_counts,
+        "{label}: per-event-type counters"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Heap and calendar produce identical pop order — and therefore
+    /// byte-identical runs — for every scheduler kind and fault plan.
+    #[test]
+    fn backends_are_bit_identical(
+        (scenario, error) in scenario_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let n = scenario.platform.num_workers();
+        for faults in fault_plans(n) {
+            for kind in kinds(error) {
+                let run = |backend| {
+                    scenario
+                        .run_with_config(&kind, seed, config(backend, &faults))
+                        .unwrap_or_else(|e| panic!("{kind}: {e}"))
+                };
+                let heap = run(QueueBackend::Heap);
+                let cal = run(QueueBackend::Calendar);
+                assert_runs_identical(&heap, &cal, &format!("{kind} ({faults:?})"));
+            }
+        }
+    }
+
+    /// Same property through the `Recovering<S>` wrapper — the path the
+    /// faulty benchmark cases and the degradation sweep use.
+    #[test]
+    fn backends_are_bit_identical_recovering(
+        (scenario, error) in scenario_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let n = scenario.platform.num_workers();
+        let faults = FaultModel::Plan(FaultPlan::new().crash_recover(8.0, n - 1, 12.0));
+        let kind = SchedulerKind::rumr_known_error(error);
+        let run = |backend| {
+            scenario
+                .run_recovering(&kind, seed, config(backend, &faults), RecoveryConfig::default())
+                .unwrap_or_else(|e| panic!("{kind}: {e}"))
+        };
+        let heap = run(QueueBackend::Heap);
+        let cal = run(QueueBackend::Calendar);
+        assert_runs_identical(&heap, &cal, "recovering");
+    }
+}
+
+/// The 16 pinned benchmark cases (2 platforms × 4 schedulers ×
+/// {fault-free, faulty}, mirroring `snapshot::pinned_cases`) must have
+/// byte-identical `Full` traces across backends — the snapshot's timing
+/// rows compare like with like.
+#[test]
+fn pinned_bench_cases_are_bit_identical() {
+    const CASE_ERROR: f64 = 0.3;
+    let pinned_faults = FaultModel::Poisson(PoissonFaults {
+        mttf: 60.0,
+        mttr: Some(15.0),
+        link_mtbf: None,
+        horizon: 2000.0,
+        seed: 11,
+    });
+    let homog = Scenario::table1(20, 1.6, 0.3, 0.2, CASE_ERROR);
+    let het = Scenario::heterogeneous_demo(20, CASE_ERROR);
+    let cases: Vec<(&Scenario, SchedulerKind)> = vec![
+        (&homog, SchedulerKind::Umr),
+        (&homog, SchedulerKind::rumr_known_error(CASE_ERROR)),
+        (&homog, SchedulerKind::Factoring),
+        (&homog, SchedulerKind::Mi { installments: 3 }),
+        (&het, SchedulerKind::HetUmr),
+        (
+            &het,
+            SchedulerKind::HetRumr(RumrConfig::with_known_error(CASE_ERROR)),
+        ),
+        (&het, SchedulerKind::Factoring),
+        (&het, SchedulerKind::Gss),
+    ];
+    for faulty in [false, true] {
+        let faults = if faulty {
+            pinned_faults.clone()
+        } else {
+            FaultModel::None
+        };
+        for (scenario, kind) in &cases {
+            let run = |backend| {
+                if faulty {
+                    scenario.run_recovering(
+                        kind,
+                        42,
+                        config(backend, &faults),
+                        RecoveryConfig::default(),
+                    )
+                } else {
+                    scenario.run_with_config(kind, 42, config(backend, &faults))
+                }
+                .unwrap_or_else(|e| panic!("{kind}: {e}"))
+            };
+            let heap = run(QueueBackend::Heap);
+            let cal = run(QueueBackend::Calendar);
+            assert_runs_identical(&heap, &cal, &format!("pinned {kind} faulty={faulty}"));
+        }
+    }
+}
+
+/// The calendar queue's storage must reach a fixed point under
+/// `reset`/`run_reusing`: after a warm-up rep sizes the buckets, 100
+/// further repetitions of the same scenario may not grow them.
+#[test]
+fn calendar_reset_reuse_does_not_grow() {
+    let scenario = Scenario::table1(20, 1.6, 0.3, 0.2, 0.3);
+    let kind = SchedulerKind::rumr_known_error(0.3);
+    let mut runner = scenario.runner(SimConfig {
+        queue_backend: QueueBackend::Calendar,
+        faults: FaultModel::Poisson(PoissonFaults {
+            mttf: 60.0,
+            mttr: Some(15.0),
+            link_mtbf: None,
+            horizon: 2000.0,
+            seed: 11,
+        }),
+        ..SimConfig::default()
+    });
+    let proto = runner.prototype(&kind).unwrap();
+    // Warm-up: the first runs size the buckets, and the width retune on
+    // `clear` reaches its fixed point by the second repetition.
+    for _ in 0..3 {
+        runner
+            .run_recovering_prototype(&proto, 7, RecoveryConfig::default())
+            .unwrap();
+    }
+    let warm = runner.debug_queue_capacity();
+    assert!(warm > 0, "probe must report calendar storage");
+    for rep in 0..100 {
+        runner
+            .run_recovering_prototype(&proto, 7, RecoveryConfig::default())
+            .unwrap();
+        assert_eq!(
+            runner.debug_queue_capacity(),
+            warm,
+            "bucket storage grew at rep {rep}"
+        );
+    }
+}
+
+/// `run_recovering_prototype` is bit-identical to `run_recovering` — the
+/// snapshot's faulty cases lean on it to hoist the planner out of the
+/// timed loop.
+#[test]
+fn recovering_prototype_matches_fresh_builds() {
+    let scenario = Scenario::heterogeneous_demo(20, 0.3);
+    let kind = SchedulerKind::HetUmr;
+    let faults = FaultModel::Poisson(PoissonFaults {
+        mttf: 60.0,
+        mttr: Some(15.0),
+        link_mtbf: None,
+        horizon: 2000.0,
+        seed: 11,
+    });
+    let cfg = SimConfig {
+        faults,
+        ..SimConfig::default()
+    };
+    let mut runner = scenario.runner(cfg);
+    let proto = runner.prototype(&kind).unwrap();
+    for seed in 0..10 {
+        let fresh = runner
+            .run_recovering(&kind, seed, RecoveryConfig::default())
+            .unwrap();
+        let stamped = runner
+            .run_recovering_prototype(&proto, seed, RecoveryConfig::default())
+            .unwrap();
+        assert_eq!(
+            fresh.makespan.to_bits(),
+            stamped.makespan.to_bits(),
+            "seed {seed}: prototype path changed the makespan"
+        );
+        assert_eq!(fresh.events, stamped.events, "seed {seed}: event count");
+    }
+}

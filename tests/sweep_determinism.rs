@@ -10,7 +10,7 @@
 use std::fmt::Write as _;
 
 use dls_experiments::{run_sweep, Competitor, ErrorModelKind, SweepConfig, Table1Grid};
-use rumr::TraceMode;
+use rumr::{QueueBackend, TraceMode};
 
 fn pinned_config(threads: usize, trace_mode: TraceMode) -> SweepConfig {
     SweepConfig {
@@ -28,6 +28,7 @@ fn pinned_config(threads: usize, trace_mode: TraceMode) -> SweepConfig {
         w_total: 1000.0,
         progress: false,
         trace_mode,
+        queue_backend: QueueBackend::default(),
     }
 }
 
