@@ -8,8 +8,9 @@
 use std::fmt;
 
 use dls_sched::{
-    AdaptiveConfig, AdaptiveRumr, EqualSingleRound, Factoring, Fsc, Gss, HetRumr, HetUmr, MiError,
-    MultiInstallment, OneRound, Rumr, RumrConfig, Tss, Umr, UmrError, UnitSelfScheduling,
+    AdaptiveConfig, AdaptiveRumr, EqualSingleRound, Factoring, FactoringOracle, Fsc, Gss, HetRumr,
+    HetUmr, HetUmrOracle, MiError, MiOracle, MultiInstallment, OneRound, OneRoundOracle, Oracle,
+    Rumr, RumrConfig, RumrOracle, Tss, Umr, UmrError, UmrOracle, UnitSelfScheduling,
 };
 use dls_sim::{Platform, Scheduler};
 
@@ -156,6 +157,57 @@ impl SchedulerKind {
         };
         Ok(SchedulerPrototype { proto })
     }
+
+    /// Build the analytic [`Oracle`] for this algorithm on the given
+    /// platform and workload, running the *same* planner the scheduler
+    /// itself uses so oracle and scheduler agree by construction.
+    ///
+    /// Returns `Ok(None)` for algorithms without a checkable closed form
+    /// (FSC, the equal/self-scheduling baselines, adaptive and
+    /// heterogeneous RUMR, GSS, TSS).
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] when the planner rejects the inputs, exactly as
+    /// [`SchedulerKind::build`] would.
+    pub fn oracle(
+        &self,
+        platform: &Platform,
+        w_total: f64,
+    ) -> Result<Option<Box<dyn Oracle>>, BuildError> {
+        Ok(match *self {
+            SchedulerKind::Umr => {
+                let umr = Umr::new(platform, w_total)?;
+                Some(Box::new(UmrOracle::new(umr.schedule().clone())))
+            }
+            SchedulerKind::Rumr(cfg) => {
+                let rumr = Rumr::new(platform, w_total, cfg)?;
+                Some(Box::new(RumrOracle::new(&rumr, platform)))
+            }
+            SchedulerKind::Mi { installments } => {
+                let mi = MultiInstallment::new(platform, w_total, installments)?;
+                Some(Box::new(MiOracle::new(mi.schedule().clone(), platform)))
+            }
+            SchedulerKind::Factoring => {
+                Some(Box::new(FactoringOracle::from_platform(platform, w_total)))
+            }
+            SchedulerKind::HetUmr => {
+                let het = HetUmr::new(platform, w_total)?;
+                Some(Box::new(HetUmrOracle::new(het.schedule().clone())))
+            }
+            SchedulerKind::OneRound => {
+                let one = OneRound::new(platform, w_total)?;
+                Some(Box::new(OneRoundOracle::new(one.schedule().clone())))
+            }
+            SchedulerKind::Fsc { .. }
+            | SchedulerKind::EqualStatic
+            | SchedulerKind::SelfScheduling { .. }
+            | SchedulerKind::AdaptiveRumr
+            | SchedulerKind::HetRumr(_)
+            | SchedulerKind::Gss
+            | SchedulerKind::Tss => None,
+        })
+    }
 }
 
 /// Object-safe cloning bridge: lets a boxed prototype produce fresh
@@ -293,6 +345,42 @@ mod tests {
         );
         assert_eq!(SchedulerKind::rumr_plain_phase1(0.2).label(), "RUMR-plain");
         assert_eq!(format!("{}", SchedulerKind::Factoring), "Factoring");
+    }
+
+    #[test]
+    fn oracles_agree_with_their_planners() {
+        let p = platform();
+        // Closed-form kinds: oracle exists and accounts for the workload.
+        let closed = [
+            SchedulerKind::Umr,
+            SchedulerKind::rumr_known_error(0.3),
+            SchedulerKind::Mi { installments: 3 },
+            SchedulerKind::Factoring,
+            SchedulerKind::HetUmr,
+            SchedulerKind::OneRound,
+        ];
+        for kind in closed {
+            let oracle = kind
+                .oracle(&p, 1000.0)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"))
+                .unwrap_or_else(|| panic!("{kind}: expected an oracle"));
+            assert!(
+                (oracle.planned_work() - 1000.0).abs() < 1e-6 * 1000.0,
+                "{kind}: planned {} vs 1000",
+                oracle.planned_work()
+            );
+        }
+        // Dynamic kinds: no oracle, but no error either.
+        for kind in [
+            SchedulerKind::Fsc { error: 0.3 },
+            SchedulerKind::Gss,
+            SchedulerKind::Tss,
+            SchedulerKind::AdaptiveRumr,
+        ] {
+            assert!(kind.oracle(&p, 1000.0).unwrap().is_none(), "{kind}");
+        }
+        // Planner failures surface as BuildError, same as build().
+        assert!(SchedulerKind::Umr.oracle(&p, -1.0).is_err());
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub use kind::{BuildError, SchedulerKind, SchedulerPrototype};
 pub use scenario::{RunError, Scenario, ScenarioRunner};
 
 pub use dls_sched as sched;
-pub use dls_sched::{Recovering, RecoveryConfig, RumrConfig, UmrInputs, UmrSchedule};
+pub use dls_sched::{
+    Oracle, Prediction, Recovering, RecoveryConfig, RoundTiming, RumrConfig, UmrInputs, UmrSchedule,
+};
 pub use dls_sim as sim;
 pub use dls_sim::{
     ErrorModel, EventCounts, FaultModel, FaultPlan, HomogeneousParams, MetricsSummary, Platform,

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod chart;
 pub mod cli;
 pub mod figures;
@@ -29,14 +30,15 @@ pub mod snapshot;
 pub mod sweep;
 pub mod tables;
 
+pub use audit::{run_audit, AuditFinding, AuditOptions, AuditReport, FindingKind};
 pub use chart::ascii_chart;
 pub use cli::{parse_args, parse_env, CliOptions};
 pub use figures::{fig4a, fig4b, fig5_point, relative_series, RelativeSeries};
 pub use grid::{error_band, error_values, GridPoint, Table1Grid, BAND_LABELS};
 pub use report::{render_series, render_win_rate, series_csv, win_rate_csv, write_file};
 pub use snapshot::{
-    run_snapshot, validate_snapshot_json, CaseResult, QueueSelection, Snapshot, SnapshotConfig,
-    SweepComparison, SCHEMA_VERSION,
+    pinned_cases, pinned_faults, run_snapshot, validate_snapshot_json, CaseResult, CaseSpec,
+    QueueSelection, Snapshot, SnapshotConfig, SweepComparison, SCHEMA_VERSION,
 };
 pub use sweep::{
     paper_competitors, run_sweep, Cell, Competitor, ErrorModelKind, SweepConfig, SweepResult,

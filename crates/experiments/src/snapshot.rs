@@ -163,16 +163,22 @@ pub struct Snapshot {
     pub sweep: SweepComparison,
 }
 
-/// One entry of the pinned suite.
-struct CaseSpec {
-    name: String,
-    scenario: Scenario,
-    kind: SchedulerKind,
-    faulty: bool,
+/// One entry of the pinned suite: a fully specified (scenario, scheduler,
+/// fault regime) triple. Shared by the benchmark snapshot and the
+/// conformance audit so both always measure the same 16 cases.
+pub struct CaseSpec {
+    /// Stable case identifier, `<platform>/<scheduler>/<fault regime>`.
+    pub name: String,
+    /// Platform + workload + error model.
+    pub scenario: Scenario,
+    /// Scheduling algorithm under test.
+    pub kind: SchedulerKind,
+    /// Whether the case runs under [`pinned_faults`].
+    pub faulty: bool,
 }
 
 /// The pinned suite: 2 platforms × 4 schedulers × {fault-free, faulty}.
-fn pinned_cases() -> Vec<CaseSpec> {
+pub fn pinned_cases() -> Vec<CaseSpec> {
     let homog = || Scenario::table1(20, 1.6, 0.3, 0.2, CASE_ERROR);
     let het = || Scenario::heterogeneous_demo(20, CASE_ERROR);
     let homog_kinds: [(&'static str, SchedulerKind); 4] = [
@@ -223,7 +229,7 @@ fn case_name(platform: &str, sched: &str, faulty: bool) -> String {
 
 /// The Poisson fault process of the faulty cases: recoverable crashes,
 /// frequent enough that every run sees several.
-fn pinned_faults() -> FaultModel {
+pub fn pinned_faults() -> FaultModel {
     FaultModel::Poisson(PoissonFaults {
         mttf: 60.0,
         mttr: Some(15.0),
@@ -330,7 +336,9 @@ fn measure_case(spec: &CaseSpec, reps: u64, backend: QueueBackend) -> CaseResult
         wall_s,
         ns_per_event,
         runs_per_sec,
-        mean_makespan: makespan_sum / reps as f64,
+        // `reps.max(1)`: a zero-rep invocation must yield 0.0, not NaN
+        // (0.0 / 0.0), which would leak into the JSON as `null`.
+        mean_makespan: makespan_sum / reps.max(1) as f64,
     }
 }
 
@@ -461,9 +469,10 @@ fn json_num(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
-        // NaN/inf are not JSON; a snapshot producing them is broken anyway,
-        // so surface an impossible-but-parsable value.
-        "-1".into()
+        // NaN/inf are not JSON. Emit `null` so the validator — which
+        // requires every schema number to be finite — rejects the document,
+        // rather than a finite sentinel that would sail through unnoticed.
+        "null".into()
     }
 }
 
@@ -744,9 +753,17 @@ fn parse_json(s: &str) -> Result<Json, String> {
 }
 
 fn require_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
-    obj.get(key)
+    let x = obj
+        .get(key)
         .and_then(Json::num)
-        .ok_or_else(|| format!("{ctx}: missing or non-numeric field '{key}'"))
+        .ok_or_else(|| format!("{ctx}: missing or non-numeric field '{key}'"))?;
+    // Every number in the schema is a count, a timing or a makespan; none
+    // may be NaN or infinite (the emitter writes those as `null`, and a
+    // hand-edited `1e999` parses to f64 infinity).
+    if !x.is_finite() {
+        return Err(format!("{ctx}: field '{key}' is not finite"));
+    }
+    Ok(x)
 }
 
 fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
@@ -888,6 +905,22 @@ mod tests {
         let mut snap = dummy_snapshot();
         snap.cases[0].name = "plain".into();
         assert!(validate_snapshot_json(&snap.to_json()).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_non_finite_numbers() {
+        // Regression: a NaN mean_makespan used to serialize as the finite
+        // sentinel -1 and sail through validation. It now serializes as
+        // `null`, and the validator requires every schema number to be
+        // finite.
+        let mut snap = dummy_snapshot();
+        snap.cases[0].mean_makespan = f64::NAN;
+        let json = snap.to_json();
+        assert!(json.contains("\"mean_makespan\": null"));
+        assert!(validate_snapshot_json(&json).is_err());
+        // Numbers whose text parses to f64 infinity are rejected too.
+        let huge = dummy_snapshot().to_json().replace("63.5", "1e999");
+        assert!(validate_snapshot_json(&huge).is_err());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use dls_numerics::stats::OnlineStats;
 use dls_sim::{Decision, Platform, Scheduler, SimView};
 
-use crate::factoring::{min_chunk_bound, FactoringSource, DEFAULT_FACTOR};
+use crate::factoring::{phase_min_chunk_bound, FactoringSource, DEFAULT_FACTOR};
 use crate::plan::{ChunkSource, PlanReplayer};
 use crate::umr::{UmrError, UmrInputs, UmrSchedule};
 
@@ -145,7 +145,13 @@ impl AdaptiveRumr {
         if self.undispatched / self.n as f64 - round_overhead < -1e-12 {
             return;
         }
-        let bound = min_chunk_bound(self.n, self.comp_latency, self.net_latency, Some(e));
+        let bound = phase_min_chunk_bound(
+            self.undispatched,
+            self.n,
+            self.comp_latency,
+            self.net_latency,
+            Some(e),
+        );
         self.phase2 = Some(FactoringSource::new(
             self.undispatched,
             self.n,

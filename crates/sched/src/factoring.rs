@@ -47,6 +47,28 @@ pub fn min_chunk_bound(n: usize, comp_latency: f64, net_latency: f64, error: Opt
     bound.max(UNIT_FLOOR)
 }
 
+/// Minimum chunk bound for a factoring *phase* over `w_phase` units:
+/// [`min_chunk_bound`] capped at the per-worker share `w_phase / N`.
+///
+/// The error-aware bound divides the round overhead by the error magnitude,
+/// so it grows without limit as the estimate shrinks — and a bound above
+/// the per-worker share would force the phase onto fewer than `N` workers
+/// (the factoring source honors its bound even in the final balanced
+/// round). Keeping every worker busy through the tail is the phase's whole
+/// purpose, so the per-worker share caps the bound; [`UNIT_FLOOR`] still
+/// floors it.
+pub fn phase_min_chunk_bound(
+    w_phase: f64,
+    n: usize,
+    comp_latency: f64,
+    net_latency: f64,
+    error: Option<f64>,
+) -> f64 {
+    min_chunk_bound(n, comp_latency, net_latency, error)
+        .min(w_phase / n as f64)
+        .max(UNIT_FLOOR)
+}
+
 /// Generates the factoring chunk sequence over a given workload.
 #[derive(Debug, Clone)]
 pub struct FactoringSource {
@@ -108,8 +130,12 @@ impl FactoringSource {
             // (leaving N−1 workers idle while one processes the whole tail
             // would defeat phase 2's purpose; the phase-split threshold
             // guarantees the per-worker share amortizes its dispatch
-            // overhead). Chunks never go below the unit floor.
-            let count = (self.remaining / UNIT_FLOOR).floor().clamp(1.0, n) as usize;
+            // overhead). The split respects the configured minimum bound —
+            // not just the unit floor — so tail chunks still amortize their
+            // dispatch overhead; only a residual smaller than the bound
+            // itself goes out as a single undersized chunk.
+            let floor = self.min_chunk.max(UNIT_FLOOR);
+            let count = (self.remaining / floor).floor().clamp(1.0, n) as usize;
             self.batch_chunk = self.remaining / count as f64;
             self.batch_left = count;
             self.remaining = 0.0;
@@ -205,14 +231,28 @@ mod tests {
                 "chunk sequence must be non-increasing"
             );
         }
-        // Everything before the final balanced round (at most N = 4 chunks)
-        // respects the bound; final-round chunks stay positive.
-        let body = chunks.len().saturating_sub(4);
-        for &c in &chunks[..body] {
+        // Every chunk respects the bound except, at most, a final residual
+        // smaller than the bound itself (here the 3.25-unit tail).
+        let (last, body) = chunks.split_last().unwrap();
+        for &c in body {
             assert!(c >= 7.0 - 1e-9, "chunk {c} below bound");
         }
-        for &c in &chunks[body..] {
-            assert!(c > 0.0);
+        assert!(*last > 0.0);
+        assert!(*last < 7.0, "this workload leaves a sub-bound residual");
+    }
+
+    #[test]
+    fn final_round_respects_min_chunk_above_unit_floor() {
+        // Regression: the final-round spread used UNIT_FLOOR as its divisor,
+        // so a 27-unit tail over 4 workers with min_chunk = 7 was split into
+        // 4 chunks of 6.75 — all below the configured bound. The split must
+        // use the bound itself: 3 chunks of 9.
+        let chunks = collect(FactoringSource::new(27.0, 4, 2.0, 7.0));
+        let total: f64 = chunks.iter().sum();
+        assert!((total - 27.0).abs() < 1e-9);
+        assert_eq!(chunks.len(), 3);
+        for &c in &chunks {
+            assert!(c >= 7.0, "chunk {c} below the configured minimum bound");
         }
     }
 
@@ -237,6 +277,26 @@ mod tests {
         assert_eq!(min_chunk_bound(10, 0.0, 0.0, Some(0.3)), UNIT_FLOOR);
         // Zero error treated as unknown.
         assert!((min_chunk_bound(4, 1.0, 1.0, Some(0.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_bound_is_capped_at_the_per_worker_share() {
+        // Regression: a 4 % error estimate on a latency-heavy 20-worker
+        // platform gives an error-aware bound of (0.6 + 0.4·20)/0.04 = 215
+        // units. Over a 500-unit phase that bound (now honored by the final
+        // round) would collapse the phase onto 2 workers; the cap keeps all
+        // 20 busy.
+        let bound = phase_min_chunk_bound(500.0, 20, 0.6, 0.4, Some(0.04));
+        assert!((bound - 25.0).abs() < 1e-12, "got {bound}");
+        let chunks = collect(FactoringSource::new(500.0, 20, 2.0, bound));
+        assert_eq!(chunks.len(), 20, "phase must spread over every worker");
+        // When the uncapped bound already fits, nothing changes.
+        assert!(
+            (phase_min_chunk_bound(1000.0, 10, 0.5, 0.3, None) - 3.5).abs() < 1e-12,
+            "small bounds pass through"
+        );
+        // The unit floor still applies to vanishing phases.
+        assert_eq!(phase_min_chunk_bound(0.5, 8, 0.0, 0.0, None), UNIT_FLOOR);
     }
 
     #[test]

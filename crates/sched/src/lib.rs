@@ -29,6 +29,7 @@ pub mod fsc;
 pub mod loop_sched;
 pub mod mi;
 pub mod one_round;
+pub mod oracle;
 pub mod plan;
 pub mod recovery;
 pub mod rumr;
@@ -38,11 +39,17 @@ pub mod umr_het;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveRumr};
 pub use baselines::{EqualSingleRound, UnitSelfScheduling};
-pub use factoring::{min_chunk_bound, Factoring, FactoringSource, DEFAULT_FACTOR, UNIT_FLOOR};
+pub use factoring::{
+    min_chunk_bound, phase_min_chunk_bound, Factoring, FactoringSource, DEFAULT_FACTOR, UNIT_FLOOR,
+};
 pub use fsc::{fsc_chunk_size, Fsc};
 pub use loop_sched::{Gss, Tss};
 pub use mi::{MiError, MiSchedule, MultiInstallment};
 pub use one_round::{OneRound, OneRoundSchedule};
+pub use oracle::{
+    FactoringOracle, HetUmrOracle, MiOracle, OneRoundOracle, Oracle, Prediction, RoundTiming,
+    RumrOracle, UmrOracle, EXACT_REL_TOL, LOWER_BOUND_REL_TOL,
+};
 pub use plan::{ChunkSource, DispatchPlan, PlanReplayer, PullDispatcher};
 pub use recovery::{Recovering, RecoveryConfig};
 pub use rumr::{phase_split, PhaseSplit, Rumr, RumrConfig, DEFAULT_PHASE1_FRACTION};

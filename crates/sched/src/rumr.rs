@@ -27,7 +27,7 @@
 
 use dls_sim::{Decision, Platform, Scheduler, SimView};
 
-use crate::factoring::{min_chunk_bound, FactoringSource, DEFAULT_FACTOR};
+use crate::factoring::{phase_min_chunk_bound, FactoringSource, DEFAULT_FACTOR};
 use crate::plan::{ChunkSource, PlanReplayer};
 use crate::umr::{UmrError, UmrInputs, UmrSchedule};
 
@@ -190,7 +190,13 @@ impl Rumr {
             } else {
                 None
             };
-            let bound = min_chunk_bound(n, inputs.comp_latency, inputs.net_latency, bound_error);
+            let bound = phase_min_chunk_bound(
+                split.w2,
+                n,
+                inputs.comp_latency,
+                inputs.net_latency,
+                bound_error,
+            );
             Some(FactoringSource::new(split.w2, n, config.factor, bound))
         } else {
             None

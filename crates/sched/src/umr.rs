@@ -50,6 +50,20 @@ pub const MAX_ROUNDS: usize = 64;
 /// as numerically zero when checking schedule feasibility.
 const CHUNK_EPS_FRACTION: f64 = 1e-12;
 
+/// `f(x) = 1/expm1(x) − 1/x`, the smooth part of the geometric-sum
+/// reciprocal (`x/(e^x−1)` is the Bernoulli generating function, so
+/// `f(x) = −1/2 + x/12 − x³/720 + …`). Continuous through `x = 0`; the
+/// series is used below `|x| = 10⁻²` where the direct difference of two
+/// near-equal `1/x` terms would cancel.
+fn inv_expm1_minus_inv(x: f64) -> f64 {
+    if x.abs() < 1e-2 {
+        // Next omitted term is x⁵/30240 < 4e-16 on this range.
+        -0.5 + x / 12.0 - x * x * x / 720.0
+    } else {
+        1.0 / x.exp_m1() - 1.0 / x
+    }
+}
+
 /// Inputs to the UMR solver: a homogeneous platform plus total workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UmrInputs {
@@ -151,18 +165,31 @@ impl UmrInputs {
 
     /// The first-round chunk size that makes `M` rounds sum to `W/N`, or
     /// `None` when the value is not finite.
+    ///
+    /// The textbook form `h + (W/N − M·h)·(θ−1)/(θ^M−1)` cancels
+    /// catastrophically as θ → 1 (`h = η/(1−θ)` and `θ^M − 1` both lose all
+    /// significance), so it is rearranged into
+    ///
+    /// ```text
+    /// chunk_0 = (W/N)·(θ−1)/(θ^M−1) + η·(M·f(M·lnθ) − f(lnθ)),
+    /// f(x)    = 1/expm1(x) − 1/x
+    /// ```
+    ///
+    /// where the two `1/x` poles of `M/(θ^M−1)` and `1/(θ−1)` cancel
+    /// *analytically* inside `f`, which is smooth through 0 (value −1/2).
+    /// Every factor is evaluated via `ln_1p`/`exp_m1`, so the function is
+    /// continuous through θ = 1 with no branch cutoff.
     fn chunk0_for(&self, m: f64) -> Option<f64> {
-        let theta = self.theta();
         let eta = self.eta();
         let w_per = self.w_per_worker();
-        let chunk0 = if (theta - 1.0).abs() < 1e-9 {
-            // chunk_j = chunk_0 + j·η  ⇒  Σ = M·chunk_0 + η·M(M−1)/2.
-            (w_per - eta * m * (m - 1.0) / 2.0) / m
+        let d = self.theta() - 1.0;
+        let u = d.ln_1p(); // ln θ, accurate near θ = 1
+        let geom = if d == 0.0 {
+            1.0 / m // limit of (θ−1)/(θ^M−1)
         } else {
-            let h = eta / (1.0 - theta);
-            let q = theta.powf(m);
-            h + (w_per - m * h) * (theta - 1.0) / (q - 1.0)
+            d / (m * u).exp_m1()
         };
+        let chunk0 = w_per * geom + eta * (m * inv_expm1_minus_inv(m * u) - inv_expm1_minus_inv(u));
         chunk0.is_finite().then_some(chunk0)
     }
 
@@ -333,9 +360,11 @@ impl UmrSchedule {
                 Some(c) => c,
                 None => return f64::NAN,
             };
-            let q = theta.powf(m);
+            // θ^M and (θ^M−1)/(θ−1) via exp/expm1 of M·lnθ: stable where
+            // powf-then-subtract would cancel as θ approaches 1.
+            let q = (m * ln_theta).exp();
             let dg_dm = (chunk0 - h) * q * ln_theta / (theta - 1.0) + h;
-            let dg_dc0 = (q - 1.0) / (theta - 1.0);
+            let dg_dc0 = (m * ln_theta).exp_m1() / (theta - 1.0);
             n_over_b * dg_dm - clat * dg_dc0
         };
 
@@ -652,6 +681,53 @@ mod tests {
             }
         }
         assert!(checked > 20, "Lagrange path exercised only {checked} times");
+    }
+
+    #[test]
+    fn chunk0_is_continuous_through_theta_one() {
+        // Regression: the old implementation switched at |θ−1| < 1e-9 from a
+        // linearized branch to `h + (W/N − M·h)·(θ−1)/(θ^M−1)`, which near
+        // the cutoff loses ~all significance (h ≈ η/1e-9, θ^M−1 ≈ M·1e-9):
+        // chunk0 jumped by O(η·ε/δ²) ≈ tens of units across the threshold.
+        // The expm1 form must be smooth: sweep θ through 1 (crossing the old
+        // cutoff from both sides) and require every value to sit within
+        // 1e-6 of the exact θ = 1 limit.
+        let base = UmrInputs {
+            n: 4,
+            speed: 1.0,
+            bandwidth: 4.0,
+            comp_latency: 0.4,
+            net_latency: 0.05,
+            transfer_latency: 0.0,
+            w_total: 1000.0,
+        };
+        for m in [2.0, 3.0, 7.0, 31.0] {
+            let at_one = base.chunk0_for(m).expect("θ = 1 value");
+            // Exact arithmetic-series limit as an independent cross-check.
+            let expected = (base.w_per_worker() - base.eta() * m * (m - 1.0) / 2.0) / m;
+            assert!(
+                (at_one - expected).abs() < 1e-9,
+                "θ = 1 limit off: {at_one} vs {expected}"
+            );
+            for mag in [1e-12, 1e-10, 0.99e-9, 1.01e-9, 1e-8, 1e-7, 1e-6] {
+                for sign in [-1.0, 1.0] {
+                    let mut i = base;
+                    // θ = B/(N·S): perturb the bandwidth to move θ off 1.
+                    i.bandwidth = 4.0 * (1.0 + sign * mag);
+                    let c = i.chunk0_for(m).expect("perturbed value");
+                    // chunk0 genuinely varies with θ (slope up to ~1e4 per
+                    // unit θ at these m), so the window scales with the
+                    // perturbation; the old code's noise near the cutoff
+                    // was O(10) absolute, far outside it.
+                    let tol = 1e-7 + 2e5 * mag;
+                    assert!(
+                        (c - at_one).abs() < tol,
+                        "discontinuity at θ = 1{sign:+}·{mag:e}, m = {m}: \
+                         {c} vs {at_one}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ use std::fmt;
 
 use crate::error::ErrorInjector;
 use crate::faults::{FaultAction, FaultInjector, FaultModel};
+use crate::invariants::{InvariantChecker, InvariantFinding, WorkLedger};
 use crate::metrics::{EventCounts, MetricsSummary};
 use crate::platform::Platform;
 use crate::queue::{EventQueue, QueueBackend};
@@ -122,6 +123,11 @@ pub struct SimConfig {
     /// backends pop the identical event order, so results are byte-for-byte
     /// independent of the choice; only the speed differs.
     pub queue_backend: QueueBackend,
+    /// Run the streaming [`InvariantChecker`] alongside the simulation and
+    /// return its findings in [`SimResult::audit`]. Works in every trace
+    /// mode (the checker consumes events as they are emitted, no stored
+    /// trace needed). `false` (default): zero overhead, `audit` is `None`.
+    pub audit: bool,
 }
 
 impl Default for SimConfig {
@@ -134,6 +140,7 @@ impl Default for SimConfig {
             output_ratio: 0.0,
             faults: FaultModel::None,
             queue_backend: QueueBackend::default(),
+            audit: false,
         }
     }
 }
@@ -230,6 +237,9 @@ pub struct SimResult {
     pub metrics: Option<MetricsSummary>,
     /// Full event trace when the trace mode was [`TraceMode::Full`].
     pub trace: Option<Trace>,
+    /// Streaming invariant findings when [`SimConfig::audit`] was set
+    /// (`Some(vec![])` = audited and clean); `None` when auditing was off.
+    pub audit: Option<Vec<InvariantFinding>>,
 }
 
 impl SimResult {
@@ -441,6 +451,8 @@ pub struct Engine<'a> {
     /// Per-event-type counters, maintained when the trace mode records a
     /// summary.
     counts: EventCounts,
+    /// Streaming invariant checker, present when `config.audit` is set.
+    checker: Option<InvariantChecker>,
 }
 
 impl<'a> Engine<'a> {
@@ -472,6 +484,9 @@ impl<'a> Engine<'a> {
         // high-water capacity across repetitions.
         let event_capacity = 32 + 4 * n;
         let queue = EventQueue::with_capacity(config.queue_backend, event_capacity);
+        let checker = config
+            .audit
+            .then(|| InvariantChecker::new(n, config.max_concurrent_sends));
         Engine {
             platform,
             injector,
@@ -516,6 +531,7 @@ impl<'a> Engine<'a> {
             gap_time: vec![0.0; n],
             num_gaps: 0,
             counts: EventCounts::default(),
+            checker,
         }
     }
 
@@ -567,6 +583,9 @@ impl<'a> Engine<'a> {
         self.gap_time.resize(n, 0.0);
         self.num_gaps = 0;
         self.counts = EventCounts::default();
+        if let Some(c) = &mut self.checker {
+            c.reset();
+        }
     }
 
     /// Debug probe: the pending-event queue's allocated capacity (see
@@ -587,6 +606,9 @@ impl<'a> Engine<'a> {
         self.trace_events += 1;
         if self.config.trace_mode.records_summary() {
             self.counts.count(&e);
+        }
+        if let Some(c) = &mut self.checker {
+            c.observe(&e);
         }
         if self.config.trace_mode.records_trace() {
             self.trace.push(e);
@@ -1307,6 +1329,15 @@ impl<'a> Engine<'a> {
             self.link_busy += self.now - self.link_busy_since;
             self.link_busy_since = self.now;
         }
+        let completed_work: f64 = self.workers.iter().map(|w| w.view.completed_work).sum();
+        let audit = self.checker.as_mut().map(|c| {
+            c.finalize(WorkLedger {
+                dispatched: self.dispatched_work,
+                completed: completed_work,
+                lost: self.lost_work,
+                outstanding: outstanding_work,
+            })
+        });
         let metrics = self
             .config
             .trace_mode
@@ -1337,6 +1368,7 @@ impl<'a> Engine<'a> {
             } else {
                 None
             },
+            audit,
         })
     }
 }
@@ -1928,6 +1960,58 @@ mod tests {
             trace_mode: TraceMode::Full,
             faults: FaultModel::Plan(plan),
             ..Default::default()
+        }
+    }
+
+    #[test]
+    fn audit_is_clean_on_clean_runs_and_none_when_off() {
+        let platform = unit_platform(2);
+        // Off by default.
+        let mut s = ListScheduler::new(vec![(0, 5.0), (1, 5.0)]);
+        let r = simulate(&platform, &mut s, exact(&platform), SimConfig::default()).unwrap();
+        assert!(r.audit.is_none());
+        // Audited, trace mode Off: checker runs without any stored trace.
+        let mut s = ListScheduler::new(vec![(0, 5.0), (1, 5.0)]);
+        let cfg = SimConfig {
+            audit: true,
+            ..Default::default()
+        };
+        let r = simulate(&platform, &mut s, exact(&platform), cfg).unwrap();
+        assert!(r.trace.is_none());
+        assert_eq!(r.audit, Some(Vec::new()));
+    }
+
+    #[test]
+    fn audit_is_clean_across_fault_lifecycle() {
+        // Crash mid-computation with outstanding = 0: the streaming
+        // checker must accept the loss-directed retirement exactly like
+        // the post-hoc validator does.
+        let platform = unit_platform(2);
+        let mut s = ListScheduler::new(vec![(0, 5.0), (1, 5.0)]);
+        let cfg = SimConfig {
+            audit: true,
+            ..faulty(FaultPlan::new().crash(12.0, 1))
+        };
+        let r = simulate(&platform, &mut s, exact(&platform), cfg).unwrap();
+        assert!((r.lost_work - 5.0).abs() < 1e-12);
+        assert_eq!(r.audit, Some(Vec::new()));
+        // And it agrees with the post-hoc validator.
+        assert!(r.trace.unwrap().validate(2).is_empty());
+    }
+
+    #[test]
+    fn audit_survives_engine_reuse() {
+        let platform = unit_platform(1);
+        let cfg = SimConfig {
+            audit: true,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(&platform, exact(&platform), cfg);
+        for _ in 0..3 {
+            let mut s = ListScheduler::new(vec![(0, 4.0), (0, 6.0)]);
+            let r = engine.run_reusing(&mut s).unwrap();
+            assert_eq!(r.audit, Some(Vec::new()));
+            engine.reset(exact(&platform));
         }
     }
 

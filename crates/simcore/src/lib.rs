@@ -49,6 +49,7 @@
 pub mod engine;
 pub mod error;
 pub mod faults;
+pub mod invariants;
 pub mod metrics;
 pub mod platform;
 pub mod profile;
@@ -59,6 +60,7 @@ pub mod trace;
 pub use engine::{simulate, Engine, SimConfig, SimError, SimResult, TraceMode};
 pub use error::{ErrorInjector, ErrorModel, TemporalNoise};
 pub use faults::{FaultAction, FaultEvent, FaultModel, FaultPlan, PoissonFaults};
+pub use invariants::{InvariantChecker, InvariantFinding, InvariantKind, WorkLedger};
 pub use metrics::{EventCounts, Gap, MetricsSummary, TraceMetrics};
 pub use platform::{HomogeneousParams, Platform, PlatformError, WorkerSpec};
 pub use profile::CostProfile;

@@ -246,6 +246,15 @@ impl<T> HeapQueue<T> {
 const MIN_WIDTH: f64 = 1e-9;
 const MAX_WIDTH: f64 = 1e12;
 
+/// Largest day index [`CalendarQueue::day`] may return. The raw `f64 → u64`
+/// cast saturates at `u64::MAX` for `time/width ≳ 1.8e19`, which pinned the
+/// dequeue window against the integer ceiling: after the overflow jump set
+/// `cur_day` to a saturated day, `day < cur_day.saturating_add(nbuckets)`
+/// was unsatisfiable and `pop` spun forever. Clamping one bit lower keeps
+/// the window arithmetic exact; all days this large collapse into a single
+/// sorted bucket, which still preserves the `(time, seq)` order.
+const MAX_DAY: u64 = u64::MAX >> 1;
+
 /// Target mean entries per bucket when re-tuning the width: a couple of
 /// entries keeps the sorted-insert cheap while the cursor rarely walks an
 /// empty bucket.
@@ -308,7 +317,9 @@ impl<T> CalendarQueue<T> {
     fn day(&self, time: f64) -> u64 {
         // Saturating cast: negative → 0 (cannot occur; the engine clamps
         // times to `now ≥ 0`), and times are finite by the push contract.
-        (time * self.inv_width) as u64
+        // The `MAX_DAY` clamp keeps extreme `time/width` ratios off the
+        // u64 ceiling — see the constant's doc for the failure mode.
+        ((time * self.inv_width) as u64).min(MAX_DAY)
     }
 
     /// Insert into the bucket owning `day`, keeping it sorted descending.
@@ -563,6 +574,34 @@ mod tests {
     fn heap_capacity_probe_reports_heap_capacity() {
         let q: EventQueue<()> = EventQueue::with_capacity(QueueBackend::Heap, 100);
         assert!(q.capacity_probe() >= 100);
+    }
+
+    #[test]
+    fn extreme_timestamps_match_heap() {
+        // Regression: before the MAX_DAY clamp, any timestamp with
+        // `time/width` beyond u64 range saturated to day u64::MAX; the
+        // overflow jump then set `cur_day` to the saturated day, the
+        // migration window `day < cur_day + nbuckets` became unsatisfiable,
+        // and pop() looped forever. The backends must agree (and terminate)
+        // at any representable timestamp.
+        let mut heap = EventQueue::with_capacity(QueueBackend::Heap, 8);
+        let mut cal = EventQueue::with_capacity(QueueBackend::Calendar, 8);
+        let times = [0.0, 1.0, 4.7e18, 1e19, 2.5e19, 1e300, f64::MAX];
+        for (i, &t) in times.iter().enumerate() {
+            heap.push(t, i as u64, ());
+            cal.push(t, i as u64, ());
+        }
+        assert_eq!(drain(&mut heap), drain(&mut cal));
+        // Interleaved variant: advance the cursor first, then force the
+        // overflow jump straight to a saturating day.
+        heap.push(0.5, 100, ());
+        cal.push(0.5, 100, ());
+        heap.push(9.9e18, 101, ());
+        cal.push(9.9e18, 101, ());
+        assert_eq!(heap.pop(), cal.pop());
+        heap.push(8.8e18, 102, ());
+        cal.push(8.8e18, 102, ());
+        assert_eq!(drain(&mut heap), drain(&mut cal));
     }
 
     #[test]

@@ -236,19 +236,21 @@ proptest! {
         let total: f64 = chunks.iter().sum();
         prop_assert!((total - w).abs() < 1e-6 * w.max(1.0));
         // Non-increasing, except that the final balanced batch (at most n
-        // chunks) may bounce up to the unit floor when the bound sits below
-        // it — balancing the tail across workers trumps monotonicity there.
+        // chunks) may bounce back up: it splits the remainder into the
+        // largest bound-respecting chunk count, so its chunks land in
+        // [bound, 2·bound) and can overshoot an opening chunk that was
+        // already near the bound.
         let body = chunks.len().saturating_sub(n);
         for pair in chunks[..body.max(1)].windows(2) {
             prop_assert!(pair[1] <= pair[0] + 1e-9, "increasing chunks: {:?}", pair);
         }
+        let floor = min_chunk.max(1.0);
         if let Some(&first) = chunks.first() {
             for &c in &chunks[body..] {
-                // A tail chunk either stays under the opening chunk or is a
-                // near-unit rebalanced crumb (< 2 units by construction).
                 prop_assert!(
-                    c <= first + 1e-9 || c < 2.0,
-                    "tail chunk {} above first {} and above 2 units", c, first
+                    c <= first.max(2.0 * floor) + 1e-9,
+                    "tail chunk {} above first {} and above 2x the {} floor",
+                    c, first, floor
                 );
             }
         }
