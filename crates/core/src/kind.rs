@@ -213,13 +213,18 @@ impl SchedulerKind {
 /// Object-safe cloning bridge: lets a boxed prototype produce fresh
 /// `Box<dyn Scheduler>` copies without exposing `Clone` on the public
 /// [`Scheduler`] trait.
-trait CloneScheduler: Scheduler {
+trait CloneScheduler: Scheduler + Send + Sync {
     fn clone_scheduler(&self) -> Box<dyn Scheduler>;
+    fn clone_prototype(&self) -> Box<dyn CloneScheduler>;
     fn into_scheduler(self: Box<Self>) -> Box<dyn Scheduler>;
 }
 
-impl<T: Scheduler + Clone + 'static> CloneScheduler for T {
+impl<T: Scheduler + Clone + Send + Sync + 'static> CloneScheduler for T {
     fn clone_scheduler(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
+    fn clone_prototype(&self) -> Box<dyn CloneScheduler> {
         Box::new(self.clone())
     }
 
@@ -245,6 +250,14 @@ impl SchedulerPrototype {
     /// Consume the prototype, yielding its scheduler directly (no clone).
     pub fn into_inner(self) -> Box<dyn Scheduler> {
         self.proto.into_scheduler()
+    }
+}
+
+impl Clone for SchedulerPrototype {
+    fn clone(&self) -> Self {
+        SchedulerPrototype {
+            proto: self.proto.clone_prototype(),
+        }
     }
 }
 

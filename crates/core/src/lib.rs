@@ -43,7 +43,7 @@ pub mod kind;
 pub mod scenario;
 
 pub use kind::{BuildError, SchedulerKind, SchedulerPrototype};
-pub use scenario::{RunError, Scenario, ScenarioRunner};
+pub use scenario::{RunError, RunSpec, Scenario, ScenarioRunner};
 
 pub use dls_sched as sched;
 pub use dls_sched::{

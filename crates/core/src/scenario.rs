@@ -4,14 +4,170 @@
 //! platform, workload, and error model — so a single run is fully determined
 //! by (scenario, algorithm, seed). This is the API the experiment harness,
 //! the examples and downstream users drive.
+//!
+//! All execution flows through one unified request type, [`RunSpec`]: build
+//! a spec once (scheduler kind, seed, engine configuration, optional fault
+//! recovery, optional pre-planned prototype) and hand it to
+//! [`Scenario::execute`] for a one-shot run or [`ScenarioRunner::execute`]
+//! for allocation-free repetition loops. The older `run_*` helpers remain
+//! as thin forwarding wrappers over the same code path and stay
+//! bit-identical; new code should prefer `RunSpec`.
 
 use dls_sched::recovery::{Recovering, RecoveryConfig};
 use dls_sim::{
-    simulate, CostProfile, Engine, ErrorInjector, ErrorModel, FaultModel, Platform, SimConfig,
-    SimError, SimResult, TraceMode, WorkerSpec,
+    simulate, CostProfile, Engine, ErrorInjector, ErrorModel, FaultModel, Platform, QueueBackend,
+    Scheduler, SimConfig, SimError, SimResult, TraceMode, WorkerSpec,
 };
 
 use crate::kind::{BuildError, SchedulerKind, SchedulerPrototype};
+
+/// A complete, self-contained description of what to run: which scheduler,
+/// under which engine configuration, from which seed, for how many
+/// repetitions, with or without fault recovery.
+///
+/// Built fluently:
+///
+/// ```
+/// use rumr::{RunSpec, Scenario, SchedulerKind};
+/// use rumr::sim::TraceMode;
+///
+/// let scenario = Scenario::table1(10, 1.5, 0.2, 0.2, 0.3);
+/// let spec = RunSpec::new(SchedulerKind::rumr_known_error(0.3))
+///     .seed(42)
+///     .trace_mode(TraceMode::MetricsOnly);
+/// let result = scenario.execute(&spec).unwrap();
+/// assert!(result.makespan > 0.0);
+/// ```
+///
+/// A spec with a [`SchedulerPrototype`] attached
+/// ([`RunSpec::with_prototype`]) stamps out pre-planned schedulers instead
+/// of re-running the planner per execution; results are bit-identical
+/// either way. Equality ([`PartialEq`]) deliberately ignores the prototype:
+/// it is derived planning state for `kind` on some platform, not part of
+/// the request's identity.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Scheduling algorithm to run.
+    pub kind: SchedulerKind,
+    /// Base RNG seed; repetition `i` runs with `seed + i`.
+    pub seed: u64,
+    /// Number of seeded repetitions for [`Scenario::execute_mean`]
+    /// (single-run entry points use only `seed`). Must be ≥ 1.
+    pub reps: u64,
+    /// Engine configuration (trace mode, fault model, queue backend, …).
+    pub config: SimConfig,
+    /// When set, the scheduler is wrapped in the fault-recovery layer
+    /// ([`Recovering`]) with this policy.
+    pub recovery: Option<RecoveryConfig>,
+    /// Optional pre-planned scheduler (see [`SchedulerKind::prototype`]):
+    /// executions clone it instead of re-running the planner.
+    pub prototype: Option<SchedulerPrototype>,
+}
+
+impl RunSpec {
+    /// A spec for `kind` with seed 0, one repetition, the default engine
+    /// configuration, no recovery and no prototype.
+    pub fn new(kind: SchedulerKind) -> Self {
+        RunSpec {
+            kind,
+            seed: 0,
+            reps: 1,
+            config: SimConfig::default(),
+            recovery: None,
+            prototype: None,
+        }
+    }
+
+    /// Set the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the repetition count (seeds `seed..seed + reps`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps == 0`.
+    pub fn reps(mut self, reps: u64) -> Self {
+        assert!(reps > 0, "need at least one repetition");
+        self.reps = reps;
+        self
+    }
+
+    /// Replace the whole engine configuration.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the observability level of the run.
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.config.trace_mode = mode;
+        self
+    }
+
+    /// Set the pending-event queue backend.
+    pub fn queue(mut self, backend: QueueBackend) -> Self {
+        self.config.queue_backend = backend;
+        self
+    }
+
+    /// Set the runaway-scheduler event limit.
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.config.max_events = max_events;
+        self
+    }
+
+    /// Set the fault model.
+    pub fn faults(mut self, faults: FaultModel) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Wrap the scheduler in the fault-recovery layer with this policy.
+    pub fn recovering(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
+
+    /// Attach a pre-planned prototype; executions clone it instead of
+    /// re-running the planner. The prototype must have been planned for
+    /// the same `kind` and the platform/workload the spec will run on.
+    pub fn with_prototype(mut self, prototype: SchedulerPrototype) -> Self {
+        self.prototype = Some(prototype);
+        self
+    }
+
+    /// The repetition seeds, `seed..seed + reps`.
+    pub fn seeds(&self) -> std::ops::Range<u64> {
+        self.seed..self.seed + self.reps
+    }
+
+    /// A fresh scheduler instance for this spec: a clone of the attached
+    /// prototype when present, otherwise a new build of `kind`.
+    pub fn instantiate(
+        &self,
+        platform: &Platform,
+        w_total: f64,
+    ) -> Result<Box<dyn Scheduler>, BuildError> {
+        match &self.prototype {
+            Some(proto) => Ok(proto.fresh()),
+            None => self.kind.build(platform, w_total),
+        }
+    }
+}
+
+impl PartialEq for RunSpec {
+    /// Request identity: everything except the (derived) prototype.
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+            && self.seed == other.seed
+            && self.reps == other.reps
+            && self.config == other.config
+            && self.recovery == other.recovery
+    }
+}
 
 /// One experimental setting: platform + workload + error model.
 #[derive(Debug, Clone)]
@@ -99,34 +255,79 @@ impl Scenario {
         let engine = Engine::new(
             &self.platform,
             ErrorInjector::new(ErrorModel::None, 0),
-            config,
+            config.clone(),
         );
         ScenarioRunner {
             scenario: self,
             engine,
+            config,
         }
     }
 
+    /// Run one simulation as described by `spec` (the unified entry point).
+    ///
+    /// Builds a fresh engine; for repetition loops prefer
+    /// [`ScenarioRunner::execute`], which reuses one. Results are
+    /// bit-identical between the two.
+    pub fn execute(&self, spec: &RunSpec) -> Result<SimResult, RunError> {
+        let mut scheduler = spec.instantiate(&self.platform, self.w_total)?;
+        match spec.recovery {
+            Some(recovery) => {
+                let mut wrapped = Recovering::with_config(scheduler, recovery);
+                Ok(simulate(
+                    &self.platform,
+                    &mut wrapped,
+                    self.injector(spec.seed),
+                    spec.config.clone(),
+                )?)
+            }
+            None => Ok(simulate(
+                &self.platform,
+                scheduler.as_mut(),
+                self.injector(spec.seed),
+                spec.config.clone(),
+            )?),
+        }
+    }
+
+    /// Mean makespan over the spec's repetitions (seeds
+    /// [`RunSpec::seeds`]), via one reused engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.reps == 0`.
+    pub fn execute_mean(&self, spec: &RunSpec) -> Result<f64, RunError> {
+        assert!(spec.reps > 0, "need at least one repetition");
+        let mut runner = self.runner(spec.config.clone());
+        let mut total = 0.0;
+        for seed in spec.seeds() {
+            total += runner.execute_at(spec, seed)?.makespan;
+        }
+        Ok(total / spec.reps as f64)
+    }
+
     /// Run one simulation.
+    ///
+    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
+    /// building a [`RunSpec`].
     pub fn run(&self, kind: &SchedulerKind, seed: u64) -> Result<SimResult, RunError> {
-        self.run_with_config(kind, seed, SimConfig::default())
+        self.execute(&RunSpec::new(*kind).seed(seed))
     }
 
     /// Run one simulation and record the full event trace.
+    ///
+    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
+    /// `RunSpec::new(kind).trace_mode(TraceMode::Full)`.
     pub fn run_traced(&self, kind: &SchedulerKind, seed: u64) -> Result<SimResult, RunError> {
-        self.run_with_config(
-            kind,
-            seed,
-            SimConfig {
-                trace_mode: TraceMode::Full,
-                ..Default::default()
-            },
-        )
+        self.execute(&RunSpec::new(*kind).seed(seed).trace_mode(TraceMode::Full))
     }
 
     /// Run under the concurrent-transfer extension: up to `max_sends`
     /// simultaneous master transfers sharing `uplink_capacity` (units/s)
     /// max-min fairly. `max_sends = 1` is the paper's serial model.
+    ///
+    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
+    /// a [`RunSpec`] with the fields set on its `config`.
     pub fn run_concurrent(
         &self,
         kind: &SchedulerKind,
@@ -134,41 +335,36 @@ impl Scenario {
         max_sends: usize,
         uplink_capacity: Option<f64>,
     ) -> Result<SimResult, RunError> {
-        self.run_with_config(
-            kind,
-            seed,
-            SimConfig {
-                max_concurrent_sends: max_sends,
-                uplink_capacity,
-                ..Default::default()
-            },
-        )
+        self.execute(&RunSpec::new(*kind).seed(seed).config(SimConfig {
+            max_concurrent_sends: max_sends,
+            uplink_capacity,
+            ..Default::default()
+        }))
     }
 
     /// Run under a fault model (worker crashes, link drops — see
     /// `dls_sim::faults`). The scheduler is used as-is; plain schedulers
     /// lose the destroyed work and under-complete. Wrap with
     /// [`Scenario::run_recovering`] for full completion.
+    ///
+    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
+    /// `RunSpec::new(kind).faults(faults)`.
     pub fn run_with_faults(
         &self,
         kind: &SchedulerKind,
         seed: u64,
         faults: FaultModel,
     ) -> Result<SimResult, RunError> {
-        self.run_with_config(
-            kind,
-            seed,
-            SimConfig {
-                faults,
-                ..Default::default()
-            },
-        )
+        self.execute(&RunSpec::new(*kind).seed(seed).faults(faults))
     }
 
     /// Run with the scheduler wrapped in the fault-recovery layer
     /// (`dls_sched::recovery::Recovering`): lost work is redispatched and
     /// dispatches are routed around dead workers. Pass the fault model via
     /// `config.faults`.
+    ///
+    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
+    /// `RunSpec::new(kind).config(config).recovering(recovery)`.
     pub fn run_recovering(
         &self,
         kind: &SchedulerKind,
@@ -176,30 +372,25 @@ impl Scenario {
         config: SimConfig,
         recovery: RecoveryConfig,
     ) -> Result<SimResult, RunError> {
-        let scheduler = kind.build(&self.platform, self.w_total)?;
-        let mut wrapped = Recovering::with_config(scheduler, recovery);
-        Ok(simulate(
-            &self.platform,
-            &mut wrapped,
-            self.injector(seed),
-            config,
-        )?)
+        self.execute(
+            &RunSpec::new(*kind)
+                .seed(seed)
+                .config(config)
+                .recovering(recovery),
+        )
     }
 
     /// Run with an explicit engine configuration.
+    ///
+    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
+    /// `RunSpec::new(kind).config(config)`.
     pub fn run_with_config(
         &self,
         kind: &SchedulerKind,
         seed: u64,
         config: SimConfig,
     ) -> Result<SimResult, RunError> {
-        let mut scheduler = kind.build(&self.platform, self.w_total)?;
-        Ok(simulate(
-            &self.platform,
-            scheduler.as_mut(),
-            self.injector(seed),
-            config,
-        )?)
+        self.execute(&RunSpec::new(*kind).seed(seed).config(config))
     }
 
     /// The scenario's seeded error injector.
@@ -216,18 +407,16 @@ impl Scenario {
 
     /// Mean makespan of `kind` over `reps` seeded repetitions
     /// (seeds `seed_base..seed_base + reps`).
+    ///
+    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute_mean`];
+    /// prefer `RunSpec::new(kind).seed(seed_base).reps(reps)`.
     pub fn mean_makespan(
         &self,
         kind: &SchedulerKind,
         seed_base: u64,
         reps: u64,
     ) -> Result<f64, RunError> {
-        assert!(reps > 0, "need at least one repetition");
-        let mut total = 0.0;
-        for rep in 0..reps {
-            total += self.run(kind, seed_base + rep)?.makespan;
-        }
-        Ok(total / reps as f64)
+        self.execute_mean(&RunSpec::new(*kind).seed(seed_base).reps(reps))
     }
 }
 
@@ -237,21 +426,70 @@ impl Scenario {
 pub struct ScenarioRunner<'a> {
     scenario: &'a Scenario,
     engine: Engine<'a>,
+    config: SimConfig,
 }
 
 impl ScenarioRunner<'_> {
+    /// Run one simulation as described by `spec`, reusing the engine's
+    /// buffers (the unified entry point; bit-identical to
+    /// [`Scenario::execute`]).
+    ///
+    /// The engine is rebuilt only when `spec.config` differs from the
+    /// configuration of the previous run, so homogeneous repetition loops
+    /// stay allocation-free.
+    pub fn execute(&mut self, spec: &RunSpec) -> Result<SimResult, RunError> {
+        self.execute_at(spec, spec.seed)
+    }
+
+    /// [`ScenarioRunner::execute`] with the seed overridden — the
+    /// repetition-loop primitive behind [`Scenario::execute_mean`].
+    pub(crate) fn execute_at(&mut self, spec: &RunSpec, seed: u64) -> Result<SimResult, RunError> {
+        if spec.config != self.config {
+            self.config = spec.config.clone();
+            let scenario = self.scenario;
+            self.engine = Engine::new(
+                &scenario.platform,
+                ErrorInjector::new(ErrorModel::None, 0),
+                spec.config.clone(),
+            );
+        }
+        let scheduler = spec.instantiate(&self.scenario.platform, self.scenario.w_total)?;
+        self.run_pieces(scheduler, seed, spec.recovery)
+    }
+
+    /// Shared execution tail: reset the engine to `seed`, optionally wrap
+    /// the scheduler in the recovery layer, run. Every public entry point
+    /// of the runner funnels through here.
+    fn run_pieces(
+        &mut self,
+        mut scheduler: Box<dyn Scheduler>,
+        seed: u64,
+        recovery: Option<RecoveryConfig>,
+    ) -> Result<SimResult, RunError> {
+        self.engine.reset(self.scenario.injector(seed));
+        match recovery {
+            Some(rc) => {
+                let mut wrapped = Recovering::with_config(scheduler, rc);
+                Ok(self.engine.run_reusing(&mut wrapped)?)
+            }
+            None => Ok(self.engine.run_reusing(scheduler.as_mut())?),
+        }
+    }
+
     /// Run one simulation, reusing the engine's buffers. Bit-identical to
     /// [`Scenario::run_with_config`] with the runner's configuration.
+    ///
+    /// Deprecated-in-docs: thin wrapper over [`ScenarioRunner::execute`];
+    /// prefer building a [`RunSpec`].
     pub fn run(&mut self, kind: &SchedulerKind, seed: u64) -> Result<SimResult, RunError> {
-        let mut scheduler = kind.build(&self.scenario.platform, self.scenario.w_total)?;
-        self.engine.reset(self.scenario.injector(seed));
-        Ok(self.engine.run_reusing(scheduler.as_mut())?)
+        let scheduler = kind.build(&self.scenario.platform, self.scenario.w_total)?;
+        self.run_pieces(scheduler, seed, None)
     }
 
     /// Pre-plan a scheduler for this runner's scenario (see
     /// [`SchedulerKind::prototype`]). Pair with
-    /// [`ScenarioRunner::run_prototype`] in repetition loops to pay the
-    /// planner cost once instead of per run.
+    /// [`RunSpec::with_prototype`] (or [`ScenarioRunner::run_prototype`])
+    /// in repetition loops to pay the planner cost once instead of per run.
     pub fn prototype(&self, kind: &SchedulerKind) -> Result<SchedulerPrototype, RunError> {
         Ok(kind.prototype(&self.scenario.platform, self.scenario.w_total)?)
     }
@@ -259,19 +497,23 @@ impl ScenarioRunner<'_> {
     /// Run one simulation from a pre-planned prototype, reusing the
     /// engine's buffers. Bit-identical to [`ScenarioRunner::run`] with the
     /// prototype's kind.
+    ///
+    /// Deprecated-in-docs: thin wrapper over [`ScenarioRunner::execute`];
+    /// prefer `RunSpec::with_prototype`.
     pub fn run_prototype(
         &mut self,
         proto: &SchedulerPrototype,
         seed: u64,
     ) -> Result<SimResult, RunError> {
-        let mut scheduler = proto.fresh();
-        self.engine.reset(self.scenario.injector(seed));
-        Ok(self.engine.run_reusing(scheduler.as_mut())?)
+        self.run_pieces(proto.fresh(), seed, None)
     }
 
     /// Run one simulation with the scheduler wrapped in the fault-recovery
     /// layer, reusing the engine's buffers. Bit-identical to
     /// [`Scenario::run_recovering`] with the runner's configuration.
+    ///
+    /// Deprecated-in-docs: thin wrapper over [`ScenarioRunner::execute`];
+    /// prefer `RunSpec::recovering`.
     pub fn run_recovering(
         &mut self,
         kind: &SchedulerKind,
@@ -279,9 +521,7 @@ impl ScenarioRunner<'_> {
         recovery: RecoveryConfig,
     ) -> Result<SimResult, RunError> {
         let scheduler = kind.build(&self.scenario.platform, self.scenario.w_total)?;
-        let mut wrapped = Recovering::with_config(scheduler, recovery);
-        self.engine.reset(self.scenario.injector(seed));
-        Ok(self.engine.run_reusing(&mut wrapped)?)
+        self.run_pieces(scheduler, seed, Some(recovery))
     }
 
     /// Run one simulation from a pre-planned prototype wrapped in the
@@ -289,15 +529,16 @@ impl ScenarioRunner<'_> {
     /// [`ScenarioRunner::run_recovering`] with the prototype's kind, but
     /// pays the planner cost once (at [`ScenarioRunner::prototype`] time)
     /// instead of per repetition.
+    ///
+    /// Deprecated-in-docs: thin wrapper over [`ScenarioRunner::execute`];
+    /// prefer `RunSpec::with_prototype` + `RunSpec::recovering`.
     pub fn run_recovering_prototype(
         &mut self,
         proto: &SchedulerPrototype,
         seed: u64,
         recovery: RecoveryConfig,
     ) -> Result<SimResult, RunError> {
-        let mut wrapped = Recovering::with_config(proto.fresh(), recovery);
-        self.engine.reset(self.scenario.injector(seed));
-        Ok(self.engine.run_reusing(&mut wrapped)?)
+        self.run_pieces(proto.fresh(), seed, Some(recovery))
     }
 
     /// The scenario this runner simulates.
@@ -501,5 +742,60 @@ mod tests {
         let e = bad.run(&SchedulerKind::Umr, 0).unwrap_err();
         assert!(matches!(e, RunError::Build(_)));
         assert!(!format!("{e}").is_empty());
+    }
+
+    #[test]
+    fn runspec_builder_and_equality() {
+        let spec = RunSpec::new(SchedulerKind::Umr)
+            .seed(9)
+            .reps(4)
+            .trace_mode(TraceMode::MetricsOnly);
+        assert_eq!(spec.seeds(), 9..13);
+
+        // Equality ignores the prototype.
+        let s = Scenario::table1(5, 1.5, 0.1, 0.1, 0.0);
+        let proto = SchedulerKind::Umr
+            .prototype(&s.platform, s.w_total)
+            .unwrap();
+        let with_proto = spec.clone().with_prototype(proto);
+        assert_eq!(spec, with_proto);
+        assert_ne!(spec, spec.clone().seed(10));
+    }
+
+    #[test]
+    fn execute_matches_legacy_wrappers() {
+        let s = Scenario::table1(10, 1.5, 0.2, 0.2, 0.3);
+        let kind = SchedulerKind::rumr_known_error(0.3);
+        let legacy = s.run(&kind, 7).unwrap();
+        let spec = RunSpec::new(kind).seed(7);
+        let unified = s.execute(&spec).unwrap();
+        assert_eq!(legacy.makespan.to_bits(), unified.makespan.to_bits());
+        assert_eq!(legacy.num_chunks, unified.num_chunks);
+
+        // Prototype-backed execution is bit-identical too.
+        let proto = kind.prototype(&s.platform, s.w_total).unwrap();
+        let via_proto = s.execute(&spec.clone().with_prototype(proto)).unwrap();
+        assert_eq!(legacy.makespan.to_bits(), via_proto.makespan.to_bits());
+    }
+
+    #[test]
+    fn runner_execute_rebuilds_engine_on_config_change() {
+        let s = Scenario::table1(6, 1.5, 0.1, 0.1, 0.2);
+        let kind = SchedulerKind::Factoring;
+        let mut runner = s.runner(SimConfig::default());
+        let plain = runner.execute(&RunSpec::new(kind).seed(3)).unwrap();
+        assert!(plain.metrics.is_none());
+
+        // Same runner, different config: engine must be rebuilt with
+        // metrics enabled, and results must match a fresh scenario run.
+        let spec = RunSpec::new(kind)
+            .seed(3)
+            .trace_mode(TraceMode::MetricsOnly);
+        let metered = runner.execute(&spec).unwrap();
+        assert!(metered.metrics.is_some());
+        assert_eq!(plain.makespan.to_bits(), metered.makespan.to_bits());
+
+        let fresh = s.execute(&spec).unwrap();
+        assert_eq!(metered.makespan.to_bits(), fresh.makespan.to_bits());
     }
 }

@@ -30,10 +30,11 @@ use std::fmt;
 
 use rumr::sim::TraceEvent;
 use rumr::{
-    ErrorModel, FaultModel, Prediction, QueueBackend, RecoveryConfig, SchedulerKind, SimConfig,
-    SimResult, TraceMode,
+    ErrorModel, FaultModel, Prediction, QueueBackend, RecoveryConfig, RunSpec, SchedulerKind,
+    SimConfig, SimResult, TraceMode,
 };
 
+use crate::json::json_escape;
 use crate::snapshot::{pinned_cases, pinned_faults, CaseSpec, QueueSelection};
 
 /// Repetitions per configuration in standard mode.
@@ -187,20 +188,6 @@ impl AuditReport {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// The per-run metrics whose bit patterns must be identical across every
 /// configuration. `Vec`-free so a reference sweep stays cheap to store.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -305,20 +292,17 @@ fn run_one(
     proto: bool,
     seed: u64,
 ) -> Result<SimResult, String> {
-    let mut runner = spec.scenario.runner(config_for(spec, backend, mode));
-    let result = if proto {
+    let config = config_for(spec, backend, mode);
+    let mut runner = spec.scenario.runner(config.clone());
+    let mut run = RunSpec::new(spec.kind).seed(seed).config(config);
+    if spec.faulty {
+        run = run.recovering(RecoveryConfig::default());
+    }
+    if proto {
         let prototype = runner.prototype(&spec.kind).map_err(|e| e.to_string())?;
-        if spec.faulty {
-            runner.run_recovering_prototype(&prototype, seed, RecoveryConfig::default())
-        } else {
-            runner.run_prototype(&prototype, seed)
-        }
-    } else if spec.faulty {
-        runner.run_recovering(&spec.kind, seed, RecoveryConfig::default())
-    } else {
-        runner.run(&spec.kind, seed)
-    };
-    result.map_err(|e| e.to_string())
+        run = run.with_prototype(prototype);
+    }
+    runner.execute(&run).map_err(|e| e.to_string())
 }
 
 fn mode_label(mode: TraceMode) -> &'static str {
@@ -500,7 +484,8 @@ fn audit_oracle(spec: &CaseSpec, findings: &mut Vec<AuditFinding>) -> u64 {
         audit: true,
         ..SimConfig::default()
     };
-    let result = match twin.runner(config).run(&spec.kind, 0) {
+    let run = RunSpec::new(spec.kind).config(config.clone());
+    let result = match twin.runner(config).execute(&run) {
         Ok(r) => r,
         Err(e) => {
             findings.push(AuditFinding {

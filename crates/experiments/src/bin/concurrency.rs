@@ -16,7 +16,7 @@
 //!
 //! Flags: `--reps N`, `--seed N`.
 
-use rumr::{Scenario, SchedulerKind};
+use rumr::{RunSpec, Scenario, SchedulerKind};
 
 fn main() {
     let opts = match dls_experiments::parse_env() {
@@ -27,7 +27,6 @@ fn main() {
         }
     };
     let reps = opts.reps_or(10);
-    let seed = opts.sweep.root_seed;
     let error = 0.3;
     let n = 20;
     let ratio = 1.6;
@@ -55,14 +54,12 @@ fn main() {
         for &k in &[1usize, 2, 4, 20] {
             print!("{k:<10}");
             for kind in &kinds {
-                let mut total = 0.0;
-                for rep in 0..reps {
-                    total += scenario
-                        .run_concurrent(kind, seed + rep, k, capacity)
-                        .expect("simulation succeeds")
-                        .makespan;
-                }
-                print!("{:>12.2}", total / reps as f64);
+                let mut spec = RunSpec::new(*kind).reps(10);
+                opts.apply_to(&mut spec);
+                spec.config.max_concurrent_sends = k;
+                spec.config.uplink_capacity = capacity;
+                let mean = scenario.execute_mean(&spec).expect("simulation succeeds");
+                print!("{mean:>12.2}");
             }
             println!();
         }

@@ -19,7 +19,7 @@
 //! ```
 
 use dls_experiments::write_file;
-use rumr::{FaultModel, PoissonFaults, RecoveryConfig, Scenario, SchedulerKind, SimConfig};
+use rumr::{FaultModel, PoissonFaults, RecoveryConfig, RunSpec, Scenario, SchedulerKind};
 
 const ERROR: f64 = 0.3;
 /// Mean time to failure per worker (s); the fault-free makespan is ~120 s,
@@ -33,31 +33,26 @@ struct CellStats {
     completion: f64,
 }
 
-fn run_cell(
-    scenario: &Scenario,
-    kind: &SchedulerKind,
-    mttf: f64,
-    recovering: bool,
-    seeds: &[u64],
-) -> CellStats {
+fn run_cell(scenario: &Scenario, base: &RunSpec, mttf: f64, recovering: bool) -> CellStats {
     let mut ratio_sum = 0.0;
     let mut completion_sum = 0.0;
-    for &seed in seeds {
-        let baseline = scenario.run(kind, seed).expect("fault-free run").makespan;
-        let config = SimConfig {
-            faults: FaultModel::Poisson(PoissonFaults::crash_recovery(mttf, MTTR, HORIZON, seed)),
-            ..Default::default()
-        };
-        let result = if recovering {
-            scenario.run_recovering(kind, seed, config, RecoveryConfig::default())
-        } else {
-            scenario.run_with_config(kind, seed, config)
+    for seed in base.seeds() {
+        let fault_free = base.clone().seed(seed);
+        let baseline = scenario
+            .execute(&fault_free)
+            .expect("fault-free run")
+            .makespan;
+        let mut faulty = fault_free.faults(FaultModel::Poisson(PoissonFaults::crash_recovery(
+            mttf, MTTR, HORIZON, seed,
+        )));
+        if recovering {
+            faulty = faulty.recovering(RecoveryConfig::default());
         }
-        .expect("faulty run");
+        let result = scenario.execute(&faulty).expect("faulty run");
         ratio_sum += result.makespan / baseline;
         completion_sum += result.completed_work() / scenario.w_total;
     }
-    let n = seeds.len() as f64;
+    let n = base.reps as f64;
     CellStats {
         makespan_ratio: ratio_sum / n,
         completion: completion_sum / n,
@@ -73,9 +68,6 @@ fn main() {
         }
     };
     let csv_path = opts.csv.clone();
-    let seeds: Vec<u64> = (0..opts.reps_or(3))
-        .map(|i| opts.sweep.root_seed.wrapping_add(i))
-        .collect();
 
     let scenario = Scenario::table1(10, 1.5, 0.2, 0.2, ERROR);
     let algorithms: [(&str, SchedulerKind); 3] = [
@@ -85,9 +77,11 @@ fn main() {
     ];
 
     println!("Fault-degradation sweep (crash-recovery Poisson faults)");
+    let mut probe = RunSpec::new(SchedulerKind::Umr).reps(3);
+    opts.apply_to(&mut probe);
     println!(
         "N = 10, W = 1000, error = {ERROR}, MTTR = {MTTR} s, {} seeds per cell\n",
-        seeds.len()
+        probe.reps
     );
     println!(
         "{:<22} {:>9} {:>11} {:>8}",
@@ -95,6 +89,8 @@ fn main() {
     );
     let mut csv = String::from("scheduler,recovering,mttf,makespan_ratio,completion\n");
     for (name, kind) in &algorithms {
+        let mut base = RunSpec::new(*kind).reps(3);
+        opts.apply_to(&mut base);
         for recovering in [false, true] {
             let label = if recovering {
                 format!("recovering({name})")
@@ -102,7 +98,7 @@ fn main() {
                 (*name).to_string()
             };
             for mttf in MTTFS {
-                let cell = run_cell(&scenario, kind, mttf, recovering, &seeds);
+                let cell = run_cell(&scenario, &base, mttf, recovering);
                 println!(
                     "{:<22} {:>9} {:>11.4} {:>8.2}",
                     label,

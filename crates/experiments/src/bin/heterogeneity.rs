@@ -12,7 +12,7 @@
 use dls_numerics::dist::Normal;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rumr::{ErrorModel, Platform, Scenario, SchedulerKind, WorkerSpec};
+use rumr::{ErrorModel, Platform, RunSpec, Scenario, SchedulerKind, WorkerSpec};
 
 fn random_platform(n: usize, spread: f64, seed: u64) -> Platform {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -73,12 +73,12 @@ fn main() {
                 temporal_noise: None,
             };
             let het = scenario
-                .mean_makespan(&SchedulerKind::HetUmr, p, 5)
+                .execute_mean(&RunSpec::new(SchedulerKind::HetUmr).seed(p).reps(5))
                 .expect("simulation succeeds");
             het_sum += het;
             for (i, kind) in competitors.iter().enumerate() {
                 sums[i] += scenario
-                    .mean_makespan(kind, p + 500, 5)
+                    .execute_mean(&RunSpec::new(*kind).seed(p + 500).reps(5))
                     .expect("simulation succeeds");
             }
         }

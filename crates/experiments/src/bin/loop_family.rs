@@ -6,7 +6,7 @@
 //!
 //! Flags: `--reps N`, `--seed N`.
 
-use rumr::{Scenario, SchedulerKind};
+use rumr::{RunSpec, Scenario, SchedulerKind};
 
 fn main() {
     let opts = match dls_experiments::parse_env() {
@@ -17,7 +17,6 @@ fn main() {
         }
     };
     let reps = opts.reps_or(10);
-    let seed = opts.sweep.root_seed;
 
     for (regime, clat, nlat) in [("low latency", 0.1, 0.05), ("high latency", 0.5, 0.5)] {
         println!("=== {regime}: N = 20, B = 1.6N, cLat = {clat}, nLat = {nlat} ({reps} reps) ===");
@@ -42,9 +41,9 @@ fn main() {
             let scenario = Scenario::table1(20, 1.6, clat, nlat, error);
             print!("{error:<7.1}");
             for kind in kinds(error) {
-                let mean = scenario
-                    .mean_makespan(&kind, seed, reps)
-                    .expect("simulation succeeds");
+                let mut spec = RunSpec::new(kind).reps(10);
+                opts.apply_to(&mut spec);
+                let mean = scenario.execute_mean(&spec).expect("simulation succeeds");
                 print!("{mean:>11.2}");
             }
             println!();

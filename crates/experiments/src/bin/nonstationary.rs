@@ -16,7 +16,7 @@
 //! Flags: `--reps N`, `--seed N`.
 
 use rumr::sim::TemporalNoise;
-use rumr::{Scenario, SchedulerKind};
+use rumr::{RunSpec, Scenario, SchedulerKind};
 
 fn main() {
     let opts = match dls_experiments::parse_env() {
@@ -27,7 +27,6 @@ fn main() {
         }
     };
     let reps = opts.reps_or(15);
-    let seed = opts.sweep.root_seed;
     let sigma = 0.3;
 
     let kinds = |error: f64| {
@@ -54,9 +53,9 @@ fn main() {
         scenario.temporal_noise = Some(TemporalNoise { rho, sigma });
         print!("{rho:<8.2}");
         for kind in kinds(sigma) {
-            let mean = scenario
-                .mean_makespan(&kind, seed, reps)
-                .expect("simulation succeeds");
+            let mut spec = RunSpec::new(kind).reps(15);
+            opts.apply_to(&mut spec);
+            let mean = scenario.execute_mean(&spec).expect("simulation succeeds");
             print!("{mean:>13.2}");
         }
         println!();

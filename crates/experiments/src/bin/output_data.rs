@@ -15,7 +15,7 @@
 //!
 //! Flags: `--reps N`, `--seed N`.
 
-use rumr::{Scenario, SchedulerKind, SimConfig};
+use rumr::{RunSpec, Scenario, SchedulerKind};
 
 fn main() {
     let opts = match dls_experiments::parse_env() {
@@ -26,7 +26,6 @@ fn main() {
         }
     };
     let reps = opts.reps_or(10);
-    let seed = opts.sweep.root_seed;
     let error = 0.3;
 
     let kinds = [
@@ -48,18 +47,11 @@ fn main() {
     for &ratio in &[0.0, 0.1, 0.25, 0.5, 1.0] {
         print!("{ratio:<14.2}");
         for kind in &kinds {
-            let mut total = 0.0;
-            for rep in 0..reps {
-                let cfg = SimConfig {
-                    output_ratio: ratio,
-                    ..Default::default()
-                };
-                total += scenario
-                    .run_with_config(kind, seed + rep, cfg)
-                    .expect("simulation succeeds")
-                    .makespan;
-            }
-            print!("{:>12.2}", total / reps as f64);
+            let mut spec = RunSpec::new(*kind).reps(10);
+            opts.apply_to(&mut spec);
+            spec.config.output_ratio = ratio;
+            let mean = scenario.execute_mean(&spec).expect("simulation succeeds");
+            print!("{mean:>12.2}");
         }
         println!();
     }

@@ -16,16 +16,18 @@
 //!
 //! Flags: `--reps N`, `--seed N` (grid/model flags are ignored).
 
+use dls_experiments::CliOptions;
 use dls_workloads::{DivisibleApp, ImageFeatureExtraction, RayTracing, SequenceMatching};
-use rumr::{HomogeneousParams, Scenario, SchedulerKind};
+use rumr::{HomogeneousParams, RunSpec, Scenario, SchedulerKind};
 
 /// Residual platform noise applied on top of the trace costs.
 const PLATFORM_NOISE: f64 = 0.05;
 
-fn mean(scenario: &Scenario, kind: &SchedulerKind, seed: u64, reps: u64) -> f64 {
-    scenario
-        .mean_makespan(kind, seed, reps)
-        .expect("simulation succeeds")
+fn mean(scenario: &Scenario, opts: &CliOptions, kind: SchedulerKind, seed_offset: u64) -> f64 {
+    let mut spec = RunSpec::new(kind).reps(5);
+    opts.apply_to(&mut spec);
+    spec.seed += seed_offset;
+    scenario.execute_mean(&spec).expect("simulation succeeds")
 }
 
 fn main() {
@@ -37,7 +39,6 @@ fn main() {
         }
     };
     let reps = opts.reps_or(5);
-    let seed = opts.sweep.root_seed;
 
     let apps: Vec<Box<dyn DivisibleApp>> = vec![
         Box::new(ImageFeatureExtraction::generate(40, 25, 8, 4.0, 7)),
@@ -65,8 +66,8 @@ fn main() {
             SchedulerKind::Factoring,
         ];
         for kind in &kinds {
-            let t = mean(&trace_scenario, kind, seed, reps);
-            let m = mean(&model_scenario, kind, seed + 1000, reps);
+            let t = mean(&trace_scenario, &opts, *kind, 0);
+            let m = mean(&model_scenario, &opts, *kind, 1000);
             println!(
                 "{:<28} {:>6.3} {:<12} {:>12.2} {:>12.2} {:>8.3}",
                 app.name(),

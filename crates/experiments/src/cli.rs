@@ -17,7 +17,7 @@
 
 use std::path::PathBuf;
 
-use rumr::QueueBackend;
+use rumr::{QueueBackend, RunSpec};
 
 use crate::grid::error_values;
 use crate::sweep::{ErrorModelKind, SweepConfig};
@@ -42,6 +42,21 @@ impl CliOptions {
     #[must_use]
     pub fn reps_or(&self, default: u64) -> u64 {
         self.explicit_reps.unwrap_or(default)
+    }
+
+    /// Apply the flags that describe a single run to a [`RunSpec`]: the
+    /// root seed, the queue backend, and — only when the user passed an
+    /// explicit `--reps` — the repetition count, so a bin's own default
+    /// (set on the spec beforehand via [`RunSpec::reps`]) survives.
+    ///
+    /// This replaces the hand-threaded `reps_or(...)` / `sweep.root_seed` /
+    /// `sweep.queue_backend` plumbing in the binaries.
+    pub fn apply_to(&self, spec: &mut RunSpec) {
+        spec.seed = self.sweep.root_seed;
+        spec.config.queue_backend = self.sweep.queue_backend;
+        if let Some(reps) = self.explicit_reps {
+            spec.reps = reps;
+        }
     }
 }
 
@@ -229,6 +244,21 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert_eq!(o.explicit_reps, None);
         assert_eq!(o.reps_or(10), 10);
+    }
+
+    #[test]
+    fn apply_to_folds_flags_into_spec() {
+        use rumr::SchedulerKind;
+        let o = parse(&["--seed", "9", "--queue", "heap"]).unwrap();
+        let mut spec = RunSpec::new(SchedulerKind::Umr).reps(7);
+        o.apply_to(&mut spec);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.reps, 7, "bin default survives without --reps");
+        assert_eq!(spec.config.queue_backend, QueueBackend::Heap);
+
+        let o = parse(&["--reps", "3"]).unwrap();
+        o.apply_to(&mut spec);
+        assert_eq!(spec.reps, 3, "explicit --reps overrides the bin default");
     }
 
     #[test]

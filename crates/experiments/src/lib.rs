@@ -25,6 +25,7 @@ pub mod chart;
 pub mod cli;
 pub mod figures;
 pub mod grid;
+pub mod json;
 pub mod report;
 pub mod snapshot;
 pub mod sweep;

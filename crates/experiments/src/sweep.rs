@@ -15,7 +15,9 @@ use std::sync::Mutex;
 
 use dls_numerics::rng::SeedDeriver;
 use dls_sim::ErrorModel;
-use rumr::{QueueBackend, RumrConfig, Scenario, SchedulerKind, SimConfig, TraceMetrics, TraceMode};
+use rumr::{
+    QueueBackend, RumrConfig, RunSpec, Scenario, SchedulerKind, SimConfig, TraceMetrics, TraceMode,
+};
 
 use crate::grid::{GridPoint, Table1Grid};
 
@@ -320,28 +322,32 @@ fn compute_cell(
     // One engine per cell: the runner resets it between repetitions so the
     // event heap, ledger and queues are allocated once, not reps × comps
     // times.
-    let mut runner = scenario.runner(SimConfig {
+    let sim_config = SimConfig {
         trace_mode: config.trace_mode,
         queue_backend: config.queue_backend,
         ..SimConfig::default()
-    });
-    // Plan each competitor once per cell; repetitions stamp out fresh
-    // schedulers by cloning instead of re-running the (expensive) solvers.
-    let prototypes: Vec<_> = competitors
+    };
+    let mut runner = scenario.runner(sim_config.clone());
+    // One spec per competitor, planned once per cell; repetitions stamp
+    // out fresh schedulers by cloning the attached prototype instead of
+    // re-running the (expensive) solvers.
+    let mut specs: Vec<_> = competitors
         .iter()
         .map(|competitor| {
-            runner
-                .prototype(&competitor.kind_for(error))
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "planner failed: {e} (competitor {}, N={}, r={}, cLat={}, nLat={}, error={error})",
-                        competitor.label(),
-                        point.n,
-                        point.ratio,
-                        point.comp_latency,
-                        point.net_latency,
-                    )
-                })
+            let kind = competitor.kind_for(error);
+            let prototype = runner.prototype(&kind).unwrap_or_else(|e| {
+                panic!(
+                    "planner failed: {e} (competitor {}, N={}, r={}, cLat={}, nLat={}, error={error})",
+                    competitor.label(),
+                    point.n,
+                    point.ratio,
+                    point.comp_latency,
+                    point.net_latency,
+                )
+            });
+            RunSpec::new(kind)
+                .config(sim_config.clone())
+                .with_prototype(prototype)
         })
         .collect();
     let seeds = SeedDeriver::new(config.root_seed).child(cell_index as u64);
@@ -354,7 +360,8 @@ fn compute_cell(
             // Independent error realizations per algorithm, matching the
             // paper's methodology (each experiment is a fresh run).
             let seed = rep_seeds.child(c as u64).seed();
-            let result = runner.run_prototype(&prototypes[c], seed).unwrap_or_else(|e| {
+            specs[c].seed = seed;
+            let result = runner.execute(&specs[c]).unwrap_or_else(|e| {
                 panic!(
                     "simulation failed: {e} (competitor {}, N={}, r={}, cLat={}, nLat={}, error={error}, rep={rep})",
                     competitor.label(),

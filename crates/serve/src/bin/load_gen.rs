@@ -1,0 +1,256 @@
+//! Open-loop load generator and acceptance checker for `dls-serve`.
+//!
+//! Fires a mixed workload (`/plan` repeats to drive cache hits, fixed-seed
+//! `/simulate` pairs to check determinism, `/healthz` probes) at a fixed
+//! arrival rate; latency is measured from each request's *scheduled* start
+//! so queueing shows up rather than being absorbed. Reports p50/p99 and
+//! throughput, then verifies the service contract:
+//!
+//! * zero 5xx responses (503 is only acceptable under `--expect-503`,
+//!   which instead *requires* at least one);
+//! * identical `/simulate` requests returned byte-identical bodies;
+//! * no audit findings in any `/simulate` response;
+//! * the plan cache served at least one hit (scraped from `/metrics`).
+//!
+//! Exit status 0 iff every check passes.
+//!
+//! Flags: `--addr HOST:PORT` `--requests N` `--threads N` `--rate RPS`
+//! `--quick` `--expect-503`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let text = String::from_utf8_lossy(&response);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+const PLAN_BODY: &str = r#"{"platform": {"homogeneous": {"n": 10, "ratio": 1.5,
+    "comp_latency": 0.2, "net_latency": 0.1}},
+    "scheduler": {"kind": "rumr", "error_estimate": 0.3},
+    "w_total": 1000}"#;
+
+const SIM_BODY: &str = r#"{"platform": {"homogeneous": {"n": 10, "ratio": 1.5,
+    "comp_latency": 0.2, "net_latency": 0.1}},
+    "w_total": 1000,
+    "error_model": {"kind": "normal", "error": 0.3},
+    "run": {"scheduler": {"kind": "rumr", "error_estimate": 0.3}, "seed": 42}}"#;
+
+struct Outcome {
+    latency: f64,
+    status: u16,
+    kind: usize,
+    body: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: load_gen --addr HOST:PORT [--requests N] [--threads N] [--rate RPS] \
+         [--quick] [--expect-503]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut addr = String::new();
+    let mut requests: usize = 200;
+    let mut threads: usize = 4;
+    let mut rate: f64 = 200.0;
+    let mut expect_503 = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--addr" => addr = value(&mut i),
+            "--requests" => requests = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--rate" => rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--quick" => {
+                requests = 40;
+                threads = 4;
+                rate = 100.0;
+            }
+            "--expect-503" => expect_503 = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if addr.is_empty() {
+        usage();
+    }
+
+    let outcomes: Mutex<Vec<Outcome>> = Mutex::new(Vec::with_capacity(requests));
+    let errors = AtomicU64::new(0);
+    let next: AtomicU64 = AtomicU64::new(0);
+    let start = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / rate.max(1.0));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= requests {
+                    return;
+                }
+                // Open loop: request i is *scheduled* at start + i·interval;
+                // latency includes any time it spent waiting to be sent.
+                let scheduled = start + interval * i as u32;
+                if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                let kind = i % 4;
+                let result = match kind {
+                    0 | 1 => http_request(&addr, "POST", "/plan", PLAN_BODY),
+                    2 => http_request(&addr, "POST", "/simulate", SIM_BODY),
+                    _ => http_request(&addr, "GET", "/healthz", ""),
+                };
+                match result {
+                    Ok((status, body)) => outcomes.lock().unwrap().push(Outcome {
+                        latency: scheduled.elapsed().as_secs_f64(),
+                        status,
+                        kind,
+                        body,
+                    }),
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let outcomes = outcomes.into_inner().unwrap();
+    let mut latencies: Vec<f64> = outcomes.iter().map(|o| o.latency).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    println!(
+        "load_gen: {} responses in {elapsed:.2}s ({:.1} req/s), p50 {:.1} ms, p99 {:.1} ms",
+        outcomes.len(),
+        outcomes.len() as f64 / elapsed.max(1e-9),
+        pct(0.50) * 1e3,
+        pct(0.99) * 1e3,
+    );
+    let mut by_status: std::collections::BTreeMap<u16, usize> = std::collections::BTreeMap::new();
+    for o in &outcomes {
+        *by_status.entry(o.status).or_insert(0) += 1;
+    }
+    for (status, count) in &by_status {
+        println!("  status {status}: {count}");
+    }
+
+    // --- Acceptance checks -------------------------------------------------
+    let mut failed = false;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        println!("  [{}] {name}{detail}", if ok { "ok" } else { "FAIL" });
+        failed |= !ok;
+    };
+
+    let io_errors = errors.load(Ordering::Relaxed);
+    check(
+        "all requests answered",
+        io_errors == 0,
+        format!(" ({io_errors} I/O errors)"),
+    );
+
+    let n5xx = outcomes
+        .iter()
+        .filter(|o| o.status >= 500 && o.status != 503)
+        .count();
+    check("zero 5xx", n5xx == 0, format!(" ({n5xx} seen)"));
+    let n503 = outcomes.iter().filter(|o| o.status == 503).count();
+    if expect_503 {
+        check(
+            "503 backpressure observed",
+            n503 > 0,
+            format!(" ({n503} rejections)"),
+        );
+    } else {
+        check(
+            "no 503 under nominal load",
+            n503 == 0,
+            format!(" ({n503} seen)"),
+        );
+    }
+
+    let sims: Vec<&Outcome> = outcomes
+        .iter()
+        .filter(|o| o.kind == 2 && o.status == 200)
+        .collect();
+    if sims.len() >= 2 {
+        let identical = sims.windows(2).all(|w| w[0].body == w[1].body);
+        check(
+            "identical /simulate requests → byte-identical bodies",
+            identical,
+            String::new(),
+        );
+    } else if !expect_503 {
+        check(
+            "at least two successful /simulate responses",
+            false,
+            format!(" ({} seen)", sims.len()),
+        );
+    }
+    let clean_audit = sims
+        .iter()
+        .all(|o| o.body.contains("\"audit_findings\":[]"));
+    check("no audit findings", clean_audit, String::new());
+
+    match http_request(&addr, "GET", "/metrics", "") {
+        Ok((200, metrics)) => {
+            let hits: u64 = metrics
+                .lines()
+                .find_map(|l| l.strip_prefix("dls_serve_plan_cache_hits_total "))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0);
+            check(
+                "plan cache hit ratio > 0",
+                hits > 0,
+                format!(" ({hits} hits)"),
+            );
+        }
+        other => check("metrics scrape", false, format!(" ({other:?})")),
+    }
+
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,0 +1,88 @@
+//! `dls-serve` binary: bind, serve, shut down gracefully on
+//! SIGINT/SIGTERM (drain queued connections, then exit).
+//!
+//! Flags: `--addr HOST` `--port N` `--workers N` `--queue-bound N`
+//! `--cache N` `--max-events N` `--delay-ms N`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use dls_serve::{Server, ServerConfig};
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+// Minimal libc signal binding: the lib target forbids unsafe, but the
+// binary needs to install handlers without a registry dependency.
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dls-serve [--addr HOST] [--port N] [--workers N] [--queue-bound N] \
+         [--cache N] [--max-events N] [--delay-ms N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut host = "127.0.0.1".to_string();
+    let mut port: u16 = 7070;
+    let mut config = ServerConfig::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--addr" => host = value(&mut i),
+            "--port" => port = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--workers" => config.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--queue-bound" => {
+                config.queue_bound = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--cache" => config.cache_capacity = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--max-events" => config.max_events = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--delay-ms" => {
+                config.handler_delay_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    config.addr = format!("{host}:{port}");
+
+    install_signal_handlers();
+
+    let handle = match Server::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("dls-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("dls-serve listening on http://{}", handle.addr);
+
+    while !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("dls-serve: shutting down (draining queued requests)");
+    handle.shutdown();
+}

@@ -1,0 +1,128 @@
+//! The LRU plan cache.
+//!
+//! `/plan` is a pure function of (platform, workload, scheduler), and the
+//! planner solve behind it is the expensive part of a request. The cache
+//! stores, per canonical request key, the response body *and* the solved
+//! [`SchedulerPrototype`] — so a hit answers `/plan` without touching the
+//! planner, and `/simulate` of a cached (platform, workload, scheduler)
+//! triple skips its planner solve too (prototypes stamp out fresh
+//! schedulers via state clone).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use rumr::SchedulerPrototype;
+
+/// A cached `/plan` result: the solved prototype plus the exact response
+/// body served for it.
+#[derive(Clone)]
+pub struct CachedPlan {
+    /// Solved scheduler, cloneable into fresh instances.
+    pub prototype: SchedulerPrototype,
+    /// The JSON body `/plan` responds with.
+    pub body: String,
+}
+
+/// A thread-safe LRU map from canonical request key to [`CachedPlan`].
+///
+/// Capacity 0 disables caching (every `get` misses, `insert` is a no-op).
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+struct Inner {
+    map: HashMap<String, Arc<CachedPlan>>,
+    /// Keys ordered least-recently-used first.
+    order: Vec<String>,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: Vec::new(),
+            }),
+            capacity,
+        }
+    }
+
+    /// Look up a plan, marking it most-recently-used on hit.
+    pub fn get(&self, key: &str) -> Option<Arc<CachedPlan>> {
+        let mut inner = self.inner.lock().unwrap();
+        let hit = inner.map.get(key).cloned()?;
+        if let Some(pos) = inner.order.iter().position(|k| k == key) {
+            let k = inner.order.remove(pos);
+            inner.order.push(k);
+        }
+        Some(hit)
+    }
+
+    /// Insert a plan, evicting the least-recently-used entry at capacity.
+    pub fn insert(&self, key: String, plan: Arc<CachedPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(key.clone(), plan).is_none() {
+            inner.order.push(key);
+            if inner.order.len() > self.capacity {
+                let evicted = inner.order.remove(0);
+                inner.map.remove(&evicted);
+            }
+        } else if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+            let k = inner.order.remove(pos);
+            inner.order.push(k);
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumr::{HomogeneousParams, SchedulerKind};
+
+    fn plan(tag: &str) -> Arc<CachedPlan> {
+        let platform = HomogeneousParams::table1(4, 1.5, 0.2, 0.1).build().unwrap();
+        let prototype = SchedulerKind::Umr
+            .prototype(&platform, 1000.0)
+            .expect("solvable");
+        Arc::new(CachedPlan {
+            prototype,
+            body: tag.to_string(),
+        })
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), plan("a"));
+        cache.insert("b".into(), plan("b"));
+        assert!(cache.get("a").is_some()); // refresh "a"; "b" is now LRU
+        cache.insert("c".into(), plan("c"));
+        assert!(cache.get("b").is_none(), "LRU entry should be evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        cache.insert("a".into(), plan("a"));
+        assert!(cache.get("a").is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! A minimal HTTP/1.1 subset over `std::net` streams.
+//!
+//! Supports exactly what the service needs: one request per connection
+//! (`Connection: close` on every response), `Content-Length` bodies, an
+//! 8 KiB header cap and a 1 MiB body cap. Not a general HTTP
+//! implementation — chunked transfer, keep-alive, and continuation lines
+//! are all rejected or ignored by design.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, path (query string stripped), and body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path without any `?query` suffix.
+    pub path: String,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Body as UTF-8, or `None` if it is not valid UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Malformed request line/headers, or over a size cap; the given
+    /// status/reason should be written back.
+    Bad(u16, &'static str, String),
+    /// The socket failed or timed out mid-read; nothing can be written.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read one request from the stream. The caller is responsible for
+/// setting read timeouts on the stream beforehand.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::Bad(
+                431,
+                "Request Header Fields Too Large",
+                "request head exceeds 8 KiB".into(),
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ReadError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before request head",
+            )));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadError::Bad(400, "Bad Request", "request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Bad(400, "Bad Request", "empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Bad(400, "Bad Request", "missing request target".into()))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    ReadError::Bad(400, "Bad Request", "invalid Content-Length".into())
+                })?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(ReadError::Bad(
+                    501,
+                    "Not Implemented",
+                    "transfer encodings are not supported".into(),
+                ));
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::Bad(
+            413,
+            "Payload Too Large",
+            "request body exceeds 1 MiB".into(),
+        ));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ReadError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            )));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Write a complete response and flush. `extra_headers` lines must be
+/// pre-formatted without the trailing CRLF (e.g. `"Retry-After: 1"`).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[&str],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Convenience: a JSON error body `{"error": "..."}` with the given status.
+pub fn write_error(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    message: &str,
+) -> io::Result<()> {
+    let body = format!(
+        "{{\"error\":\"{}\"}}",
+        dls_experiments::json::json_escape(message)
+    );
+    write_response(
+        stream,
+        status,
+        reason,
+        "application/json",
+        body.as_bytes(),
+        &[],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_head_boundary() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! `dls-serve` — scheduling as a service.
+//!
+//! A std-only (no registry dependencies, `std::net` sockets, hand-rolled
+//! JSON via [`dls_experiments::json`]) multi-threaded HTTP/1.1 service that
+//! turns the planner/DES stack into an online resource-allocation decision
+//! service. Endpoints:
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /plan` | platform + workload + scheduler → chunk schedule + oracle prediction |
+//! | `POST /simulate` | one full DES run (optional faults/recovery) → metrics + audit findings |
+//! | `GET /metrics` | Prometheus text: request counts/latencies, cache hit ratio, queue depth |
+//! | `GET /healthz` | liveness probe |
+//!
+//! Internals: a fixed worker-thread pool drains a bounded request queue
+//! (backpressure: 503 + `Retry-After` when full), an LRU plan cache keyed
+//! by the canonicalized request (cached plans clone their
+//! [`rumr::SchedulerPrototype`] instead of re-running the planner), and
+//! per-thread engine reuse across consecutive same-scenario requests via
+//! [`rumr::ScenarioRunner`]. The service consumes only the unified
+//! [`rumr::RunSpec`] API. See `docs/SERVICE.md` for the wire schema.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use api::{ApiError, PlanRequest, SimulateRequest};
+pub use cache::{CachedPlan, PlanCache};
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig};

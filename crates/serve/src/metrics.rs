@@ -1,0 +1,188 @@
+//! Service instrumentation, rendered as Prometheus text exposition.
+//!
+//! All counters live behind one [`Metrics`] value shared (via `Arc`)
+//! between the acceptor, the worker pool, and the `/metrics` handler.
+//! Atomics cover the hot single-value counters; the per-`(endpoint,
+//! status)` request counts and per-endpoint latency aggregates sit behind
+//! a short-lived mutex.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+#[derive(Debug, Default, Clone)]
+struct Latency {
+    sum: f64,
+    count: u64,
+    max: f64,
+}
+
+/// Shared service counters. All methods take `&self`; the type is
+/// `Send + Sync`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    latency: Mutex<BTreeMap<String, Latency>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected: AtomicU64,
+    queue_depth: AtomicI64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Record a completed request: endpoint label, response status, wall
+    /// time spent handling it.
+    pub fn observe(&self, endpoint: &str, status: u16, seconds: f64) {
+        *self
+            .requests
+            .lock()
+            .unwrap()
+            .entry((endpoint.to_string(), status))
+            .or_insert(0) += 1;
+        let mut latency = self.latency.lock().unwrap();
+        let entry = latency.entry(endpoint.to_string()).or_default();
+        entry.sum += seconds;
+        entry.count += 1;
+        entry.max = entry.max.max(seconds);
+    }
+
+    /// Count a plan-cache hit.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a plan-cache miss.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Count a connection rejected with 503 because the queue was full.
+    pub fn rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rejections so far.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// A connection entered the request queue.
+    pub fn enqueued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection left the request queue.
+    pub fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Render the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("# HELP dls_serve_requests_total Requests handled, by endpoint and status.\n");
+        out.push_str("# TYPE dls_serve_requests_total counter\n");
+        for ((endpoint, status), count) in self.requests.lock().unwrap().iter() {
+            let _ = writeln!(
+                out,
+                "dls_serve_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}"
+            );
+        }
+
+        out.push_str("# HELP dls_serve_request_seconds Request handling latency, by endpoint.\n");
+        out.push_str("# TYPE dls_serve_request_seconds summary\n");
+        for (endpoint, l) in self.latency.lock().unwrap().iter() {
+            let _ = writeln!(
+                out,
+                "dls_serve_request_seconds_sum{{endpoint=\"{endpoint}\"}} {}",
+                l.sum
+            );
+            let _ = writeln!(
+                out,
+                "dls_serve_request_seconds_count{{endpoint=\"{endpoint}\"}} {}",
+                l.count
+            );
+            let _ = writeln!(
+                out,
+                "dls_serve_request_seconds_max{{endpoint=\"{endpoint}\"}} {}",
+                l.max
+            );
+        }
+
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        out.push_str("# HELP dls_serve_plan_cache_hits_total Plan cache hits.\n");
+        out.push_str("# TYPE dls_serve_plan_cache_hits_total counter\n");
+        let _ = writeln!(out, "dls_serve_plan_cache_hits_total {hits}");
+        out.push_str("# HELP dls_serve_plan_cache_misses_total Plan cache misses.\n");
+        out.push_str("# TYPE dls_serve_plan_cache_misses_total counter\n");
+        let _ = writeln!(out, "dls_serve_plan_cache_misses_total {misses}");
+        out.push_str(
+            "# HELP dls_serve_plan_cache_hit_ratio Hits / (hits + misses), 0 when idle.\n",
+        );
+        out.push_str("# TYPE dls_serve_plan_cache_hit_ratio gauge\n");
+        let ratio = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "dls_serve_plan_cache_hit_ratio {ratio}");
+
+        out.push_str("# HELP dls_serve_queue_depth Connections waiting in the request queue.\n");
+        out.push_str("# TYPE dls_serve_queue_depth gauge\n");
+        let _ = writeln!(
+            out,
+            "dls_serve_queue_depth {}",
+            self.queue_depth.load(Ordering::Relaxed).max(0)
+        );
+
+        out.push_str(
+            "# HELP dls_serve_rejected_total Connections rejected with 503 (queue full).\n",
+        );
+        out.push_str("# TYPE dls_serve_rejected_total counter\n");
+        let _ = writeln!(
+            out,
+            "dls_serve_rejected_total {}",
+            self.rejected.load(Ordering::Relaxed)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reports_counts_and_ratio() {
+        let m = Metrics::new();
+        m.observe("/plan", 200, 0.010);
+        m.observe("/plan", 200, 0.030);
+        m.observe("/simulate", 400, 0.001);
+        m.cache_hit();
+        m.cache_miss();
+        m.cache_miss();
+        m.rejected();
+        m.enqueued();
+        let text = m.render();
+        assert!(text.contains("dls_serve_requests_total{endpoint=\"/plan\",status=\"200\"} 2"));
+        assert!(text.contains("dls_serve_requests_total{endpoint=\"/simulate\",status=\"400\"} 1"));
+        assert!(text.contains("dls_serve_request_seconds_count{endpoint=\"/plan\"} 2"));
+        assert!(text.contains("dls_serve_request_seconds_max{endpoint=\"/plan\"} 0.03"));
+        assert!(text.contains("dls_serve_plan_cache_hits_total 1"));
+        assert!(text.contains("dls_serve_plan_cache_misses_total 2"));
+        assert!(text.contains("dls_serve_plan_cache_hit_ratio 0.3333333333333333"));
+        assert!(text.contains("dls_serve_queue_depth 1"));
+        assert!(text.contains("dls_serve_rejected_total 1"));
+    }
+}

@@ -1,0 +1,673 @@
+//! The service itself: acceptor, bounded queue, worker pool, handlers.
+//!
+//! Connection flow: a nonblocking acceptor thread pushes accepted sockets
+//! into a bounded queue guarded by a mutex + condvar. When the queue is at
+//! its bound the acceptor answers `503 Service Unavailable` with a
+//! `Retry-After` header itself — load never reaches the workers. Each
+//! worker thread pops connections, reads one request, routes it, and
+//! closes the connection.
+//!
+//! Engine reuse: a worker that has just answered a `/simulate` keeps its
+//! decoded [`Scenario`] and borrowing [`rumr::ScenarioRunner`] alive and
+//! handles subsequent connections inside that borrow; as long as requests
+//! describe the same scenario they run on the same engine allocations
+//! (`run_reusing`), matching the batch experiments' hot path. A request
+//! for a different scenario exits the borrow and rebuilds.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use dls_experiments::json::{json_escape, json_num};
+use rumr::sim::{SimError, TraceEvent};
+use rumr::{Prediction, RunError, Scenario, SimResult, TraceMode};
+
+use crate::api::{PlanRequest, SimulateRequest};
+use crate::cache::{CachedPlan, PlanCache};
+use crate::http::{self, read_request, write_error, write_response, ReadError, Request};
+use crate::metrics::Metrics;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bound on the connection queue; beyond it the acceptor sheds load
+    /// with 503s.
+    pub queue_bound: usize,
+    /// Plan cache capacity (entries); 0 disables caching.
+    pub cache_capacity: usize,
+    /// Hard cap on `max_events` for `/simulate` (the request timeout knob:
+    /// runs hitting it get a 422).
+    pub max_events: u64,
+    /// Artificial per-request delay (test hook for exercising
+    /// backpressure deterministically). 0 in production.
+    pub handler_delay_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_bound: 64,
+            cache_capacity: 128,
+            max_events: 50_000_000,
+            handler_delay_ms: 0,
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    metrics: Metrics,
+    cache: PlanCache,
+    config: ServerConfig,
+}
+
+/// A running server: spawn with [`Server::start`], stop with
+/// [`ServerHandle::shutdown`].
+pub struct Server;
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    /// The actually-bound address (resolves ephemeral ports).
+    pub addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start accepting. Returns once the listener is live.
+    pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: Metrics::new(),
+            cache: PlanCache::new(config.cache_capacity),
+            config: config.clone(),
+        });
+
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("dls-serve-accept".into())
+                    .spawn(move || accept_loop(listener, &shared))?,
+            );
+        }
+        for i in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("dls-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// Service metrics (shared with the `/metrics` endpoint).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Signal shutdown and wait for the acceptor and workers to drain
+    /// queued connections and exit.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Ask the server to stop without waiting (signal-handler safe path is
+    /// in the binary; this is the programmatic one).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+    }
+
+    /// Block until every thread has exited.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            shared.available.notify_all();
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mut queue = shared.queue.lock().unwrap();
+                if queue.len() >= shared.config.queue_bound {
+                    drop(queue);
+                    reject(shared, stream);
+                } else {
+                    queue.push_back(stream);
+                    shared.metrics.enqueued();
+                    drop(queue);
+                    shared.available.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Shed one connection with `503 Service Unavailable`. The client's
+/// request bytes are drained first: closing a socket with unread data
+/// sends an RST that can destroy the response before the client reads it.
+fn reject(shared: &Shared, mut stream: TcpStream) {
+    shared.metrics.rejected();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut seen: Vec<u8> = Vec::with_capacity(256);
+    let mut buf = [0u8; 1024];
+    // Read until the blank line ending the head; requests to this service
+    // with bodies are small enough that the remainder rides along.
+    while !seen.windows(4).any(|w| w == b"\r\n\r\n") && seen.len() < http::MAX_HEAD_BYTES {
+        match io::Read::read(&mut stream, &mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => seen.extend_from_slice(&buf[..n]),
+        }
+    }
+    let body = b"{\"error\":\"request queue full\"}";
+    let _ = write_response(
+        &mut stream,
+        503,
+        "Service Unavailable",
+        "application/json",
+        body,
+        &["Retry-After: 1"],
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+fn pop_connection(shared: &Shared) -> Option<TcpStream> {
+    let mut queue = shared.queue.lock().unwrap();
+    loop {
+        if let Some(stream) = queue.pop_front() {
+            shared.metrics.dequeued();
+            return Some(stream);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Drain-then-exit: queue is empty and we are shutting down.
+            return None;
+        }
+        let (q, _) = shared
+            .available
+            .wait_timeout(queue, Duration::from_millis(50))
+            .unwrap();
+        queue = q;
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // `pending` carries a connection (plus its already-read request and
+    // decoded body) out of a same-scenario streak so the outer loop can
+    // rebuild the runner around the new scenario.
+    let mut pending: Option<(TcpStream, Request, SimulateRequest)> = None;
+    loop {
+        let (stream, request, sim) = match pending.take() {
+            Some(p) => p,
+            None => {
+                let Some(mut stream) = pop_connection(shared) else {
+                    return;
+                };
+                match receive(shared, &mut stream) {
+                    Some((request, Routed::Simulate(sim))) => (stream, request, *sim),
+                    Some((request, Routed::Other)) => {
+                        handle_simple(shared, &mut stream, &request);
+                        continue;
+                    }
+                    None => continue,
+                }
+            }
+        };
+        // Same-scenario streak: own the scenario, borrow a runner from it,
+        // and keep answering /simulate requests that match it.
+        pending = simulate_streak(shared, stream, request, sim);
+    }
+}
+
+/// Handle `sim` and then keep pulling connections while they decode to the
+/// same scenario; returns the first non-matching `/simulate` so the caller
+/// can start a new streak around it.
+fn simulate_streak(
+    shared: &Shared,
+    mut stream: TcpStream,
+    request: Request,
+    sim: SimulateRequest,
+) -> Option<(TcpStream, Request, SimulateRequest)> {
+    let scenario = sim.scenario.clone();
+    let mut runner = scenario.runner(effective_config(shared, &sim.spec));
+    handle_simulate(shared, &mut stream, &request, sim, &mut runner);
+    // Close the connection now (the client waits for EOF); the runner —
+    // and its warm engine — outlive it for the rest of the streak.
+    drop(stream);
+    loop {
+        let mut stream = pop_connection(shared)?;
+        match receive(shared, &mut stream) {
+            Some((request, Routed::Simulate(sim))) => {
+                if same_scenario(&scenario, &sim.scenario) {
+                    handle_simulate(shared, &mut stream, &request, *sim, &mut runner);
+                } else {
+                    return Some((stream, request, *sim));
+                }
+            }
+            Some((request, Routed::Other)) => handle_simple(shared, &mut stream, &request),
+            None => continue,
+        }
+    }
+}
+
+/// Manual scenario equality ([`Scenario`] has no `PartialEq`: cost
+/// profiles hold closures). Cost-profile / temporal-noise scenarios never
+/// arrive over the wire, so platform + workload + error model decide.
+fn same_scenario(a: &Scenario, b: &Scenario) -> bool {
+    a.w_total == b.w_total
+        && a.error_model == b.error_model
+        && a.platform.workers() == b.platform.workers()
+        && a.cost_profile.is_none()
+        && b.cost_profile.is_none()
+        && a.temporal_noise.is_none()
+        && b.temporal_noise.is_none()
+}
+
+enum Routed {
+    Simulate(Box<SimulateRequest>),
+    Other,
+}
+
+/// Read a request and classify it. Requests answered on the spot (parse
+/// errors, I/O failures) yield `None`.
+fn receive(shared: &Shared, stream: &mut TcpStream) -> Option<(Request, Routed)> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(ReadError::Bad(status, reason, msg)) => {
+            let start = Instant::now();
+            let _ = write_error(stream, status, reason, &msg);
+            shared
+                .metrics
+                .observe("bad", status, start.elapsed().as_secs_f64());
+            return None;
+        }
+        Err(ReadError::Io(_)) => return None,
+    };
+    if request.method == "POST" && request.path == "/simulate" {
+        let start = Instant::now();
+        let body = match request.body_str() {
+            Some(b) => b,
+            None => {
+                respond_400(shared, stream, &request, "body is not UTF-8", start);
+                return None;
+            }
+        };
+        match SimulateRequest::from_json_str(body) {
+            Ok(sim) => return Some((request, Routed::Simulate(Box::new(sim)))),
+            Err(e) => {
+                respond_400(shared, stream, &request, &e.0, start);
+                return None;
+            }
+        }
+    }
+    Some((request, Routed::Other))
+}
+
+fn respond_400(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    request: &Request,
+    msg: &str,
+    start: Instant,
+) {
+    let _ = write_error(stream, 400, "Bad Request", msg);
+    shared
+        .metrics
+        .observe(&request.path, 400, start.elapsed().as_secs_f64());
+}
+
+/// The engine configuration `/simulate` actually runs: metrics on, audit
+/// on, `max_events` clamped to the server cap.
+fn effective_config(shared: &Shared, spec: &rumr::RunSpec) -> rumr::SimConfig {
+    let mut config = spec.config.clone();
+    config.trace_mode = TraceMode::MetricsOnly;
+    config.audit = true;
+    config.max_events = config.max_events.min(shared.config.max_events);
+    config
+}
+
+fn test_delay(shared: &Shared) {
+    if shared.config.handler_delay_ms > 0 {
+        thread::sleep(Duration::from_millis(shared.config.handler_delay_ms));
+    }
+}
+
+/// Routes everything except `/simulate` (which needs the runner borrow).
+fn handle_simple(shared: &Shared, stream: &mut TcpStream, request: &Request) {
+    let start = Instant::now();
+    let status = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            test_delay(shared);
+            let _ = write_response(stream, 200, "OK", "text/plain", b"ok\n", &[]);
+            200
+        }
+        ("GET", "/metrics") => {
+            let body = shared.metrics.render();
+            let _ = write_response(
+                stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                body.as_bytes(),
+                &[],
+            );
+            200
+        }
+        ("POST", "/plan") => {
+            let status = handle_plan(shared, stream, request);
+            shared
+                .metrics
+                .observe("/plan", status, start.elapsed().as_secs_f64());
+            return;
+        }
+        ("GET", "/plan" | "/simulate") | ("POST", "/healthz" | "/metrics") => {
+            let _ = write_error(
+                stream,
+                405,
+                "Method Not Allowed",
+                "wrong method for endpoint",
+            );
+            405
+        }
+        _ => {
+            let _ = write_error(stream, 404, "Not Found", "no such endpoint");
+            404
+        }
+    };
+    shared
+        .metrics
+        .observe(&request.path, status, start.elapsed().as_secs_f64());
+}
+
+/// `POST /plan`: canonical-key cache lookup, else solve the planner once
+/// on an error-free full-trace run and cache prototype + body.
+fn handle_plan(shared: &Shared, stream: &mut TcpStream, request: &Request) -> u16 {
+    test_delay(shared);
+    let body = match request.body_str() {
+        Some(b) => b,
+        None => {
+            let _ = write_error(stream, 400, "Bad Request", "body is not UTF-8");
+            return 400;
+        }
+    };
+    let plan = match PlanRequest::from_json_str(body) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = write_error(stream, 400, "Bad Request", &e.0);
+            return 400;
+        }
+    };
+    let key = plan.cache_key();
+    if let Some(cached) = shared.cache.get(&key) {
+        shared.metrics.cache_hit();
+        let _ = write_response(
+            stream,
+            200,
+            "OK",
+            "application/json",
+            cached.body.as_bytes(),
+            &["X-Plan-Cache: hit"],
+        );
+        return 200;
+    }
+    shared.metrics.cache_miss();
+    match build_plan(shared, &plan) {
+        Ok(cached) => {
+            let body = cached.body.clone();
+            shared.cache.insert(key, Arc::new(cached));
+            let _ = write_response(
+                stream,
+                200,
+                "OK",
+                "application/json",
+                body.as_bytes(),
+                &["X-Plan-Cache: miss"],
+            );
+            200
+        }
+        Err((status, reason, msg)) => {
+            let _ = write_error(stream, status, reason, &msg);
+            status
+        }
+    }
+}
+
+type PlanFailure = (u16, &'static str, String);
+
+fn build_plan(shared: &Shared, plan: &PlanRequest) -> Result<CachedPlan, PlanFailure> {
+    let prototype = plan
+        .kind
+        .prototype(&plan.platform, plan.w_total)
+        .map_err(|e| (400u16, "Bad Request", format!("planner: {e}")))?;
+    let scenario = Scenario {
+        platform: plan.platform.clone(),
+        w_total: plan.w_total,
+        error_model: rumr::ErrorModel::None,
+        cost_profile: None,
+        temporal_noise: None,
+    };
+    let spec = rumr::RunSpec::new(plan.kind)
+        .trace_mode(TraceMode::Full)
+        .max_events(shared.config.max_events)
+        .with_prototype(prototype.clone());
+    let result = scenario.execute(&spec).map_err(|e| match e {
+        RunError::Sim(SimError::EventLimitExceeded) => (
+            422u16,
+            "Unprocessable Entity",
+            "plan simulation exceeded the event limit".to_string(),
+        ),
+        other => (500u16, "Internal Server Error", other.to_string()),
+    })?;
+    let oracle = plan
+        .kind
+        .oracle(&plan.platform, plan.w_total)
+        .map_err(|e| (400u16, "Bad Request", format!("oracle: {e}")))?;
+    let prediction = oracle.map(|o| o.makespan());
+    Ok(CachedPlan {
+        prototype,
+        body: plan_body(plan, &result, prediction),
+    })
+}
+
+fn plan_body(plan: &PlanRequest, result: &SimResult, prediction: Option<Prediction>) -> String {
+    let mut body = String::with_capacity(1024);
+    body.push_str("{\"schedule\":[");
+    if let Some(trace) = &result.trace {
+        let mut first = true;
+        for event in trace.events() {
+            if let TraceEvent::SendStart {
+                worker,
+                chunk,
+                time,
+            } = event
+            {
+                if !first {
+                    body.push(',');
+                }
+                first = false;
+                body.push_str(&format!(
+                    "{{\"worker\":{worker},\"chunk\":{},\"send_time\":{}}}",
+                    json_num(*chunk),
+                    json_num(*time)
+                ));
+            }
+        }
+    }
+    body.push_str("],\"makespan\":");
+    body.push_str(&json_num(result.makespan));
+    body.push_str(",\"num_chunks\":");
+    body.push_str(&result.num_chunks.to_string());
+    body.push_str(",\"scheduler\":\"");
+    body.push_str(&json_escape(&plan.kind.label()));
+    body.push_str("\",\"predicted\":");
+    match prediction {
+        Some(Prediction::Exact { makespan, .. }) => {
+            body.push_str(&format!(
+                "{{\"kind\":\"exact\",\"makespan\":{}}}",
+                json_num(makespan)
+            ));
+        }
+        Some(Prediction::LowerBound { makespan, .. }) => {
+            body.push_str(&format!(
+                "{{\"kind\":\"lower_bound\",\"makespan\":{}}}",
+                json_num(makespan)
+            ));
+        }
+        Some(Prediction::Unavailable) | None => body.push_str("null"),
+    }
+    body.push('}');
+    body
+}
+
+/// `POST /simulate`: run the spec on the worker's current runner (which
+/// borrows the decoded scenario — see [`simulate_streak`]).
+fn handle_simulate(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    _request: &Request,
+    mut sim: SimulateRequest,
+    runner: &mut rumr::ScenarioRunner<'_>,
+) {
+    let start = Instant::now();
+    test_delay(shared);
+    // Reuse a cached prototype when /plan has already solved this
+    // (platform, workload, scheduler) triple.
+    if sim.spec.prototype.is_none() {
+        if let Some(cached) = shared.cache.get(&sim.plan_key()) {
+            sim.spec = sim.spec.with_prototype(cached.prototype.clone());
+        }
+    }
+    let mut spec = sim.spec;
+    spec.config = effective_config(shared, &spec);
+
+    let status = match run_reps(runner, &spec) {
+        Ok(results) => {
+            let body = simulate_body(&spec, &results);
+            let _ = write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[]);
+            200
+        }
+        Err(RunError::Build(e)) => {
+            let _ = write_error(stream, 400, "Bad Request", &format!("planner: {e}"));
+            400
+        }
+        Err(RunError::Sim(SimError::EventLimitExceeded)) => {
+            let _ = write_error(
+                stream,
+                422,
+                "Unprocessable Entity",
+                "simulation exceeded the event limit (raise max_events or shrink the run)",
+            );
+            422
+        }
+        Err(e) => {
+            let _ = write_error(stream, 500, "Internal Server Error", &e.to_string());
+            500
+        }
+    };
+    shared
+        .metrics
+        .observe("/simulate", status, start.elapsed().as_secs_f64());
+}
+
+fn run_reps(
+    runner: &mut rumr::ScenarioRunner<'_>,
+    spec: &rumr::RunSpec,
+) -> Result<Vec<SimResult>, RunError> {
+    let mut results = Vec::with_capacity(spec.reps as usize);
+    for seed in spec.seeds() {
+        let one = spec.clone().seed(seed).reps(1);
+        results.push(runner.execute(&one)?);
+    }
+    Ok(results)
+}
+
+fn simulate_body(spec: &rumr::RunSpec, results: &[SimResult]) -> String {
+    let mut body = String::with_capacity(512);
+    body.push_str("{\"runs\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"seed\":{},\"makespan\":{},\"num_chunks\":{},\"completed_work\":{},\"conservation_residual\":{}",
+            spec.seed + i as u64,
+            json_num(r.makespan),
+            r.num_chunks,
+            json_num(r.completed_work()),
+            json_num(r.conservation_residual())
+        ));
+        if let Some(m) = &r.metrics {
+            body.push_str(&format!(
+                ",\"metrics\":{{\"trace_events\":{},\"link_utilization\":{},\"num_gaps\":{}}}",
+                m.trace_events,
+                json_num(m.link_utilization(r.makespan)),
+                m.num_gaps
+            ));
+        }
+        body.push_str(",\"audit_findings\":[");
+        if let Some(findings) = &r.audit {
+            for (j, f) in findings.iter().enumerate() {
+                if j > 0 {
+                    body.push(',');
+                }
+                body.push('"');
+                body.push_str(&json_escape(&f.to_string()));
+                body.push('"');
+            }
+        }
+        body.push_str("]}");
+    }
+    let mean = if results.is_empty() {
+        0.0
+    } else {
+        results.iter().map(|r| r.makespan).sum::<f64>() / results.len() as f64
+    };
+    body.push_str(&format!(
+        "],\"mean_makespan\":{},\"scheduler\":\"{}\"}}",
+        json_num(mean),
+        json_escape(&spec.kind.label())
+    ));
+    body
+}

@@ -1,0 +1,210 @@
+//! End-to-end tests against a real listening server (ephemeral ports,
+//! plain `TcpStream` client).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dls_serve::{Server, ServerConfig};
+
+fn start(config: ServerConfig) -> dls_serve::server::ServerHandle {
+    Server::start(config).expect("server binds")
+}
+
+fn quiet_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_bound: 64,
+        cache_capacity: 16,
+        max_events: 10_000_000,
+        handler_delay_ms: 0,
+    }
+}
+
+fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let text = String::from_utf8(response).expect("utf8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let (head, body) = text.split_once("\r\n\r\n").expect("blank line");
+    (status, head.to_string(), body.to_string())
+}
+
+const PLAN: &str = r#"{"platform": {"homogeneous": {"n": 8, "ratio": 1.5,
+    "comp_latency": 0.2, "net_latency": 0.1}},
+    "scheduler": {"kind": "umr"}, "w_total": 1000}"#;
+
+const SIMULATE: &str = r#"{"platform": {"homogeneous": {"n": 8, "ratio": 1.5,
+    "comp_latency": 0.2, "net_latency": 0.1}},
+    "w_total": 1000,
+    "error_model": {"kind": "normal", "error": 0.3},
+    "run": {"scheduler": {"kind": "rumr", "error_estimate": 0.3}, "seed": 7, "reps": 2}}"#;
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let server = start(quiet_config());
+    let (status, _, body) = request(server.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    let (status, _, body) = request(server.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("dls_serve_plan_cache_hits_total"));
+    assert!(body.contains("dls_serve_queue_depth"));
+    server.shutdown();
+}
+
+#[test]
+fn plan_caches_and_reports_hits() {
+    let server = start(quiet_config());
+    let (status, head, first) = request(server.addr, "POST", "/plan", PLAN);
+    assert_eq!(status, 200, "body: {first}");
+    assert!(head.contains("X-Plan-Cache: miss"));
+    assert!(first.contains("\"schedule\""));
+    assert!(first.contains("\"predicted\""));
+
+    // Same plan, different field order: cache hit, identical body.
+    let reordered = r#"{"w_total": 1000, "scheduler": {"kind": "umr"},
+        "platform": {"homogeneous": {"ratio": 1.5, "n": 8,
+        "net_latency": 0.1, "comp_latency": 0.2}}}"#;
+    let (status, head, second) = request(server.addr, "POST", "/plan", reordered);
+    assert_eq!(status, 200);
+    assert!(head.contains("X-Plan-Cache: hit"), "head: {head}");
+    assert_eq!(first, second);
+    assert_eq!(server.metrics().cache_hits(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn simulate_is_deterministic_per_seed() {
+    let server = start(quiet_config());
+    let (status, _, first) = request(server.addr, "POST", "/simulate", SIMULATE);
+    assert_eq!(status, 200, "body: {first}");
+    assert!(first.contains("\"mean_makespan\""));
+    assert!(first.contains("\"audit_findings\":[]"), "body: {first}");
+
+    let (status, _, second) = request(server.addr, "POST", "/simulate", SIMULATE);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "same request must be byte-identical");
+
+    // Priming the plan cache and re-simulating must not change the bytes:
+    // a prototype-served run is pinned equal to a fresh solve.
+    let plan = SIMULATE.replace(
+        r#""error_model": {"kind": "normal", "error": 0.3},
+    "run": {"scheduler": {"kind": "rumr", "error_estimate": 0.3}, "seed": 7, "reps": 2}"#,
+        r#""scheduler": {"kind": "rumr", "error_estimate": 0.3}"#,
+    );
+    let (status, _, _) = request(server.addr, "POST", "/plan", &plan);
+    assert_eq!(status, 200);
+    let (status, _, third) = request(server.addr, "POST", "/simulate", SIMULATE);
+    assert_eq!(status, 200);
+    assert_eq!(first, third, "cached prototype changed the simulation");
+
+    // A different seed must change the body.
+    let different = SIMULATE.replace("\"seed\": 7", "\"seed\": 8");
+    let (status, _, other) = request(server.addr, "POST", "/simulate", &different);
+    assert_eq!(status, 200);
+    assert_ne!(first, other);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx() {
+    let server = start(quiet_config());
+    let cases = [
+        ("POST", "/plan", "{not json", 400),
+        ("POST", "/plan", "{}", 400),
+        (
+            "POST",
+            "/plan",
+            r#"{"platform": {"homogeneous": {"n": 4, "ratio": 1.5,
+                "comp_latency": 0.2, "net_latency": 0.1}},
+                "scheduler": {"kind": "warp"}, "w_total": 100}"#,
+            400,
+        ),
+        ("POST", "/simulate", "[]", 400),
+        ("GET", "/plan", "", 405),
+        ("POST", "/healthz", "", 405),
+        ("GET", "/nope", "", 404),
+    ];
+    for (method, path, body, expected) in cases {
+        let (status, _, response) = request(server.addr, method, path, body);
+        assert_eq!(status, expected, "{method} {path}: {response}");
+        assert!(
+            response.contains("\"error\""),
+            "{method} {path}: {response}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_load_with_503() {
+    // One worker, queue bound 1, slow handler: concurrent requests must
+    // overflow the queue and get 503 + Retry-After from the acceptor.
+    let server = start(ServerConfig {
+        workers: 1,
+        queue_bound: 1,
+        handler_delay_ms: 300,
+        ..quiet_config()
+    });
+    let addr = server.addr;
+    let results: Vec<(u16, String, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| scope.spawn(move || request(addr, "GET", "/healthz", "")))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let statuses: Vec<u16> = results.iter().map(|r| r.0).collect();
+    let n503 = statuses.iter().filter(|&&s| s == 503).count();
+    let n200 = statuses.iter().filter(|&&s| s == 200).count();
+    assert!(n503 >= 1, "expected backpressure, got {statuses:?}");
+    assert!(
+        n200 >= 1,
+        "some requests should still succeed: {statuses:?}"
+    );
+    assert_eq!(server.metrics().rejected_total(), n503 as u64);
+
+    // Every rejection carries a Retry-After header.
+    for (status, head, _) in &results {
+        if *status == 503 {
+            assert!(
+                head.contains("Retry-After:"),
+                "503 without Retry-After: {head}"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn event_limit_maps_to_422() {
+    let server = start(ServerConfig {
+        max_events: 50, // far below what any real run needs
+        ..quiet_config()
+    });
+    let (status, _, body) = request(server.addr, "POST", "/simulate", SIMULATE);
+    assert_eq!(status, 422, "body: {body}");
+    assert!(body.contains("event limit"));
+    server.shutdown();
+}

@@ -92,7 +92,7 @@ impl TraceMode {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Observability level of the run (off by default: the paper's sweeps
     /// run millions of simulations). See [`TraceMode`].

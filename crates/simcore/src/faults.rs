@@ -50,7 +50,7 @@ pub struct FaultEvent {
 }
 
 /// A deterministic, hand-written fault schedule.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
 }
@@ -233,7 +233,7 @@ fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
 }
 
 /// The fault model of a simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum FaultModel {
     /// No faults — the paper's reliable platform. The engine's behavior is
     /// bit-identical to a build without fault support.

@@ -1,0 +1,182 @@
+//! RunSpec-equivalence: the unified [`rumr::RunSpec`] entry point and the
+//! legacy wrappers it replaced are the *same computation*, bit for bit.
+//!
+//! The API redesign rewired every legacy `Scenario::run*` /
+//! `ScenarioRunner::run*` method as a thin wrapper over
+//! `execute(&RunSpec)`. These properties pin the contract that made that
+//! safe: for every scheduler kind, both queue backends, fresh engines and
+//! reused ones, recovering and not — the wrapper and the explicit-spec
+//! call return identical makespan bits, chunk counts, and traces.
+
+use proptest::prelude::*;
+use rumr::{
+    FaultModel, FaultPlan, QueueBackend, RecoveryConfig, RumrConfig, Scenario, SchedulerKind,
+    SimConfig, SimResult, TraceMode,
+};
+
+/// Random-but-sane Table-1-style scenario (kept small for debug builds).
+fn scenario_strategy() -> impl Strategy<Value = (Scenario, f64)> {
+    (
+        2usize..=8,       // workers
+        1.1f64..=3.0,     // bandwidth ratio
+        0.0f64..=0.8,     // cLat
+        0.0f64..=0.8,     // nLat
+        0.0f64..=0.6,     // error
+        100.0f64..=400.0, // workload
+    )
+        .prop_map(|(n, ratio, clat, nlat, error, w)| {
+            let mut s = Scenario::table1(n, ratio, clat, nlat, error);
+            s.w_total = w;
+            (s, error)
+        })
+}
+
+fn kinds(error: f64) -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::rumr_known_error(error),
+        SchedulerKind::AdaptiveRumr,
+        SchedulerKind::HetRumr(RumrConfig::with_known_error(error)),
+        SchedulerKind::Umr,
+        SchedulerKind::HetUmr,
+        SchedulerKind::Mi { installments: 2 },
+        SchedulerKind::OneRound,
+        SchedulerKind::Factoring,
+        SchedulerKind::Fsc { error },
+        SchedulerKind::Gss,
+        SchedulerKind::Tss,
+        SchedulerKind::EqualStatic,
+        SchedulerKind::SelfScheduling { unit: 10.0 },
+    ]
+}
+
+fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(
+        a.makespan.to_bits(),
+        b.makespan.to_bits(),
+        "{what}: makespan bits differ ({} vs {})",
+        a.makespan,
+        b.makespan
+    );
+    assert_eq!(a.num_chunks, b.num_chunks, "{what}: chunk counts differ");
+    assert_eq!(
+        a.completed_work().to_bits(),
+        b.completed_work().to_bits(),
+        "{what}: completed work differs"
+    );
+    match (&a.trace, &b.trace) {
+        (Some(ta), Some(tb)) => assert_eq!(ta.events(), tb.events(), "{what}: traces differ"),
+        (None, None) => {}
+        _ => panic!("{what}: one side has a trace, the other does not"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `Scenario::run` / `run_traced` / `run_with_config` ≡ the explicit
+    /// RunSpec they document, for every kind × both queue backends.
+    #[test]
+    fn scenario_wrappers_match_runspec((scenario, error) in scenario_strategy(), seed in 0u64..1000) {
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            for kind in kinds(error) {
+                let config = SimConfig {
+                    trace_mode: TraceMode::Full,
+                    queue_backend: backend,
+                    ..Default::default()
+                };
+                let legacy = scenario.run_with_config(&kind, seed, config.clone()).unwrap();
+                let spec = rumr::RunSpec::new(kind).seed(seed).config(config);
+                let unified = scenario.execute(&spec).unwrap();
+                assert_identical(&legacy, &unified, &format!("{kind:?}/{}", backend.name()));
+            }
+        }
+    }
+
+    /// The repetition wrapper `mean_makespan` ≡ `execute_mean`, and the
+    /// per-seed runner path it uses ≡ fresh-engine `execute` calls.
+    #[test]
+    fn mean_makespan_matches_execute_mean((scenario, error) in scenario_strategy(), seed in 0u64..1000) {
+        for kind in kinds(error).into_iter().step_by(3) {
+            let legacy = scenario.mean_makespan(&kind, seed, 3).unwrap();
+            let spec = rumr::RunSpec::new(kind).seed(seed).reps(3);
+            let unified = scenario.execute_mean(&spec).unwrap();
+            assert_eq!(legacy.to_bits(), unified.to_bits(), "{kind:?}");
+
+            // Reused engine ≡ fresh engine, seed by seed.
+            let mut fresh_total = 0.0;
+            for s in spec.seeds() {
+                fresh_total += scenario.execute(&spec.clone().seed(s).reps(1)).unwrap().makespan;
+            }
+            assert_eq!((fresh_total / 3.0).to_bits(), unified.to_bits(), "{kind:?} reuse drift");
+        }
+    }
+
+    /// Fault-injection wrappers: `run_with_faults` and `run_recovering` ≡
+    /// their RunSpec equivalents under a deterministic crash plan.
+    #[test]
+    fn fault_wrappers_match_runspec((scenario, error) in scenario_strategy(), seed in 0u64..1000) {
+        let faults = FaultModel::Plan(FaultPlan::new().crash_recover(5.0, 1, 10.0));
+        for kind in kinds(error).into_iter().step_by(4) {
+            let legacy = scenario.run_with_faults(&kind, seed, faults.clone()).unwrap();
+            let spec = rumr::RunSpec::new(kind).seed(seed).faults(faults.clone());
+            assert_identical(&legacy, &scenario.execute(&spec).unwrap(), &format!("{kind:?} faulty"));
+
+            let config = SimConfig { faults: faults.clone(), ..Default::default() };
+            let recovery = RecoveryConfig::default();
+            let legacy = scenario.run_recovering(&kind, seed, config.clone(), recovery).unwrap();
+            let spec = rumr::RunSpec::new(kind)
+                .seed(seed)
+                .config(config)
+                .recovering(recovery);
+            assert_identical(&legacy, &scenario.execute(&spec).unwrap(), &format!("{kind:?} recovering"));
+        }
+    }
+
+    /// Runner wrappers: `ScenarioRunner::run` / `run_prototype` /
+    /// `run_recovering` ≡ `ScenarioRunner::execute`, including prototype
+    /// attachment (solve once, stamp clones).
+    #[test]
+    fn runner_wrappers_match_execute((scenario, error) in scenario_strategy(), seed in 0u64..1000) {
+        for kind in kinds(error).into_iter().step_by(3) {
+            let mut runner = scenario.runner(SimConfig::default());
+            let legacy = runner.run(&kind, seed).unwrap();
+            let spec = rumr::RunSpec::new(kind).seed(seed);
+            assert_identical(&legacy, &runner.execute(&spec).unwrap(), &format!("{kind:?} runner"));
+
+            let proto = runner.prototype(&kind).unwrap();
+            let legacy = runner.run_prototype(&proto, seed).unwrap();
+            let spec = rumr::RunSpec::new(kind).seed(seed).with_prototype(proto.clone());
+            assert_identical(&legacy, &runner.execute(&spec).unwrap(), &format!("{kind:?} prototype"));
+
+            let recovery = RecoveryConfig::default();
+            let legacy = runner.run_recovering(&kind, seed, recovery).unwrap();
+            let spec = rumr::RunSpec::new(kind).seed(seed).recovering(recovery);
+            assert_identical(&legacy, &runner.execute(&spec).unwrap(), &format!("{kind:?} runner recovering"));
+
+            let legacy = runner.run_recovering_prototype(&proto, seed, recovery).unwrap();
+            let spec = rumr::RunSpec::new(kind)
+                .seed(seed)
+                .recovering(recovery)
+                .with_prototype(proto);
+            assert_identical(&legacy, &runner.execute(&spec).unwrap(), &format!("{kind:?} proto recovering"));
+        }
+    }
+}
+
+/// The concurrency-extension wrapper, pinned on one deterministic case
+/// (the extension is slow under proptest).
+#[test]
+fn run_concurrent_matches_runspec() {
+    let scenario = Scenario::table1(6, 1.5, 0.2, 0.1, 0.3);
+    for (max_sends, uplink) in [(1, None), (2, Some(12.0)), (4, Some(20.0))] {
+        let kind = SchedulerKind::rumr_known_error(0.3);
+        let legacy = scenario
+            .run_concurrent(&kind, 9, max_sends, uplink)
+            .unwrap();
+        let mut spec = rumr::RunSpec::new(kind).seed(9);
+        spec.config.max_concurrent_sends = max_sends;
+        spec.config.uplink_capacity = uplink;
+        let unified = scenario.execute(&spec).unwrap();
+        assert_identical(&legacy, &unified, &format!("concurrent x{max_sends}"));
+    }
+}
