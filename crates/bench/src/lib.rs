@@ -14,7 +14,7 @@
 //! This library only hosts small shared helpers for those benches.
 
 use dls_experiments::{ErrorModelKind, SweepConfig, Table1Grid};
-use rumr::{QueueBackend, TraceMode};
+use rumr::{QueueBackend, SpeedModel, TraceMode};
 
 /// A deliberately small sweep configuration so each bench iteration stays
 /// in the millisecond range: 4 platform points, 3 error values, 2 reps.
@@ -35,5 +35,7 @@ pub fn bench_sweep_config() -> SweepConfig {
         progress: false,
         trace_mode: TraceMode::Off,
         queue_backend: QueueBackend::default(),
+        speeds: SpeedModel::Declared,
+        audit: false,
     }
 }

@@ -43,7 +43,7 @@ pub mod kind;
 pub mod scenario;
 
 pub use kind::{BuildError, SchedulerKind, SchedulerPrototype};
-pub use scenario::{RunError, RunSpec, Scenario, ScenarioRunner};
+pub use scenario::{RobustnessReport, RunError, RunSpec, Scenario, ScenarioRunner};
 
 pub use dls_sched as sched;
 pub use dls_sched::{
@@ -52,6 +52,6 @@ pub use dls_sched::{
 pub use dls_sim as sim;
 pub use dls_sim::{
     ErrorModel, EventCounts, FaultModel, FaultPlan, HomogeneousParams, MetricsSummary, Platform,
-    PlatformError, PoissonFaults, QueueBackend, SimConfig, SimResult, TraceMetrics, TraceMode,
-    WorkerSpec,
+    PlatformError, PoissonFaults, QueueBackend, RealizedSpeeds, SimConfig, SimResult, SpeedModel,
+    TraceMetrics, TraceMode, WorkerSpec,
 };

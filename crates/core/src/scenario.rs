@@ -16,7 +16,7 @@
 use dls_sched::recovery::{Recovering, RecoveryConfig};
 use dls_sim::{
     simulate, CostProfile, Engine, ErrorInjector, ErrorModel, FaultModel, Platform, QueueBackend,
-    Scheduler, SimConfig, SimError, SimResult, TraceMode, WorkerSpec,
+    Scheduler, SimConfig, SimError, SimResult, SpeedModel, TraceMode, WorkerSpec,
 };
 
 use crate::kind::{BuildError, SchedulerKind, SchedulerPrototype};
@@ -125,6 +125,15 @@ impl RunSpec {
         self
     }
 
+    /// Set the declared-vs-realized speed model: the engine executes at
+    /// the realized rates while the scheduler keeps planning on the
+    /// declared platform. [`SpeedModel::Declared`] (the default) is a
+    /// strict no-op.
+    pub fn speeds(mut self, speeds: SpeedModel) -> Self {
+        self.config.speeds = speeds;
+        self
+    }
+
     /// Wrap the scheduler in the fault-recovery layer with this policy.
     pub fn recovering(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = Some(recovery);
@@ -167,6 +176,38 @@ impl PartialEq for RunSpec {
             && self.config == other.config
             && self.recovery == other.recovery
     }
+}
+
+/// How much a run lost to planning on declared rather than realized rates
+/// (speed-robust scheduling's price of non-clairvoyance).
+///
+/// Produced by [`Scenario::robustness`]. The *clairvoyant* reference is
+/// the better of (a) a twin run whose planner saw the realized platform
+/// and (b) the realized run itself — the realized execution is one
+/// schedule a clairvoyant planner could have emitted, so taking the min
+/// makes `ratio ≥ 1` hold by construction (up to float noise) even when
+/// the replanning twin happens to do worse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessReport {
+    /// Makespan of the run that planned on declared rates but executed at
+    /// realized ones.
+    pub realized_makespan: f64,
+    /// Best clairvoyant twin makespan (same seed, planner fed the
+    /// realized platform): the minimum over the same-kind twin and a
+    /// heterogeneity-aware [`SchedulerKind::HetUmr`] twin, skipping twins
+    /// that cannot be built on the realized platform (e.g.
+    /// homogeneous-only UMR after a heterogeneous revelation). `None`
+    /// when no twin builds at all.
+    pub replanned_makespan: Option<f64>,
+    /// The clairvoyant reference: `min(replanned, realized)`.
+    pub clairvoyant_makespan: f64,
+    /// Robustness ratio `realized / clairvoyant` (≥ 1).
+    pub ratio: f64,
+    /// Analytic makespan lower bound of the *realized* platform
+    /// ([`Platform::makespan_lower_bound`]): no error-free schedule,
+    /// clairvoyant or not, can beat it. A noisy run can land below it
+    /// when prediction errors happen to speed chunks up.
+    pub analytic_lower_bound: f64,
 }
 
 /// One experimental setting: platform + workload + error model.
@@ -273,7 +314,8 @@ impl Scenario {
         let mut scheduler = spec.instantiate(&self.platform, self.w_total)?;
         match spec.recovery {
             Some(recovery) => {
-                let mut wrapped = Recovering::with_config(scheduler, recovery);
+                let mut wrapped = Recovering::with_config(scheduler, recovery)
+                    .with_declared_rates(divergence_rates(&self.platform, &recovery));
                 Ok(simulate(
                     &self.platform,
                     &mut wrapped,
@@ -304,6 +346,79 @@ impl Scenario {
             total += runner.execute_at(spec, seed)?.makespan;
         }
         Ok(total / spec.reps as f64)
+    }
+
+    /// Measure how much `spec`'s run at `seed` lost to planning blind:
+    /// re-run with the planner fed the *realized* platform of
+    /// `spec.config.speeds` (same seed, same error model, same faults and
+    /// recovery policy — only the plan-time knowledge changes) and compare
+    /// makespans.
+    ///
+    /// Two clairvoyant twins compete for the reference: the same scheduler
+    /// kind replanned on realized rates, and a [`SchedulerKind::HetUmr`]
+    /// twin. The second matters because most of the paper's planners are
+    /// homogeneous (they either refuse to build on a heterogeneous
+    /// realized platform, or size chunks without looking at per-worker
+    /// speeds, reproducing the blind plan exactly) — without a
+    /// heterogeneity-aware twin the reference would degenerate to the
+    /// realized makespan itself and every ratio would read 1. The realized
+    /// run is itself clairvoyant-achievable, so the reference is the
+    /// minimum of both twins and `realized_makespan`, which keeps the
+    /// ratio ≥ 1 by construction.
+    ///
+    /// `realized_makespan` is the makespan the caller already obtained by
+    /// executing `spec` at `seed`. Returns `None` when the spec's speed
+    /// model is [`SpeedModel::Declared`] — there is nothing to reveal, so
+    /// no robustness question to ask.
+    ///
+    /// The attached prototype (if any) is dropped for the twins: it was
+    /// planned against declared rates, and the twins' whole point is to
+    /// plan against realized ones.
+    pub fn robustness(
+        &self,
+        spec: &RunSpec,
+        seed: u64,
+        realized_makespan: f64,
+    ) -> Option<RobustnessReport> {
+        let speeds = spec.config.speeds;
+        if !speeds.is_active() {
+            return None;
+        }
+        let platform = speeds
+            .realized_platform(&self.platform)
+            .expect("realized factors are floored, so the platform stays valid");
+        let analytic_lower_bound = platform.makespan_lower_bound(self.w_total);
+        let clairvoyant = Scenario {
+            platform,
+            ..self.clone()
+        };
+        let mut twin = spec.clone().seed(seed).reps(1).speeds(SpeedModel::Declared);
+        twin.prototype = None;
+        let mut het_twin = twin.clone();
+        het_twin.kind = SchedulerKind::HetUmr;
+        let replanned_makespan = [twin, het_twin]
+            .iter()
+            .filter_map(|t| clairvoyant.execute(t).ok())
+            .map(|r| r.makespan)
+            .fold(None, |best: Option<f64>, m| {
+                Some(best.map_or(m, |b| b.min(m)))
+            });
+        let clairvoyant_makespan = match replanned_makespan {
+            Some(m) => m.min(realized_makespan),
+            None => realized_makespan,
+        };
+        let ratio = if clairvoyant_makespan > 0.0 {
+            realized_makespan / clairvoyant_makespan
+        } else {
+            1.0
+        };
+        Some(RobustnessReport {
+            realized_makespan,
+            replanned_makespan,
+            clairvoyant_makespan,
+            ratio,
+            analytic_lower_bound,
+        })
     }
 
     /// Run one simulation.
@@ -469,7 +584,8 @@ impl ScenarioRunner<'_> {
         self.engine.reset(self.scenario.injector(seed));
         match recovery {
             Some(rc) => {
-                let mut wrapped = Recovering::with_config(scheduler, rc);
+                let mut wrapped = Recovering::with_config(scheduler, rc)
+                    .with_declared_rates(divergence_rates(&self.scenario.platform, &rc));
                 Ok(self.engine.run_reusing(&mut wrapped)?)
             }
             None => Ok(self.engine.run_reusing(scheduler.as_mut())?),
@@ -551,6 +667,20 @@ impl ScenarioRunner<'_> {
     #[doc(hidden)]
     pub fn debug_queue_capacity(&self) -> usize {
         self.engine.debug_queue_capacity()
+    }
+}
+
+/// Declared per-worker `(comp_latency, speed)` for the recovery layer's
+/// divergence check — empty (and free) when the check is disabled.
+fn divergence_rates(platform: &Platform, recovery: &RecoveryConfig) -> Vec<(f64, f64)> {
+    if recovery.divergence_threshold.is_some() {
+        platform
+            .workers()
+            .iter()
+            .map(|w| (w.comp_latency, w.speed))
+            .collect()
+    } else {
+        Vec::new()
     }
 }
 
@@ -776,6 +906,71 @@ mod tests {
         let proto = kind.prototype(&s.platform, s.w_total).unwrap();
         let via_proto = s.execute(&spec.clone().with_prototype(proto)).unwrap();
         assert_eq!(legacy.makespan.to_bits(), via_proto.makespan.to_bits());
+    }
+
+    #[test]
+    fn robustness_none_without_revelation() {
+        let s = Scenario::table1(6, 1.5, 0.1, 0.1, 0.2);
+        let spec = RunSpec::new(SchedulerKind::Factoring).seed(3);
+        let r = s.execute(&spec).unwrap();
+        assert!(s.robustness(&spec, 3, r.makespan).is_none());
+    }
+
+    #[test]
+    fn robustness_ratio_at_least_one_under_adversary() {
+        let s = Scenario::heterogeneous_demo(8, 0.2);
+        let spec = RunSpec::new(SchedulerKind::Factoring)
+            .seed(5)
+            .speeds(SpeedModel::Adversarial {
+                fraction: 0.25,
+                slowdown: 2.0,
+            });
+        let realized = s.execute(&spec).unwrap();
+        let report = s.robustness(&spec, 5, realized.makespan).unwrap();
+        assert!(report.ratio >= 1.0 - 1e-9, "ratio {}", report.ratio);
+        assert!(report.clairvoyant_makespan <= realized.makespan + 1e-12);
+        assert!(report.analytic_lower_bound <= report.clairvoyant_makespan + 1e-9);
+        assert!(report.replanned_makespan.is_some());
+
+        // Degrading the fastest workers must actually hurt: the realized
+        // run is slower than the trusting-regime run on declared rates.
+        let trusting = s
+            .execute(&spec.clone().speeds(SpeedModel::Declared))
+            .unwrap();
+        assert!(realized.makespan > trusting.makespan);
+    }
+
+    #[test]
+    fn robustness_het_twin_rescues_homogeneous_planners() {
+        // UMR demands a homogeneous platform, so its same-kind twin
+        // cannot be built after a heterogeneous revelation — the
+        // HetUmr twin must step in as the clairvoyant reference, and it
+        // must expose that the blind run genuinely lost time.
+        let s = Scenario::table1(8, 1.5, 0.2, 0.2, 0.0);
+        let spec = RunSpec::new(SchedulerKind::Umr)
+            .seed(1)
+            .speeds(SpeedModel::Adversarial {
+                fraction: 0.5,
+                slowdown: 2.0,
+            });
+        let realized = s.execute(&spec).unwrap();
+        let report = s.robustness(&spec, 1, realized.makespan).unwrap();
+        let replanned = report.replanned_makespan.expect("HetUmr twin builds");
+        assert!(replanned < realized.makespan);
+        assert!(report.ratio > 1.0, "ratio {}", report.ratio);
+        assert_eq!(report.clairvoyant_makespan, replanned);
+    }
+
+    #[test]
+    fn declared_speed_model_is_bit_identical_to_default() {
+        let s = Scenario::heterogeneous_demo(10, 0.3);
+        let kind = SchedulerKind::Factoring;
+        let base = s.execute(&RunSpec::new(kind).seed(11)).unwrap();
+        let gated = s
+            .execute(&RunSpec::new(kind).seed(11).speeds(SpeedModel::Declared))
+            .unwrap();
+        assert_eq!(base.makespan.to_bits(), gated.makespan.to_bits());
+        assert_eq!(base.num_chunks, gated.num_chunks);
     }
 
     #[test]

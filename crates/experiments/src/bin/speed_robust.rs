@@ -1,0 +1,172 @@
+//! Speed-robust stress sweep: RUMR / UMR / Factoring / OneRound under
+//! declared-vs-realized speed revelation.
+//!
+//! For each speed profile (identity, stochastic noise, sandbagging subset,
+//! worst-case-within-budget adversary) the bin sweeps a compact platform
+//! grid, executing every run at the *realized* rates while the planners
+//! see only the *declared* platform, and reports the mean robustness
+//! ratio — realized makespan over the clairvoyant reference replanned on
+//! the realized rates. The engine's streaming invariant audit is on for
+//! every run.
+//!
+//! ```text
+//! cargo run --release -p dls-experiments --bin speed_robust -- --quick
+//! ```
+//!
+//! Exits non-zero when any audited run produces an invariant finding or
+//! any robustness ratio dips below 1 (both would mean the revelation
+//! machinery, not the schedulers, is broken). Standard harness flags
+//! apply; `--speeds SPEC` restricts the run to one revelation profile and
+//! `--csv PATH` dumps every (profile, cell, competitor) row.
+
+use std::fmt::Write as _;
+use std::process::exit;
+
+use dls_experiments::{run_sweep, write_file, Competitor, Table1Grid};
+use rumr::SpeedModel;
+
+/// Tolerance on the ratio ≥ 1 invariant (float noise only).
+const RATIO_EPS: f64 = 1e-9;
+
+fn competitors() -> Vec<Competitor> {
+    vec![
+        Competitor::RumrKnown,
+        Competitor::Umr,
+        Competitor::Factoring,
+        Competitor::OneRound,
+    ]
+}
+
+/// The default profile ladder: trusting regime first (bit-identity
+/// anchor), then increasingly structured revelations.
+fn default_profiles(seed: u64) -> Vec<SpeedModel> {
+    vec![
+        SpeedModel::Declared,
+        SpeedModel::Stochastic { spread: 0.25, seed },
+        SpeedModel::Sandbagged {
+            fraction: 0.25,
+            slowdown: 2.0,
+            seed,
+        },
+        SpeedModel::Adversarial {
+            fraction: 0.25,
+            slowdown: 2.0,
+        },
+    ]
+}
+
+fn main() {
+    let opts = match dls_experiments::parse_env() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(2);
+        }
+    };
+
+    // Compact pinned grid unless --full: the clairvoyant twin doubles the
+    // simulation count, so the generic 144-point quick grid is too slow
+    // for a smoke run.
+    let mut sweep_config = opts.sweep.clone();
+    if sweep_config.grid.len() > 16 {
+        sweep_config.grid = Table1Grid {
+            n_values: vec![10, 20],
+            ratio_values: vec![1.5],
+            clat_values: vec![0.2],
+            nlat_values: vec![0.2, 0.6],
+        };
+        sweep_config.errors = vec![0.04, 0.24, 0.44];
+    }
+    sweep_config.reps = opts.reps_or(10);
+    sweep_config.audit = true;
+
+    // --speeds pins a single revelation profile; otherwise the ladder.
+    let profiles = if sweep_config.speeds.is_active() {
+        vec![sweep_config.speeds]
+    } else {
+        default_profiles(sweep_config.root_seed)
+    };
+
+    let comps = competitors();
+    let mut table = format!("{:<48}", "profile");
+    for c in &comps {
+        let _ = write!(table, "{:>12}", c.label());
+    }
+    table.push('\n');
+
+    let mut csv =
+        String::from("profile,scheduler,n,ratio,clat,nlat,error,mean_makespan,mean_robustness\n");
+    let mut violations = 0usize;
+
+    for profile in &profiles {
+        let mut config = sweep_config.clone();
+        config.speeds = *profile;
+        let result = run_sweep(&config, &comps);
+
+        let mut ratio_sums = vec![0.0; comps.len()];
+        for cell in &result.cells {
+            if cell.audit_findings > 0 {
+                eprintln!(
+                    "AUDIT: {} finding(s) under {} at N={} error={}",
+                    cell.audit_findings,
+                    profile.label(),
+                    cell.point.n,
+                    cell.error
+                );
+                violations += cell.audit_findings;
+            }
+            for (c, comp) in comps.iter().enumerate() {
+                let ratio = cell.robustness.as_ref().map(|r| r[c]);
+                if let Some(r) = ratio {
+                    if !(r.is_finite() && r >= 1.0 - RATIO_EPS) {
+                        eprintln!(
+                            "RATIO: {} under {} at N={} error={} is {r}",
+                            comp.label(),
+                            profile.label(),
+                            cell.point.n,
+                            cell.error
+                        );
+                        violations += 1;
+                    }
+                    ratio_sums[c] += r;
+                }
+                let _ = writeln!(
+                    csv,
+                    "{},{},{},{},{},{},{},{:.6},{}",
+                    profile.label(),
+                    comp.label(),
+                    cell.point.n,
+                    cell.point.ratio,
+                    cell.point.comp_latency,
+                    cell.point.net_latency,
+                    cell.error,
+                    cell.means[c],
+                    ratio.map_or(String::new(), |r| format!("{r:.6}")),
+                );
+            }
+        }
+
+        let _ = write!(table, "{:<48}", profile.label());
+        for (c, _) in comps.iter().enumerate() {
+            if profile.is_active() {
+                let mean = ratio_sums[c] / result.cells.len() as f64;
+                let _ = write!(table, "{mean:>12.4}");
+            } else {
+                let _ = write!(table, "{:>12}", "1 (def)");
+            }
+        }
+        table.push('\n');
+    }
+
+    println!("mean robustness ratio (realized / clairvoyant makespan):\n");
+    println!("{table}");
+    if let Some(path) = &opts.csv {
+        write_file(path, &csv).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+    if violations > 0 {
+        eprintln!("{violations} violation(s)");
+        exit(1);
+    }
+    eprintln!("clean: every audited run conforming, every ratio >= 1");
+}

@@ -11,13 +11,17 @@
 //! --threads N      worker threads (default: all cores)
 //! --model M        normal | uniform | inverse
 //! --queue Q        heap | calendar (event-queue backend; default calendar)
+//! --speeds SPEC    declared | stochastic:SPREAD[:SEED] |
+//!                  sandbag:FRACTION:SLOWDOWN[:SEED] |
+//!                  adversarial:FRACTION:SLOWDOWN (speed-revelation model)
 //! --csv PATH       also write results as CSV to PATH
 //! --quiet          suppress progress output
+//! --quick          explicit quick mode (the default; opposite of --full)
 //! ```
 
 use std::path::PathBuf;
 
-use rumr::{QueueBackend, RunSpec};
+use rumr::{QueueBackend, RunSpec, SpeedModel};
 
 use crate::grid::error_values;
 use crate::sweep::{ErrorModelKind, SweepConfig};
@@ -74,6 +78,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
     let mut threads: Option<usize> = None;
     let mut model: Option<ErrorModelKind> = None;
     let mut queue: Option<QueueBackend> = None;
+    let mut speeds: Option<SpeedModel> = None;
     let mut csv: Option<PathBuf> = None;
     let mut quiet = false;
 
@@ -83,6 +88,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
             |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
         match arg.as_str() {
             "--full" => full = true,
+            // Quick is the default; the explicit flag lets scripts (CI)
+            // state the intent without tracking which mode is default.
+            "--quick" => full = false,
             "--quiet" => quiet = true,
             "--reps" => {
                 reps = Some(
@@ -129,6 +137,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                         .ok_or_else(|| format!("unknown queue backend '{v}'"))?,
                 )
             }
+            "--speeds" => {
+                let v = value_for("--speeds")?;
+                speeds = Some(
+                    SpeedModel::parse(&v)
+                        .ok_or_else(|| format!("malformed speed model '{v}'\n{USAGE}"))?,
+                )
+            }
             "--csv" => csv = Some(PathBuf::from(value_for("--csv")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -161,6 +176,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
     if let Some(q) = queue {
         sweep.queue_backend = q;
     }
+    if let Some(s) = speeds {
+        sweep.speeds = s;
+    }
     sweep.progress = !quiet;
 
     Ok(CliOptions {
@@ -176,8 +194,9 @@ pub fn parse_env() -> Result<CliOptions, String> {
 }
 
 /// Usage string shared by the binaries.
-pub const USAGE: &str = "flags: [--full] [--reps N] [--error-step S] [--seed N] [--threads N] \
-[--model normal|uniform|inverse] [--queue heap|calendar] [--csv PATH] [--quiet]";
+pub const USAGE: &str = "flags: [--full|--quick] [--reps N] [--error-step S] [--seed N] \
+[--threads N] [--model normal|uniform|inverse] [--queue heap|calendar] \
+[--speeds declared|stochastic:S[:SEED]|sandbag:F:S[:SEED]|adversarial:F:S] [--csv PATH] [--quiet]";
 
 #[cfg(test)]
 mod tests {
@@ -262,8 +281,34 @@ mod tests {
     }
 
     #[test]
+    fn quick_flag_and_speeds() {
+        let o = parse(&["--quick"]).unwrap();
+        assert_eq!(o.sweep.reps, 10);
+        assert_eq!(o.sweep.speeds, SpeedModel::Declared);
+
+        let o = parse(&["--speeds", "adversarial:0.25:2"]).unwrap();
+        assert_eq!(
+            o.sweep.speeds,
+            SpeedModel::Adversarial {
+                fraction: 0.25,
+                slowdown: 2.0
+            }
+        );
+        let o = parse(&["--speeds", "stochastic:0.3:7"]).unwrap();
+        assert_eq!(
+            o.sweep.speeds,
+            SpeedModel::Stochastic {
+                spread: 0.3,
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse(&["--nope"]).is_err());
+        assert!(parse(&["--speeds", "warp:9"]).is_err());
+        assert!(parse(&["--speeds", "stochastic:1.5"]).is_err());
         assert!(parse(&["--reps"]).is_err());
         assert!(parse(&["--reps", "zero"]).is_err());
         assert!(parse(&["--reps", "0"]).is_err());

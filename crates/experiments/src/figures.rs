@@ -137,24 +137,32 @@ mod tests {
                     error: 0.0,
                     means: vec![100.0, 110.0],
                     link_util: None,
+                    robustness: None,
+                    audit_findings: 0,
                 },
                 Cell {
                     point: pt(0.5, 0.5),
                     error: 0.0,
                     means: vec![100.0, 130.0],
                     link_util: None,
+                    robustness: None,
+                    audit_findings: 0,
                 },
                 Cell {
                     point: pt(0.1, 0.1),
                     error: 0.2,
                     means: vec![100.0, 150.0],
                     link_util: None,
+                    robustness: None,
+                    audit_findings: 0,
                 },
                 Cell {
                     point: pt(0.5, 0.5),
                     error: 0.2,
                     means: vec![100.0, 170.0],
                     link_util: None,
+                    robustness: None,
+                    audit_findings: 0,
                 },
             ],
         }

@@ -75,6 +75,20 @@ impl Json {
         }
     }
 
+    /// True when every number in the document (at any nesting depth) is
+    /// finite. JSON has no NaN/infinity literals, but an overflowing
+    /// token like `1e999` parses to f64 infinity — callers that feed
+    /// parsed numbers into simulation configs use this to reject such
+    /// documents wholesale.
+    pub fn all_finite(&self) -> bool {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Str(_) => true,
+            Json::Num(x) => x.is_finite(),
+            Json::Arr(items) => items.iter().all(Json::all_finite),
+            Json::Obj(fields) => fields.iter().all(|(_, v)| v.all_finite()),
+        }
+    }
+
     /// Canonical serialization: compact (no whitespace), object keys
     /// sorted lexicographically at every level, numbers in Rust's shortest
     /// round-trip `{}` form. Two semantically equal documents — same
@@ -373,6 +387,18 @@ mod tests {
         assert!(parse_json("1 2").is_err());
         assert!(parse_json("{'a': 1}").is_err());
         assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn all_finite_walks_every_depth() {
+        assert!(parse_json(r#"{"a": [1, {"b": 2.5}], "c": null}"#)
+            .unwrap()
+            .all_finite());
+        // 1e999 overflows to infinity during parsing.
+        assert!(!parse_json(r#"{"a": [1, {"b": 1e999}]}"#)
+            .unwrap()
+            .all_finite());
+        assert!(!parse_json("[[[-1e999]]]").unwrap().all_finite());
     }
 
     #[test]

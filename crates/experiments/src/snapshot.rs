@@ -17,7 +17,7 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use rumr::{
     FaultModel, PoissonFaults, QueueBackend, RecoveryConfig, RumrConfig, Scenario, SchedulerKind,
-    SimConfig, TraceMode,
+    SimConfig, SpeedModel, TraceMode,
 };
 
 use crate::grid::Table1Grid;
@@ -26,8 +26,9 @@ use crate::sweep::{run_sweep, Competitor, ErrorModelKind, SweepConfig};
 
 /// Version of the `BENCH_sim.json` schema this module writes.
 /// [`validate_snapshot_json`] still accepts version-1 documents (which
-/// predate the `queue` case field and the `sweep_threads` machine field).
-pub const SCHEMA_VERSION: u64 = 2;
+/// predate the `queue` case field and the `sweep_threads` machine field)
+/// and version-2 documents (which predate the `speed_robust` section).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Error magnitude used by every pinned case.
 const CASE_ERROR: f64 = 0.3;
@@ -160,8 +161,25 @@ pub struct Snapshot {
     pub peak_rss_bytes: u64,
     /// Per-case engine throughput.
     pub cases: Vec<CaseResult>,
+    /// Robustness ratios of the pinned speed-revelation sweep, one row
+    /// per (speed profile, scheduler).
+    pub speed_robust: Vec<SpeedRobustRow>,
     /// The Off-vs-Full sweep comparison.
     pub sweep: SweepComparison,
+}
+
+/// Mean robustness of one scheduler under one speed-revelation profile in
+/// the pinned speed-robust sweep.
+#[derive(Debug, Clone)]
+pub struct SpeedRobustRow {
+    /// Speed-model label ([`SpeedModel::label`]).
+    pub profile: String,
+    /// Competitor label.
+    pub scheduler: String,
+    /// Mean robustness ratio (realized / clairvoyant makespan, ≥ 1).
+    pub mean_ratio: f64,
+    /// Mean realized makespan.
+    pub mean_makespan: f64,
 }
 
 /// One entry of the pinned suite: a fully specified (scenario, scheduler,
@@ -260,6 +278,8 @@ pub fn snapshot_sweep_config(reps: u64, trace_mode: TraceMode) -> SweepConfig {
         progress: false,
         trace_mode,
         queue_backend: QueueBackend::default(),
+        speeds: SpeedModel::Declared,
+        audit: false,
     }
 }
 
@@ -271,6 +291,80 @@ fn sweep_competitors() -> Vec<Competitor> {
         Competitor::Mi(3),
         Competitor::Factoring,
     ]
+}
+
+/// The pinned speed-revelation profiles of the snapshot's `speed_robust`
+/// section (the declared identity is deliberately absent — it has no
+/// robustness question to answer).
+pub fn pinned_speed_profiles() -> Vec<SpeedModel> {
+    vec![
+        SpeedModel::Stochastic {
+            spread: 0.25,
+            seed: 23,
+        },
+        SpeedModel::Sandbagged {
+            fraction: 0.25,
+            slowdown: 2.0,
+            seed: 23,
+        },
+        SpeedModel::Adversarial {
+            fraction: 0.25,
+            slowdown: 2.0,
+        },
+    ]
+}
+
+/// Competitors of the pinned speed-robust sweep: the paper's headliners
+/// plus the one-round baseline, the most commitment-heavy plan.
+fn speed_competitors() -> Vec<Competitor> {
+    vec![
+        Competitor::RumrKnown,
+        Competitor::Umr,
+        Competitor::Factoring,
+        Competitor::OneRound,
+    ]
+}
+
+/// One pinned grid point per profile keeps the section cheap; the audit
+/// stays on so a revelation that broke an engine invariant would fail the
+/// snapshot loudly rather than ship a corrupt number.
+fn measure_speed_robust(reps: u64) -> Vec<SpeedRobustRow> {
+    let competitors = speed_competitors();
+    let mut rows = Vec::new();
+    for profile in pinned_speed_profiles() {
+        let mut config = snapshot_sweep_config(reps, TraceMode::Off);
+        config.grid = Table1Grid {
+            n_values: vec![20],
+            ratio_values: vec![1.5],
+            clat_values: vec![0.2],
+            nlat_values: vec![0.2],
+        };
+        config.errors = vec![0.24];
+        config.speeds = profile;
+        config.audit = true;
+        let result = run_sweep(&config, &competitors);
+        for cell in &result.cells {
+            assert_eq!(
+                cell.audit_findings,
+                0,
+                "speed-robust sweep must audit clean under {}",
+                profile.label()
+            );
+            let ratios = cell
+                .robustness
+                .as_ref()
+                .expect("active profile yields ratios");
+            for (c, competitor) in competitors.iter().enumerate() {
+                rows.push(SpeedRobustRow {
+                    profile: profile.label(),
+                    scheduler: competitor.label(),
+                    mean_ratio: ratios[c],
+                    mean_makespan: cell.means[c],
+                });
+            }
+        }
+    }
+    rows
 }
 
 fn measure_case(spec: &CaseSpec, reps: u64, backend: QueueBackend) -> CaseResult {
@@ -390,6 +484,7 @@ pub fn run_snapshot(config: SnapshotConfig) -> Snapshot {
                 .map(move |spec| measure_case(spec, config.case_reps, backend))
         })
         .collect();
+    let speed_robust = measure_speed_robust(config.sweep_reps);
     let sweep = measure_sweep(config.sweep_reps);
     Snapshot {
         schema_version: SCHEMA_VERSION,
@@ -405,6 +500,7 @@ pub fn run_snapshot(config: SnapshotConfig) -> Snapshot {
         commit: git_commit(),
         peak_rss_bytes: peak_rss_bytes(),
         cases,
+        speed_robust,
         sweep,
     }
 }
@@ -485,6 +581,23 @@ impl Snapshot {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str("  \"speed_robust\": [\n");
+        for (i, r) in self.speed_robust.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"profile\": \"{}\", \"scheduler\": \"{}\", \"mean_ratio\": {}, \
+                 \"mean_makespan\": {}}}{}\n",
+                json_escape(&r.profile),
+                json_escape(&r.scheduler),
+                json_num(r.mean_ratio),
+                json_num(r.mean_makespan),
+                if i + 1 < self.speed_robust.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str(&format!(
             "  \"sweep\": {{\"cells\": {}, \"reps\": {}, \"off_s\": {}, \"full_s\": {}, \
              \"speedup\": {}}}\n",
@@ -527,18 +640,19 @@ fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, Strin
 /// Checks structure and value sanity (positive timings, non-empty case
 /// list), not timing thresholds.
 ///
-/// Accepts the current version-2 schema and the legacy version 1
-/// (pre-`queue`/`sweep_threads`), so tooling can still check committed
-/// historical snapshots.
+/// Accepts the current version-3 schema and the legacy versions 1
+/// (pre-`queue`/`sweep_threads`) and 2 (pre-`speed_robust`), so tooling
+/// can still check committed historical snapshots.
 pub fn validate_snapshot_json(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
     let version = require_num(&doc, "schema_version", "root")?;
-    if version != 1.0 && version != SCHEMA_VERSION as f64 {
+    if version != 1.0 && version != 2.0 && version != SCHEMA_VERSION as f64 {
         return Err(format!(
-            "unsupported schema_version {version} (expected 1 or {SCHEMA_VERSION})"
+            "unsupported schema_version {version} (expected 1, 2 or {SCHEMA_VERSION})"
         ));
     }
-    let v2 = version == 2.0;
+    let v2 = version >= 2.0;
+    let v3 = version >= 3.0;
     require_num(&doc, "created_unix", "root")?;
     require_num(&doc, "peak_rss_bytes", "root")?;
     require_str(&doc, "commit", "root")?;
@@ -586,6 +700,30 @@ pub fn validate_snapshot_json(text: &str) -> Result<(), String> {
         require_num(case, "mean_makespan", &ctx)?;
     }
 
+    if v3 {
+        let rows = match doc.get("speed_robust") {
+            Some(Json::Arr(rows)) => rows,
+            _ => return Err("root: missing or non-array 'speed_robust'".into()),
+        };
+        if rows.is_empty() {
+            return Err("speed_robust: must not be empty".into());
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let ctx = format!("speed_robust[{i}]");
+            require_str(row, "profile", &ctx)?;
+            require_str(row, "scheduler", &ctx)?;
+            let ratio = require_num(row, "mean_ratio", &ctx)?;
+            // The clairvoyant reference can never lose to the blind run
+            // it references; a ratio below 1 means the metric is broken.
+            if ratio < 1.0 - 1e-6 {
+                return Err(format!("{ctx}: mean_ratio {ratio} is below 1"));
+            }
+            if require_num(row, "mean_makespan", &ctx)? <= 0.0 {
+                return Err(format!("{ctx}: mean_makespan must be positive"));
+            }
+        }
+    }
+
     let sweep = doc
         .get("sweep")
         .ok_or_else(|| "root: missing 'sweep'".to_string())?;
@@ -619,6 +757,12 @@ mod tests {
                 ns_per_event: 1111.1,
                 runs_per_sec: 3000.0,
                 mean_makespan: 63.5,
+            }],
+            speed_robust: vec![SpeedRobustRow {
+                profile: "adversarial(fraction=0.25,slowdown=2)".into(),
+                scheduler: "RUMR".into(),
+                mean_ratio: 1.18,
+                mean_makespan: 71.0,
             }],
             sweep: SweepComparison {
                 cells: 12,
@@ -656,6 +800,14 @@ mod tests {
         let mut snap = dummy_snapshot();
         snap.cases[0].name = "plain".into();
         assert!(validate_snapshot_json(&snap.to_json()).is_err());
+        // v3: a robustness ratio below 1 is a broken metric.
+        let mut snap = dummy_snapshot();
+        snap.speed_robust[0].mean_ratio = 0.93;
+        assert!(validate_snapshot_json(&snap.to_json()).is_err());
+        // v3: the speed_robust section is mandatory and non-empty.
+        let mut snap = dummy_snapshot();
+        snap.speed_robust.clear();
+        assert!(validate_snapshot_json(&snap.to_json()).is_err());
     }
 
     #[test]
@@ -692,6 +844,11 @@ mod tests {
           "sweep": {"cells": 12, "reps": 2, "off_s": 0.1, "full_s": 0.2, "speedup": 2.0}
         }"#;
         validate_snapshot_json(v1).expect("v1 must stay parseable");
+        // A v2 document: queue fields required, speed_robust not yet.
+        let mut snap = dummy_snapshot();
+        snap.schema_version = 2;
+        snap.speed_robust.clear();
+        validate_snapshot_json(&snap.to_json()).expect("v2 must stay parseable");
         // But v1 rules still apply to v1 documents.
         assert!(validate_snapshot_json(&v1.replace("\"cpus\": 4", "\"cpus\": 0")).is_err());
         // And v2 requires the queue field.
@@ -752,6 +909,20 @@ mod tests {
             );
         }
         assert!(snap.sweep.cells == 12);
+        assert_eq!(
+            snap.speed_robust.len(),
+            12,
+            "3 pinned profiles x 4 competitors"
+        );
+        for row in &snap.speed_robust {
+            assert!(
+                row.mean_ratio >= 1.0 - 1e-9 && row.mean_ratio.is_finite(),
+                "{}/{}: bad ratio {}",
+                row.profile,
+                row.scheduler,
+                row.mean_ratio
+            );
+        }
         validate_snapshot_json(&snap.to_json()).expect("real snapshot must validate");
     }
 

@@ -16,7 +16,8 @@ use std::sync::Mutex;
 use dls_numerics::rng::SeedDeriver;
 use dls_sim::ErrorModel;
 use rumr::{
-    QueueBackend, RumrConfig, RunSpec, Scenario, SchedulerKind, SimConfig, TraceMetrics, TraceMode,
+    QueueBackend, RumrConfig, RunSpec, Scenario, SchedulerKind, SimConfig, SpeedModel,
+    TraceMetrics, TraceMode,
 };
 
 use crate::grid::{GridPoint, Table1Grid};
@@ -75,6 +76,10 @@ pub enum Competitor {
     /// RUMR with the error-unaware minimum chunk bound — ablation of the
     /// §4.2(iii) error-aware bound.
     RumrUnawareBound,
+    /// Closed-form one-round heterogeneous baseline (the speed-robust
+    /// sweep's most commitment-heavy competitor: everything is dispatched
+    /// before any realized rate can be observed).
+    OneRound,
 }
 
 impl Competitor {
@@ -92,6 +97,7 @@ impl Competitor {
             Competitor::RumrAdaptive => "RUMR-adaptive".into(),
             Competitor::RumrFactor(f) => format!("RUMR-f{f}"),
             Competitor::RumrUnawareBound => "RUMR-ub".into(),
+            Competitor::OneRound => "OneRound".into(),
         }
     }
 
@@ -119,6 +125,7 @@ impl Competitor {
                 cfg.error_aware_bound = false;
                 SchedulerKind::Rumr(cfg)
             }
+            Competitor::OneRound => SchedulerKind::OneRound,
         }
     }
 }
@@ -166,6 +173,13 @@ pub struct SweepConfig {
     /// Event-queue backend for every engine the sweep builds. Results are
     /// bit-identical across backends; this only changes performance.
     pub queue_backend: QueueBackend,
+    /// Declared-vs-realized speed model applied to every run. With an
+    /// active model each cell also aggregates per-competitor robustness
+    /// ratios ([`Cell::robustness`]) against clairvoyant twins.
+    pub speeds: SpeedModel,
+    /// Run the engine's streaming invariant audit on every run and count
+    /// findings into [`Cell::audit_findings`].
+    pub audit: bool,
 }
 
 impl SweepConfig {
@@ -182,6 +196,8 @@ impl SweepConfig {
             progress: false,
             trace_mode: TraceMode::Off,
             queue_backend: QueueBackend::default(),
+            speeds: SpeedModel::Declared,
+            audit: false,
         }
     }
 
@@ -220,6 +236,13 @@ pub struct Cell {
     /// Mean master-link utilization per competitor, present when the sweep
     /// ran with [`TraceMode::MetricsOnly`] or [`TraceMode::Full`].
     pub link_util: Option<Vec<f64>>,
+    /// Mean robustness ratio per competitor (realized makespan over the
+    /// clairvoyant reference, ≥ 1), present when the sweep ran with an
+    /// active [`SweepConfig::speeds`] model.
+    pub robustness: Option<Vec<f64>>,
+    /// Invariant findings across every run of the cell when
+    /// [`SweepConfig::audit`] was on (0 = audited and clean).
+    pub audit_findings: usize,
 }
 
 /// Result of a sweep: one [`Cell`] per (point, error), in deterministic
@@ -325,6 +348,8 @@ fn compute_cell(
     let sim_config = SimConfig {
         trace_mode: config.trace_mode,
         queue_backend: config.queue_backend,
+        speeds: config.speeds,
+        audit: config.audit,
         ..SimConfig::default()
     };
     let mut runner = scenario.runner(sim_config.clone());
@@ -352,8 +377,11 @@ fn compute_cell(
         .collect();
     let seeds = SeedDeriver::new(config.root_seed).child(cell_index as u64);
 
+    let speeds_active = config.speeds.is_active();
     let mut means = vec![0.0; competitors.len()];
     let mut link_util = vec![0.0; competitors.len()];
+    let mut robustness = vec![0.0; competitors.len()];
+    let mut audit_findings = 0usize;
     for rep in 0..config.reps {
         let rep_seeds = seeds.child(rep);
         for (c, competitor) in competitors.iter().enumerate() {
@@ -372,6 +400,15 @@ fn compute_cell(
                 )
             });
             means[c] += result.makespan;
+            if let Some(findings) = &result.audit {
+                audit_findings += findings.len();
+            }
+            if speeds_active {
+                let report = scenario
+                    .robustness(&specs[c], seed, result.makespan)
+                    .expect("speed model is active");
+                robustness[c] += report.ratio;
+            }
             match config.trace_mode {
                 TraceMode::Off => {}
                 TraceMode::MetricsOnly => {
@@ -410,11 +447,19 @@ fn compute_cell(
         }
         link_util
     });
+    let robustness = speeds_active.then(|| {
+        for r in &mut robustness {
+            *r /= denom;
+        }
+        robustness
+    });
     Cell {
         point,
         error,
         means,
         link_util,
+        robustness,
+        audit_findings,
     }
 }
 
@@ -439,6 +484,8 @@ mod tests {
             progress: false,
             trace_mode: TraceMode::Off,
             queue_backend: QueueBackend::default(),
+            speeds: SpeedModel::Declared,
+            audit: false,
         }
     }
 
@@ -518,6 +565,46 @@ mod tests {
         let heap = run_sweep(&cfg, &comps);
         for (a, b) in calendar.cells.iter().zip(&heap.cells) {
             assert_eq!(a.means, b.means, "queue backend changed results");
+        }
+    }
+
+    #[test]
+    fn declared_speeds_leave_results_bit_identical() {
+        let comps = vec![Competitor::RumrKnown, Competitor::Factoring];
+        let base = run_sweep(&tiny_config(), &comps);
+        let mut cfg = tiny_config();
+        cfg.speeds = SpeedModel::Declared; // explicit identity
+        let gated = run_sweep(&cfg, &comps);
+        for (a, b) in base.cells.iter().zip(&gated.cells) {
+            assert_eq!(a.means, b.means);
+            assert!(b.robustness.is_none(), "no revelation, no ratio");
+        }
+    }
+
+    #[test]
+    fn active_speeds_populate_robustness_at_least_one() {
+        let comps = vec![
+            Competitor::RumrKnown,
+            Competitor::Factoring,
+            Competitor::OneRound,
+        ];
+        let mut cfg = tiny_config();
+        cfg.speeds = SpeedModel::Adversarial {
+            fraction: 0.25,
+            slowdown: 2.0,
+        };
+        cfg.audit = true;
+        let r = run_sweep(&cfg, &comps);
+        for cell in &r.cells {
+            assert_eq!(cell.audit_findings, 0, "audited runs must be clean");
+            let ratios = cell.robustness.as_ref().expect("revelation active");
+            assert_eq!(ratios.len(), 3);
+            for &ratio in ratios {
+                assert!(
+                    ratio >= 1.0 - 1e-9 && ratio.is_finite(),
+                    "bad robustness ratio {ratio} in {cell:?}"
+                );
+            }
         }
     }
 

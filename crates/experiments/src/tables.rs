@@ -133,6 +133,8 @@ mod tests {
                 error: 0.02,
                 means: vec![100.0, 110.0, 95.0],
                 link_util: None,
+                robustness: None,
+                audit_findings: 0,
             },
             // Band 0 again: RUMR beats both.
             Cell {
@@ -140,6 +142,8 @@ mod tests {
                 error: 0.06,
                 means: vec![100.0, 120.0, 130.0],
                 link_util: None,
+                robustness: None,
+                audit_findings: 0,
             },
             // Band 4: ties are not wins.
             Cell {
@@ -147,6 +151,8 @@ mod tests {
                 error: 0.44,
                 means: vec![100.0, 100.0, 101.0],
                 link_util: None,
+                robustness: None,
+                audit_findings: 0,
             },
             // Gap value (0.5) is ignored.
             Cell {
@@ -154,6 +160,8 @@ mod tests {
                 error: 0.5,
                 means: vec![100.0, 1000.0, 1000.0],
                 link_util: None,
+                robustness: None,
+                audit_findings: 0,
             },
         ];
         let t = win_rate_table(&sweep_with(cells), 1.0);
@@ -176,6 +184,8 @@ mod tests {
             error: 0.02,
             means: vec![100.0, 105.0, 115.0],
             link_util: None,
+            robustness: None,
+            audit_findings: 0,
         }];
         let any = win_rate_table(&sweep_with(cells.clone()), 1.0);
         assert!((any.percentages[0][0] - 100.0).abs() < 1e-9);
@@ -193,12 +203,16 @@ mod tests {
                 error: 0.1,
                 means: vec![100.0, 110.0, 90.0],
                 link_util: None,
+                robustness: None,
+                audit_findings: 0,
             },
             Cell {
                 point: point(),
                 error: 0.2,
                 means: vec![100.0, 120.0, 130.0],
                 link_util: None,
+                robustness: None,
+                audit_findings: 0,
             },
         ];
         // Wins: 3 of 4 comparisons.

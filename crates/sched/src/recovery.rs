@@ -43,6 +43,17 @@ pub struct RecoveryConfig {
     /// Smallest redispatch chunk; the final sliver of backlog is sent
     /// whole rather than split below this.
     pub min_chunk: f64,
+    /// When set, a worker whose *observed* compute times exceed its
+    /// declared predictions by more than this relative slack (over a
+    /// window of [`RecoveryConfig::divergence_min_samples`] chunks) is
+    /// treated like a recovered-from fault: it loses trust for one
+    /// exponential-backoff period and new work is routed around it. Feed
+    /// the declared rates via [`Recovering::with_declared_rates`].
+    /// `None` (the default) disables the check entirely.
+    pub divergence_threshold: Option<f64>,
+    /// Completed chunks a worker must accumulate before the divergence
+    /// check may fire (guards against judging on one noisy sample).
+    pub divergence_min_samples: u32,
 }
 
 impl Default for RecoveryConfig {
@@ -52,8 +63,51 @@ impl Default for RecoveryConfig {
             backoff_factor: 2.0,
             factor: 2.0,
             min_chunk: 1.0,
+            divergence_threshold: None,
+            divergence_min_samples: 3,
         }
     }
+}
+
+impl RecoveryConfig {
+    /// Set the first post-recovery distrust period (builder style).
+    pub fn with_initial_backoff(mut self, initial_backoff: f64) -> Self {
+        self.initial_backoff = initial_backoff;
+        self
+    }
+
+    /// Set the per-failure backoff multiplier (builder style).
+    pub fn with_backoff_factor(mut self, backoff_factor: f64) -> Self {
+        self.backoff_factor = backoff_factor;
+        self
+    }
+
+    /// Enable divergence-triggered distrust: a worker running more than
+    /// `threshold` (relative) slower than declared over a window of
+    /// `min_samples` chunks is backed off like a flapping worker.
+    pub fn with_divergence(mut self, threshold: f64, min_samples: u32) -> Self {
+        self.divergence_threshold = Some(threshold);
+        self.divergence_min_samples = min_samples;
+        self
+    }
+}
+
+/// Per-worker observation window for the divergence check: actual vs.
+/// declared compute time of the chunks finished since the last reset.
+#[derive(Debug, Clone, Copy, Default)]
+struct RateWindow {
+    /// When the chunk currently computing started.
+    started: f64,
+    /// Observed compute seconds in the window.
+    obs_time: f64,
+    /// Declared (predicted) compute seconds for the same chunks.
+    decl_time: f64,
+    /// Workload units finished in the window.
+    obs_work: f64,
+    /// Chunks finished in the window.
+    samples: u32,
+    /// Divergence triggers so far (not reset with the window).
+    divergences: u32,
 }
 
 /// Wraps any scheduler with lost-work redispatch, dead-worker rerouting,
@@ -71,6 +125,12 @@ pub struct Recovering<S> {
     failures: Vec<u32>,
     /// Time before which a recovered worker is not trusted with new work.
     trust_after: Vec<f64>,
+    /// Declared `(comp_latency, speed)` per worker; empty unless
+    /// [`Recovering::with_declared_rates`] was called. The divergence
+    /// check needs both to predict a chunk's declared compute time.
+    declared: Vec<(f64, f64)>,
+    /// Per-worker observation windows for the divergence check.
+    windows: Vec<RateWindow>,
     inner_finished: bool,
 }
 
@@ -103,6 +163,16 @@ impl<S: Scheduler> Recovering<S> {
             config.backoff_factor >= 1.0 && config.backoff_factor.is_finite(),
             "backoff_factor must be at least 1"
         );
+        if let Some(t) = config.divergence_threshold {
+            assert!(
+                t > 0.0 && t.is_finite(),
+                "divergence_threshold must be positive and finite"
+            );
+            assert!(
+                config.divergence_min_samples >= 1,
+                "divergence_min_samples must be at least 1"
+            );
+        }
         Recovering {
             inner,
             config,
@@ -110,8 +180,19 @@ impl<S: Scheduler> Recovering<S> {
             stash: None,
             failures: Vec::new(),
             trust_after: Vec::new(),
+            declared: Vec::new(),
+            windows: Vec::new(),
             inner_finished: false,
         }
+    }
+
+    /// Supply the declared `(comp_latency, speed)` of every worker so the
+    /// divergence check ([`RecoveryConfig::divergence_threshold`]) can
+    /// predict what each chunk *should* have cost. Without this call the
+    /// check never fires.
+    pub fn with_declared_rates(mut self, declared: Vec<(f64, f64)>) -> Self {
+        self.declared = declared;
+        self
     }
 
     /// The wrapped scheduler.
@@ -124,11 +205,34 @@ impl<S: Scheduler> Recovering<S> {
         self.backlog
     }
 
+    /// Divergence triggers recorded against `worker` so far.
+    pub fn divergences(&self, worker: usize) -> u32 {
+        self.windows.get(worker).map_or(0, |w| w.divergences)
+    }
+
+    /// Observed compute rate of `worker` over its current observation
+    /// window (units per second, latency amortized in), or `None` before
+    /// any chunk finished. This is the "updated rate estimate" the wrapper
+    /// acts on when declaring divergence.
+    pub fn observed_rate(&self, worker: usize) -> Option<f64> {
+        let w = self.windows.get(worker)?;
+        (w.obs_time > 0.0).then(|| w.obs_work / w.obs_time)
+    }
+
     fn ensure_sized(&mut self, n: usize) {
         if self.failures.len() < n {
             self.failures.resize(n, 0);
             self.trust_after.resize(n, 0.0);
         }
+        if self.windows.len() < n {
+            self.windows.resize(n, RateWindow::default());
+        }
+    }
+
+    /// Exponential backoff for a worker's `failures`-th distrust event.
+    fn backoff_for(&self, failures: u32) -> f64 {
+        let n = failures.saturating_sub(1);
+        self.config.initial_backoff * self.config.backoff_factor.powi(n as i32)
     }
 
     /// A worker is *trusted* when it is up and past its post-recovery
@@ -269,10 +373,37 @@ impl<S: Scheduler> Scheduler for Recovering<S> {
     }
 
     fn on_compute_start(&mut self, worker: usize, chunk: f64, time: f64) {
+        if self.config.divergence_threshold.is_some() {
+            self.ensure_sized(worker + 1);
+            self.windows[worker].started = time;
+        }
         self.inner.on_compute_start(worker, chunk, time);
     }
 
     fn on_compute_end(&mut self, worker: usize, chunk: f64, time: f64) {
+        if let (Some(threshold), Some(&(clat, speed))) =
+            (self.config.divergence_threshold, self.declared.get(worker))
+        {
+            self.ensure_sized(worker + 1);
+            let w = &mut self.windows[worker];
+            w.obs_time += (time - w.started).max(0.0);
+            w.decl_time += clat + chunk / speed;
+            w.obs_work += chunk;
+            w.samples += 1;
+            let diverged = w.samples >= self.config.divergence_min_samples
+                && w.obs_time > w.decl_time * (1.0 + threshold);
+            if diverged {
+                // Same treatment as a fault: count it, distrust the worker
+                // for one backoff period, start a fresh observation window
+                // so recovery is judged on post-backoff behavior.
+                *w = RateWindow {
+                    divergences: w.divergences + 1,
+                    ..RateWindow::default()
+                };
+                self.failures[worker] += 1;
+                self.trust_after[worker] = time + self.backoff_for(self.failures[worker]);
+            }
+        }
         self.inner.on_compute_end(worker, chunk, time);
     }
 
@@ -289,9 +420,7 @@ impl<S: Scheduler> Scheduler for Recovering<S> {
     fn on_worker_recovered(&mut self, worker: usize, time: f64) {
         self.ensure_sized(worker + 1);
         // Exponential backoff in the number of failures so far.
-        let n = self.failures[worker].saturating_sub(1);
-        let backoff = self.config.initial_backoff * self.config.backoff_factor.powi(n as i32);
-        self.trust_after[worker] = time + backoff;
+        self.trust_after[worker] = time + self.backoff_for(self.failures[worker]);
         self.inner.on_worker_recovered(worker, time);
     }
 
@@ -526,6 +655,105 @@ mod tests {
             Decision::Redispatch { chunk, .. } => assert!(chunk > 0.0),
             other => panic!("unexpected decision: {other:?}"),
         }
+    }
+
+    #[test]
+    fn config_builder_sets_backoff_knobs() {
+        let cfg = RecoveryConfig::default()
+            .with_initial_backoff(7.5)
+            .with_backoff_factor(3.0)
+            .with_divergence(0.5, 2);
+        assert_eq!(cfg.initial_backoff, 7.5);
+        assert_eq!(cfg.backoff_factor, 3.0);
+        assert_eq!(cfg.divergence_threshold, Some(0.5));
+        assert_eq!(cfg.divergence_min_samples, 2);
+    }
+
+    #[test]
+    fn divergence_distrusts_a_sandbagging_worker() {
+        let cfg = RecoveryConfig::default()
+            .with_initial_backoff(10.0)
+            .with_divergence(0.5, 2);
+        // Declared: no latency, speed 1 → a 4-unit chunk should take 4 s.
+        let inner = Scripted::new(vec![
+            Decision::Dispatch {
+                worker: 0,
+                chunk: 2.0,
+            };
+            4
+        ]);
+        let mut r =
+            Recovering::with_config(inner, cfg).with_declared_rates(vec![(0.0, 1.0), (0.0, 1.0)]);
+
+        // Worker 0 runs at a quarter of its declared speed: 4-unit chunks
+        // take 16 s instead of 4 s. Two samples trip the 50 % threshold.
+        r.on_compute_start(0, 4.0, 0.0);
+        r.on_compute_end(0, 4.0, 16.0);
+        assert_eq!(r.divergences(0), 0, "one sample must not be enough");
+        r.on_compute_start(0, 4.0, 16.0);
+        r.on_compute_end(0, 4.0, 32.0);
+        assert_eq!(r.divergences(0), 1);
+
+        // Distrusted: the inner plan aimed at worker 0 reroutes to 1
+        // until the backoff (32 + 10) expires.
+        let workers = idle_workers(2);
+        let view = SimView {
+            time: 33.0,
+            workers: &workers,
+        };
+        assert_eq!(
+            r.next_dispatch(&view),
+            Decision::Dispatch {
+                worker: 1,
+                chunk: 2.0
+            }
+        );
+        let view = SimView {
+            time: 42.5,
+            workers: &workers,
+        };
+        assert_eq!(
+            r.next_dispatch(&view),
+            Decision::Dispatch {
+                worker: 0,
+                chunk: 2.0
+            }
+        );
+    }
+
+    #[test]
+    fn honest_worker_never_trips_divergence() {
+        let cfg = RecoveryConfig::default().with_divergence(0.5, 2);
+        let mut r = Recovering::with_config(Scripted::new(vec![]), cfg)
+            .with_declared_rates(vec![(0.1, 2.0)]);
+        for i in 0..10 {
+            let t0 = i as f64 * 2.2;
+            r.on_compute_start(0, 4.0, t0);
+            // Declared cost: 0.1 + 4/2 = 2.1 s; observed 2.2 s is within
+            // the 50 % slack.
+            r.on_compute_end(0, 4.0, t0 + 2.2);
+        }
+        assert_eq!(r.divergences(0), 0);
+        let rate = r.observed_rate(0).unwrap();
+        assert!((rate - 4.0 / 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_without_declared_rates_is_inert() {
+        let cfg = RecoveryConfig::default().with_divergence(0.5, 1);
+        let mut r = Recovering::with_config(Scripted::new(vec![]), cfg);
+        r.on_compute_start(0, 4.0, 0.0);
+        r.on_compute_end(0, 4.0, 1000.0);
+        assert_eq!(r.divergences(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divergence_threshold must be positive")]
+    fn bad_divergence_threshold_rejected() {
+        let _ = Recovering::with_config(
+            Scripted::new(vec![]),
+            RecoveryConfig::default().with_divergence(0.0, 3),
+        );
     }
 
     #[test]

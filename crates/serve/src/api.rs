@@ -15,7 +15,8 @@ use dls_experiments::json::{parse_json, Json};
 use rumr::sim::FaultAction;
 use rumr::{
     ErrorModel, FaultModel, FaultPlan, HomogeneousParams, Platform, PoissonFaults, QueueBackend,
-    RecoveryConfig, RumrConfig, RunSpec, Scenario, SchedulerKind, SimConfig, TraceMode, WorkerSpec,
+    RecoveryConfig, RumrConfig, RunSpec, Scenario, SchedulerKind, SimConfig, SpeedModel, TraceMode,
+    WorkerSpec,
 };
 
 /// A request the codec rejected, with a human-readable reason (the server
@@ -30,6 +31,31 @@ impl std::fmt::Display for ApiError {
 }
 
 impl std::error::Error for ApiError {}
+
+/// The exact message produced when a request body contains a non-finite
+/// number. The server maps this — and only this — decode failure to `422
+/// Unprocessable Entity`: the body is well-formed JSON (syntactically
+/// fine, hence not a 400) but can never describe a valid simulation.
+pub const NON_FINITE_MSG: &str = "request contains a non-finite number (NaN or infinity overflow)";
+
+impl ApiError {
+    /// True when the request was rejected for containing non-finite
+    /// numbers; the server answers 422 instead of 400.
+    pub fn is_non_finite(&self) -> bool {
+        self.0 == NON_FINITE_MSG
+    }
+}
+
+/// Parse a request body and reject it wholesale if any number anywhere in
+/// it is non-finite (JSON has no NaN/inf literals, but `1e999` parses to
+/// f64 infinity), before any field reaches `SimConfig` or the platform.
+fn parse_finite_json(body: &str) -> Result<Json, ApiError> {
+    let v = parse_json(body).map_err(ApiError)?;
+    if !v.all_finite() {
+        return err(NON_FINITE_MSG);
+    }
+    Ok(v)
+}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, ApiError> {
     Err(ApiError(msg.into()))
@@ -393,6 +419,14 @@ pub fn encode_recovery(r: &RecoveryConfig) -> Json {
         ("backoff_factor", Json::Num(r.backoff_factor)),
         ("factor", Json::Num(r.factor)),
         ("min_chunk", Json::Num(r.min_chunk)),
+        (
+            "divergence_threshold",
+            r.divergence_threshold.map_or(Json::Null, Json::Num),
+        ),
+        (
+            "divergence_min_samples",
+            Json::Num(r.divergence_min_samples as f64),
+        ),
     ])
 }
 
@@ -403,12 +437,96 @@ pub fn decode_recovery(v: &Json) -> Result<RecoveryConfig, ApiError> {
         return Ok(RecoveryConfig::default());
     }
     let d = RecoveryConfig::default();
+    let divergence_threshold = opt_num_field(v, "divergence_threshold")?;
+    if let Some(t) = divergence_threshold {
+        if !(t.is_finite() && t > 0.0) {
+            return err("recovery divergence_threshold must be positive and finite");
+        }
+    }
+    let divergence_min_samples = usize_field_or(
+        v,
+        "divergence_min_samples",
+        d.divergence_min_samples as usize,
+    )?;
+    if divergence_min_samples == 0 || divergence_min_samples > u32::MAX as usize {
+        return err("recovery divergence_min_samples must be in 1..=2^32-1");
+    }
     Ok(RecoveryConfig {
         initial_backoff: opt_num_field(v, "initial_backoff")?.unwrap_or(d.initial_backoff),
         backoff_factor: opt_num_field(v, "backoff_factor")?.unwrap_or(d.backoff_factor),
         factor: opt_num_field(v, "factor")?.unwrap_or(d.factor),
         min_chunk: opt_num_field(v, "min_chunk")?.unwrap_or(d.min_chunk),
+        divergence_threshold,
+        divergence_min_samples: divergence_min_samples as u32,
     })
+}
+
+/// Encode a speed-revelation model as a tagged object (`kind`: `declared`
+/// / `stochastic` / `sandbag` / `adversarial`).
+pub fn encode_speed_model(model: &SpeedModel) -> Json {
+    match *model {
+        SpeedModel::Declared => obj(vec![("kind", Json::Str("declared".into()))]),
+        SpeedModel::Stochastic { spread, seed } => obj(vec![
+            ("kind", Json::Str("stochastic".into())),
+            ("spread", Json::Num(spread)),
+            ("seed", Json::Num(seed as f64)),
+        ]),
+        SpeedModel::Sandbagged {
+            fraction,
+            slowdown,
+            seed,
+        } => obj(vec![
+            ("kind", Json::Str("sandbag".into())),
+            ("fraction", Json::Num(fraction)),
+            ("slowdown", Json::Num(slowdown)),
+            ("seed", Json::Num(seed as f64)),
+        ]),
+        SpeedModel::Adversarial { fraction, slowdown } => obj(vec![
+            ("kind", Json::Str("adversarial".into())),
+            ("fraction", Json::Num(fraction)),
+            ("slowdown", Json::Num(slowdown)),
+        ]),
+    }
+}
+
+/// Decode a speed-revelation model (see [`encode_speed_model`]).
+pub fn decode_speed_model(v: &Json) -> Result<SpeedModel, ApiError> {
+    let model = match str_field(v, "kind")? {
+        "declared" | "identity" => SpeedModel::Declared,
+        "stochastic" => SpeedModel::Stochastic {
+            spread: num_field(v, "spread")?,
+            seed: u64_field_or(v, "seed", 0)?,
+        },
+        "sandbag" => SpeedModel::Sandbagged {
+            fraction: num_field(v, "fraction")?,
+            slowdown: num_field(v, "slowdown")?,
+            seed: u64_field_or(v, "seed", 0)?,
+        },
+        "adversarial" => SpeedModel::Adversarial {
+            fraction: num_field(v, "fraction")?,
+            slowdown: num_field(v, "slowdown")?,
+        },
+        other => return err(format!("unknown speed model '{other}'")),
+    };
+    // Validate ranges here (client input must not reach the engine's
+    // panicking asserts).
+    let ok = match model {
+        SpeedModel::Declared => true,
+        SpeedModel::Stochastic { spread, .. } => spread.is_finite() && (0.0..1.0).contains(&spread),
+        SpeedModel::Sandbagged {
+            fraction, slowdown, ..
+        }
+        | SpeedModel::Adversarial { fraction, slowdown } => {
+            fraction.is_finite()
+                && (0.0..=1.0).contains(&fraction)
+                && slowdown.is_finite()
+                && slowdown >= 1.0
+        }
+    };
+    if !ok {
+        return err("speed model parameters out of range (spread in [0,1), fraction in [0,1], slowdown >= 1)");
+    }
+    Ok(model)
 }
 
 fn trace_mode_name(mode: TraceMode) -> &'static str {
@@ -445,6 +563,7 @@ pub fn encode_sim_config(c: &SimConfig) -> Json {
         ("faults", encode_fault_model(&c.faults)),
         ("queue", Json::Str(c.queue_backend.name().into())),
         ("audit", Json::Bool(c.audit)),
+        ("speeds", encode_speed_model(&c.speeds)),
     ])
 }
 
@@ -481,6 +600,10 @@ pub fn decode_sim_config(v: &Json) -> Result<SimConfig, ApiError> {
         },
         queue_backend,
         audit: bool_field_or(v, "audit", d.audit)?,
+        speeds: match v.get("speeds") {
+            None | Some(Json::Null) => SpeedModel::Declared,
+            Some(s) => decode_speed_model(s)?,
+        },
     })
 }
 
@@ -546,7 +669,7 @@ pub struct PlanRequest {
 impl PlanRequest {
     /// Decode a request body.
     pub fn from_json_str(body: &str) -> Result<Self, ApiError> {
-        let v = parse_json(body).map_err(ApiError)?;
+        let v = parse_finite_json(body)?;
         let w_total = num_field(&v, "w_total")?;
         if !(w_total.is_finite() && w_total > 0.0) {
             return err("'w_total' must be finite and positive");
@@ -590,7 +713,7 @@ pub struct SimulateRequest {
 impl SimulateRequest {
     /// Decode a request body.
     pub fn from_json_str(body: &str) -> Result<Self, ApiError> {
-        let v = parse_json(body).map_err(ApiError)?;
+        let v = parse_finite_json(body)?;
         let w_total = num_field(&v, "w_total")?;
         if !(w_total.is_finite() && w_total > 0.0) {
             return err("'w_total' must be finite and positive");
@@ -603,10 +726,17 @@ impl SimulateRequest {
             None | Some(Json::Null) => ErrorModel::None,
             Some(m) => decode_error_model(m)?,
         };
-        let spec = decode_run_spec(
+        let mut spec = decode_run_spec(
             v.get("run")
                 .ok_or_else(|| ApiError("missing field 'run'".into()))?,
         )?;
+        // A top-level speed-revelation block, parallel to `error_model`
+        // (also accepted inside `run.config.speeds`; the top level wins).
+        if let Some(s) = v.get("speeds") {
+            if *s != Json::Null {
+                spec.config.speeds = decode_speed_model(s)?;
+            }
+        }
         Ok(SimulateRequest {
             scenario: Scenario {
                 platform,
@@ -688,6 +818,8 @@ mod tests {
             backoff_factor: 3.0,
             factor: 2.5,
             min_chunk: 0.5,
+            divergence_threshold: Some(0.4),
+            divergence_min_samples: 5,
         });
         round_trip_spec(&spec);
 
@@ -730,7 +862,8 @@ mod tests {
             encode_run_spec(&spec).canonical(),
             "{\"config\":{\"audit\":false,\"faults\":{\"kind\":\"none\"},\
              \"max_concurrent_sends\":1,\"max_events\":50000000,\"output_ratio\":0,\
-             \"queue\":\"calendar\",\"trace_mode\":\"off\",\"uplink_capacity\":null},\
+             \"queue\":\"calendar\",\"speeds\":{\"kind\":\"declared\"},\
+             \"trace_mode\":\"off\",\"uplink_capacity\":null},\
              \"recovery\":null,\"reps\":1,\"scheduler\":{\"kind\":\"umr\"},\"seed\":0}"
         );
     }

@@ -1,7 +1,8 @@
 //! Open-loop load generator and acceptance checker for `dls-serve`.
 //!
 //! Fires a mixed workload (`/plan` repeats to drive cache hits, fixed-seed
-//! `/simulate` pairs to check determinism, `/healthz` probes) at a fixed
+//! `/simulate` pairs to check determinism, speed-revelation `/simulate`
+//! runs that must report robustness ratios ≥ 1, `/healthz` probes) at a fixed
 //! arrival rate; latency is measured from each request's *scheduled* start
 //! so queueing shows up rather than being absorbed. Reports p50/p99 and
 //! throughput, then verifies the service contract:
@@ -9,6 +10,7 @@
 //! * zero 5xx responses (503 is only acceptable under `--expect-503`,
 //!   which instead *requires* at least one);
 //! * identical `/simulate` requests returned byte-identical bodies;
+//! * speed-revelation `/simulate` responses carry robustness ratios ≥ 1;
 //! * no audit findings in any `/simulate` response;
 //! * the plan cache served at least one hit (scraped from `/metrics`).
 //!
@@ -62,6 +64,16 @@ const SIM_BODY: &str = r#"{"platform": {"homogeneous": {"n": 10, "ratio": 1.5,
     "comp_latency": 0.2, "net_latency": 0.1}},
     "w_total": 1000,
     "error_model": {"kind": "normal", "error": 0.3},
+    "run": {"scheduler": {"kind": "rumr", "error_estimate": 0.3}, "seed": 42}}"#;
+
+/// Speed-revelation scenario: plans on declared rates, executes against an
+/// adversary that slows a quarter of the workers 2×. The response must
+/// carry per-run robustness reports with ratio ≥ 1.
+const SIM_SPEEDS_BODY: &str = r#"{"platform": {"homogeneous": {"n": 10, "ratio": 1.5,
+    "comp_latency": 0.2, "net_latency": 0.1}},
+    "w_total": 1000,
+    "error_model": {"kind": "normal", "error": 0.3},
+    "speeds": {"kind": "adversarial", "fraction": 0.25, "slowdown": 2.0},
     "run": {"scheduler": {"kind": "rumr", "error_estimate": 0.3}, "seed": 42}}"#;
 
 struct Outcome {
@@ -132,10 +144,11 @@ fn main() {
                 if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
                     std::thread::sleep(wait);
                 }
-                let kind = i % 4;
+                let kind = i % 5;
                 let result = match kind {
                     0 | 1 => http_request(&addr, "POST", "/plan", PLAN_BODY),
                     2 => http_request(&addr, "POST", "/simulate", SIM_BODY),
+                    3 => http_request(&addr, "POST", "/simulate", SIM_SPEEDS_BODY),
                     _ => http_request(&addr, "GET", "/healthz", ""),
                 };
                 match result {
@@ -231,8 +244,37 @@ fn main() {
             format!(" ({} seen)", sims.len()),
         );
     }
+    let speed_sims: Vec<&Outcome> = outcomes
+        .iter()
+        .filter(|o| o.kind == 3 && o.status == 200)
+        .collect();
+    if !speed_sims.is_empty() {
+        let robust = speed_sims.iter().all(|o| {
+            o.body.contains("\"robustness\":{\"ratio\":")
+                && o.body.split("\"ratio\":").skip(1).all(|piece| {
+                    piece
+                        .split(&[',', '}'][..])
+                        .next()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .is_some_and(|r| r >= 1.0 - 1e-9)
+                })
+        });
+        check(
+            "speed-revelation runs report robustness ratio >= 1",
+            robust,
+            String::new(),
+        );
+    } else if !expect_503 {
+        check(
+            "at least one successful speed-revelation /simulate",
+            false,
+            " (0 seen)".to_string(),
+        );
+    }
+
     let clean_audit = sims
         .iter()
+        .chain(&speed_sims)
         .all(|o| o.body.contains("\"audit_findings\":[]"));
     check("no audit findings", clean_audit, String::new());
 

@@ -24,9 +24,9 @@ use std::time::{Duration, Instant};
 
 use dls_experiments::json::{json_escape, json_num};
 use rumr::sim::{SimError, TraceEvent};
-use rumr::{Prediction, RunError, Scenario, SimResult, TraceMode};
+use rumr::{Prediction, RobustnessReport, RunError, Scenario, SimResult, SpeedModel, TraceMode};
 
-use crate::api::{PlanRequest, SimulateRequest};
+use crate::api::{ApiError, PlanRequest, SimulateRequest};
 use crate::cache::{CachedPlan, PlanCache};
 use crate::http::{self, read_request, write_error, write_response, ReadError, Request};
 use crate::metrics::Metrics;
@@ -337,7 +337,7 @@ fn receive(shared: &Shared, stream: &mut TcpStream) -> Option<(Request, Routed)>
         match SimulateRequest::from_json_str(body) {
             Ok(sim) => return Some((request, Routed::Simulate(Box::new(sim)))),
             Err(e) => {
-                respond_400(shared, stream, &request, &e.0, start);
+                respond_bad_body(shared, stream, &request, &e, start);
                 return None;
             }
         }
@@ -356,6 +356,29 @@ fn respond_400(
     shared
         .metrics
         .observe(&request.path, 400, start.elapsed().as_secs_f64());
+}
+
+/// Answer a request whose body failed to decode. Non-finite numbers
+/// (e.g. `1e999`, which is syntactically valid JSON but overflows f64 to
+/// infinity) can never describe a simulation, so they get `422
+/// Unprocessable Entity`; everything else is a plain `400`.
+fn respond_bad_body(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    request: &Request,
+    error: &ApiError,
+    start: Instant,
+) {
+    let status = if error.is_non_finite() { 422 } else { 400 };
+    let reason = if status == 422 {
+        "Unprocessable Entity"
+    } else {
+        "Bad Request"
+    };
+    let _ = write_error(stream, status, reason, &error.0);
+    shared
+        .metrics
+        .observe(&request.path, status, start.elapsed().as_secs_f64());
 }
 
 /// The engine configuration `/simulate` actually runs: metrics on, audit
@@ -434,6 +457,10 @@ fn handle_plan(shared: &Shared, stream: &mut TcpStream, request: &Request) -> u1
     };
     let plan = match PlanRequest::from_json_str(body) {
         Ok(p) => p,
+        Err(e) if e.is_non_finite() => {
+            let _ = write_error(stream, 422, "Unprocessable Entity", &e.0);
+            return 422;
+        }
         Err(e) => {
             let _ = write_error(stream, 400, "Bad Request", &e.0);
             return 400;
@@ -557,7 +584,41 @@ fn plan_body(plan: &PlanRequest, result: &SimResult, prediction: Option<Predicti
         }
         Some(Prediction::Unavailable) | None => body.push_str("null"),
     }
+    body.push_str(",\"robustness\":");
+    body.push_str(&plan_robustness(plan));
     body.push('}');
+    body
+}
+
+/// The `/plan` response's robustness section: the analytic makespan lower
+/// bound on the declared platform, plus oracle lower bounds under
+/// worst-case revealed speeds — what no schedule can beat if an
+/// adversary slows a quarter of the workers by 1.5× / 2× after the plan
+/// is committed. Clients can compare a realized makespan against these
+/// floors without replanning.
+fn plan_robustness(plan: &PlanRequest) -> String {
+    let declared = plan.platform.makespan_lower_bound(plan.w_total);
+    let mut body = format!("{{\"analytic_lower_bound\":{}", json_num(declared));
+    body.push_str(",\"worst_case\":[");
+    for (i, slowdown) in [1.5f64, 2.0].iter().enumerate() {
+        let model = SpeedModel::Adversarial {
+            fraction: 0.25,
+            slowdown: *slowdown,
+        };
+        let bound = model
+            .realized_platform(&plan.platform)
+            .map(|p| p.makespan_lower_bound(plan.w_total))
+            .expect("adversarial factors are floored, so the platform stays valid");
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"speeds\":\"{}\",\"analytic_lower_bound\":{}}}",
+            json_escape(&model.label()),
+            json_num(bound)
+        ));
+    }
+    body.push_str("]}");
     body
 }
 
@@ -584,7 +645,17 @@ fn handle_simulate(
 
     let status = match run_reps(runner, &spec) {
         Ok(results) => {
-            let body = simulate_body(&spec, &results);
+            // Per-run robustness reports when the request revealed speeds
+            // (clairvoyant twins are replanned on the realized platform).
+            let robustness: Vec<RobustnessReport> = if spec.config.speeds.is_active() {
+                spec.seeds()
+                    .zip(&results)
+                    .filter_map(|(seed, r)| runner.scenario().robustness(&spec, seed, r.makespan))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let body = simulate_body(&spec, &results, &robustness);
             let _ = write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[]);
             200
         }
@@ -623,7 +694,11 @@ fn run_reps(
     Ok(results)
 }
 
-fn simulate_body(spec: &rumr::RunSpec, results: &[SimResult]) -> String {
+fn simulate_body(
+    spec: &rumr::RunSpec,
+    results: &[SimResult],
+    robustness: &[RobustnessReport],
+) -> String {
     let mut body = String::with_capacity(512);
     body.push_str("{\"runs\":[");
     for (i, r) in results.iter().enumerate() {
@@ -644,6 +719,15 @@ fn simulate_body(spec: &rumr::RunSpec, results: &[SimResult]) -> String {
                 m.trace_events,
                 json_num(m.link_utilization(r.makespan)),
                 m.num_gaps
+            ));
+        }
+        if let Some(rb) = robustness.get(i) {
+            body.push_str(&format!(
+                ",\"robustness\":{{\"ratio\":{},\"clairvoyant_makespan\":{},\"replanned_makespan\":{},\"analytic_lower_bound\":{}}}",
+                json_num(rb.ratio),
+                json_num(rb.clairvoyant_makespan),
+                rb.replanned_makespan.map_or("null".to_string(), json_num),
+                json_num(rb.analytic_lower_bound)
             ));
         }
         body.push_str(",\"audit_findings\":[");

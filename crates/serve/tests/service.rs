@@ -198,6 +198,84 @@ fn full_queue_sheds_load_with_503() {
 }
 
 #[test]
+fn non_finite_numbers_map_to_422() {
+    let server = start(quiet_config());
+    // `1e999` is syntactically valid JSON but overflows f64 to infinity;
+    // it must be rejected as unprocessable wherever it appears.
+    let cases = [
+        (
+            "/plan",
+            PLAN.replace("\"w_total\": 1000", "\"w_total\": 1e999"),
+        ),
+        ("/plan", PLAN.replace("1.5", "1e999")),
+        (
+            "/simulate",
+            SIMULATE.replace("\"w_total\": 1000", "\"w_total\": -1e999"),
+        ),
+        ("/simulate", SIMULATE.replace("0.3", "1e999")),
+    ];
+    for (path, body) in cases {
+        let (status, _, response) = request(server.addr, "POST", path, &body);
+        assert_eq!(status, 422, "{path} {body}: {response}");
+        assert!(response.contains("\"error\""), "{path}: {response}");
+    }
+    // NaN/Infinity literals are not JSON at all — still a plain 400.
+    let (status, _, _) = request(
+        server.addr,
+        "POST",
+        "/plan",
+        &PLAN.replace("\"w_total\": 1000", "\"w_total\": NaN"),
+    );
+    assert_eq!(status, 400);
+    let (status, _, _) = request(server.addr, "POST", "/plan", "{not json");
+    assert_eq!(status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn plan_reports_robustness_floors() {
+    let server = start(quiet_config());
+    let (status, _, body) = request(server.addr, "POST", "/plan", PLAN);
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("\"robustness\":{\"analytic_lower_bound\":"));
+    assert!(body.contains("\"worst_case\":["));
+    assert!(body.contains("adversarial(fraction=0.25,slowdown=1.5)"));
+    assert!(body.contains("adversarial(fraction=0.25,slowdown=2)"));
+    server.shutdown();
+}
+
+#[test]
+fn simulate_reports_robustness_under_revealed_speeds() {
+    let server = start(quiet_config());
+    // No speed block: no robustness section.
+    let (status, _, plain) = request(server.addr, "POST", "/simulate", SIMULATE);
+    assert_eq!(status, 200, "body: {plain}");
+    assert!(!plain.contains("\"robustness\""));
+
+    let revealed = SIMULATE.replace(
+        "\"error_model\"",
+        r#""speeds": {"kind": "adversarial", "fraction": 0.25, "slowdown": 2.0},
+        "error_model""#,
+    );
+    let (status, _, body) = request(server.addr, "POST", "/simulate", &revealed);
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("\"robustness\":{\"ratio\":"), "body: {body}");
+    assert!(body.contains("\"clairvoyant_makespan\""));
+    assert!(body.contains("\"audit_findings\":[]"), "body: {body}");
+    // Every reported ratio must be >= 1.
+    for piece in body.split("\"ratio\":").skip(1) {
+        let ratio: f64 = piece
+            .split(&[',', '}'][..])
+            .next()
+            .unwrap()
+            .parse()
+            .expect("ratio is a number");
+        assert!(ratio >= 1.0 - 1e-9, "ratio {ratio} in {body}");
+    }
+    server.shutdown();
+}
+
+#[test]
 fn event_limit_maps_to_422() {
     let server = start(ServerConfig {
         max_events: 50, // far below what any real run needs

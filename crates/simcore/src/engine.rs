@@ -46,6 +46,7 @@ use crate::metrics::{EventCounts, MetricsSummary};
 use crate::platform::Platform;
 use crate::queue::{EventQueue, QueueBackend};
 use crate::scheduler::{Decision, Scheduler, SimView, WorkerView};
+use crate::speed::{RealizedSpeeds, SpeedModel};
 use crate::trace::{LostStage, Trace, TraceEvent};
 
 /// How much per-run observability the engine records.
@@ -128,6 +129,12 @@ pub struct SimConfig {
     /// mode (the checker consumes events as they are emitted, no stored
     /// trace needed). `false` (default): zero overhead, `audit` is `None`.
     pub audit: bool,
+    /// Declared-vs-realized speed revelation (see [`crate::speed`]). The
+    /// engine executes at the realized rates while schedulers keep seeing
+    /// the declared [`Platform`]. [`SpeedModel::Declared`] (default) is the
+    /// paper's trusting regime and leaves results bit-identical to a build
+    /// without the speed subsystem.
+    pub speeds: SpeedModel,
 }
 
 impl Default for SimConfig {
@@ -141,6 +148,7 @@ impl Default for SimConfig {
             faults: FaultModel::None,
             queue_backend: QueueBackend::default(),
             audit: false,
+            speeds: SpeedModel::default(),
         }
     }
 }
@@ -413,6 +421,11 @@ pub struct Engine<'a> {
     /// True when `config.faults` can produce faults; gates every semantic
     /// change relative to the fault-free engine.
     fault_mode: bool,
+    /// Realized speed factors, `Some` only when `config.speeds` is active;
+    /// gates every semantic change relative to the declared-rate engine.
+    /// Fixed per configuration (the revelation is part of the machine, not
+    /// of a repetition), so `reset` leaves it untouched.
+    speeds: Option<RealizedSpeeds>,
     /// Per-worker current computation: (ledger id, scheduled end time).
     /// Needed to refund pre-credited busy time when a crash kills the
     /// computation.
@@ -477,6 +490,7 @@ impl<'a> Engine<'a> {
         let n = platform.num_workers();
         let fault_injector = FaultInjector::new(&config.faults, n);
         let fault_mode = config.faults.is_active();
+        let speeds = config.speeds.realize(platform.workers());
         // Pre-size the hot collections from the platform shape: a run
         // typically keeps a handful of events per worker pending (one
         // transfer chain plus one computation each), and dispatches at
@@ -515,6 +529,7 @@ impl<'a> Engine<'a> {
             ledger: Vec::with_capacity(event_capacity),
             fault_injector,
             fault_mode,
+            speeds,
             current_compute: vec![None; n],
             lost_units: VecDeque::new(),
             doomed_buf: Vec::new(),
@@ -634,6 +649,29 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Predicted computation time of `chunk` on `worker` at *realized*
+    /// rates (Eq. 1 with the revealed speed). Identical to the declared
+    /// prediction when the speed model is inactive.
+    #[inline]
+    fn realized_comp_time(&self, worker: usize, chunk: f64) -> f64 {
+        let spec = self.platform.worker(worker);
+        match &self.speeds {
+            Some(s) => spec.comp_latency + chunk / (spec.speed * s.compute[worker]),
+            None => spec.comp_time(chunk),
+        }
+    }
+
+    /// Realized link rate of `worker` (declared `B_i` when the speed model
+    /// is inactive).
+    #[inline]
+    fn realized_bandwidth(&self, worker: usize) -> f64 {
+        let spec = self.platform.worker(worker);
+        match &self.speeds {
+            Some(s) => spec.bandwidth * s.link[worker],
+            None => spec.bandwidth,
+        }
+    }
+
     fn start_compute(&mut self, worker: usize, scheduler: &mut dyn Scheduler) {
         let (id, chunk, unit_start) = match self.workers[worker].queue.pop_front() {
             Some(c) => c,
@@ -649,7 +687,7 @@ impl<'a> Engine<'a> {
             self.num_gaps += 1;
         }
         self.ledger[id].state = ChunkState::Computing;
-        let predicted = self.platform.worker(worker).comp_time(chunk);
+        let predicted = self.realized_comp_time(worker, chunk);
         let effective =
             self.injector
                 .effective_compute(worker, predicted, unit_start, unit_start + chunk);
@@ -791,7 +829,7 @@ impl<'a> Engine<'a> {
             let spec = self.platform.worker(worker);
             let factor = self.injector.comm_factor(worker);
             let setup = spec.net_latency * factor;
-            let link_rate = spec.bandwidth / factor;
+            let link_rate = self.realized_bandwidth(worker) / factor;
             let fly_time = spec.transfer_latency * factor;
             self.record(TraceEvent::ReturnStart {
                 worker,
@@ -875,7 +913,7 @@ impl<'a> Engine<'a> {
         let spec = self.platform.worker(worker);
         let factor = self.injector.comm_factor(worker);
         let setup = spec.net_latency * factor;
-        let link_rate = spec.bandwidth / factor;
+        let link_rate = self.realized_bandwidth(worker) / factor;
         let fly_time = spec.transfer_latency * factor;
         let unit_start = if redispatch {
             self.redispatched_work += chunk;
@@ -1348,6 +1386,13 @@ impl<'a> Engine<'a> {
                 per_worker_gap: std::mem::take(&mut self.gap_time),
                 num_gaps: self.num_gaps,
                 event_counts: std::mem::take(&mut self.counts),
+                realized_speed_factors: self.speeds.as_ref().map(|s| {
+                    s.compute
+                        .iter()
+                        .zip(&s.link)
+                        .map(|(&c, &l)| (c, l))
+                        .collect()
+                }),
             });
         Ok(SimResult {
             makespan: self.now,

@@ -55,6 +55,7 @@ pub mod platform;
 pub mod profile;
 pub mod queue;
 pub mod scheduler;
+pub mod speed;
 pub mod trace;
 
 pub use engine::{simulate, Engine, SimConfig, SimError, SimResult, TraceMode};
@@ -66,4 +67,5 @@ pub use platform::{HomogeneousParams, Platform, PlatformError, WorkerSpec};
 pub use profile::CostProfile;
 pub use queue::{EventQueue, QueueBackend};
 pub use scheduler::{Decision, Scheduler, SimView, WorkerView};
+pub use speed::{RealizedSpeeds, SpeedModel};
 pub use trace::{LostStage, Trace, TraceEvent, TraceViolation};

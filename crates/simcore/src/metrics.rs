@@ -75,6 +75,11 @@ pub struct MetricsSummary {
     pub num_gaps: usize,
     /// Per-event-type counter table (see [`EventCounts`]).
     pub event_counts: EventCounts,
+    /// Per-worker `(compute, link)` realized/declared rate factors the run
+    /// executed under, when a [`crate::SpeedModel`] other than `Declared`
+    /// was active; `None` in the trusting regime. Lets metric consumers
+    /// attribute a makespan to the machine that was actually revealed.
+    pub realized_speed_factors: Option<Vec<(f64, f64)>>,
 }
 
 impl MetricsSummary {

@@ -25,6 +25,8 @@ fn micro_config(errors: Vec<f64>, reps: u64) -> SweepConfig {
         progress: false,
         trace_mode: rumr::TraceMode::Off,
         queue_backend: rumr::QueueBackend::default(),
+        speeds: rumr::SpeedModel::Declared,
+        audit: false,
     }
 }
 

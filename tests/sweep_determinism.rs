@@ -29,6 +29,8 @@ fn pinned_config(threads: usize, trace_mode: TraceMode) -> SweepConfig {
         progress: false,
         trace_mode,
         queue_backend: QueueBackend::default(),
+        speeds: rumr::SpeedModel::Declared,
+        audit: false,
     }
 }
 
