@@ -118,6 +118,32 @@ impl SchedulerKind {
         Ok(self.prototype(platform, w_total)?.into_inner())
     }
 
+    /// Uniform upfront refusal of inputs no planner can accept. Some
+    /// planners historically `panic!`ed on these (the pull-based ones
+    /// assert rather than solve), so without this gate the failure mode
+    /// depended on the kind; now every kind refuses the same way, with a
+    /// typed [`PlanError`].
+    fn validate(&self, w_total: f64) -> Result<(), PlanError> {
+        if !w_total.is_finite() || w_total <= 0.0 {
+            return Err(PlanError::InvalidWorkload { w_total });
+        }
+        match *self {
+            SchedulerKind::SelfScheduling { unit } if !unit.is_finite() || unit <= 0.0 => {
+                Err(PlanError::InvalidParameter {
+                    param: "unit",
+                    value: unit,
+                })
+            }
+            SchedulerKind::Fsc { error } if !error.is_finite() || error < 0.0 => {
+                Err(PlanError::InvalidParameter {
+                    param: "error",
+                    value: error,
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Build a reusable [`SchedulerPrototype`]: the planner runs once, and
     /// [`SchedulerPrototype::fresh`] stamps out initial-state schedulers by
     /// cloning. For precalculated algorithms (UMR, RUMR, MI, heterogeneous
@@ -132,6 +158,7 @@ impl SchedulerKind {
         platform: &Platform,
         w_total: f64,
     ) -> Result<SchedulerPrototype, BuildError> {
+        self.validate(w_total)?;
         let proto: Box<dyn CloneScheduler> = match *self {
             SchedulerKind::Rumr(cfg) => Box::new(Rumr::new(platform, w_total, cfg)?),
             SchedulerKind::Umr => Box::new(Umr::new(platform, w_total)?),
@@ -175,6 +202,7 @@ impl SchedulerKind {
         platform: &Platform,
         w_total: f64,
     ) -> Result<Option<Box<dyn Oracle>>, BuildError> {
+        self.validate(w_total)?;
         Ok(match *self {
             SchedulerKind::Umr => {
                 let umr = Umr::new(platform, w_total)?;
@@ -273,6 +301,41 @@ impl fmt::Display for SchedulerKind {
     }
 }
 
+/// A typed refusal shared by every scheduler kind: the inputs are invalid
+/// regardless of which planner runs. Historically some pull-based planners
+/// `panic!`ed on these while the solver-based ones returned errors; the
+/// uniform upfront check makes refusal the contract for all kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanError {
+    /// The total workload is non-finite or non-positive.
+    InvalidWorkload {
+        /// The offending workload.
+        w_total: f64,
+    },
+    /// A kind-specific numeric parameter is out of range.
+    InvalidParameter {
+        /// Name of the offending parameter (e.g. `"unit"`).
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::InvalidWorkload { w_total } => {
+                write!(f, "workload {w_total} must be finite and positive")
+            }
+            PlanError::InvalidParameter { param, value } => {
+                write!(f, "parameter {param} = {value} is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// A scheduler could not be constructed for the given inputs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BuildError {
@@ -280,6 +343,9 @@ pub enum BuildError {
     Umr(UmrError),
     /// Error from the multi-installment planner.
     Mi(MiError),
+    /// Uniform upfront refusal (invalid workload or parameter), before
+    /// any planner runs.
+    Plan(PlanError),
 }
 
 impl fmt::Display for BuildError {
@@ -287,6 +353,7 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::Umr(e) => write!(f, "UMR planner: {e}"),
             BuildError::Mi(e) => write!(f, "MI planner: {e}"),
+            BuildError::Plan(e) => write!(f, "invalid plan inputs: {e}"),
         }
     }
 }
@@ -296,6 +363,7 @@ impl std::error::Error for BuildError {
         match self {
             BuildError::Umr(e) => Some(e),
             BuildError::Mi(e) => Some(e),
+            BuildError::Plan(e) => Some(e),
         }
     }
 }
@@ -309,6 +377,12 @@ impl From<UmrError> for BuildError {
 impl From<MiError> for BuildError {
     fn from(e: MiError) -> Self {
         BuildError::Mi(e)
+    }
+}
+
+impl From<PlanError> for BuildError {
+    fn from(e: PlanError) -> Self {
+        BuildError::Plan(e)
     }
 }
 
@@ -399,11 +473,16 @@ mod tests {
     #[test]
     fn build_errors_propagate() {
         let p = platform();
+        // Invalid workloads are refused uniformly, before any planner
+        // runs, for every kind.
         let e = match SchedulerKind::Umr.build(&p, -1.0) {
             Err(e) => e,
             Ok(_) => panic!("expected a build error"),
         };
-        assert!(matches!(e, BuildError::Umr(_)));
+        assert!(matches!(
+            e,
+            BuildError::Plan(PlanError::InvalidWorkload { .. })
+        ));
         assert!(!format!("{e}").is_empty());
 
         let e = match (SchedulerKind::Mi { installments: 0 }).build(&p, 100.0) {
@@ -411,5 +490,28 @@ mod tests {
             Ok(_) => panic!("expected a build error"),
         };
         assert!(matches!(e, BuildError::Mi(MiError::ZeroInstallments)));
+    }
+
+    #[test]
+    fn invalid_parameters_are_refused_not_panicked() {
+        let p = platform();
+        let e = match (SchedulerKind::SelfScheduling { unit: 0.0 }).build(&p, 100.0) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a build error"),
+        };
+        assert!(matches!(
+            e,
+            BuildError::Plan(PlanError::InvalidParameter { param: "unit", .. })
+        ));
+        let e = match (SchedulerKind::Fsc { error: f64::NAN }).build(&p, 100.0) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a build error"),
+        };
+        assert!(matches!(
+            e,
+            BuildError::Plan(PlanError::InvalidParameter { param: "error", .. })
+        ));
+        // Oracles share the same gate.
+        assert!(SchedulerKind::Factoring.oracle(&p, f64::INFINITY).is_err());
     }
 }

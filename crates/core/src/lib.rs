@@ -40,18 +40,22 @@
 #![forbid(unsafe_code)]
 
 pub mod kind;
+pub mod multirun;
 pub mod scenario;
 
-pub use kind::{BuildError, SchedulerKind, SchedulerPrototype};
+pub use kind::{BuildError, PlanError, SchedulerKind, SchedulerPrototype};
+pub use multirun::{MultiJob, MultiRunResult, MultiRunSpec};
 pub use scenario::{RobustnessReport, RunError, RunSpec, Scenario, ScenarioRunner};
 
 pub use dls_sched as sched;
 pub use dls_sched::{
-    Oracle, Prediction, Recovering, RecoveryConfig, RoundTiming, RumrConfig, UmrInputs, UmrSchedule,
+    MultiLoadScheduler, MultiPolicy, Oracle, Prediction, Recovering, RecoveryConfig, RoundTiming,
+    RumrConfig, UmrInputs, UmrSchedule,
 };
 pub use dls_sim as sim;
 pub use dls_sim::{
-    ErrorModel, EventCounts, FaultModel, FaultPlan, HomogeneousParams, MetricsSummary, Platform,
-    PlatformError, PoissonFaults, QueueBackend, RealizedSpeeds, SimConfig, SimResult, SpeedModel,
-    TraceMetrics, TraceMode, WorkerSpec,
+    ErrorModel, EventCounts, FairnessSummary, FaultModel, FaultPlan, HomogeneousParams, JobMetrics,
+    JobSet, JobSetError, JobSpec, MetricsSummary, Platform, PlatformError, PoissonFaults,
+    QueueBackend, RealizedSpeeds, SimConfig, SimResult, SpeedModel, TraceMetrics, TraceMode,
+    WorkerSpec,
 };

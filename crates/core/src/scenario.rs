@@ -509,7 +509,7 @@ impl Scenario {
     }
 
     /// The scenario's seeded error injector.
-    fn injector(&self, seed: u64) -> ErrorInjector {
+    pub(crate) fn injector(&self, seed: u64) -> ErrorInjector {
         let mut injector = match &self.cost_profile {
             Some(profile) => ErrorInjector::with_profile(self.error_model, seed, profile.clone()),
             None => ErrorInjector::new(self.error_model, seed),
@@ -672,7 +672,7 @@ impl ScenarioRunner<'_> {
 
 /// Declared per-worker `(comp_latency, speed)` for the recovery layer's
 /// divergence check — empty (and free) when the check is disabled.
-fn divergence_rates(platform: &Platform, recovery: &RecoveryConfig) -> Vec<(f64, f64)> {
+pub(crate) fn divergence_rates(platform: &Platform, recovery: &RecoveryConfig) -> Vec<(f64, f64)> {
     if recovery.divergence_threshold.is_some() {
         platform
             .workers()

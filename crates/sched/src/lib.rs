@@ -15,6 +15,7 @@
 //! | [`umr_het`] | heterogeneous UMR extension | increasing | precalculated, eager |
 //! | [`adaptive`] | adaptive RUMR (online error estimation, the paper's §6) | increasing, then decreasing | planned + measured switch |
 //! | [`recovery`] | fault-recovery wrapper over any of the above | factoring-style redispatch | reactive |
+//! | [`multi`] | multi-load arbitration (FIFO / round-robin / fair-share) over any of the above | per-job inner policy | meta-scheduler |
 //!
 //! Shared plumbing (precalculated-plan replay, pull-based dispatching) lives
 //! in [`plan`].
@@ -28,6 +29,7 @@ pub mod factoring;
 pub mod fsc;
 pub mod loop_sched;
 pub mod mi;
+pub mod multi;
 pub mod one_round;
 pub mod oracle;
 pub mod plan;
@@ -45,6 +47,7 @@ pub use factoring::{
 pub use fsc::{fsc_chunk_size, Fsc};
 pub use loop_sched::{Gss, Tss};
 pub use mi::{MiError, MiSchedule, MultiInstallment};
+pub use multi::{JobDispatch, JobReport, MultiLoadScheduler, MultiPolicy};
 pub use one_round::{OneRound, OneRoundSchedule};
 pub use oracle::{
     FactoringOracle, HetUmrOracle, MiOracle, OneRoundOracle, Oracle, Prediction, RoundTiming,

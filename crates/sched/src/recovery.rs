@@ -343,6 +343,19 @@ impl<S: Scheduler> Scheduler for Recovering<S> {
                     return self.route(view, worker, chunk, true)
                 }
                 Decision::Finished => self.inner_finished = true,
+                timed @ Decision::WaitUntil { .. } => {
+                    // Inner wants a timed wake-up (multi-load layering);
+                    // backlog work still preempts it on an idle trusted
+                    // worker, otherwise pass the wake-up request through.
+                    if self.backlog > EPS {
+                        if let Some(w) = self.best_target(view, true) {
+                            let chunk = self.backlog_chunk(view);
+                            self.backlog -= chunk;
+                            return Decision::Redispatch { worker: w, chunk };
+                        }
+                    }
+                    return timed;
+                }
                 Decision::Wait => {
                     // Inner is waiting on its own logic; only preempt it
                     // with backlog work if a trusted worker sits idle.

@@ -14,9 +14,9 @@
 use dls_experiments::json::{parse_json, Json};
 use rumr::sim::FaultAction;
 use rumr::{
-    ErrorModel, FaultModel, FaultPlan, HomogeneousParams, Platform, PoissonFaults, QueueBackend,
-    RecoveryConfig, RumrConfig, RunSpec, Scenario, SchedulerKind, SimConfig, SpeedModel, TraceMode,
-    WorkerSpec,
+    ErrorModel, FaultModel, FaultPlan, HomogeneousParams, MultiJob, MultiPolicy, MultiRunSpec,
+    Platform, PoissonFaults, QueueBackend, RecoveryConfig, RumrConfig, RunSpec, Scenario,
+    SchedulerKind, SimConfig, SpeedModel, TraceMode, WorkerSpec,
 };
 
 /// A request the codec rejected, with a human-readable reason (the server
@@ -777,6 +777,97 @@ impl SimulateRequest {
     }
 }
 
+/// A decoded `POST /jobs` body: a platform + error model shared by every
+/// job, an arbitration policy, and the job list (each with its own
+/// release time, size, scheduler and optional recovery policy).
+#[derive(Debug, Clone)]
+pub struct JobsRequest {
+    /// Platform + error model (the scenario's `w_total` is the jobs'
+    /// total work; `execute_jobs` ignores it).
+    pub scenario: Scenario,
+    /// Jobs × policy × seed × engine configuration.
+    pub spec: MultiRunSpec,
+}
+
+impl JobsRequest {
+    /// Decode a request body:
+    ///
+    /// ```json
+    /// {"platform": {...}, "error_model": {...}?, "policy": "fifo"?,
+    ///  "seed": 0?, "config": {...}?,
+    ///  "jobs": [{"release": 0, "size": 400, "scheduler": {...},
+    ///            "recovery": {...}?}, ...]}
+    /// ```
+    pub fn from_json_str(body: &str) -> Result<Self, ApiError> {
+        let v = parse_finite_json(body)?;
+        let platform = decode_platform(
+            v.get("platform")
+                .ok_or_else(|| ApiError("missing field 'platform'".into()))?,
+        )?;
+        let error_model = match v.get("error_model") {
+            None | Some(Json::Null) => ErrorModel::None,
+            Some(m) => decode_error_model(m)?,
+        };
+        let policy = match v.get("policy") {
+            None | Some(Json::Null) => MultiPolicy::FifoExclusive,
+            Some(p) => {
+                let name = p
+                    .str()
+                    .ok_or_else(|| ApiError("field 'policy' must be a string".into()))?;
+                MultiPolicy::parse(name).ok_or_else(|| {
+                    ApiError(format!(
+                        "unknown policy '{name}' (expected fifo, round_robin or fair_share)"
+                    ))
+                })?
+            }
+        };
+        let mut spec = MultiRunSpec::new(policy).seed(u64_field_or(&v, "seed", 0)?);
+        if let Some(c) = v.get("config") {
+            if *c != Json::Null {
+                spec = spec.config(decode_sim_config(c)?);
+            }
+        }
+        let jobs = v
+            .get("jobs")
+            .and_then(Json::arr)
+            .ok_or_else(|| ApiError("missing field 'jobs' (array)".into()))?;
+        if jobs.is_empty() {
+            return err("'jobs' must contain at least one job");
+        }
+        for j in jobs {
+            let release = opt_num_field(j, "release")?.unwrap_or(0.0);
+            if !(release.is_finite() && release >= 0.0) {
+                return err("job 'release' must be finite and non-negative");
+            }
+            let size = num_field(j, "size")?;
+            if !(size.is_finite() && size > 0.0) {
+                return err("job 'size' must be finite and positive");
+            }
+            let kind = decode_scheduler(
+                j.get("scheduler")
+                    .ok_or_else(|| ApiError("each job needs a 'scheduler'".into()))?,
+            )?;
+            let mut job = MultiJob::new(release, size, kind);
+            match j.get("recovery") {
+                None | Some(Json::Null) | Some(Json::Bool(false)) => {}
+                Some(r) => job = job.recovering(decode_recovery(r)?),
+            }
+            spec = spec.job(job);
+        }
+        let w_total = spec.total_work();
+        Ok(JobsRequest {
+            scenario: Scenario {
+                platform,
+                w_total,
+                error_model,
+                cost_profile: None,
+                temporal_noise: None,
+            },
+            spec,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -919,5 +1010,41 @@ mod tests {
                 "run": {"scheduler": {"kind": "umr"}, "reps": 0}}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn jobs_request_decodes_and_validates() {
+        let body = r#"{"platform": {"homogeneous": {"n": 4, "ratio": 1.5,
+            "comp_latency": 0.2, "net_latency": 0.1}},
+            "policy": "round_robin", "seed": 3,
+            "jobs": [
+              {"release": 0, "size": 400, "scheduler": {"kind": "factoring"}},
+              {"size": 200, "scheduler": {"kind": "umr"}, "recovery": true}
+            ]}"#;
+        let req = JobsRequest::from_json_str(body).expect("decodes");
+        assert_eq!(req.spec.policy, MultiPolicy::RoundRobin);
+        assert_eq!(req.spec.seed, 3);
+        assert_eq!(req.spec.jobs.len(), 2);
+        assert_eq!(req.spec.jobs[1].release, 0.0, "release defaults to 0");
+        assert!(req.spec.jobs[1].recovery.is_some());
+        assert_eq!(req.scenario.w_total, 600.0);
+
+        // Bad inputs refuse with a message, never panic.
+        for bad in [
+            r#"{"platform": {"homogeneous": {"n": 4, "ratio": 1.5,
+                "comp_latency": 0.2, "net_latency": 0.1}}, "jobs": []}"#,
+            r#"{"platform": {"homogeneous": {"n": 4, "ratio": 1.5,
+                "comp_latency": 0.2, "net_latency": 0.1}},
+                "jobs": [{"release": -1, "size": 10, "scheduler": {"kind": "umr"}}]}"#,
+            r#"{"platform": {"homogeneous": {"n": 4, "ratio": 1.5,
+                "comp_latency": 0.2, "net_latency": 0.1}},
+                "jobs": [{"size": 10, "scheduler": {"kind": "umr"}}],
+                "policy": "lifo"}"#,
+            r#"{"platform": {"homogeneous": {"n": 4, "ratio": 1.5,
+                "comp_latency": 0.2, "net_latency": 0.1}},
+                "jobs": [{"size": 1e999, "scheduler": {"kind": "umr"}}]}"#,
+        ] {
+            assert!(JobsRequest::from_json_str(bad).is_err(), "{bad}");
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! SIGINT/SIGTERM (drain queued connections, then exit).
 //!
 //! Flags: `--addr HOST` `--port N` `--workers N` `--queue-bound N`
-//! `--cache N` `--max-events N` `--delay-ms N`.
+//! `--cache N` `--max-events N` `--delay-ms N` `--job-capacity N`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -33,7 +33,7 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: dls-serve [--addr HOST] [--port N] [--workers N] [--queue-bound N] \
-         [--cache N] [--max-events N] [--delay-ms N]"
+         [--cache N] [--max-events N] [--delay-ms N] [--job-capacity N]"
     );
     std::process::exit(2)
 }
@@ -61,6 +61,9 @@ fn main() {
             "--max-events" => config.max_events = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--delay-ms" => {
                 config.handler_delay_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--job-capacity" => {
+                config.job_capacity = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--help" | "-h" => usage(),
             _ => usage(),

@@ -24,9 +24,12 @@ use std::time::{Duration, Instant};
 
 use dls_experiments::json::{json_escape, json_num};
 use rumr::sim::{SimError, TraceEvent};
-use rumr::{Prediction, RobustnessReport, RunError, Scenario, SimResult, SpeedModel, TraceMode};
+use rumr::{
+    MultiRunResult, Prediction, RobustnessReport, RunError, Scenario, SimResult, SpeedModel,
+    TraceMode,
+};
 
-use crate::api::{ApiError, PlanRequest, SimulateRequest};
+use crate::api::{ApiError, JobsRequest, PlanRequest, SimulateRequest};
 use crate::cache::{CachedPlan, PlanCache};
 use crate::http::{self, read_request, write_error, write_response, ReadError, Request};
 use crate::metrics::Metrics;
@@ -49,6 +52,9 @@ pub struct ServerConfig {
     /// Artificial per-request delay (test hook for exercising
     /// backpressure deterministically). 0 in production.
     pub handler_delay_ms: u64,
+    /// Bound on not-yet-finished `/jobs` submissions; beyond it `POST
+    /// /jobs` sheds load with 503s.
+    pub job_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -60,8 +66,47 @@ impl Default for ServerConfig {
             cache_capacity: 128,
             max_events: 50_000_000,
             handler_delay_ms: 0,
+            job_capacity: 32,
         }
     }
+}
+
+/// State of one submitted multi-load job set.
+enum JobState {
+    /// Accepted, waiting for the runner thread. Holds the decoded request
+    /// until the run starts.
+    Queued(Box<JobsRequest>),
+    /// The runner thread is executing it.
+    Running,
+    /// Finished; the rendered result JSON is served verbatim on every
+    /// subsequent poll.
+    Done(String),
+    /// The run failed; polls answer with this status and message.
+    Failed(u16, String),
+}
+
+impl JobState {
+    fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued(_) => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(..) => "failed",
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        matches!(self, JobState::Queued(_) | JobState::Running)
+    }
+}
+
+/// The `/jobs` registry: submissions live here from `POST /jobs` until
+/// (long after) completion; entries are never evicted while the server
+/// runs, so job ids are stable poll targets.
+#[derive(Default)]
+struct JobStore {
+    entries: Vec<JobState>,
+    run_queue: VecDeque<usize>,
 }
 
 struct Shared {
@@ -71,6 +116,8 @@ struct Shared {
     metrics: Metrics,
     cache: PlanCache,
     config: ServerConfig,
+    jobs: Mutex<JobStore>,
+    jobs_available: Condvar,
 }
 
 /// A running server: spawn with [`Server::start`], stop with
@@ -98,15 +145,25 @@ impl Server {
             metrics: Metrics::new(),
             cache: PlanCache::new(config.cache_capacity),
             config: config.clone(),
+            jobs: Mutex::new(JobStore::default()),
+            jobs_available: Condvar::new(),
         });
 
-        let mut threads = Vec::with_capacity(config.workers + 1);
+        let mut threads = Vec::with_capacity(config.workers + 2);
         {
             let shared = Arc::clone(&shared);
             threads.push(
                 thread::Builder::new()
                     .name("dls-serve-accept".into())
                     .spawn(move || accept_loop(listener, &shared))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("dls-serve-jobs".into())
+                    .spawn(move || jobs_loop(&shared))?,
             );
         }
         for i in 0..config.workers.max(1) {
@@ -136,6 +193,7 @@ impl ServerHandle {
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.available.notify_all();
+        self.shared.jobs_available.notify_all();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -146,6 +204,7 @@ impl ServerHandle {
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.available.notify_all();
+        self.shared.jobs_available.notify_all();
     }
 
     /// Block until every thread has exited.
@@ -425,6 +484,38 @@ fn handle_simple(shared: &Shared, stream: &mut TcpStream, request: &Request) {
                 .observe("/plan", status, start.elapsed().as_secs_f64());
             return;
         }
+        ("POST", "/jobs") => {
+            let status = handle_jobs_submit(shared, stream, request);
+            shared
+                .metrics
+                .observe("/jobs", status, start.elapsed().as_secs_f64());
+            return;
+        }
+        ("GET", "/jobs") => {
+            let status = handle_jobs_list(shared, stream);
+            shared
+                .metrics
+                .observe("/jobs", status, start.elapsed().as_secs_f64());
+            return;
+        }
+        ("GET", path) if path.starts_with("/jobs/") => {
+            let status = handle_jobs_poll(shared, stream, &request.path["/jobs/".len()..]);
+            // One metrics label for every id — polling must not blow up
+            // the per-path series.
+            shared
+                .metrics
+                .observe("/jobs/{id}", status, start.elapsed().as_secs_f64());
+            return;
+        }
+        (_, path) if path == "/jobs" || path.starts_with("/jobs/") => {
+            let _ = write_error(
+                stream,
+                405,
+                "Method Not Allowed",
+                "wrong method for endpoint",
+            );
+            405
+        }
         ("GET", "/plan" | "/simulate") | ("POST", "/healthz" | "/metrics") => {
             let _ = write_error(
                 stream,
@@ -617,6 +708,227 @@ fn plan_robustness(plan: &PlanRequest) -> String {
             json_escape(&model.label()),
             json_num(bound)
         ));
+    }
+    body.push_str("]}");
+    body
+}
+
+/// `POST /jobs`: accept a multi-load job set for asynchronous execution.
+/// Answers `202 Accepted` with the job id to poll; a full job table
+/// (too many unfinished submissions) sheds load with 503 + Retry-After,
+/// mirroring the connection queue.
+fn handle_jobs_submit(shared: &Shared, stream: &mut TcpStream, request: &Request) -> u16 {
+    test_delay(shared);
+    let body = match request.body_str() {
+        Some(b) => b,
+        None => {
+            let _ = write_error(stream, 400, "Bad Request", "body is not UTF-8");
+            return 400;
+        }
+    };
+    let jobs_request = match JobsRequest::from_json_str(body) {
+        Ok(r) => r,
+        Err(e) if e.is_non_finite() => {
+            let _ = write_error(stream, 422, "Unprocessable Entity", &e.0);
+            return 422;
+        }
+        Err(e) => {
+            let _ = write_error(stream, 400, "Bad Request", &e.0);
+            return 400;
+        }
+    };
+    let id = {
+        let mut store = shared.jobs.lock().unwrap();
+        let open = store.entries.iter().filter(|e| e.is_open()).count();
+        if open >= shared.config.job_capacity {
+            drop(store);
+            let _ = write_response(
+                stream,
+                503,
+                "Service Unavailable",
+                "application/json",
+                b"{\"error\":\"job table full\"}",
+                &["Retry-After: 1"],
+            );
+            return 503;
+        }
+        let id = store.entries.len();
+        store.entries.push(JobState::Queued(Box::new(jobs_request)));
+        store.run_queue.push_back(id);
+        id
+    };
+    shared.jobs_available.notify_one();
+    let body = format!("{{\"id\":{id},\"status\":\"queued\"}}");
+    let _ = write_response(
+        stream,
+        202,
+        "Accepted",
+        "application/json",
+        body.as_bytes(),
+        &[&format!("Location: /jobs/{id}")],
+    );
+    202
+}
+
+/// `GET /jobs`: id + status of every submission, in submission order.
+fn handle_jobs_list(shared: &Shared, stream: &mut TcpStream) -> u16 {
+    let store = shared.jobs.lock().unwrap();
+    let mut body = String::from("{\"jobs\":[");
+    for (id, entry) in store.entries.iter().enumerate() {
+        if id > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("{{\"id\":{id},\"status\":\"{}\"}}", entry.label()));
+    }
+    drop(store);
+    body.push_str("]}");
+    let _ = write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[]);
+    200
+}
+
+/// `GET /jobs/{id}`: poll one submission. Unfinished jobs answer their
+/// status; finished jobs answer the stored result (or failure) verbatim,
+/// so repeated polls are byte-identical.
+fn handle_jobs_poll(shared: &Shared, stream: &mut TcpStream, id_str: &str) -> u16 {
+    let Ok(id) = id_str.parse::<usize>() else {
+        let _ = write_error(stream, 400, "Bad Request", "job id must be an integer");
+        return 400;
+    };
+    let store = shared.jobs.lock().unwrap();
+    let Some(entry) = store.entries.get(id) else {
+        drop(store);
+        let _ = write_error(stream, 404, "Not Found", "no such job");
+        return 404;
+    };
+    match entry {
+        JobState::Queued(_) | JobState::Running => {
+            let body = format!("{{\"id\":{id},\"status\":\"{}\"}}", entry.label());
+            drop(store);
+            let _ = write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[]);
+            200
+        }
+        JobState::Done(body) => {
+            let body = body.clone();
+            drop(store);
+            let _ = write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[]);
+            200
+        }
+        JobState::Failed(status, msg) => {
+            let (status, msg) = (*status, msg.clone());
+            drop(store);
+            let reason = match status {
+                400 => "Bad Request",
+                422 => "Unprocessable Entity",
+                _ => "Internal Server Error",
+            };
+            let _ = write_error(stream, status, reason, &msg);
+            status
+        }
+    }
+}
+
+/// The `/jobs` runner thread: pops queued submissions and executes them
+/// one at a time (multi-load runs are long; the HTTP workers only submit
+/// and poll). Exits when shutdown is signalled and the queue is drained.
+fn jobs_loop(shared: &Shared) {
+    loop {
+        let (id, request) = {
+            let mut store = shared.jobs.lock().unwrap();
+            loop {
+                if let Some(id) = store.run_queue.pop_front() {
+                    let taken = std::mem::replace(&mut store.entries[id], JobState::Running);
+                    let JobState::Queued(request) = taken else {
+                        unreachable!("run queue holds only queued jobs");
+                    };
+                    break (id, request);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (s, _) = shared
+                    .jobs_available
+                    .wait_timeout(store, Duration::from_millis(50))
+                    .unwrap();
+                store = s;
+            }
+        };
+        let outcome = run_jobs(shared, id, &request);
+        let mut store = shared.jobs.lock().unwrap();
+        store.entries[id] = match outcome {
+            Ok(body) => JobState::Done(body),
+            Err((status, msg)) => JobState::Failed(status, msg),
+        };
+    }
+}
+
+/// Execute one submission; the run needs a full trace so the job-level
+/// audit can check cross-job master exclusivity.
+fn run_jobs(shared: &Shared, id: usize, request: &JobsRequest) -> Result<String, (u16, String)> {
+    let mut spec = request.spec.clone();
+    spec.config.trace_mode = TraceMode::Full;
+    spec.config.audit = true;
+    spec.config.max_events = spec.config.max_events.min(shared.config.max_events);
+    match request.scenario.execute_jobs(&spec) {
+        Ok(result) => Ok(jobs_body(id, &spec, &result)),
+        Err(RunError::Build(e)) => Err((400, format!("planner: {e}"))),
+        Err(RunError::Sim(SimError::EventLimitExceeded)) => Err((
+            422,
+            "simulation exceeded the event limit (raise max_events or shrink the run)".into(),
+        )),
+        Err(e) => Err((500, e.to_string())),
+    }
+}
+
+fn jobs_body(id: usize, spec: &rumr::MultiRunSpec, result: &MultiRunResult) -> String {
+    let mut body = String::with_capacity(1024);
+    body.push_str(&format!(
+        "{{\"id\":{id},\"status\":\"done\",\"policy\":\"{}\",\"makespan\":{},\"num_chunks\":{},\"jobs\":[",
+        spec.policy.label(),
+        json_num(result.sim.makespan),
+        result.sim.num_chunks
+    ));
+    for (i, j) in result.jobs.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"job\":{},\"release\":{},\"size\":{},\"first_dispatch\":{},\"completion\":{},\
+             \"response\":{},\"stretch\":{},\"lower_bound\":{},\"dispatched\":{},\
+             \"completed\":{},\"lost\":{}}}",
+            j.job,
+            json_num(j.release),
+            json_num(j.size),
+            j.first_dispatch.map_or("null".to_string(), json_num),
+            j.completion.map_or("null".to_string(), json_num),
+            j.response.map_or("null".to_string(), json_num),
+            j.stretch.map_or("null".to_string(), json_num),
+            json_num(j.lower_bound),
+            json_num(j.dispatched),
+            json_num(j.completed),
+            json_num(j.lost)
+        ));
+    }
+    let f = &result.fairness;
+    body.push_str(&format!(
+        "],\"fairness\":{{\"completed_jobs\":{},\"max_stretch\":{},\"mean_stretch\":{},\"jain_index\":{}}}",
+        f.completed_jobs,
+        json_num(f.max_stretch),
+        json_num(f.mean_stretch),
+        json_num(f.jain_index)
+    ));
+    body.push_str(",\"audit_findings\":[");
+    let engine_findings = result.sim.audit.as_deref().unwrap_or(&[]);
+    for (i, finding) in engine_findings
+        .iter()
+        .chain(result.job_audit.iter())
+        .enumerate()
+    {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push('"');
+        body.push_str(&json_escape(&finding.to_string()));
+        body.push('"');
     }
     body.push_str("]}");
     body

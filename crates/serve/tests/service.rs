@@ -19,6 +19,7 @@ fn quiet_config() -> ServerConfig {
         cache_capacity: 16,
         max_events: 10_000_000,
         handler_delay_ms: 0,
+        job_capacity: 8,
     }
 }
 
@@ -272,6 +273,78 @@ fn simulate_reports_robustness_under_revealed_speeds() {
             .expect("ratio is a number");
         assert!(ratio >= 1.0 - 1e-9, "ratio {ratio} in {body}");
     }
+    server.shutdown();
+}
+
+const JOBS: &str = r#"{"platform": {"homogeneous": {"n": 6, "ratio": 1.5,
+    "comp_latency": 0.2, "net_latency": 0.1}},
+    "policy": "fair_share", "seed": 5,
+    "jobs": [
+      {"release": 0, "size": 400, "scheduler": {"kind": "factoring"}},
+      {"release": 30, "size": 200, "scheduler": {"kind": "factoring"}},
+      {"release": 60, "size": 100, "scheduler": {"kind": "umr"}}
+    ]}"#;
+
+#[test]
+fn jobs_submit_poll_result_lifecycle() {
+    let server = start(quiet_config());
+    let (status, head, body) = request(server.addr, "POST", "/jobs", JOBS);
+    assert_eq!(status, 202, "body: {body}");
+    assert!(head.contains("Location: /jobs/0"), "head: {head}");
+    assert!(body.contains("\"id\":0"));
+
+    // Poll until the runner thread finishes it.
+    let mut result = String::new();
+    for _ in 0..400 {
+        let (status, _, body) = request(server.addr, "GET", "/jobs/0", "");
+        assert_eq!(status, 200, "body: {body}");
+        if body.contains("\"status\":\"done\"") {
+            result = body;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(!result.is_empty(), "job never finished");
+    assert!(result.contains("\"policy\":\"fair_share\""), "{result}");
+    assert!(result.contains("\"fairness\""), "{result}");
+    assert!(result.contains("\"stretch\""), "{result}");
+    assert!(result.contains("\"audit_findings\":[]"), "{result}");
+
+    // Polls of a finished job are byte-identical.
+    let (_, _, again) = request(server.addr, "GET", "/jobs/0", "");
+    assert_eq!(result, again);
+
+    let (status, _, list) = request(server.addr, "GET", "/jobs", "");
+    assert_eq!(status, 200);
+    assert!(list.contains("{\"id\":0,\"status\":\"done\"}"), "{list}");
+
+    let (status, _, _) = request(server.addr, "GET", "/jobs/99", "");
+    assert_eq!(status, 404);
+    let (status, _, _) = request(server.addr, "GET", "/jobs/abc", "");
+    assert_eq!(status, 400);
+    let (status, _, _) = request(server.addr, "DELETE", "/jobs/0", "");
+    assert_eq!(status, 405);
+    let (status, _, _) = request(server.addr, "POST", "/jobs", "{}");
+    assert_eq!(status, 400);
+    let (status, _, _) = request(
+        server.addr,
+        "POST",
+        "/jobs",
+        &JOBS.replace("\"size\": 400", "\"size\": 1e999"),
+    );
+    assert_eq!(status, 422);
+    server.shutdown();
+}
+
+#[test]
+fn jobs_table_full_sheds_load_with_503() {
+    let server = start(ServerConfig {
+        job_capacity: 0,
+        ..quiet_config()
+    });
+    let (status, head, _) = request(server.addr, "POST", "/jobs", JOBS);
+    assert_eq!(status, 503);
+    assert!(head.contains("Retry-After:"), "head: {head}");
     server.shutdown();
 }
 

@@ -183,6 +183,12 @@ pub enum SimError {
     },
     /// `SimConfig::max_events` was exceeded.
     EventLimitExceeded,
+    /// The scheduler returned `WaitUntil` with a non-finite or negative
+    /// wake-up time. Always a scheduler bug.
+    InvalidTimer {
+        /// The offending wake-up time.
+        time: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -198,6 +204,12 @@ impl fmt::Display for SimError {
                 write!(f, "invalid dispatch: worker {worker}, chunk {chunk}")
             }
             SimError::EventLimitExceeded => write!(f, "event limit exceeded"),
+            SimError::InvalidTimer { time } => {
+                write!(
+                    f,
+                    "invalid timer: wake-up time {time} is not a finite non-negative number"
+                )
+            }
         }
     }
 }
@@ -309,6 +321,11 @@ enum Event {
     /// queued into the heap only when this one fires, so the fault-free
     /// path allocates no event sequence numbers to faults.
     Fault { worker: usize, action: FaultAction },
+    /// Scheduler-requested wake-up from [`Decision::WaitUntil`]
+    /// (multi-load extension). Only emitted when a scheduler actually
+    /// returns `WaitUntil`, so single-load runs consume no event sequence
+    /// numbers for timers and remain bit-identical.
+    Timer,
 }
 
 /// Sentinel ledger id for output returns, which carry no workload units and
@@ -466,6 +483,12 @@ pub struct Engine<'a> {
     counts: EventCounts,
     /// Streaming invariant checker, present when `config.audit` is set.
     checker: Option<InvariantChecker>,
+    /// Wake-up times of [`Event::Timer`]s currently in the queue
+    /// ([`Decision::WaitUntil`]). Used to dedupe repeated `WaitUntil`
+    /// requests and to terminate the run without letting a stale timer
+    /// stretch the makespan. Tiny (at most one per pending job release),
+    /// so a linear scan beats a heap.
+    pending_timers: Vec<f64>,
 }
 
 impl<'a> Engine<'a> {
@@ -547,6 +570,7 @@ impl<'a> Engine<'a> {
             num_gaps: 0,
             counts: EventCounts::default(),
             checker,
+            pending_timers: Vec::new(),
         }
     }
 
@@ -601,6 +625,7 @@ impl<'a> Engine<'a> {
         if let Some(c) = &mut self.checker {
             c.reset();
         }
+        self.pending_timers.clear();
     }
 
     /// Debug probe: the pending-event queue's allocated capacity (see
@@ -871,6 +896,20 @@ impl<'a> Engine<'a> {
             });
             let step = match decision {
                 Decision::Wait => break,
+                Decision::WaitUntil { time } => {
+                    if !time.is_finite() || time < 0.0 {
+                        outcome = Err(SimError::InvalidTimer { time });
+                    } else {
+                        let due = time.max(self.now);
+                        // A pending timer at or before `due` already
+                        // guarantees the wake-up; only schedule otherwise.
+                        if !self.pending_timers.iter().any(|&t| t <= due) {
+                            self.pending_timers.push(due);
+                            self.schedule(due, Event::Timer);
+                        }
+                    }
+                    break;
+                }
                 Decision::Finished => {
                     *finished = true;
                     Ok(())
@@ -1205,8 +1244,11 @@ impl<'a> Engine<'a> {
             // In fault mode, stop as soon as all work is settled: pending
             // fault events must not stretch the makespan, and with
             // crash-stop losses the heap can drain with work undone —
-            // partial completion, not a scheduler deadlock.
-            if self.fault_mode
+            // partial completion, not a scheduler deadlock. The same early
+            // exit applies when scheduler timers are pending
+            // (`Decision::WaitUntil`): a leftover wake-up after the last
+            // real event must not stretch the makespan either.
+            if (self.fault_mode || !self.pending_timers.is_empty())
                 && finished
                 && self.outstanding_chunks == 0
                 && self.sending == 0
@@ -1336,6 +1378,16 @@ impl<'a> Engine<'a> {
                                 action: f.action,
                             },
                         );
+                    }
+                }
+                Event::Timer => {
+                    // The wake-up itself is the whole effect: the loop's
+                    // next iteration consults the scheduler at the new
+                    // `now`. Drop the bookkeeping entry (timers pop in
+                    // time order relative to each other, but earlier
+                    // same-time entries may remain, so remove by value).
+                    if let Some(i) = self.pending_timers.iter().position(|&t| t <= self.now) {
+                        self.pending_timers.swap_remove(i);
                     }
                 }
             }

@@ -63,6 +63,9 @@ pub enum InvariantKind {
     /// The event stream's work sums disagree with the engine's ledger, or
     /// dispatched work is not fully accounted as computed + lost.
     LedgerMismatch,
+    /// Multi-load arbitration violated a job's release time: work was
+    /// dispatched on a job's behalf before the job arrived.
+    JobRelease,
 }
 
 impl fmt::Display for InvariantKind {
@@ -74,6 +77,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::Causality => "causality violated",
             InvariantKind::InvalidValue => "invalid value",
             InvariantKind::LedgerMismatch => "ledger mismatch",
+            InvariantKind::JobRelease => "dispatch before job release",
         })
     }
 }
@@ -540,6 +544,173 @@ impl InvariantChecker {
     }
 }
 
+/// One job's end-of-run work totals, handed to
+/// [`MultiJobChecker::finalize`] by the multi-load arbitration layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobLedgerEntry {
+    /// Workload units dispatched on the job's behalf (redispatches
+    /// included).
+    pub dispatched: f64,
+    /// Workload units whose computation completed.
+    pub completed: f64,
+    /// Workload units destroyed by faults.
+    pub lost: f64,
+}
+
+/// Multi-load companion to [`InvariantChecker`]: per-job ledger and
+/// cross-job master-exclusivity checks.
+///
+/// The engine-level checker audits the *physics* (serial master, serial
+/// compute, global work conservation) but is blind to job identity — a
+/// multi-load run that charged job A's chunk to job B, or served a job
+/// before its release, passes it cleanly. This checker consumes the
+/// arbitration layer's job-attributed observations instead:
+///
+/// * [`observe_dispatch`](MultiJobChecker::observe_dispatch) — every
+///   dispatch, checked against the job's release time, accumulated into
+///   the per-job dispatched sum.
+/// * [`observe_send_interval`](MultiJobChecker::observe_send_interval) —
+///   the master-occupation interval of each send in dispatch order;
+///   intervals of *different* jobs must not overlap on a serial master
+///   (same-job overlap is already the engine checker's
+///   `MasterOccupation`).
+/// * [`finalize`](MultiJobChecker::finalize) — per-job work conservation:
+///   the dispatches seen must reproduce each job's reported ledger, and
+///   each ledger must balance (`dispatched = completed + lost` up to the
+///   job's declared outstanding remainder).
+#[derive(Debug, Clone)]
+pub struct MultiJobChecker {
+    releases: Vec<f64>,
+    seen_dispatched: Vec<f64>,
+    last_send: Option<(usize, f64)>,
+    findings: Vec<InvariantFinding>,
+    suppressed: usize,
+}
+
+impl MultiJobChecker {
+    /// A checker for jobs with the given release times.
+    pub fn new(releases: Vec<f64>) -> Self {
+        let n = releases.len();
+        MultiJobChecker {
+            releases,
+            seen_dispatched: vec![0.0; n],
+            last_send: None,
+            findings: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    fn report(&mut self, kind: InvariantKind, time: f64, detail: String) {
+        if self.findings.len() >= MAX_FINDINGS {
+            self.suppressed += 1;
+            return;
+        }
+        self.findings.push(InvariantFinding {
+            kind,
+            event_index: usize::MAX,
+            time,
+            worker: None,
+            detail,
+        });
+    }
+
+    /// Record one dispatch attributed to `job` at `time` for `chunk`
+    /// units. Flags dispatches before the job's release and unknown job
+    /// indices.
+    pub fn observe_dispatch(&mut self, job: usize, time: f64, chunk: f64) {
+        let Some(&release) = self.releases.get(job) else {
+            self.report(
+                InvariantKind::JobRelease,
+                time,
+                format!("dispatch attributed to unknown job {job}"),
+            );
+            return;
+        };
+        if time < release - TIME_EPS {
+            self.report(
+                InvariantKind::JobRelease,
+                time,
+                format!("job {job} dispatched at t={time} before its release {release}"),
+            );
+        }
+        self.seen_dispatched[job] += chunk;
+    }
+
+    /// Record one master-occupation interval `[start, end]` attributed to
+    /// `job`, in dispatch order. Two consecutive intervals belonging to
+    /// different jobs must not overlap.
+    pub fn observe_send_interval(&mut self, job: usize, start: f64, end: f64) {
+        if let Some((prev_job, prev_end)) = self.last_send {
+            if prev_job != job && start < prev_end - TIME_EPS {
+                self.report(
+                    InvariantKind::MasterOccupation,
+                    start,
+                    format!(
+                        "job {job}'s send starts at t={start} while job {prev_job}'s \
+                         send is still open until t={prev_end}"
+                    ),
+                );
+            }
+        }
+        self.last_send = Some((job, end.max(start)));
+    }
+
+    /// Close the books: each job's observed dispatches must reproduce its
+    /// reported ledger, and each ledger must balance. `gave_up` skips the
+    /// balance check (faulty runs without recovery legitimately leave
+    /// lost work unaccounted as completed). Returns all findings and
+    /// resets the checker.
+    pub fn finalize(&mut self, per_job: &[JobLedgerEntry], gave_up: bool) -> Vec<InvariantFinding> {
+        if per_job.len() != self.releases.len() {
+            let (got, want) = (per_job.len(), self.releases.len());
+            self.report(
+                InvariantKind::LedgerMismatch,
+                0.0,
+                format!("{got} job ledgers reported for {want} jobs"),
+            );
+        }
+        for (j, entry) in per_job.iter().enumerate() {
+            let seen = self.seen_dispatched.get(j).copied().unwrap_or(0.0);
+            let scale = entry.dispatched.abs().max(1.0);
+            if (seen - entry.dispatched).abs() > 1e-6 * scale {
+                self.report(
+                    InvariantKind::LedgerMismatch,
+                    0.0,
+                    format!(
+                        "job {j}: dispatch stream saw {seen} units, ledger reports {}",
+                        entry.dispatched
+                    ),
+                );
+            }
+            let accounted = entry.completed + entry.lost;
+            if !gave_up && (entry.dispatched - accounted).abs() > 1e-6 * scale {
+                self.report(
+                    InvariantKind::LedgerMismatch,
+                    0.0,
+                    format!(
+                        "job {j}: dispatched {} but completed {} + lost {} = {accounted}",
+                        entry.dispatched, entry.completed, entry.lost
+                    ),
+                );
+            }
+        }
+        if self.suppressed > 0 {
+            let n = self.suppressed;
+            self.findings.push(InvariantFinding {
+                kind: InvariantKind::LedgerMismatch,
+                event_index: usize::MAX,
+                time: 0.0,
+                worker: None,
+                detail: format!("…and {n} further violation(s) suppressed"),
+            });
+        }
+        self.last_send = None;
+        self.seen_dispatched.iter_mut().for_each(|d| *d = 0.0);
+        self.suppressed = 0;
+        std::mem::take(&mut self.findings)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -973,8 +1144,126 @@ mod tests {
             InvariantKind::Causality,
             InvariantKind::InvalidValue,
             InvariantKind::LedgerMismatch,
+            InvariantKind::JobRelease,
         ] {
             assert!(!format!("{k}").is_empty());
         }
+    }
+
+    #[test]
+    fn multi_job_clean_run_has_no_findings() {
+        let mut c = MultiJobChecker::new(vec![0.0, 10.0]);
+        c.observe_dispatch(0, 0.0, 60.0);
+        c.observe_send_interval(0, 0.0, 2.0);
+        c.observe_dispatch(1, 10.0, 40.0);
+        c.observe_send_interval(1, 10.0, 11.0);
+        c.observe_dispatch(0, 11.0, 40.0);
+        c.observe_send_interval(0, 11.0, 12.0);
+        let findings = c.finalize(
+            &[
+                JobLedgerEntry {
+                    dispatched: 100.0,
+                    completed: 100.0,
+                    lost: 0.0,
+                },
+                JobLedgerEntry {
+                    dispatched: 40.0,
+                    completed: 40.0,
+                    lost: 0.0,
+                },
+            ],
+            false,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn multi_job_flags_dispatch_before_release() {
+        let mut c = MultiJobChecker::new(vec![0.0, 10.0]);
+        c.observe_dispatch(1, 5.0, 40.0);
+        let findings = c.finalize(
+            &[
+                JobLedgerEntry {
+                    dispatched: 0.0,
+                    completed: 0.0,
+                    lost: 0.0,
+                },
+                JobLedgerEntry {
+                    dispatched: 40.0,
+                    completed: 40.0,
+                    lost: 0.0,
+                },
+            ],
+            false,
+        );
+        assert!(
+            findings.iter().any(|f| f.kind == InvariantKind::JobRelease),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn multi_job_flags_cross_job_overlap() {
+        let mut c = MultiJobChecker::new(vec![0.0, 0.0]);
+        c.observe_dispatch(0, 0.0, 50.0);
+        c.observe_send_interval(0, 0.0, 2.0);
+        c.observe_dispatch(1, 1.0, 50.0);
+        c.observe_send_interval(1, 1.0, 3.0); // opens before job 0's closes
+        let findings = c.finalize(
+            &[
+                JobLedgerEntry {
+                    dispatched: 50.0,
+                    completed: 50.0,
+                    lost: 0.0,
+                },
+                JobLedgerEntry {
+                    dispatched: 50.0,
+                    completed: 50.0,
+                    lost: 0.0,
+                },
+            ],
+            false,
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.kind == InvariantKind::MasterOccupation),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn multi_job_flags_ledger_mismatch() {
+        let mut c = MultiJobChecker::new(vec![0.0]);
+        c.observe_dispatch(0, 0.0, 50.0);
+        // Stream saw 50 dispatched, ledger claims 70; and 70 != 30 + 0.
+        let findings = c.finalize(
+            &[JobLedgerEntry {
+                dispatched: 70.0,
+                completed: 30.0,
+                lost: 0.0,
+            }],
+            false,
+        );
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.kind == InvariantKind::LedgerMismatch)
+                .count(),
+            2,
+            "{findings:?}"
+        );
+        // gave_up skips the balance check but not the stream cross-check.
+        let mut c = MultiJobChecker::new(vec![0.0]);
+        c.observe_dispatch(0, 0.0, 70.0);
+        let findings = c.finalize(
+            &[JobLedgerEntry {
+                dispatched: 70.0,
+                completed: 30.0,
+                lost: 0.0,
+            }],
+            true,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
     }
 }

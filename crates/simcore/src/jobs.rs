@@ -1,0 +1,328 @@
+//! Multi-load job sets: online arrivals of divisible loads.
+//!
+//! The RUMR paper schedules exactly one divisible load on a dedicated
+//! platform. A scheduling *service* faces many: jobs arrive online, each
+//! with a release time and a total size, and they contend for the shared
+//! master interface. This module defines the arrival model — [`JobSpec`]
+//! and [`JobSet`] with deterministic seeded generators (Poisson, bursty,
+//! adversarial simultaneous release) — plus the per-job analytic lower
+//! bounds every multi-load policy must dominate.
+//!
+//! The arbitration itself lives in the `dls-sched` crate
+//! (`MultiLoadScheduler`); this module only describes *what* arrives and
+//! *when*, keeping a multi-load run a pure function of
+//! (platform, job set, policy, seed), exactly like the single-load path.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::platform::Platform;
+
+/// One divisible load in a multi-load run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Simulation time at which the job becomes known to the scheduler.
+    /// No chunk of the job may be dispatched earlier. Finite, `>= 0`.
+    pub release: f64,
+    /// Total workload units of the job. Finite, `> 0`.
+    pub size: f64,
+}
+
+impl JobSpec {
+    /// A job of `size` workload units released at time `release`.
+    pub fn new(release: f64, size: f64) -> Self {
+        JobSpec { release, size }
+    }
+}
+
+/// Why a [`JobSet`] could not be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSetError {
+    /// The job list was empty.
+    Empty,
+    /// A job's release time was non-finite or negative.
+    InvalidRelease {
+        /// Index of the offending job.
+        job: usize,
+        /// The offending release time.
+        release: f64,
+    },
+    /// A job's size was non-finite or non-positive.
+    InvalidSize {
+        /// Index of the offending job.
+        job: usize,
+        /// The offending size.
+        size: f64,
+    },
+}
+
+impl std::fmt::Display for JobSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobSetError::Empty => write!(f, "job set is empty"),
+            JobSetError::InvalidRelease { job, release } => {
+                write!(
+                    f,
+                    "job {job}: release time {release} must be finite and non-negative"
+                )
+            }
+            JobSetError::InvalidSize { job, size } => {
+                write!(f, "job {job}: size {size} must be finite and positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobSetError {}
+
+/// A validated, ordered collection of jobs for one multi-load run.
+///
+/// Job indices are stable: job `j` of the set is job `j` in every report,
+/// metric, and audit finding downstream. FIFO-exclusive arbitration serves
+/// jobs in set order, so generators emit jobs sorted by release time
+/// (ties keep insertion order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSet {
+    jobs: Vec<JobSpec>,
+}
+
+/// Mixing constant for per-stream seed decorrelation (SplitMix64 increment),
+/// the same idiom `PoissonFaults` uses for per-worker streams.
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Draw from Exp(mean) by inversion; uses `1 - u` so `u = 0` is safe.
+fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+impl JobSet {
+    /// Validate and wrap an explicit job list.
+    pub fn new(jobs: Vec<JobSpec>) -> Result<Self, JobSetError> {
+        if jobs.is_empty() {
+            return Err(JobSetError::Empty);
+        }
+        for (j, job) in jobs.iter().enumerate() {
+            if !job.release.is_finite() || job.release < 0.0 {
+                return Err(JobSetError::InvalidRelease {
+                    job: j,
+                    release: job.release,
+                });
+            }
+            if !job.size.is_finite() || job.size <= 0.0 {
+                return Err(JobSetError::InvalidSize {
+                    job: j,
+                    size: job.size,
+                });
+            }
+        }
+        Ok(JobSet { jobs })
+    }
+
+    /// A single job of `size` units released at time 0 — the degenerate
+    /// set that must reproduce the single-load path bit-for-bit.
+    pub fn single(size: f64) -> Result<Self, JobSetError> {
+        JobSet::new(vec![JobSpec::new(0.0, size)])
+    }
+
+    /// Adversarial simultaneous release: every job arrives at time 0.
+    /// This maximizes contention for the master interface and is the
+    /// worst case for fairness (every policy choice is visible at once).
+    pub fn simultaneous(sizes: &[f64]) -> Result<Self, JobSetError> {
+        JobSet::new(sizes.iter().map(|&s| JobSpec::new(0.0, s)).collect())
+    }
+
+    /// Poisson arrivals: `n` jobs with Exp(`mean_interarrival`) gaps
+    /// starting from time 0, and Exp(`mean_size`) sizes floored at 1% of
+    /// the mean (a divisible load of size ~0 is a degenerate job, not an
+    /// interesting arrival). Deterministic per `seed`; arrival and size
+    /// streams are decorrelated SplitMix64-style so changing `n` never
+    /// reshuffles earlier jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or either mean is non-finite or non-positive.
+    pub fn poisson(n: usize, mean_interarrival: f64, mean_size: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one job");
+        assert!(
+            mean_interarrival.is_finite() && mean_interarrival > 0.0,
+            "mean interarrival must be positive"
+        );
+        assert!(
+            mean_size.is_finite() && mean_size > 0.0,
+            "mean size must be positive"
+        );
+        let mut arrivals = StdRng::seed_from_u64(seed);
+        let mut sizes = StdRng::seed_from_u64(seed ^ SEED_MIX);
+        let floor = mean_size * 0.01;
+        let mut t = 0.0;
+        let jobs = (0..n)
+            .map(|_| {
+                t += exponential(&mut arrivals, mean_interarrival);
+                let size = exponential(&mut sizes, mean_size).max(floor);
+                JobSpec::new(t, size)
+            })
+            .collect();
+        JobSet { jobs }
+    }
+
+    /// Bursty arrivals: `bursts` groups of `jobs_per_burst` simultaneous
+    /// jobs, consecutive bursts separated by `gap` seconds, sizes
+    /// Exp(`mean_size`) floored at 1% of the mean. Deterministic per
+    /// `seed`. Models the "everyone submits at the top of the hour"
+    /// pattern that FIFO handles worst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or `gap`/`mean_size` is non-finite or
+    /// non-positive.
+    pub fn bursty(
+        bursts: usize,
+        jobs_per_burst: usize,
+        gap: f64,
+        mean_size: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(bursts > 0 && jobs_per_burst > 0, "need at least one job");
+        assert!(gap.is_finite() && gap > 0.0, "burst gap must be positive");
+        assert!(
+            mean_size.is_finite() && mean_size > 0.0,
+            "mean size must be positive"
+        );
+        let mut sizes = StdRng::seed_from_u64(seed ^ SEED_MIX);
+        let floor = mean_size * 0.01;
+        let mut jobs = Vec::with_capacity(bursts * jobs_per_burst);
+        for b in 0..bursts {
+            let release = b as f64 * gap;
+            for _ in 0..jobs_per_burst {
+                let size = exponential(&mut sizes, mean_size).max(floor);
+                jobs.push(JobSpec::new(release, size));
+            }
+        }
+        JobSet { jobs }
+    }
+
+    /// The jobs, in set order.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Always false: construction rejects empty sets.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total workload units across all jobs.
+    pub fn total_work(&self) -> f64 {
+        self.jobs.iter().map(|j| j.size).sum()
+    }
+
+    /// Universal per-job lower bound on *response time* (completion −
+    /// release): even a job alone on an idle platform cannot beat the
+    /// single-load analytic bound for its size. Every multi-load policy's
+    /// per-job response must dominate this, which makes
+    /// `stretch = response / bound >= 1` for every job.
+    pub fn response_lower_bound(&self, platform: &Platform, job: usize) -> f64 {
+        platform.makespan_lower_bound(self.jobs[job].size)
+    }
+
+    /// Oracle-style lower bound on the whole run's makespan: the latest
+    /// per-job completion floor `release_j + bound(size_j)`, and — since
+    /// the master and workers are shared — the bound for the aggregate
+    /// workload released at the earliest release. Every policy's makespan
+    /// must dominate this.
+    pub fn makespan_lower_bound(&self, platform: &Platform) -> f64 {
+        let per_job = self
+            .jobs
+            .iter()
+            .map(|j| j.release + platform.makespan_lower_bound(j.size))
+            .fold(0.0_f64, f64::max);
+        let first = self
+            .jobs
+            .iter()
+            .map(|j| j.release)
+            .fold(f64::INFINITY, f64::min);
+        let aggregate = first + platform.makespan_lower_bound(self.total_work());
+        per_job.max(aggregate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::HomogeneousParams;
+
+    #[test]
+    fn validation_rejects_bad_jobs() {
+        assert_eq!(JobSet::new(vec![]), Err(JobSetError::Empty));
+        let bad_release = JobSet::new(vec![JobSpec::new(-1.0, 10.0)]);
+        assert!(matches!(
+            bad_release,
+            Err(JobSetError::InvalidRelease { job: 0, .. })
+        ));
+        let bad_size = JobSet::new(vec![JobSpec::new(0.0, 10.0), JobSpec::new(1.0, 0.0)]);
+        assert!(matches!(
+            bad_size,
+            Err(JobSetError::InvalidSize { job: 1, .. })
+        ));
+        let nan = JobSet::new(vec![JobSpec::new(f64::NAN, 10.0)]);
+        assert!(matches!(nan, Err(JobSetError::InvalidRelease { .. })));
+    }
+
+    #[test]
+    fn single_job_is_release_zero() {
+        let set = JobSet::single(500.0).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.jobs()[0], JobSpec::new(0.0, 500.0));
+        assert!((set.total_work() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_sorted() {
+        let a = JobSet::poisson(8, 5.0, 200.0, 42);
+        let b = JobSet::poisson(8, 5.0, 200.0, 42);
+        assert_eq!(a, b);
+        let c = JobSet::poisson(8, 5.0, 200.0, 43);
+        assert_ne!(a, c);
+        for w in a.jobs().windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+        for j in a.jobs() {
+            assert!(j.release.is_finite() && j.release >= 0.0);
+            assert!(j.size.is_finite() && j.size >= 200.0 * 0.01);
+        }
+
+        let burst = JobSet::bursty(3, 4, 10.0, 100.0, 7);
+        assert_eq!(burst.len(), 12);
+        assert_eq!(burst, JobSet::bursty(3, 4, 10.0, 100.0, 7));
+        assert!((burst.jobs()[4].release - 10.0).abs() < 1e-12);
+        assert!((burst.jobs()[11].release - 20.0).abs() < 1e-12);
+
+        let sim = JobSet::simultaneous(&[100.0, 50.0]).unwrap();
+        assert!(sim.jobs().iter().all(|j| j.release == 0.0));
+    }
+
+    #[test]
+    fn poisson_prefix_stable_in_n() {
+        let short = JobSet::poisson(3, 5.0, 200.0, 42);
+        let long = JobSet::poisson(6, 5.0, 200.0, 42);
+        assert_eq!(short.jobs(), &long.jobs()[..3]);
+    }
+
+    #[test]
+    fn lower_bounds() {
+        let platform = HomogeneousParams::table1(4, 1.5, 0.2, 0.2).build().unwrap();
+        let set = JobSet::new(vec![JobSpec::new(0.0, 300.0), JobSpec::new(50.0, 100.0)]).unwrap();
+        let lb0 = set.response_lower_bound(&platform, 0);
+        let lb1 = set.response_lower_bound(&platform, 1);
+        assert!(lb0 > lb1, "bigger job has the bigger bound");
+        let mk = set.makespan_lower_bound(&platform);
+        // Dominates both the latest per-job floor and the aggregate floor.
+        assert!(mk >= 50.0 + lb1 - 1e-12);
+        assert!(mk >= platform.makespan_lower_bound(400.0) - 1e-12);
+    }
+}

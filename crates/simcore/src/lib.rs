@@ -50,6 +50,7 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod invariants;
+pub mod jobs;
 pub mod metrics;
 pub mod platform;
 pub mod profile;
@@ -61,8 +62,11 @@ pub mod trace;
 pub use engine::{simulate, Engine, SimConfig, SimError, SimResult, TraceMode};
 pub use error::{ErrorInjector, ErrorModel, TemporalNoise};
 pub use faults::{FaultAction, FaultEvent, FaultModel, FaultPlan, PoissonFaults};
-pub use invariants::{InvariantChecker, InvariantFinding, InvariantKind, WorkLedger};
-pub use metrics::{EventCounts, Gap, MetricsSummary, TraceMetrics};
+pub use invariants::{
+    InvariantChecker, InvariantFinding, InvariantKind, JobLedgerEntry, MultiJobChecker, WorkLedger,
+};
+pub use jobs::{JobSet, JobSetError, JobSpec};
+pub use metrics::{EventCounts, FairnessSummary, Gap, JobMetrics, MetricsSummary, TraceMetrics};
 pub use platform::{HomogeneousParams, Platform, PlatformError, WorkerSpec};
 pub use profile::CostProfile;
 pub use queue::{EventQueue, QueueBackend};

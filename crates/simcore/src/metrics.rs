@@ -267,6 +267,83 @@ impl TraceMetrics {
     }
 }
 
+/// Completion metrics for one job of a multi-load run.
+///
+/// Optional fields are `None` when the job never finished — possible only
+/// under faults without recovery (lost work is never re-sent, so the job
+/// under-completes). Fault-free multi-load runs always complete every job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobMetrics {
+    /// Job index in the submitted set.
+    pub job: usize,
+    /// Release time of the job.
+    pub release: f64,
+    /// Total workload units of the job.
+    pub size: f64,
+    /// Time of the job's first dispatch, `None` if nothing was sent.
+    pub first_dispatch: Option<f64>,
+    /// Time the job's last workload unit finished computing.
+    pub completion: Option<f64>,
+    /// `completion - release`.
+    pub response: Option<f64>,
+    /// `response / lower_bound`; `>= 1` for every correct policy.
+    pub stretch: Option<f64>,
+    /// Universal single-load analytic lower bound on this job's response
+    /// time (idle dedicated platform; see `JobSet::response_lower_bound`).
+    pub lower_bound: f64,
+    /// Workload units dispatched on the job's behalf (redispatches
+    /// included).
+    pub dispatched: f64,
+    /// Workload units whose computation completed.
+    pub completed: f64,
+    /// Workload units destroyed by faults.
+    pub lost: f64,
+}
+
+/// Cross-job fairness summary of a multi-load run.
+///
+/// Stretch (response time over the job's analytic lower bound) is the
+/// standard size-normalized responsiveness measure; Jain's index
+/// `(Σx)² / (n·Σx²)` over per-job stretches is 1 when all jobs are slowed
+/// equally and approaches `1/n` when one job absorbs all the delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessSummary {
+    /// Jobs that completed (and so have a stretch).
+    pub completed_jobs: usize,
+    /// Largest per-job stretch, `NaN` when no job completed.
+    pub max_stretch: f64,
+    /// Mean per-job stretch, `NaN` when no job completed.
+    pub mean_stretch: f64,
+    /// Jain's fairness index over per-job stretches, `NaN` when no job
+    /// completed.
+    pub jain_index: f64,
+}
+
+impl FairnessSummary {
+    /// Summarize a run from its per-job metrics; jobs without a stretch
+    /// (never completed) are excluded.
+    pub fn from_jobs(jobs: &[JobMetrics]) -> Self {
+        let stretches: Vec<f64> = jobs.iter().filter_map(|j| j.stretch).collect();
+        if stretches.is_empty() {
+            return FairnessSummary {
+                completed_jobs: 0,
+                max_stretch: f64::NAN,
+                mean_stretch: f64::NAN,
+                jain_index: f64::NAN,
+            };
+        }
+        let n = stretches.len() as f64;
+        let sum: f64 = stretches.iter().sum();
+        let sum_sq: f64 = stretches.iter().map(|s| s * s).sum();
+        FairnessSummary {
+            completed_jobs: stretches.len(),
+            max_stretch: stretches.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+            mean_stretch: sum / n,
+            jain_index: (sum * sum) / (n * sum_sq),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,5 +544,56 @@ mod tests {
         assert_eq!(m.work_lost, 0.0);
         assert_eq!(m.work_redispatched, 0.0);
         assert!(m.per_worker_downtime.iter().all(|&d| d == 0.0));
+    }
+
+    fn job(job: usize, stretch: Option<f64>) -> JobMetrics {
+        JobMetrics {
+            job,
+            release: 0.0,
+            size: 100.0,
+            first_dispatch: Some(0.0),
+            completion: stretch.map(|s| s * 10.0),
+            response: stretch.map(|s| s * 10.0),
+            stretch,
+            lower_bound: 10.0,
+            dispatched: 100.0,
+            completed: if stretch.is_some() { 100.0 } else { 50.0 },
+            lost: 0.0,
+        }
+    }
+
+    #[test]
+    fn fairness_equal_stretches_is_perfectly_fair() {
+        let jobs = vec![job(0, Some(2.0)), job(1, Some(2.0)), job(2, Some(2.0))];
+        let f = FairnessSummary::from_jobs(&jobs);
+        assert_eq!(f.completed_jobs, 3);
+        assert!((f.max_stretch - 2.0).abs() < 1e-12);
+        assert!((f.mean_stretch - 2.0).abs() < 1e-12);
+        assert!((f.jain_index - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_skewed_stretches_lower_jain() {
+        let jobs = vec![job(0, Some(1.0)), job(1, Some(9.0))];
+        let f = FairnessSummary::from_jobs(&jobs);
+        assert!((f.max_stretch - 9.0).abs() < 1e-12);
+        assert!((f.mean_stretch - 5.0).abs() < 1e-12);
+        // Jain = (10)^2 / (2 * 82) ≈ 0.6098 — far from fair.
+        assert!((f.jain_index - 100.0 / 164.0).abs() < 1e-12);
+        assert!(f.jain_index < 0.75);
+    }
+
+    #[test]
+    fn fairness_excludes_incomplete_jobs() {
+        let jobs = vec![job(0, Some(3.0)), job(1, None)];
+        let f = FairnessSummary::from_jobs(&jobs);
+        assert_eq!(f.completed_jobs, 1);
+        assert!((f.jain_index - 1.0).abs() < 1e-12);
+
+        let none = FairnessSummary::from_jobs(&[job(0, None)]);
+        assert_eq!(none.completed_jobs, 0);
+        assert!(none.max_stretch.is_nan());
+        assert!(none.mean_stretch.is_nan());
+        assert!(none.jain_index.is_nan());
     }
 }

@@ -33,6 +33,18 @@ pub enum Decision {
     },
     /// Nothing to send right now; ask again after the next simulation event.
     Wait,
+    /// Nothing to send before the given simulation time. Like
+    /// [`Decision::Wait`], but the engine additionally guarantees a wake-up
+    /// consultation no later than `time` (it may still consult earlier,
+    /// after any intervening event). Multi-load schedulers use this to
+    /// sleep until the next job release without deadlocking the engine
+    /// when no other event is pending; `time` must be finite and
+    /// non-negative, and a `time` in the past behaves exactly like
+    /// [`Decision::Wait`] with an immediate wake-up.
+    WaitUntil {
+        /// Absolute simulation time of the requested wake-up.
+        time: f64,
+    },
     /// The whole workload has been dispatched; never ask again — unless
     /// work is later lost to a fault, in which case the engine resumes
     /// consulting the scheduler (recovery-aware schedulers then re-queue

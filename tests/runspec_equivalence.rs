@@ -10,8 +10,8 @@
 
 use proptest::prelude::*;
 use rumr::{
-    FaultModel, FaultPlan, QueueBackend, RecoveryConfig, RumrConfig, Scenario, SchedulerKind,
-    SimConfig, SimResult, TraceMode,
+    FaultModel, FaultPlan, MultiJob, MultiPolicy, MultiRunSpec, QueueBackend, RecoveryConfig,
+    RumrConfig, Scenario, SchedulerKind, SimConfig, SimResult, TraceMode,
 };
 
 /// Random-but-sane Table-1-style scenario (kept small for debug builds).
@@ -88,6 +88,43 @@ proptest! {
                 let spec = rumr::RunSpec::new(kind).seed(seed).config(config);
                 let unified = scenario.execute(&spec).unwrap();
                 assert_identical(&legacy, &unified, &format!("{kind:?}/{}", backend.name()));
+            }
+        }
+    }
+
+    /// The multi-load layer is a strict pass-through for a single job
+    /// released at 0: `Scenario::execute_jobs` with a one-job set is the
+    /// *same computation* as the single-load `RunSpec` path — identical
+    /// makespan bits, trace bytes and metrics — for every scheduler kind,
+    /// every arbitration policy, and both queue backends.
+    #[test]
+    fn single_job_jobset_matches_runspec((scenario, error) in scenario_strategy(), seed in 0u64..1000) {
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            for kind in kinds(error) {
+                let config = SimConfig {
+                    trace_mode: TraceMode::Full,
+                    queue_backend: backend,
+                    ..Default::default()
+                };
+                let spec = rumr::RunSpec::new(kind).seed(seed).config(config.clone());
+                let single = scenario.execute(&spec).unwrap();
+                for policy in MultiPolicy::ALL {
+                    let mspec = MultiRunSpec::new(policy)
+                        .job(MultiJob::new(0.0, scenario.w_total, kind))
+                        .seed(seed)
+                        .config(config.clone());
+                    let multi = scenario.execute_jobs(&mspec).unwrap();
+                    let what = format!("{kind:?}/{}/{}", policy.label(), backend.name());
+                    assert_identical(&single, &multi.sim, &what);
+                    assert_eq!(single.metrics, multi.sim.metrics, "{what}: metrics differ");
+                    assert!(multi.job_audit.is_empty(), "{what}: {:?}", multi.job_audit);
+                    let job = &multi.jobs[0];
+                    assert_eq!(
+                        job.completion.expect("single job completes").to_bits(),
+                        single.makespan.to_bits(),
+                        "{what}: completion is not the makespan"
+                    );
+                }
             }
         }
     }
