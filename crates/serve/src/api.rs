@@ -764,6 +764,22 @@ impl SimulateRequest {
         .canonical()
     }
 
+    /// The canonicalized *scenario* (platform + workload + error model,
+    /// without the run spec) — the engine-shard routing key. Two requests
+    /// that run on the same engine state produce the same string, so
+    /// affinity routing sends them to the same shard.
+    pub fn scenario_key(&self) -> String {
+        obj(vec![
+            ("platform", encode_platform(&self.scenario.platform)),
+            ("w_total", Json::Num(self.scenario.w_total)),
+            (
+                "error_model",
+                encode_error_model(&self.scenario.error_model),
+            ),
+        ])
+        .canonical()
+    }
+
     /// The plan-cache key of this request's (platform, workload,
     /// scheduler) triple — `/simulate` uses it to reuse a prototype planned
     /// by an earlier `/plan`.

@@ -2,7 +2,8 @@
 //! SIGINT/SIGTERM (drain queued connections, then exit).
 //!
 //! Flags: `--addr HOST` `--port N` `--workers N` `--queue-bound N`
-//! `--cache N` `--max-events N` `--delay-ms N` `--job-capacity N`.
+//! `--cache N` `--sim-cache N` `--shards N` `--keep-alive-ms N`
+//! `--max-events N` `--delay-ms N` `--job-capacity N`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -33,7 +34,8 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: dls-serve [--addr HOST] [--port N] [--workers N] [--queue-bound N] \
-         [--cache N] [--max-events N] [--delay-ms N] [--job-capacity N]"
+         [--cache N] [--sim-cache N] [--shards N] [--keep-alive-ms N] \
+         [--max-events N] [--delay-ms N] [--job-capacity N]"
     );
     std::process::exit(2)
 }
@@ -58,6 +60,13 @@ fn main() {
                 config.queue_bound = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--cache" => config.cache_capacity = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--sim-cache" => {
+                config.sim_cache_capacity = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--shards" => config.shards = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--keep-alive-ms" => {
+                config.keep_alive_timeout_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--max-events" => config.max_events = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--delay-ms" => {
                 config.handler_delay_ms = value(&mut i).parse().unwrap_or_else(|_| usage())

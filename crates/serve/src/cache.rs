@@ -1,17 +1,30 @@
-//! The LRU plan cache.
+//! Canonical-key LRU caches: the `/plan` prototype cache and the
+//! `/simulate` response cache.
 //!
 //! `/plan` is a pure function of (platform, workload, scheduler), and the
-//! planner solve behind it is the expensive part of a request. The cache
-//! stores, per canonical request key, the response body *and* the solved
-//! [`SchedulerPrototype`] — so a hit answers `/plan` without touching the
-//! planner, and `/simulate` of a cached (platform, workload, scheduler)
-//! triple skips its planner solve too (prototypes stamp out fresh
-//! schedulers via state clone).
+//! planner solve behind it is the expensive part of a request. The plan
+//! cache stores, per canonical request key, the response body *and* the
+//! solved [`SchedulerPrototype`] — so a hit answers `/plan` without
+//! touching the planner, and `/simulate` of a cached (platform, workload,
+//! scheduler) triple skips its planner solve too (prototypes stamp out
+//! fresh schedulers via state clone).
+//!
+//! `/simulate` responses are byte-deterministic in the canonicalized
+//! request (the engine is deterministic in (scenario, spec, seed), and
+//! the service pins the effective configuration), so caching the whole
+//! response body under [`crate::api::SimulateRequest::canonical`] is
+//! sound: a hit serves exactly the bytes a fresh run would produce.
+//!
+//! Both caches are instances of one thread-safe string-keyed [`LruCache`]
+//! with an eviction counter surfaced on `/metrics`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rumr::SchedulerPrototype;
+
+use crate::sync::lock;
 
 /// A cached `/plan` result: the solved prototype plus the exact response
 /// body served for it.
@@ -23,35 +36,45 @@ pub struct CachedPlan {
     pub body: String,
 }
 
-/// A thread-safe LRU map from canonical request key to [`CachedPlan`].
+/// The `/plan` cache: canonical request key → prototype + body.
+pub type PlanCache = LruCache<Arc<CachedPlan>>;
+
+/// The `/simulate` response cache: canonical request key → response body.
+pub type SimCache = LruCache<Arc<String>>;
+
+/// A thread-safe LRU map from canonical request key to a cheaply
+/// cloneable value.
 ///
 /// Capacity 0 disables caching (every `get` misses, `insert` is a no-op).
-pub struct PlanCache {
-    inner: Mutex<Inner>,
+/// Locks recover from poisoning (see [`crate::sync`]).
+pub struct LruCache<V: Clone> {
+    inner: Mutex<Inner<V>>,
     capacity: usize,
+    evictions: AtomicU64,
 }
 
-struct Inner {
-    map: HashMap<String, Arc<CachedPlan>>,
+struct Inner<V> {
+    map: HashMap<String, V>,
     /// Keys ordered least-recently-used first.
     order: Vec<String>,
 }
 
-impl PlanCache {
-    /// A cache holding at most `capacity` plans.
+impl<V: Clone> LruCache<V> {
+    /// A cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        PlanCache {
+        LruCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 order: Vec::new(),
             }),
             capacity,
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Look up a plan, marking it most-recently-used on hit.
-    pub fn get(&self, key: &str) -> Option<Arc<CachedPlan>> {
-        let mut inner = self.inner.lock().unwrap();
+    /// Look up an entry, marking it most-recently-used on hit.
+    pub fn get(&self, key: &str) -> Option<V> {
+        let mut inner = lock(&self.inner);
         let hit = inner.map.get(key).cloned()?;
         if let Some(pos) = inner.order.iter().position(|k| k == key) {
             let k = inner.order.remove(pos);
@@ -60,17 +83,18 @@ impl PlanCache {
         Some(hit)
     }
 
-    /// Insert a plan, evicting the least-recently-used entry at capacity.
-    pub fn insert(&self, key: String, plan: Arc<CachedPlan>) {
+    /// Insert an entry, evicting the least-recently-used one at capacity.
+    pub fn insert(&self, key: String, value: V) {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
-        if inner.map.insert(key.clone(), plan).is_none() {
+        let mut inner = lock(&self.inner);
+        if inner.map.insert(key.clone(), value).is_none() {
             inner.order.push(key);
             if inner.order.len() > self.capacity {
                 let evicted = inner.order.remove(0);
                 inner.map.remove(&evicted);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         } else if let Some(pos) = inner.order.iter().position(|k| *k == key) {
             let k = inner.order.remove(pos);
@@ -78,14 +102,20 @@ impl PlanCache {
         }
     }
 
-    /// Number of cached plans.
+    /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        lock(&self.inner).map.len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Entries evicted by the LRU policy so far (not replaced-in-place
+    /// updates — genuine capacity evictions).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -116,6 +146,12 @@ mod tests {
         assert!(cache.get("a").is_some());
         assert!(cache.get("c").is_some());
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1, "one genuine eviction");
+
+        // Re-inserting an existing key is an update, not an eviction.
+        cache.insert("a".into(), plan("a2"));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get("a").unwrap().body, "a2");
     }
 
     #[test]
@@ -124,5 +160,16 @@ mod tests {
         cache.insert("a".into(), plan("a"));
         assert!(cache.get("a").is_none());
         assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn sim_cache_stores_bodies() {
+        let cache = SimCache::new(1);
+        cache.insert("k1".into(), Arc::new("body-1".to_string()));
+        assert_eq!(cache.get("k1").unwrap().as_str(), "body-1");
+        cache.insert("k2".into(), Arc::new("body-2".to_string()));
+        assert!(cache.get("k1").is_none());
+        assert_eq!(cache.evictions(), 1);
     }
 }

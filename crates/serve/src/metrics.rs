@@ -1,15 +1,18 @@
 //! Service instrumentation, rendered as Prometheus text exposition.
 //!
 //! All counters live behind one [`Metrics`] value shared (via `Arc`)
-//! between the acceptor, the worker pool, and the `/metrics` handler.
-//! Atomics cover the hot single-value counters; the per-`(endpoint,
-//! status)` request counts and per-endpoint latency aggregates sit behind
-//! a short-lived mutex.
+//! between the acceptor, the worker pool, the engine shards, and the
+//! `/metrics` handler. Atomics cover the hot single-value counters; the
+//! per-`(endpoint, status)` request counts, per-endpoint latency
+//! aggregates, and per-shard request counts sit behind short-lived
+//! poison-recovering mutexes.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use crate::sync::lock;
 
 #[derive(Debug, Default, Clone)]
 struct Latency {
@@ -26,8 +29,12 @@ pub struct Metrics {
     latency: Mutex<BTreeMap<String, Latency>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    sim_cache_hits: AtomicU64,
+    sim_cache_misses: AtomicU64,
     rejected: AtomicU64,
     queue_depth: AtomicI64,
+    accept_errors: AtomicU64,
+    shard_requests: Mutex<BTreeMap<usize, u64>>,
 }
 
 impl Metrics {
@@ -39,13 +46,10 @@ impl Metrics {
     /// Record a completed request: endpoint label, response status, wall
     /// time spent handling it.
     pub fn observe(&self, endpoint: &str, status: u16, seconds: f64) {
-        *self
-            .requests
-            .lock()
-            .unwrap()
+        *lock(&self.requests)
             .entry((endpoint.to_string(), status))
             .or_insert(0) += 1;
-        let mut latency = self.latency.lock().unwrap();
+        let mut latency = lock(&self.latency);
         let entry = latency.entry(endpoint.to_string()).or_default();
         entry.sum += seconds;
         entry.count += 1;
@@ -62,9 +66,24 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Cache hits so far.
+    /// Plan-cache hits so far.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Count a `/simulate` response-cache hit.
+    pub fn sim_cache_hit(&self) {
+        self.sim_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a `/simulate` response-cache miss.
+    pub fn sim_cache_miss(&self) {
+        self.sim_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `/simulate` response-cache hits so far.
+    pub fn sim_cache_hits(&self) -> u64 {
+        self.sim_cache_hits.load(Ordering::Relaxed)
     }
 
     /// Count a connection rejected with 503 because the queue was full.
@@ -87,12 +106,32 @@ impl Metrics {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Count a failed `accept()` on the listener.
+    pub fn accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accept failures so far.
+    pub fn accept_errors_total(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Count a `/simulate` request dispatched to engine shard `shard`.
+    pub fn observe_shard(&self, shard: usize) {
+        *lock(&self.shard_requests).entry(shard).or_insert(0) += 1;
+    }
+
+    /// Per-shard dispatch counts (shard index → requests routed there).
+    pub fn shard_requests(&self) -> BTreeMap<usize, u64> {
+        lock(&self.shard_requests).clone()
+    }
+
     /// Render the Prometheus text exposition format.
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("# HELP dls_serve_requests_total Requests handled, by endpoint and status.\n");
         out.push_str("# TYPE dls_serve_requests_total counter\n");
-        for ((endpoint, status), count) in self.requests.lock().unwrap().iter() {
+        for ((endpoint, status), count) in lock(&self.requests).iter() {
             let _ = writeln!(
                 out,
                 "dls_serve_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}"
@@ -101,7 +140,7 @@ impl Metrics {
 
         out.push_str("# HELP dls_serve_request_seconds Request handling latency, by endpoint.\n");
         out.push_str("# TYPE dls_serve_request_seconds summary\n");
-        for (endpoint, l) in self.latency.lock().unwrap().iter() {
+        for (endpoint, l) in lock(&self.latency).iter() {
             let _ = writeln!(
                 out,
                 "dls_serve_request_seconds_sum{{endpoint=\"{endpoint}\"}} {}",
@@ -131,12 +170,27 @@ impl Metrics {
             "# HELP dls_serve_plan_cache_hit_ratio Hits / (hits + misses), 0 when idle.\n",
         );
         out.push_str("# TYPE dls_serve_plan_cache_hit_ratio gauge\n");
-        let ratio = if hits + misses > 0 {
-            hits as f64 / (hits + misses) as f64
-        } else {
-            0.0
-        };
-        let _ = writeln!(out, "dls_serve_plan_cache_hit_ratio {ratio}");
+        let _ = writeln!(
+            out,
+            "dls_serve_plan_cache_hit_ratio {}",
+            ratio(hits, misses)
+        );
+
+        let sim_hits = self.sim_cache_hits.load(Ordering::Relaxed);
+        let sim_misses = self.sim_cache_misses.load(Ordering::Relaxed);
+        out.push_str("# HELP dls_serve_sim_cache_hits_total Simulate response cache hits.\n");
+        out.push_str("# TYPE dls_serve_sim_cache_hits_total counter\n");
+        let _ = writeln!(out, "dls_serve_sim_cache_hits_total {sim_hits}");
+        out.push_str("# HELP dls_serve_sim_cache_misses_total Simulate response cache misses.\n");
+        out.push_str("# TYPE dls_serve_sim_cache_misses_total counter\n");
+        let _ = writeln!(out, "dls_serve_sim_cache_misses_total {sim_misses}");
+        out.push_str("# HELP dls_serve_sim_cache_hit_ratio Hits / (hits + misses), 0 when idle.\n");
+        out.push_str("# TYPE dls_serve_sim_cache_hit_ratio gauge\n");
+        let _ = writeln!(
+            out,
+            "dls_serve_sim_cache_hit_ratio {}",
+            ratio(sim_hits, sim_misses)
+        );
 
         out.push_str("# HELP dls_serve_queue_depth Connections waiting in the request queue.\n");
         out.push_str("# TYPE dls_serve_queue_depth gauge\n");
@@ -155,7 +209,36 @@ impl Metrics {
             "dls_serve_rejected_total {}",
             self.rejected.load(Ordering::Relaxed)
         );
+
+        out.push_str(
+            "# HELP dls_serve_accept_errors_total Failed accept() calls on the listener.\n",
+        );
+        out.push_str("# TYPE dls_serve_accept_errors_total counter\n");
+        let _ = writeln!(
+            out,
+            "dls_serve_accept_errors_total {}",
+            self.accept_errors.load(Ordering::Relaxed)
+        );
+
+        out.push_str(
+            "# HELP dls_serve_shard_requests_total Simulate requests dispatched, by engine shard.\n",
+        );
+        out.push_str("# TYPE dls_serve_shard_requests_total counter\n");
+        for (shard, count) in lock(&self.shard_requests).iter() {
+            let _ = writeln!(
+                out,
+                "dls_serve_shard_requests_total{{shard=\"{shard}\"}} {count}"
+            );
+        }
         out
+    }
+}
+
+fn ratio(hits: u64, misses: u64) -> f64 {
+    if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
     }
 }
 
@@ -172,8 +255,15 @@ mod tests {
         m.cache_hit();
         m.cache_miss();
         m.cache_miss();
+        m.sim_cache_hit();
+        m.sim_cache_hit();
+        m.sim_cache_miss();
         m.rejected();
         m.enqueued();
+        m.accept_error();
+        m.observe_shard(1);
+        m.observe_shard(1);
+        m.observe_shard(3);
         let text = m.render();
         assert!(text.contains("dls_serve_requests_total{endpoint=\"/plan\",status=\"200\"} 2"));
         assert!(text.contains("dls_serve_requests_total{endpoint=\"/simulate\",status=\"400\"} 1"));
@@ -182,7 +272,14 @@ mod tests {
         assert!(text.contains("dls_serve_plan_cache_hits_total 1"));
         assert!(text.contains("dls_serve_plan_cache_misses_total 2"));
         assert!(text.contains("dls_serve_plan_cache_hit_ratio 0.3333333333333333"));
+        assert!(text.contains("dls_serve_sim_cache_hits_total 2"));
+        assert!(text.contains("dls_serve_sim_cache_misses_total 1"));
+        assert!(text.contains("dls_serve_sim_cache_hit_ratio 0.6666666666666666"));
         assert!(text.contains("dls_serve_queue_depth 1"));
         assert!(text.contains("dls_serve_rejected_total 1"));
+        assert!(text.contains("dls_serve_accept_errors_total 1"));
+        assert!(text.contains("dls_serve_shard_requests_total{shard=\"1\"} 2"));
+        assert!(text.contains("dls_serve_shard_requests_total{shard=\"3\"} 1"));
+        assert_eq!(m.shard_requests().get(&1), Some(&2));
     }
 }

@@ -1,18 +1,31 @@
-//! The service itself: acceptor, bounded queue, worker pool, handlers.
+//! The service itself: acceptor, bounded queue, worker pool, engine
+//! shards, handlers.
 //!
-//! Connection flow: a nonblocking acceptor thread pushes accepted sockets
+//! Connection flow: a blocking acceptor thread pushes accepted sockets
 //! into a bounded queue guarded by a mutex + condvar. When the queue is at
 //! its bound the acceptor answers `503 Service Unavailable` with a
-//! `Retry-After` header itself — load never reaches the workers. Each
-//! worker thread pops connections, reads one request, routes it, and
-//! closes the connection.
+//! `Retry-After` header itself — load never reaches the workers. Accept
+//! failures are counted on `/metrics` and retried with exponential
+//! backoff; shutdown wakes the blocked acceptor with a loopback connect.
 //!
-//! Engine reuse: a worker that has just answered a `/simulate` keeps its
-//! decoded [`Scenario`] and borrowing [`rumr::ScenarioRunner`] alive and
-//! handles subsequent connections inside that borrow; as long as requests
-//! describe the same scenario they run on the same engine allocations
-//! (`run_reusing`), matching the batch experiments' hot path. A request
-//! for a different scenario exits the borrow and rebuilds.
+//! Each worker thread pops a connection and serves *all* of its requests:
+//! HTTP/1.1 connections are persistent by default (see [`crate::http`]),
+//! so a worker stays with its connection until the client closes it, sends
+//! `Connection: close`, goes idle past the keep-alive timeout, or sends
+//! something malformed. A keep-alive connection therefore occupies a
+//! worker for its lifetime — size `workers` at or above the number of
+//! concurrent client connections you expect to serve.
+//!
+//! `/simulate` execution happens on engine shards, not on HTTP workers:
+//! each decoded request is routed by a stable hash of its scenario
+//! (platform + workload + error model) to one of `shards` dedicated
+//! threads, each owning a warm borrowing [`rumr::ScenarioRunner`].
+//! Same-scenario requests always land on the same shard and reuse its
+//! engine allocations (`run_reusing`), no matter which connection or
+//! worker carried them. Before dispatching, the worker consults the
+//! `/simulate` response cache (canonical request → response body —
+//! sound because responses are byte-deterministic in the canonical
+//! request); hits are served on the spot with `X-Sim-Cache: hit`.
 
 use std::collections::VecDeque;
 use std::io;
@@ -30,22 +43,34 @@ use rumr::{
 };
 
 use crate::api::{ApiError, JobsRequest, PlanRequest, SimulateRequest};
-use crate::cache::{CachedPlan, PlanCache};
+use crate::cache::{CachedPlan, PlanCache, SimCache};
 use crate::http::{self, read_request, write_error, write_response, ReadError, Request};
 use crate::metrics::Metrics;
+use crate::shard::{shard_index, Outcome, Reply, ShardJob, ShardPool};
+use crate::sync::{lock, wait_timeout};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
     pub addr: String,
-    /// Worker threads handling requests.
+    /// Worker threads handling requests. A keep-alive connection occupies
+    /// a worker for its lifetime, so size this at or above the expected
+    /// number of concurrent connections.
     pub workers: usize,
     /// Bound on the connection queue; beyond it the acceptor sheds load
     /// with 503s.
     pub queue_bound: usize,
     /// Plan cache capacity (entries); 0 disables caching.
     pub cache_capacity: usize,
+    /// `/simulate` response cache capacity (entries); 0 disables it.
+    pub sim_cache_capacity: usize,
+    /// Engine shards executing `/simulate`; 0 picks one per available
+    /// core (capped at 8).
+    pub shards: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keep_alive_timeout_ms: u64,
     /// Hard cap on `max_events` for `/simulate` (the request timeout knob:
     /// runs hitting it get a 422).
     pub max_events: u64,
@@ -64,6 +89,9 @@ impl Default for ServerConfig {
             workers: 4,
             queue_bound: 64,
             cache_capacity: 128,
+            sim_cache_capacity: 256,
+            shards: 0,
+            keep_alive_timeout_ms: 5_000,
             max_events: 50_000_000,
             handler_delay_ms: 0,
             job_capacity: 32,
@@ -115,7 +143,10 @@ struct Shared {
     shutdown: AtomicBool,
     metrics: Metrics,
     cache: PlanCache,
+    sim_cache: SimCache,
+    shards: ShardPool,
     config: ServerConfig,
+    addr: std::net::SocketAddr,
     jobs: Mutex<JobStore>,
     jobs_available: Condvar,
 }
@@ -134,22 +165,32 @@ pub struct ServerHandle {
 
 impl Server {
     /// Bind and start accepting. Returns once the listener is live.
-    pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    pub fn start(mut config: ServerConfig) -> io::Result<ServerHandle> {
+        if config.shards == 0 {
+            config.shards = thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8);
+        }
         let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let shards = config.shards;
+        let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             metrics: Metrics::new(),
             cache: PlanCache::new(config.cache_capacity),
-            config: config.clone(),
+            sim_cache: SimCache::new(config.sim_cache_capacity),
+            shards: ShardPool::new(shards),
+            config,
+            addr,
             jobs: Mutex::new(JobStore::default()),
             jobs_available: Condvar::new(),
         });
 
-        let mut threads = Vec::with_capacity(config.workers + 2);
+        let mut threads = Vec::with_capacity(workers + shards + 2);
         {
             let shared = Arc::clone(&shared);
             threads.push(
@@ -166,7 +207,15 @@ impl Server {
                     .spawn(move || jobs_loop(&shared))?,
             );
         }
-        for i in 0..config.workers.max(1) {
+        for i in 0..shared.shards.len() {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("dls-serve-shard-{i}"))
+                    .spawn(move || shard_loop(&shared, i))?,
+            );
+        }
+        for i in 0..workers {
             let shared = Arc::clone(&shared);
             threads.push(
                 thread::Builder::new()
@@ -188,12 +237,10 @@ impl ServerHandle {
         &self.shared.metrics
     }
 
-    /// Signal shutdown and wait for the acceptor and workers to drain
-    /// queued connections and exit.
+    /// Signal shutdown and wait for the acceptor, shards and workers to
+    /// drain queued work and exit.
     pub fn shutdown(mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.available.notify_all();
-        self.shared.jobs_available.notify_all();
+        self.request_shutdown();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -205,6 +252,8 @@ impl ServerHandle {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.available.notify_all();
         self.shared.jobs_available.notify_all();
+        self.shared.shards.notify_all();
+        wake_acceptor(self.shared.addr);
     }
 
     /// Block until every thread has exited.
@@ -215,15 +264,34 @@ impl ServerHandle {
     }
 }
 
+/// Unblock an acceptor sitting in `accept()` by connecting to it. The
+/// acceptor re-checks the shutdown flag after every accept, so the dummy
+/// connection is dropped without being served.
+fn wake_acceptor(addr: std::net::SocketAddr) {
+    let mut target = addr;
+    if target.ip().is_unspecified() {
+        target.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+    }
+    let _ = TcpStream::connect_timeout(&target, Duration::from_millis(250));
+}
+
+/// Blocking accept loop. Accept failures (fd exhaustion, aborted
+/// connections) are counted on `/metrics` and retried with exponential
+/// backoff instead of being silently swallowed in a busy poll.
 fn accept_loop(listener: TcpListener, shared: &Shared) {
+    let mut backoff = Duration::from_millis(10);
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            shared.available.notify_all();
-            return;
-        }
         match listener.accept() {
             Ok((stream, _)) => {
-                let mut queue = shared.queue.lock().unwrap();
+                backoff = Duration::from_millis(10);
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Likely the wake-up connect from shutdown; either way
+                    // we are done serving.
+                    drop(stream);
+                    shared.available.notify_all();
+                    return;
+                }
+                let mut queue = lock(&shared.queue);
                 if queue.len() >= shared.config.queue_bound {
                     drop(queue);
                     reject(shared, stream);
@@ -234,29 +302,45 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                     shared.available.notify_one();
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(2));
+            Err(_) => {
+                shared.metrics.accept_error();
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    shared.available.notify_all();
+                    return;
+                }
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
             }
-            Err(_) => thread::sleep(Duration::from_millis(10)),
         }
     }
 }
 
 /// Shed one connection with `503 Service Unavailable`. The client's
-/// request bytes are drained first: closing a socket with unread data
-/// sends an RST that can destroy the response before the client reads it.
+/// request bytes — head *and* the body its `Content-Length` declares —
+/// are drained first: closing a socket with unread data sends an RST
+/// that can destroy the response before the client reads it.
 fn reject(shared: &Shared, mut stream: TcpStream) {
     shared.metrics.rejected();
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let mut seen: Vec<u8> = Vec::with_capacity(256);
     let mut buf = [0u8; 1024];
-    // Read until the blank line ending the head; requests to this service
-    // with bodies are small enough that the remainder rides along.
-    while !seen.windows(4).any(|w| w == b"\r\n\r\n") && seen.len() < http::MAX_HEAD_BYTES {
+    // Read until the blank line ending the head.
+    while http::find_head_end(&seen).is_none() && seen.len() < http::MAX_HEAD_BYTES {
         match io::Read::read(&mut stream, &mut buf) {
             Ok(0) | Err(_) => break,
             Ok(n) => seen.extend_from_slice(&buf[..n]),
+        }
+    }
+    // Then the declared body, which the client may still be writing.
+    if let Some(head_end) = http::find_head_end(&seen) {
+        let declared = http::declared_content_length(&seen[..head_end]);
+        let total = (head_end + 4).saturating_add(declared.min(http::MAX_BODY_BYTES));
+        while seen.len() < total {
+            match io::Read::read(&mut stream, &mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => seen.extend_from_slice(&buf[..n]),
+            }
         }
     }
     let body = b"{\"error\":\"request queue full\"}";
@@ -267,12 +351,13 @@ fn reject(shared: &Shared, mut stream: TcpStream) {
         "application/json",
         body,
         &["Retry-After: 1"],
+        false,
     );
     let _ = stream.shutdown(std::net::Shutdown::Write);
 }
 
 fn pop_connection(shared: &Shared) -> Option<TcpStream> {
-    let mut queue = shared.queue.lock().unwrap();
+    let mut queue = lock(&shared.queue);
     loop {
         if let Some(stream) = queue.pop_front() {
             shared.metrics.dequeued();
@@ -282,71 +367,72 @@ fn pop_connection(shared: &Shared) -> Option<TcpStream> {
             // Drain-then-exit: queue is empty and we are shutting down.
             return None;
         }
-        let (q, _) = shared
-            .available
-            .wait_timeout(queue, Duration::from_millis(50))
-            .unwrap();
-        queue = q;
+        queue = wait_timeout(&shared.available, queue, Duration::from_millis(50));
     }
 }
 
 fn worker_loop(shared: &Shared) {
-    // `pending` carries a connection (plus its already-read request and
-    // decoded body) out of a same-scenario streak so the outer loop can
-    // rebuild the runner around the new scenario.
-    let mut pending: Option<(TcpStream, Request, SimulateRequest)> = None;
-    loop {
-        let (stream, request, sim) = match pending.take() {
-            Some(p) => p,
-            None => {
-                let Some(mut stream) = pop_connection(shared) else {
-                    return;
-                };
-                match receive(shared, &mut stream) {
-                    Some((request, Routed::Simulate(sim))) => (stream, request, *sim),
-                    Some((request, Routed::Other)) => {
-                        handle_simple(shared, &mut stream, &request);
-                        continue;
-                    }
-                    None => continue,
-                }
-            }
-        };
-        // Same-scenario streak: own the scenario, borrow a runner from it,
-        // and keep answering /simulate requests that match it.
-        pending = simulate_streak(shared, stream, request, sim);
+    while let Some(stream) = pop_connection(shared) {
+        handle_connection(shared, stream);
     }
 }
 
-/// Handle `sim` and then keep pulling connections while they decode to the
-/// same scenario; returns the first non-matching `/simulate` so the caller
-/// can start a new streak around it.
-fn simulate_streak(
-    shared: &Shared,
-    mut stream: TcpStream,
-    request: Request,
-    sim: SimulateRequest,
-) -> Option<(TcpStream, Request, SimulateRequest)> {
-    let scenario = sim.scenario.clone();
-    let mut runner = scenario.runner(effective_config(shared, &sim.spec));
-    handle_simulate(shared, &mut stream, &request, sim, &mut runner);
-    // Close the connection now (the client waits for EOF); the runner —
-    // and its warm engine — outlive it for the rest of the streak.
-    drop(stream);
+/// Serve every request on one connection, in order, until the client
+/// closes it, opts out of keep-alive, goes idle past the timeout, or
+/// sends something malformed (after which framing cannot be trusted, so
+/// the error response carries `Connection: close` and the socket is
+/// dropped).
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let idle = Duration::from_millis(shared.config.keep_alive_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(idle));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    // Don't let Nagle hold a response segment hostage to the client's
+    // delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let mut carry = Vec::new();
     loop {
-        let mut stream = pop_connection(shared)?;
-        match receive(shared, &mut stream) {
-            Some((request, Routed::Simulate(sim))) => {
-                if same_scenario(&scenario, &sim.scenario) {
-                    handle_simulate(shared, &mut stream, &request, *sim, &mut runner);
-                } else {
-                    return Some((stream, request, *sim));
-                }
+        let request = match read_request(&mut stream, &mut carry) {
+            Ok(r) => r,
+            Err(ReadError::Bad(status, reason, msg)) => {
+                let start = Instant::now();
+                let _ = write_error(&mut stream, status, reason, &msg, false);
+                shared
+                    .metrics
+                    .observe("bad", status, start.elapsed().as_secs_f64());
+                return;
             }
-            Some((request, Routed::Other)) => handle_simple(shared, &mut stream, &request),
-            None => continue,
+            // Timeout/reset mid-request, or a clean close between
+            // requests: nothing (more) to serve.
+            Err(ReadError::Io(_)) | Err(ReadError::Closed) => return,
+        };
+        let keep = request.keep_alive;
+        handle_request(shared, &mut stream, request);
+        if !keep || shared.shutdown.load(Ordering::SeqCst) {
+            return;
         }
     }
+}
+
+/// Route one request. `/simulate` decodes here and dispatches to an
+/// engine shard; everything else is handled inline.
+fn handle_request(shared: &Shared, stream: &mut TcpStream, request: Request) {
+    let keep = request.keep_alive;
+    if request.method == "POST" && request.path == "/simulate" {
+        let start = Instant::now();
+        let body = match request.body_str() {
+            Some(b) => b,
+            None => {
+                respond_400(shared, stream, &request, "body is not UTF-8", start, keep);
+                return;
+            }
+        };
+        match SimulateRequest::from_json_str(body) {
+            Ok(sim) => handle_simulate(shared, stream, Box::new(sim), keep),
+            Err(e) => respond_bad_body(shared, stream, &request, &e, start, keep),
+        }
+        return;
+    }
+    handle_simple(shared, stream, &request, keep);
 }
 
 /// Manual scenario equality ([`Scenario`] has no `PartialEq`: cost
@@ -362,56 +448,15 @@ fn same_scenario(a: &Scenario, b: &Scenario) -> bool {
         && b.temporal_noise.is_none()
 }
 
-enum Routed {
-    Simulate(Box<SimulateRequest>),
-    Other,
-}
-
-/// Read a request and classify it. Requests answered on the spot (parse
-/// errors, I/O failures) yield `None`.
-fn receive(shared: &Shared, stream: &mut TcpStream) -> Option<(Request, Routed)> {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let request = match read_request(stream) {
-        Ok(r) => r,
-        Err(ReadError::Bad(status, reason, msg)) => {
-            let start = Instant::now();
-            let _ = write_error(stream, status, reason, &msg);
-            shared
-                .metrics
-                .observe("bad", status, start.elapsed().as_secs_f64());
-            return None;
-        }
-        Err(ReadError::Io(_)) => return None,
-    };
-    if request.method == "POST" && request.path == "/simulate" {
-        let start = Instant::now();
-        let body = match request.body_str() {
-            Some(b) => b,
-            None => {
-                respond_400(shared, stream, &request, "body is not UTF-8", start);
-                return None;
-            }
-        };
-        match SimulateRequest::from_json_str(body) {
-            Ok(sim) => return Some((request, Routed::Simulate(Box::new(sim)))),
-            Err(e) => {
-                respond_bad_body(shared, stream, &request, &e, start);
-                return None;
-            }
-        }
-    }
-    Some((request, Routed::Other))
-}
-
 fn respond_400(
     shared: &Shared,
     stream: &mut TcpStream,
     request: &Request,
     msg: &str,
     start: Instant,
+    keep: bool,
 ) {
-    let _ = write_error(stream, 400, "Bad Request", msg);
+    let _ = write_error(stream, 400, "Bad Request", msg, keep);
     shared
         .metrics
         .observe(&request.path, 400, start.elapsed().as_secs_f64());
@@ -427,6 +472,7 @@ fn respond_bad_body(
     request: &Request,
     error: &ApiError,
     start: Instant,
+    keep: bool,
 ) {
     let status = if error.is_non_finite() { 422 } else { 400 };
     let reason = if status == 422 {
@@ -434,7 +480,7 @@ fn respond_bad_body(
     } else {
         "Bad Request"
     };
-    let _ = write_error(stream, status, reason, &error.0);
+    let _ = write_error(stream, status, reason, &error.0, keep);
     shared
         .metrics
         .observe(&request.path, status, start.elapsed().as_secs_f64());
@@ -456,17 +502,18 @@ fn test_delay(shared: &Shared) {
     }
 }
 
-/// Routes everything except `/simulate` (which needs the runner borrow).
-fn handle_simple(shared: &Shared, stream: &mut TcpStream, request: &Request) {
+/// Routes everything except `/simulate` (which goes through the shards).
+fn handle_simple(shared: &Shared, stream: &mut TcpStream, request: &Request, keep: bool) {
     let start = Instant::now();
     let status = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             test_delay(shared);
-            let _ = write_response(stream, 200, "OK", "text/plain", b"ok\n", &[]);
+            let _ = write_response(stream, 200, "OK", "text/plain", b"ok\n", &[], keep);
             200
         }
         ("GET", "/metrics") => {
-            let body = shared.metrics.render();
+            let mut body = shared.metrics.render();
+            append_eviction_metrics(shared, &mut body);
             let _ = write_response(
                 stream,
                 200,
@@ -474,32 +521,33 @@ fn handle_simple(shared: &Shared, stream: &mut TcpStream, request: &Request) {
                 "text/plain; version=0.0.4",
                 body.as_bytes(),
                 &[],
+                keep,
             );
             200
         }
         ("POST", "/plan") => {
-            let status = handle_plan(shared, stream, request);
+            let status = handle_plan(shared, stream, request, keep);
             shared
                 .metrics
                 .observe("/plan", status, start.elapsed().as_secs_f64());
             return;
         }
         ("POST", "/jobs") => {
-            let status = handle_jobs_submit(shared, stream, request);
+            let status = handle_jobs_submit(shared, stream, request, keep);
             shared
                 .metrics
                 .observe("/jobs", status, start.elapsed().as_secs_f64());
             return;
         }
         ("GET", "/jobs") => {
-            let status = handle_jobs_list(shared, stream);
+            let status = handle_jobs_list(shared, stream, keep);
             shared
                 .metrics
                 .observe("/jobs", status, start.elapsed().as_secs_f64());
             return;
         }
         ("GET", path) if path.starts_with("/jobs/") => {
-            let status = handle_jobs_poll(shared, stream, &request.path["/jobs/".len()..]);
+            let status = handle_jobs_poll(shared, stream, &request.path["/jobs/".len()..], keep);
             // One metrics label for every id — polling must not blow up
             // the per-path series.
             shared
@@ -513,6 +561,7 @@ fn handle_simple(shared: &Shared, stream: &mut TcpStream, request: &Request) {
                 405,
                 "Method Not Allowed",
                 "wrong method for endpoint",
+                keep,
             );
             405
         }
@@ -522,11 +571,12 @@ fn handle_simple(shared: &Shared, stream: &mut TcpStream, request: &Request) {
                 405,
                 "Method Not Allowed",
                 "wrong method for endpoint",
+                keep,
             );
             405
         }
         _ => {
-            let _ = write_error(stream, 404, "Not Found", "no such endpoint");
+            let _ = write_error(stream, 404, "Not Found", "no such endpoint", keep);
             404
         }
     };
@@ -535,25 +585,47 @@ fn handle_simple(shared: &Shared, stream: &mut TcpStream, request: &Request) {
         .observe(&request.path, status, start.elapsed().as_secs_f64());
 }
 
+/// The cache eviction counters live on the caches, not in [`Metrics`];
+/// the `/metrics` handler stitches them into the exposition here.
+fn append_eviction_metrics(shared: &Shared, body: &mut String) {
+    use std::fmt::Write as _;
+    body.push_str("# HELP dls_serve_plan_cache_evictions_total Plan cache LRU evictions.\n");
+    body.push_str("# TYPE dls_serve_plan_cache_evictions_total counter\n");
+    let _ = writeln!(
+        body,
+        "dls_serve_plan_cache_evictions_total {}",
+        shared.cache.evictions()
+    );
+    body.push_str(
+        "# HELP dls_serve_sim_cache_evictions_total Simulate response cache LRU evictions.\n",
+    );
+    body.push_str("# TYPE dls_serve_sim_cache_evictions_total counter\n");
+    let _ = writeln!(
+        body,
+        "dls_serve_sim_cache_evictions_total {}",
+        shared.sim_cache.evictions()
+    );
+}
+
 /// `POST /plan`: canonical-key cache lookup, else solve the planner once
 /// on an error-free full-trace run and cache prototype + body.
-fn handle_plan(shared: &Shared, stream: &mut TcpStream, request: &Request) -> u16 {
+fn handle_plan(shared: &Shared, stream: &mut TcpStream, request: &Request, keep: bool) -> u16 {
     test_delay(shared);
     let body = match request.body_str() {
         Some(b) => b,
         None => {
-            let _ = write_error(stream, 400, "Bad Request", "body is not UTF-8");
+            let _ = write_error(stream, 400, "Bad Request", "body is not UTF-8", keep);
             return 400;
         }
     };
     let plan = match PlanRequest::from_json_str(body) {
         Ok(p) => p,
         Err(e) if e.is_non_finite() => {
-            let _ = write_error(stream, 422, "Unprocessable Entity", &e.0);
+            let _ = write_error(stream, 422, "Unprocessable Entity", &e.0, keep);
             return 422;
         }
         Err(e) => {
-            let _ = write_error(stream, 400, "Bad Request", &e.0);
+            let _ = write_error(stream, 400, "Bad Request", &e.0, keep);
             return 400;
         }
     };
@@ -567,6 +639,7 @@ fn handle_plan(shared: &Shared, stream: &mut TcpStream, request: &Request) -> u1
             "application/json",
             cached.body.as_bytes(),
             &["X-Plan-Cache: hit"],
+            keep,
         );
         return 200;
     }
@@ -582,11 +655,12 @@ fn handle_plan(shared: &Shared, stream: &mut TcpStream, request: &Request) -> u1
                 "application/json",
                 body.as_bytes(),
                 &["X-Plan-Cache: miss"],
+                keep,
             );
             200
         }
         Err((status, reason, msg)) => {
-            let _ = write_error(stream, status, reason, &msg);
+            let _ = write_error(stream, status, reason, &msg, keep);
             status
         }
     }
@@ -717,28 +791,33 @@ fn plan_robustness(plan: &PlanRequest) -> String {
 /// Answers `202 Accepted` with the job id to poll; a full job table
 /// (too many unfinished submissions) sheds load with 503 + Retry-After,
 /// mirroring the connection queue.
-fn handle_jobs_submit(shared: &Shared, stream: &mut TcpStream, request: &Request) -> u16 {
+fn handle_jobs_submit(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    request: &Request,
+    keep: bool,
+) -> u16 {
     test_delay(shared);
     let body = match request.body_str() {
         Some(b) => b,
         None => {
-            let _ = write_error(stream, 400, "Bad Request", "body is not UTF-8");
+            let _ = write_error(stream, 400, "Bad Request", "body is not UTF-8", keep);
             return 400;
         }
     };
     let jobs_request = match JobsRequest::from_json_str(body) {
         Ok(r) => r,
         Err(e) if e.is_non_finite() => {
-            let _ = write_error(stream, 422, "Unprocessable Entity", &e.0);
+            let _ = write_error(stream, 422, "Unprocessable Entity", &e.0, keep);
             return 422;
         }
         Err(e) => {
-            let _ = write_error(stream, 400, "Bad Request", &e.0);
+            let _ = write_error(stream, 400, "Bad Request", &e.0, keep);
             return 400;
         }
     };
     let id = {
-        let mut store = shared.jobs.lock().unwrap();
+        let mut store = lock(&shared.jobs);
         let open = store.entries.iter().filter(|e| e.is_open()).count();
         if open >= shared.config.job_capacity {
             drop(store);
@@ -749,6 +828,7 @@ fn handle_jobs_submit(shared: &Shared, stream: &mut TcpStream, request: &Request
                 "application/json",
                 b"{\"error\":\"job table full\"}",
                 &["Retry-After: 1"],
+                keep,
             );
             return 503;
         }
@@ -766,13 +846,14 @@ fn handle_jobs_submit(shared: &Shared, stream: &mut TcpStream, request: &Request
         "application/json",
         body.as_bytes(),
         &[&format!("Location: /jobs/{id}")],
+        keep,
     );
     202
 }
 
 /// `GET /jobs`: id + status of every submission, in submission order.
-fn handle_jobs_list(shared: &Shared, stream: &mut TcpStream) -> u16 {
-    let store = shared.jobs.lock().unwrap();
+fn handle_jobs_list(shared: &Shared, stream: &mut TcpStream, keep: bool) -> u16 {
+    let store = lock(&shared.jobs);
     let mut body = String::from("{\"jobs\":[");
     for (id, entry) in store.entries.iter().enumerate() {
         if id > 0 {
@@ -782,35 +863,65 @@ fn handle_jobs_list(shared: &Shared, stream: &mut TcpStream) -> u16 {
     }
     drop(store);
     body.push_str("]}");
-    let _ = write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[]);
+    let _ = write_response(
+        stream,
+        200,
+        "OK",
+        "application/json",
+        body.as_bytes(),
+        &[],
+        keep,
+    );
     200
 }
 
 /// `GET /jobs/{id}`: poll one submission. Unfinished jobs answer their
 /// status; finished jobs answer the stored result (or failure) verbatim,
 /// so repeated polls are byte-identical.
-fn handle_jobs_poll(shared: &Shared, stream: &mut TcpStream, id_str: &str) -> u16 {
+fn handle_jobs_poll(shared: &Shared, stream: &mut TcpStream, id_str: &str, keep: bool) -> u16 {
     let Ok(id) = id_str.parse::<usize>() else {
-        let _ = write_error(stream, 400, "Bad Request", "job id must be an integer");
+        let _ = write_error(
+            stream,
+            400,
+            "Bad Request",
+            "job id must be an integer",
+            keep,
+        );
         return 400;
     };
-    let store = shared.jobs.lock().unwrap();
+    let store = lock(&shared.jobs);
     let Some(entry) = store.entries.get(id) else {
         drop(store);
-        let _ = write_error(stream, 404, "Not Found", "no such job");
+        let _ = write_error(stream, 404, "Not Found", "no such job", keep);
         return 404;
     };
     match entry {
         JobState::Queued(_) | JobState::Running => {
             let body = format!("{{\"id\":{id},\"status\":\"{}\"}}", entry.label());
             drop(store);
-            let _ = write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[]);
+            let _ = write_response(
+                stream,
+                200,
+                "OK",
+                "application/json",
+                body.as_bytes(),
+                &[],
+                keep,
+            );
             200
         }
         JobState::Done(body) => {
             let body = body.clone();
             drop(store);
-            let _ = write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[]);
+            let _ = write_response(
+                stream,
+                200,
+                "OK",
+                "application/json",
+                body.as_bytes(),
+                &[],
+                keep,
+            );
             200
         }
         JobState::Failed(status, msg) => {
@@ -821,7 +932,7 @@ fn handle_jobs_poll(shared: &Shared, stream: &mut TcpStream, id_str: &str) -> u1
                 422 => "Unprocessable Entity",
                 _ => "Internal Server Error",
             };
-            let _ = write_error(stream, status, reason, &msg);
+            let _ = write_error(stream, status, reason, &msg, keep);
             status
         }
     }
@@ -833,7 +944,7 @@ fn handle_jobs_poll(shared: &Shared, stream: &mut TcpStream, id_str: &str) -> u1
 fn jobs_loop(shared: &Shared) {
     loop {
         let (id, request) = {
-            let mut store = shared.jobs.lock().unwrap();
+            let mut store = lock(&shared.jobs);
             loop {
                 if let Some(id) = store.run_queue.pop_front() {
                     let taken = std::mem::replace(&mut store.entries[id], JobState::Running);
@@ -845,15 +956,11 @@ fn jobs_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                let (s, _) = shared
-                    .jobs_available
-                    .wait_timeout(store, Duration::from_millis(50))
-                    .unwrap();
-                store = s;
+                store = wait_timeout(&shared.jobs_available, store, Duration::from_millis(50));
             }
         };
         let outcome = run_jobs(shared, id, &request);
-        let mut store = shared.jobs.lock().unwrap();
+        let mut store = lock(&shared.jobs);
         store.entries[id] = match outcome {
             Ok(body) => JobState::Done(body),
             Err((status, msg)) => JobState::Failed(status, msg),
@@ -934,16 +1041,139 @@ fn jobs_body(id: usize, spec: &rumr::MultiRunSpec, result: &MultiRunResult) -> S
     body
 }
 
-/// `POST /simulate`: run the spec on the worker's current runner (which
-/// borrows the decoded scenario — see [`simulate_streak`]).
-fn handle_simulate(
+/// `POST /simulate`: serve from the response cache if possible, else
+/// dispatch to the scenario's engine shard and relay its outcome.
+fn handle_simulate(shared: &Shared, stream: &mut TcpStream, sim: Box<SimulateRequest>, keep: bool) {
+    let start = Instant::now();
+    let cache_on = shared.config.sim_cache_capacity > 0;
+    let key = if cache_on {
+        let key = sim.canonical();
+        if let Some(body) = shared.sim_cache.get(&key) {
+            shared.metrics.sim_cache_hit();
+            let _ = write_response(
+                stream,
+                200,
+                "OK",
+                "application/json",
+                body.as_bytes(),
+                &["X-Sim-Cache: hit"],
+                keep,
+            );
+            shared
+                .metrics
+                .observe("/simulate", 200, start.elapsed().as_secs_f64());
+            return;
+        }
+        shared.metrics.sim_cache_miss();
+        Some(key)
+    } else {
+        None
+    };
+
+    let idx = shard_index(&sim.scenario_key(), shared.shards.len());
+    shared.metrics.observe_shard(idx);
+    let reply = Arc::new(Reply::default());
+    shared.shards.submit(
+        idx,
+        ShardJob {
+            sim,
+            reply: Arc::clone(&reply),
+        },
+    );
+    let status = match reply.wait(&shared.shutdown) {
+        Some(outcome) => {
+            if outcome.status == 200 {
+                if let Some(key) = key {
+                    shared.sim_cache.insert(key, Arc::new(outcome.body.clone()));
+                }
+                let headers: &[&str] = if cache_on {
+                    &["X-Sim-Cache: miss"]
+                } else {
+                    &[]
+                };
+                let _ = write_response(
+                    stream,
+                    200,
+                    "OK",
+                    "application/json",
+                    outcome.body.as_bytes(),
+                    headers,
+                    keep,
+                );
+            } else {
+                let _ = write_response(
+                    stream,
+                    outcome.status,
+                    outcome.reason,
+                    "application/json",
+                    outcome.body.as_bytes(),
+                    &[],
+                    keep,
+                );
+            }
+            outcome.status
+        }
+        None => {
+            let _ = write_error(
+                stream,
+                503,
+                "Service Unavailable",
+                "server is shutting down",
+                false,
+            );
+            503
+        }
+    };
+    shared
+        .metrics
+        .observe("/simulate", status, start.elapsed().as_secs_f64());
+}
+
+/// One engine shard: pops its queue and keeps a warm runner alive across
+/// same-scenario streaks (which, thanks to affinity routing, is every
+/// consecutive pair of jobs that share a scenario).
+fn shard_loop(shared: &Shared, idx: usize) {
+    let mut pending: Option<ShardJob> = None;
+    loop {
+        let job = match pending.take() {
+            Some(j) => j,
+            None => match shared.shards.pop(idx, &shared.shutdown) {
+                Some(j) => j,
+                None => return,
+            },
+        };
+        pending = shard_streak(shared, idx, job);
+    }
+}
+
+/// Execute `job` and then keep pulling this shard's queue while jobs
+/// decode to the same scenario; returns the first non-matching job so the
+/// caller can start a new streak (new runner) around it.
+fn shard_streak(shared: &Shared, idx: usize, job: ShardJob) -> Option<ShardJob> {
+    let scenario = job.sim.scenario.clone();
+    let mut runner = scenario.runner(effective_config(shared, &job.sim.spec));
+    let reply = Arc::clone(&job.reply);
+    reply.set(simulate_outcome(shared, *job.sim, &mut runner));
+    loop {
+        let job = shared.shards.pop(idx, &shared.shutdown)?;
+        if same_scenario(&scenario, &job.sim.scenario) {
+            let reply = Arc::clone(&job.reply);
+            reply.set(simulate_outcome(shared, *job.sim, &mut runner));
+        } else {
+            return Some(job);
+        }
+    }
+}
+
+/// Run one `/simulate` request on the shard's warm runner and produce the
+/// outcome the HTTP worker will write.
+fn simulate_outcome(
     shared: &Shared,
-    stream: &mut TcpStream,
-    _request: &Request,
     mut sim: SimulateRequest,
     runner: &mut rumr::ScenarioRunner<'_>,
-) {
-    let start = Instant::now();
+) -> Outcome {
+    // On the shard so it emulates engine time: serialized per shard
+    // (cache hits skip it), parallel across shards and processes.
     test_delay(shared);
     // Reuse a cached prototype when /plan has already solved this
     // (platform, workload, scheduler) triple.
@@ -955,7 +1185,7 @@ fn handle_simulate(
     let mut spec = sim.spec;
     spec.config = effective_config(shared, &spec);
 
-    let status = match run_reps(runner, &spec) {
+    match run_reps(runner, &spec) {
         Ok(results) => {
             // Per-run robustness reports when the request revealed speeds
             // (clairvoyant twins are replanned on the realized platform).
@@ -967,31 +1197,30 @@ fn handle_simulate(
             } else {
                 Vec::new()
             };
-            let body = simulate_body(&spec, &results, &robustness);
-            let _ = write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[]);
-            200
+            Outcome {
+                status: 200,
+                reason: "OK",
+                body: simulate_body(&spec, &results, &robustness),
+            }
         }
-        Err(RunError::Build(e)) => {
-            let _ = write_error(stream, 400, "Bad Request", &format!("planner: {e}"));
-            400
-        }
-        Err(RunError::Sim(SimError::EventLimitExceeded)) => {
-            let _ = write_error(
-                stream,
-                422,
-                "Unprocessable Entity",
+        Err(RunError::Build(e)) => Outcome {
+            status: 400,
+            reason: "Bad Request",
+            body: http::error_body(&format!("planner: {e}")),
+        },
+        Err(RunError::Sim(SimError::EventLimitExceeded)) => Outcome {
+            status: 422,
+            reason: "Unprocessable Entity",
+            body: http::error_body(
                 "simulation exceeded the event limit (raise max_events or shrink the run)",
-            );
-            422
-        }
-        Err(e) => {
-            let _ = write_error(stream, 500, "Internal Server Error", &e.to_string());
-            500
-        }
-    };
-    shared
-        .metrics
-        .observe("/simulate", status, start.elapsed().as_secs_f64());
+            ),
+        },
+        Err(e) => Outcome {
+            status: 500,
+            reason: "Internal Server Error",
+            body: http::error_body(&e.to_string()),
+        },
+    }
 }
 
 fn run_reps(

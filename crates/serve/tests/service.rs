@@ -17,6 +17,11 @@ fn quiet_config() -> ServerConfig {
         workers: 2,
         queue_bound: 64,
         cache_capacity: 16,
+        // Response cache off here so these tests exercise the engine path
+        // every time; tests/keepalive.rs covers the cache explicitly.
+        sim_cache_capacity: 0,
+        shards: 2,
+        keep_alive_timeout_ms: 2_000,
         max_events: 10_000_000,
         handler_delay_ms: 0,
         job_capacity: 8,
