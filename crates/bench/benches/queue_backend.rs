@@ -8,7 +8,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use rumr::{
-    FaultModel, PoissonFaults, QueueBackend, RecoveryConfig, Scenario, SchedulerKind, SimConfig,
+    FaultModel, PoissonFaults, QueueBackend, RecoveryConfig, RunSpec, Scenario, SchedulerKind,
+    SimConfig,
 };
 
 /// The benchmark snapshot's Poisson fault process (mttf 60, mttr 15).
@@ -42,10 +43,13 @@ fn bench_backends_fault_free(c: &mut Criterion) {
             |b, &backend| {
                 let mut runner = scenario.runner(config(backend, false));
                 let proto = runner.prototype(&kind).unwrap();
+                let spec = RunSpec::new(kind)
+                    .config(config(backend, false))
+                    .with_prototype(proto);
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed = seed.wrapping_add(1);
-                    black_box(runner.run_prototype(&proto, seed).unwrap().makespan)
+                    black_box(runner.execute_at(&spec, seed).unwrap().makespan)
                 })
             },
         );
@@ -66,15 +70,14 @@ fn bench_backends_faulty(c: &mut Criterion) {
             |b, &backend| {
                 let mut runner = scenario.runner(config(backend, true));
                 let proto = runner.prototype(&kind).unwrap();
+                let spec = RunSpec::new(kind)
+                    .config(config(backend, true))
+                    .recovering(RecoveryConfig::default())
+                    .with_prototype(proto);
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed = seed.wrapping_add(1);
-                    black_box(
-                        runner
-                            .run_recovering_prototype(&proto, seed, RecoveryConfig::default())
-                            .unwrap()
-                            .makespan,
-                    )
+                    black_box(runner.execute_at(&spec, seed).unwrap().makespan)
                 })
             },
         );

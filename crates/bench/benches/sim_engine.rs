@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use rumr::{Scenario, SchedulerKind};
+use rumr::{RunSpec, Scenario, SchedulerKind, TraceMode};
 
 fn bench_simulation(c: &mut Criterion) {
     let error = 0.3;
@@ -26,7 +26,8 @@ fn bench_simulation(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed = seed.wrapping_add(1);
-                    black_box(scenario.run(kind, seed).unwrap().makespan)
+                    let spec = RunSpec::new(*kind).seed(seed);
+                    black_box(scenario.execute(&spec).unwrap().makespan)
                 })
             },
         );
@@ -37,8 +38,9 @@ fn bench_simulation(c: &mut Criterion) {
 fn bench_traced_simulation(c: &mut Criterion) {
     let scenario = Scenario::table1(20, 1.6, 0.3, 0.2, 0.3);
     let kind = SchedulerKind::rumr_known_error(0.3);
+    let spec = RunSpec::new(kind).seed(1).trace_mode(TraceMode::Full);
     c.bench_function("simulate_run_traced", |b| {
-        b.iter(|| black_box(scenario.run_traced(&kind, 1).unwrap().num_chunks))
+        b.iter(|| black_box(scenario.execute(&spec).unwrap().num_chunks))
     });
 }
 
@@ -46,9 +48,9 @@ fn bench_worker_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_scaling");
     for n in [10usize, 20, 50] {
         let scenario = Scenario::table1(n, 1.5, 0.2, 0.2, 0.3);
-        let kind = SchedulerKind::rumr_known_error(0.3);
+        let spec = RunSpec::new(SchedulerKind::rumr_known_error(0.3)).seed(1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(scenario.run(&kind, 1).unwrap().makespan))
+            b.iter(|| black_box(scenario.execute(&spec).unwrap().makespan))
         });
     }
     group.finish();

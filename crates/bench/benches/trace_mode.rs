@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use rumr::{Scenario, SchedulerKind, SimConfig, TraceMode};
+use rumr::{RunSpec, Scenario, SchedulerKind, SimConfig, TraceMode};
 
 fn bench_trace_modes(c: &mut Criterion) {
     let error = 0.3;
@@ -24,10 +24,16 @@ fn bench_trace_modes(c: &mut Criterion) {
                 ..Default::default()
             });
             let proto = runner.prototype(&kind).expect("planner accepts Table 1");
+            let spec = RunSpec::new(kind)
+                .config(SimConfig {
+                    trace_mode: mode,
+                    ..Default::default()
+                })
+                .with_prototype(proto);
             let mut seed = 0u64;
             b.iter(|| {
                 seed = seed.wrapping_add(1);
-                black_box(runner.run_prototype(&proto, seed).unwrap().makespan)
+                black_box(runner.execute_at(&spec, seed).unwrap().makespan)
             })
         });
     }
@@ -45,10 +51,16 @@ fn bench_full_with_consumers(c: &mut Criterion) {
             ..Default::default()
         });
         let proto = runner.prototype(&kind).expect("planner accepts Table 1");
+        let spec = RunSpec::new(kind)
+            .config(SimConfig {
+                trace_mode: TraceMode::Full,
+                ..Default::default()
+            })
+            .with_prototype(proto);
         let mut seed = 0u64;
         b.iter(|| {
             seed = seed.wrapping_add(1);
-            let result = runner.run_prototype(&proto, seed).unwrap();
+            let result = runner.execute_at(&spec, seed).unwrap();
             let trace = result.trace.as_ref().expect("full mode records");
             assert!(trace.validate(20).is_empty());
             black_box(rumr::TraceMetrics::from_trace(trace, 20).link_utilization)

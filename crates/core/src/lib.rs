@@ -14,16 +14,33 @@
 //! # Quickstart
 //!
 //! ```
-//! use rumr::{Scenario, SchedulerKind};
+//! use rumr::{RunSpec, Scenario, SchedulerKind};
 //!
 //! // 20 workers, B = 1.8·N, cLat = 0.3 s, nLat = 0.1 s, 25 % prediction error.
 //! let scenario = Scenario::table1(20, 1.8, 0.3, 0.1, 0.25);
 //!
-//! let rumr = scenario.run(&SchedulerKind::rumr_known_error(0.25), 42).unwrap();
-//! let umr = scenario.run(&SchedulerKind::Umr, 42).unwrap();
+//! let rumr = scenario
+//!     .execute(&RunSpec::new(SchedulerKind::rumr_known_error(0.25)).seed(42))
+//!     .unwrap();
+//! let umr = scenario.execute(&RunSpec::new(SchedulerKind::Umr).seed(42)).unwrap();
 //!
 //! println!("RUMR: {:.2} s, UMR: {:.2} s", rumr.makespan, umr.makespan);
 //! assert!(rumr.makespan > 0.0 && umr.makespan > 0.0);
+//! ```
+//!
+//! Deterministic, model-conforming runs of schedulers with an exact
+//! analytic oracle can skip the simulation entirely — see
+//! [`FastPath`](fastpath::FastPath):
+//!
+//! ```
+//! use rumr::{FastPath, RunSpec, Scenario, SchedulerKind};
+//!
+//! let scenario = Scenario::table1(20, 1.8, 0.3, 0.1, 0.0); // error-free
+//! let spec = RunSpec::new(SchedulerKind::Umr);
+//! let decision = FastPath::resolve(&scenario, &spec).unwrap();
+//! let answer = decision.analytic().expect("UMR's oracle is exact");
+//! let engine = scenario.execute(&spec).unwrap();
+//! assert!(answer.agrees_with(engine.makespan));
 //! ```
 //!
 //! # Picking an algorithm
@@ -39,10 +56,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fastpath;
 pub mod kind;
 pub mod multirun;
 pub mod scenario;
 
+pub use fastpath::{FastPath, FastPathAnswer, FastPathDecision, FastPathMiss};
 pub use kind::{BuildError, PlanError, SchedulerKind, SchedulerPrototype};
 pub use multirun::{MultiJob, MultiRunResult, MultiRunSpec};
 pub use scenario::{RobustnessReport, RunError, RunSpec, Scenario, ScenarioRunner};
@@ -56,6 +75,6 @@ pub use dls_sim as sim;
 pub use dls_sim::{
     ErrorModel, EventCounts, FairnessSummary, FaultModel, FaultPlan, HomogeneousParams, JobMetrics,
     JobSet, JobSetError, JobSpec, MetricsSummary, Platform, PlatformError, PoissonFaults,
-    QueueBackend, RealizedSpeeds, SimConfig, SimResult, SpeedModel, TraceMetrics, TraceMode,
-    WorkerSpec,
+    QueueBackend, RealizedSpeeds, RepColumns, SimConfig, SimResult, SpeedModel, TraceMetrics,
+    TraceMode, WorkerSpec,
 };

@@ -8,15 +8,20 @@
 //! All execution flows through one unified request type, [`RunSpec`]: build
 //! a spec once (scheduler kind, seed, engine configuration, optional fault
 //! recovery, optional pre-planned prototype) and hand it to
-//! [`Scenario::execute`] for a one-shot run or [`ScenarioRunner::execute`]
-//! for allocation-free repetition loops. The older `run_*` helpers remain
-//! as thin forwarding wrappers over the same code path and stay
-//! bit-identical; new code should prefer `RunSpec`.
+//! [`Scenario::execute`] for a one-shot run, [`ScenarioRunner::execute`]
+//! for allocation-free repetition loops, or
+//! [`ScenarioRunner::execute_batch`] to run a whole repetition batch
+//! through one engine pass into reused [`RepColumns`] buffers.
+//!
+//! The legacy `run_*` helpers are retired behind the default-off
+//! `legacy-api` cargo feature: they remain thin forwarding wrappers over
+//! the same code path (bit-identical, as the feature-gated equivalence
+//! tests pin), but new code must build a [`RunSpec`].
 
 use dls_sched::recovery::{Recovering, RecoveryConfig};
 use dls_sim::{
     simulate, CostProfile, Engine, ErrorInjector, ErrorModel, FaultModel, Platform, QueueBackend,
-    Scheduler, SimConfig, SimError, SimResult, SpeedModel, TraceMode, WorkerSpec,
+    RepColumns, Scheduler, SimConfig, SimError, SimResult, SpeedModel, TraceMode, WorkerSpec,
 };
 
 use crate::kind::{BuildError, SchedulerKind, SchedulerPrototype};
@@ -291,7 +296,8 @@ impl Scenario {
     /// A reusable runner over this scenario: one [`Engine`] whose buffers
     /// (event heap, ledger, worker queues, view snapshot) persist across
     /// runs, so repetition loops stop paying per-run allocation. Used by
-    /// the sweep harness; results are bit-identical to [`Scenario::run`].
+    /// the sweep harness; results are bit-identical to
+    /// [`Scenario::execute`].
     pub fn runner(&self, config: SimConfig) -> ScenarioRunner<'_> {
         let engine = Engine::new(
             &self.platform,
@@ -341,11 +347,20 @@ impl Scenario {
     pub fn execute_mean(&self, spec: &RunSpec) -> Result<f64, RunError> {
         assert!(spec.reps > 0, "need at least one repetition");
         let mut runner = self.runner(spec.config.clone());
-        let mut total = 0.0;
-        for seed in spec.seeds() {
-            total += runner.execute_at(spec, seed)?.makespan;
-        }
-        Ok(total / spec.reps as f64)
+        let mut cols = RepColumns::new();
+        runner.execute_batch(spec, &mut cols)?;
+        Ok(cols.mean_makespan())
+    }
+
+    /// Run the spec's whole repetition batch (seeds [`RunSpec::seeds`])
+    /// through one engine pass and return the results as column buffers —
+    /// see [`ScenarioRunner::execute_batch`], which this wraps with a
+    /// fresh runner and fresh columns.
+    pub fn execute_batch(&self, spec: &RunSpec) -> Result<RepColumns, RunError> {
+        let mut runner = self.runner(spec.config.clone());
+        let mut cols = RepColumns::with_capacity(spec.reps as usize, self.platform.num_workers());
+        runner.execute_batch(spec, &mut cols)?;
+        Ok(cols)
     }
 
     /// Measure how much `spec`'s run at `seed` lost to planning blind:
@@ -423,16 +438,19 @@ impl Scenario {
 
     /// Run one simulation.
     ///
-    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
-    /// building a [`RunSpec`].
+    /// Legacy wrapper over [`Scenario::execute`] (bit-identical), kept
+    /// only under the `legacy-api` feature; build a [`RunSpec`] instead.
+    #[cfg(feature = "legacy-api")]
     pub fn run(&self, kind: &SchedulerKind, seed: u64) -> Result<SimResult, RunError> {
         self.execute(&RunSpec::new(*kind).seed(seed))
     }
 
     /// Run one simulation and record the full event trace.
     ///
-    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
+    /// Legacy wrapper over [`Scenario::execute`] (bit-identical), kept
+    /// only under the `legacy-api` feature; prefer
     /// `RunSpec::new(kind).trace_mode(TraceMode::Full)`.
+    #[cfg(feature = "legacy-api")]
     pub fn run_traced(&self, kind: &SchedulerKind, seed: u64) -> Result<SimResult, RunError> {
         self.execute(&RunSpec::new(*kind).seed(seed).trace_mode(TraceMode::Full))
     }
@@ -441,8 +459,10 @@ impl Scenario {
     /// simultaneous master transfers sharing `uplink_capacity` (units/s)
     /// max-min fairly. `max_sends = 1` is the paper's serial model.
     ///
-    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
-    /// a [`RunSpec`] with the fields set on its `config`.
+    /// Legacy wrapper over [`Scenario::execute`] (bit-identical), kept
+    /// only under the `legacy-api` feature; prefer a [`RunSpec`] with the
+    /// fields set on its `config`.
+    #[cfg(feature = "legacy-api")]
     pub fn run_concurrent(
         &self,
         kind: &SchedulerKind,
@@ -462,8 +482,10 @@ impl Scenario {
     /// lose the destroyed work and under-complete. Wrap with
     /// [`Scenario::run_recovering`] for full completion.
     ///
-    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
+    /// Legacy wrapper over [`Scenario::execute`] (bit-identical), kept
+    /// only under the `legacy-api` feature; prefer
     /// `RunSpec::new(kind).faults(faults)`.
+    #[cfg(feature = "legacy-api")]
     pub fn run_with_faults(
         &self,
         kind: &SchedulerKind,
@@ -478,8 +500,10 @@ impl Scenario {
     /// dispatches are routed around dead workers. Pass the fault model via
     /// `config.faults`.
     ///
-    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
+    /// Legacy wrapper over [`Scenario::execute`] (bit-identical), kept
+    /// only under the `legacy-api` feature; prefer
     /// `RunSpec::new(kind).config(config).recovering(recovery)`.
+    #[cfg(feature = "legacy-api")]
     pub fn run_recovering(
         &self,
         kind: &SchedulerKind,
@@ -497,8 +521,10 @@ impl Scenario {
 
     /// Run with an explicit engine configuration.
     ///
-    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute`]; prefer
+    /// Legacy wrapper over [`Scenario::execute`] (bit-identical), kept
+    /// only under the `legacy-api` feature; prefer
     /// `RunSpec::new(kind).config(config)`.
+    #[cfg(feature = "legacy-api")]
     pub fn run_with_config(
         &self,
         kind: &SchedulerKind,
@@ -523,8 +549,10 @@ impl Scenario {
     /// Mean makespan of `kind` over `reps` seeded repetitions
     /// (seeds `seed_base..seed_base + reps`).
     ///
-    /// Deprecated-in-docs: thin wrapper over [`Scenario::execute_mean`];
-    /// prefer `RunSpec::new(kind).seed(seed_base).reps(reps)`.
+    /// Legacy wrapper over [`Scenario::execute_mean`] (bit-identical),
+    /// kept only under the `legacy-api` feature; prefer
+    /// `RunSpec::new(kind).seed(seed_base).reps(reps)`.
+    #[cfg(feature = "legacy-api")]
     pub fn mean_makespan(
         &self,
         kind: &SchedulerKind,
@@ -557,8 +585,64 @@ impl ScenarioRunner<'_> {
     }
 
     /// [`ScenarioRunner::execute`] with the seed overridden — the
-    /// repetition-loop primitive behind [`Scenario::execute_mean`].
-    pub(crate) fn execute_at(&mut self, spec: &RunSpec, seed: u64) -> Result<SimResult, RunError> {
+    /// sequential repetition-loop primitive (one scheduler instantiation
+    /// and one engine pass per call). Prefer
+    /// [`ScenarioRunner::execute_batch`] for whole batches.
+    pub fn execute_at(&mut self, spec: &RunSpec, seed: u64) -> Result<SimResult, RunError> {
+        self.ensure_config(spec);
+        let scheduler = spec.instantiate(&self.scenario.platform, self.scenario.w_total)?;
+        self.run_pieces(scheduler, seed, spec.recovery)
+    }
+
+    /// Run the spec's whole repetition batch (seeds [`RunSpec::seeds`])
+    /// through one engine pass, appending one column row per repetition to
+    /// `cols`.
+    ///
+    /// Two structural savings over calling [`ScenarioRunner::execute`] in
+    /// a loop, with bit-identical results (pinned by the batch-equivalence
+    /// tests):
+    ///
+    /// * the planner runs **once per batch** — repetitions stamp out
+    ///   clones of one prototype (the spec's own, when attached) instead
+    ///   of re-planning per seed;
+    /// * per-repetition result vectors land in the reused, batch-sized
+    ///   [`RepColumns`] buffers instead of fresh allocations
+    ///   ([`Engine::run_reusing_into`]).
+    ///
+    /// `cols` may already hold rows (batches append), as long as they are
+    /// for the same worker count.
+    pub fn execute_batch(&mut self, spec: &RunSpec, cols: &mut RepColumns) -> Result<(), RunError> {
+        self.ensure_config(spec);
+        let planned;
+        let proto = match &spec.prototype {
+            Some(p) => p,
+            None => {
+                planned = spec
+                    .kind
+                    .prototype(&self.scenario.platform, self.scenario.w_total)?;
+                &planned
+            }
+        };
+        cols.reserve(spec.reps as usize, self.scenario.platform.num_workers());
+        for seed in spec.seeds() {
+            self.engine.reset(self.scenario.injector(seed));
+            let mut scheduler = proto.fresh();
+            match spec.recovery {
+                Some(rc) => {
+                    let mut wrapped = Recovering::with_config(scheduler, rc)
+                        .with_declared_rates(divergence_rates(&self.scenario.platform, &rc));
+                    self.engine.run_reusing_into(&mut wrapped, cols)?;
+                }
+                None => self.engine.run_reusing_into(scheduler.as_mut(), cols)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild the engine when `spec.config` differs from the previous
+    /// run's configuration (homogeneous repetition loops stay
+    /// allocation-free).
+    fn ensure_config(&mut self, spec: &RunSpec) {
         if spec.config != self.config {
             self.config = spec.config.clone();
             let scenario = self.scenario;
@@ -568,8 +652,6 @@ impl ScenarioRunner<'_> {
                 spec.config.clone(),
             );
         }
-        let scheduler = spec.instantiate(&self.scenario.platform, self.scenario.w_total)?;
-        self.run_pieces(scheduler, seed, spec.recovery)
     }
 
     /// Shared execution tail: reset the engine to `seed`, optionally wrap
@@ -592,11 +674,12 @@ impl ScenarioRunner<'_> {
         }
     }
 
-    /// Run one simulation, reusing the engine's buffers. Bit-identical to
-    /// [`Scenario::run_with_config`] with the runner's configuration.
+    /// Run one simulation, reusing the engine's buffers.
     ///
-    /// Deprecated-in-docs: thin wrapper over [`ScenarioRunner::execute`];
-    /// prefer building a [`RunSpec`].
+    /// Legacy wrapper over [`ScenarioRunner::execute`] (bit-identical),
+    /// kept only under the `legacy-api` feature; build a [`RunSpec`]
+    /// instead.
+    #[cfg(feature = "legacy-api")]
     pub fn run(&mut self, kind: &SchedulerKind, seed: u64) -> Result<SimResult, RunError> {
         let scheduler = kind.build(&self.scenario.platform, self.scenario.w_total)?;
         self.run_pieces(scheduler, seed, None)
@@ -611,11 +694,12 @@ impl ScenarioRunner<'_> {
     }
 
     /// Run one simulation from a pre-planned prototype, reusing the
-    /// engine's buffers. Bit-identical to [`ScenarioRunner::run`] with the
-    /// prototype's kind.
+    /// engine's buffers.
     ///
-    /// Deprecated-in-docs: thin wrapper over [`ScenarioRunner::execute`];
-    /// prefer `RunSpec::with_prototype`.
+    /// Legacy wrapper over [`ScenarioRunner::execute`] (bit-identical),
+    /// kept only under the `legacy-api` feature; prefer
+    /// `RunSpec::with_prototype`.
+    #[cfg(feature = "legacy-api")]
     pub fn run_prototype(
         &mut self,
         proto: &SchedulerPrototype,
@@ -625,11 +709,12 @@ impl ScenarioRunner<'_> {
     }
 
     /// Run one simulation with the scheduler wrapped in the fault-recovery
-    /// layer, reusing the engine's buffers. Bit-identical to
-    /// [`Scenario::run_recovering`] with the runner's configuration.
+    /// layer, reusing the engine's buffers.
     ///
-    /// Deprecated-in-docs: thin wrapper over [`ScenarioRunner::execute`];
-    /// prefer `RunSpec::recovering`.
+    /// Legacy wrapper over [`ScenarioRunner::execute`] (bit-identical),
+    /// kept only under the `legacy-api` feature; prefer
+    /// `RunSpec::recovering`.
+    #[cfg(feature = "legacy-api")]
     pub fn run_recovering(
         &mut self,
         kind: &SchedulerKind,
@@ -641,13 +726,12 @@ impl ScenarioRunner<'_> {
     }
 
     /// Run one simulation from a pre-planned prototype wrapped in the
-    /// fault-recovery layer, reusing the engine's buffers. Bit-identical to
-    /// [`ScenarioRunner::run_recovering`] with the prototype's kind, but
-    /// pays the planner cost once (at [`ScenarioRunner::prototype`] time)
-    /// instead of per repetition.
+    /// fault-recovery layer, reusing the engine's buffers.
     ///
-    /// Deprecated-in-docs: thin wrapper over [`ScenarioRunner::execute`];
-    /// prefer `RunSpec::with_prototype` + `RunSpec::recovering`.
+    /// Legacy wrapper over [`ScenarioRunner::execute`] (bit-identical),
+    /// kept only under the `legacy-api` feature; prefer
+    /// `RunSpec::with_prototype` + `RunSpec::recovering`.
+    #[cfg(feature = "legacy-api")]
     pub fn run_recovering_prototype(
         &mut self,
         proto: &SchedulerPrototype,
@@ -743,10 +827,10 @@ mod tests {
     fn run_and_determinism() {
         let s = Scenario::table1(10, 1.5, 0.2, 0.2, 0.3);
         let kind = SchedulerKind::rumr_known_error(0.3);
-        let a = s.run(&kind, 7).unwrap();
-        let b = s.run(&kind, 7).unwrap();
+        let a = s.execute(&RunSpec::new(kind).seed(7)).unwrap();
+        let b = s.execute(&RunSpec::new(kind).seed(7)).unwrap();
         assert_eq!(a.makespan, b.makespan);
-        let c = s.run(&kind, 8).unwrap();
+        let c = s.execute(&RunSpec::new(kind).seed(8)).unwrap();
         assert_ne!(a.makespan, c.makespan);
         assert!((a.completed_work() - 1000.0).abs() < 1e-6);
     }
@@ -754,7 +838,10 @@ mod tests {
     #[test]
     fn traced_run_validates() {
         let s = Scenario::table1(8, 1.4, 0.1, 0.3, 0.25);
-        let r = s.run_traced(&SchedulerKind::Factoring, 1).unwrap();
+        let spec = RunSpec::new(SchedulerKind::Factoring)
+            .seed(1)
+            .trace_mode(TraceMode::Full);
+        let r = s.execute(&spec).unwrap();
         let trace = r.trace.expect("trace recorded");
         assert!(trace.validate(8).is_empty());
     }
@@ -763,9 +850,9 @@ mod tests {
     fn mean_makespan_averages() {
         let s = Scenario::table1(5, 1.5, 0.1, 0.1, 0.4);
         let kind = SchedulerKind::Factoring;
-        let mean = s.mean_makespan(&kind, 0, 5).unwrap();
+        let mean = s.execute_mean(&RunSpec::new(kind).reps(5)).unwrap();
         let manual: f64 = (0..5)
-            .map(|seed| s.run(&kind, seed).unwrap().makespan)
+            .map(|seed| s.execute(&RunSpec::new(kind).seed(seed)).unwrap().makespan)
             .sum::<f64>()
             / 5.0;
         assert!((mean - manual).abs() < 1e-12);
@@ -776,8 +863,16 @@ mod tests {
         let s = Scenario::table1(10, 1.5, 0.2, 0.8, 0.2);
         let kind = SchedulerKind::Factoring;
         let capacity = Some(s.platform.worker(0).bandwidth);
-        let serial = s.run_concurrent(&kind, 3, 1, capacity).unwrap().makespan;
-        let conc = s.run_concurrent(&kind, 3, 4, capacity).unwrap().makespan;
+        let at_sends = |max_sends: usize| {
+            let spec = RunSpec::new(kind).seed(3).config(SimConfig {
+                max_concurrent_sends: max_sends,
+                uplink_capacity: capacity,
+                ..Default::default()
+            });
+            s.execute(&spec).unwrap().makespan
+        };
+        let serial = at_sends(1);
+        let conc = at_sends(4);
         assert!(
             conc < serial,
             "4 concurrent sends should beat serial at nLat = 0.8: {conc} vs {serial}"
@@ -791,9 +886,11 @@ mod tests {
             output_ratio: 0.5,
             ..Default::default()
         };
-        let r = s.run_with_config(&SchedulerKind::Umr, 0, cfg).unwrap();
+        let r = s
+            .execute(&RunSpec::new(SchedulerKind::Umr).config(cfg))
+            .unwrap();
         assert!((r.returned_work - 500.0).abs() < 1e-6);
-        let base = s.run(&SchedulerKind::Umr, 0).unwrap();
+        let base = s.execute(&RunSpec::new(SchedulerKind::Umr)).unwrap();
         assert!(r.makespan > base.makespan);
     }
 
@@ -805,12 +902,13 @@ mod tests {
             rho: 0.9,
             sigma: 0.4,
         });
-        let a = s.run(&SchedulerKind::Factoring, 1).unwrap();
-        let b = s.run(&SchedulerKind::Factoring, 1).unwrap();
+        let spec = RunSpec::new(SchedulerKind::Factoring).seed(1);
+        let a = s.execute(&spec).unwrap();
+        let b = s.execute(&spec).unwrap();
         assert_eq!(a.makespan, b.makespan, "temporal noise must be seeded");
         let mut plain = s.clone();
         plain.temporal_noise = None;
-        let c = plain.run(&SchedulerKind::Factoring, 1).unwrap();
+        let c = plain.execute(&spec).unwrap();
         assert_ne!(a.makespan, c.makespan);
         assert!((a.completed_work() - 1000.0).abs() < 1e-6);
     }
@@ -824,7 +922,11 @@ mod tests {
         let s = Scenario::table1(6, 1.5, 0.2, 0.2, 0.0);
         let faults = FaultModel::Plan(FaultPlan::new().crash(60.0, 2));
         let raw = s
-            .run_with_faults(&SchedulerKind::Umr, 1, faults.clone())
+            .execute(
+                &RunSpec::new(SchedulerKind::Umr)
+                    .seed(1)
+                    .faults(faults.clone()),
+            )
             .unwrap();
         assert!(raw.lost_work > 0.0, "crash at t=60 must destroy work");
         assert!(raw.completed_work() < 1000.0 - 1e-6);
@@ -835,11 +937,11 @@ mod tests {
             ..Default::default()
         };
         let rec = s
-            .run_recovering(
-                &SchedulerKind::rumr_known_error(0.0),
-                1,
-                cfg,
-                RecoveryConfig::default(),
+            .execute(
+                &RunSpec::new(SchedulerKind::rumr_known_error(0.0))
+                    .seed(1)
+                    .config(cfg)
+                    .recovering(RecoveryConfig::default()),
             )
             .unwrap();
         assert!(
@@ -857,9 +959,13 @@ mod tests {
         // With no faults the wrapper is a strict pass-through.
         let s = Scenario::table1(10, 1.5, 0.2, 0.2, 0.3);
         let kind = SchedulerKind::rumr_known_error(0.3);
-        let plain = s.run(&kind, 42).unwrap();
+        let plain = s.execute(&RunSpec::new(kind).seed(42)).unwrap();
         let wrapped = s
-            .run_recovering(&kind, 42, SimConfig::default(), RecoveryConfig::default())
+            .execute(
+                &RunSpec::new(kind)
+                    .seed(42)
+                    .recovering(RecoveryConfig::default()),
+            )
             .unwrap();
         assert_eq!(plain.makespan.to_bits(), wrapped.makespan.to_bits());
         assert_eq!(plain.num_chunks, wrapped.num_chunks);
@@ -869,9 +975,100 @@ mod tests {
     fn errors_are_reported() {
         let s = Scenario::table1(5, 1.5, 0.1, 0.1, 0.0);
         let bad = Scenario { w_total: -3.0, ..s };
-        let e = bad.run(&SchedulerKind::Umr, 0).unwrap_err();
+        let e = bad.execute(&RunSpec::new(SchedulerKind::Umr)).unwrap_err();
         assert!(matches!(e, RunError::Build(_)));
         assert!(!format!("{e}").is_empty());
+    }
+
+    /// Field-by-field bit-identity of the batched pass against the
+    /// sequential repetition loop, across noisy, faulty-recovering and
+    /// metered configurations.
+    #[test]
+    fn batch_matches_sequential_bit_for_bit() {
+        use dls_sim::FaultPlan;
+        let noisy = Scenario::table1(8, 1.5, 0.2, 0.2, 0.3);
+        let faulty_cfg = SimConfig {
+            faults: FaultModel::Plan(FaultPlan::new().crash(40.0, 2)),
+            trace_mode: TraceMode::MetricsOnly,
+            audit: true,
+            ..Default::default()
+        };
+        let specs = [
+            RunSpec::new(SchedulerKind::rumr_known_error(0.3))
+                .seed(5)
+                .reps(4),
+            RunSpec::new(SchedulerKind::Factoring)
+                .seed(9)
+                .reps(3)
+                .trace_mode(TraceMode::MetricsOnly),
+            RunSpec::new(SchedulerKind::rumr_known_error(0.3))
+                .seed(2)
+                .reps(3)
+                .config(faulty_cfg)
+                .recovering(RecoveryConfig::default()),
+        ];
+        for spec in &specs {
+            let cols = noisy.execute_batch(spec).unwrap();
+            assert_eq!(cols.len(), spec.reps as usize);
+            let mut runner = noisy.runner(spec.config.clone());
+            for (i, seed) in spec.seeds().enumerate() {
+                let seq = runner.execute_at(spec, seed).unwrap();
+                assert_eq!(seq.makespan.to_bits(), cols.makespan[i].to_bits());
+                assert_eq!(seq.num_chunks, cols.num_chunks[i]);
+                assert_eq!(
+                    seq.dispatched_work.to_bits(),
+                    cols.dispatched_work[i].to_bits()
+                );
+                assert_eq!(seq.events, cols.events[i]);
+                assert_eq!(seq.lost_work.to_bits(), cols.lost_work[i].to_bits());
+                assert_eq!(seq.lost_chunks, cols.lost_chunks[i]);
+                assert_eq!(
+                    seq.completed_work().to_bits(),
+                    cols.completed_work[i].to_bits()
+                );
+                assert_eq!(seq.per_worker_work, cols.per_worker_work_of(i));
+                assert_eq!(seq.per_worker_busy, cols.per_worker_busy_of(i));
+                assert_eq!(seq.lost_ranges, cols.lost_ranges_of(i));
+                assert_eq!(
+                    seq.metrics.map(|m| m.trace_events),
+                    cols.metrics[i].as_ref().map(|m| m.trace_events)
+                );
+                assert_eq!(
+                    seq.audit.map(|a| a.len()),
+                    cols.audit[i].as_ref().map(|a| a.len())
+                );
+            }
+        }
+    }
+
+    /// A reused column batch keeps its allocations across `clear`:
+    /// the second batch of the same shape must not grow any buffer.
+    #[test]
+    fn batch_buffers_are_reused_across_batches() {
+        let s = Scenario::table1(6, 1.5, 0.1, 0.1, 0.2);
+        let spec = RunSpec::new(SchedulerKind::Factoring).seed(1).reps(5);
+        let mut runner = s.runner(spec.config.clone());
+        let mut cols = RepColumns::with_capacity(5, 6);
+        runner.execute_batch(&spec, &mut cols).unwrap();
+        let caps = (
+            cols.makespan.capacity(),
+            cols.per_worker_work.capacity(),
+            cols.per_worker_busy.capacity(),
+            cols.events.capacity(),
+        );
+        cols.clear();
+        runner.execute_batch(&spec, &mut cols).unwrap();
+        assert_eq!(cols.len(), 5);
+        assert_eq!(
+            caps,
+            (
+                cols.makespan.capacity(),
+                cols.per_worker_work.capacity(),
+                cols.per_worker_busy.capacity(),
+                cols.events.capacity(),
+            ),
+            "warm batch must not reallocate its columns"
+        );
     }
 
     #[test]
@@ -892,6 +1089,7 @@ mod tests {
         assert_ne!(spec, spec.clone().seed(10));
     }
 
+    #[cfg(feature = "legacy-api")]
     #[test]
     fn execute_matches_legacy_wrappers() {
         let s = Scenario::table1(10, 1.5, 0.2, 0.2, 0.3);

@@ -15,20 +15,27 @@
 //! * `--check PATH` validate an existing snapshot file and exit
 //! * `--min-speedup X`  exit non-zero unless the Off-vs-Full sweep
 //!   speedup is at least `X` (timing gate, off by default)
+//! * `--assert-batched-speedup X`  exit non-zero unless the aggregate
+//!   batched-vs-sequential wall-time factor of the snapshot (freshly
+//!   measured, or the `--check` file) is at least `X`
 
 use std::path::PathBuf;
 use std::process::exit;
 
-use dls_experiments::{run_snapshot, validate_snapshot_json, QueueSelection, SnapshotConfig};
+use dls_experiments::{
+    batched_speedup_from_json, run_snapshot, validate_snapshot_json, QueueSelection, SnapshotConfig,
+};
 
 const USAGE: &str = "usage: bench_snapshot [--out PATH] [--reps N] [--quick] \
-                     [--queue heap|calendar|both] [--min-speedup X] [--check PATH]";
+                     [--queue heap|calendar|both] [--min-speedup X] \
+                     [--assert-batched-speedup X] [--check PATH]";
 
 struct Options {
     out: PathBuf,
     config: SnapshotConfig,
     check: Option<PathBuf>,
     min_speedup: Option<f64>,
+    min_batched_speedup: Option<f64>,
 }
 
 fn parse_options(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
@@ -37,6 +44,7 @@ fn parse_options(args: impl IntoIterator<Item = String>) -> Result<Options, Stri
         config: SnapshotConfig::standard(),
         check: None,
         min_speedup: None,
+        min_batched_speedup: None,
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -72,6 +80,13 @@ fn parse_options(args: impl IntoIterator<Item = String>) -> Result<Options, Stri
                         .map_err(|e| format!("--min-speedup: {e}"))?,
                 )
             }
+            "--assert-batched-speedup" => {
+                opts.min_batched_speedup = Some(
+                    value("--assert-batched-speedup")?
+                        .parse()
+                        .map_err(|e| format!("--assert-batched-speedup: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -100,15 +115,16 @@ fn main() {
             }
         };
         match validate_snapshot_json(&text) {
-            Ok(()) => {
-                println!("{}: valid snapshot", path.display());
-                return;
-            }
+            Ok(()) => println!("{}: valid snapshot", path.display()),
             Err(e) => {
                 eprintln!("{}: INVALID snapshot: {e}", path.display());
                 exit(1);
             }
         }
+        if !gate_batched(&text, opts.min_batched_speedup) {
+            exit(1);
+        }
+        return;
     }
 
     let snapshot = run_snapshot(opts.config);
@@ -152,6 +168,35 @@ fn main() {
                 snapshot.sweep.speedup
             );
             exit(1);
+        }
+    }
+    if !gate_batched(&json, opts.min_batched_speedup) {
+        exit(1);
+    }
+}
+
+/// Report the aggregate batched-vs-sequential factor of a snapshot
+/// document and apply the optional `--assert-batched-speedup` gate.
+/// A document without comparable rows (pre-v4) only fails when the gate
+/// is armed.
+fn gate_batched(json: &str, min: Option<f64>) -> bool {
+    match batched_speedup_from_json(json) {
+        Ok(speedup) => {
+            eprintln!("batched repetition: {speedup:.2}x the sequential loop's wall time");
+            match min {
+                Some(min) if speedup < min => {
+                    eprintln!("FAIL: batched speedup {speedup:.2}x below required {min:.2}x");
+                    false
+                }
+                _ => true,
+            }
+        }
+        Err(e) => {
+            if min.is_some() {
+                eprintln!("FAIL: cannot compute batched speedup: {e}");
+                return false;
+            }
+            true
         }
     }
 }

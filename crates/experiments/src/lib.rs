@@ -38,9 +38,10 @@ pub use figures::{fig4a, fig4b, fig5_point, relative_series, RelativeSeries};
 pub use grid::{error_band, error_values, GridPoint, Table1Grid, BAND_LABELS};
 pub use report::{render_series, render_win_rate, series_csv, win_rate_csv, write_file};
 pub use snapshot::{
-    pinned_cases, pinned_faults, pinned_speed_profiles, run_snapshot, validate_snapshot_json,
-    CaseResult, CaseSpec, QueueSelection, Snapshot, SnapshotConfig, SpeedRobustRow,
-    SweepComparison, SCHEMA_VERSION,
+    batched_speedup_from_json, pinned_cases, pinned_fastpath_cases, pinned_faults,
+    pinned_speed_profiles, run_snapshot, validate_snapshot_json, CaseMode, CaseResult, CaseSpec,
+    FastPathRow, QueueSelection, Snapshot, SnapshotConfig, SpeedRobustRow, SweepComparison,
+    SCHEMA_VERSION,
 };
 pub use sweep::{
     paper_competitors, run_sweep, Cell, Competitor, ErrorModelKind, SweepConfig, SweepResult,

@@ -4,7 +4,10 @@
 //! heterogeneous platforms × UMR / RUMR / Factoring / MI × fault-free and
 //! Poisson-faulty — through the buffer-reusing [`ScenarioRunner`]
 //! (`rumr::ScenarioRunner`) and measures engine throughput (ns/event,
-//! runs/sec) per case, plus the wall time of a reduced sweep under
+//! runs/sec) per case, in both repetition strategies (the sequential
+//! per-seed loop and the column-batched [`ScenarioRunner::execute_batch`]
+//! pass), plus the analytic fast path against the engine on the pinned
+//! error-free cases, plus the wall time of a reduced sweep under
 //! [`TraceMode::Off`] vs [`TraceMode::Full`]. The result serializes to a
 //! small JSON document with machine and commit metadata so successive
 //! commits can be compared (`docs/BENCHMARKS.md`).
@@ -16,8 +19,8 @@
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use rumr::{
-    FaultModel, PoissonFaults, QueueBackend, RecoveryConfig, RumrConfig, Scenario, SchedulerKind,
-    SimConfig, SpeedModel, TraceMode,
+    FastPath, FaultModel, PoissonFaults, QueueBackend, RecoveryConfig, RepColumns, RumrConfig,
+    RunSpec, Scenario, SchedulerKind, SimConfig, SpeedModel, TraceMode,
 };
 
 use crate::grid::Table1Grid;
@@ -26,9 +29,11 @@ use crate::sweep::{run_sweep, Competitor, ErrorModelKind, SweepConfig};
 
 /// Version of the `BENCH_sim.json` schema this module writes.
 /// [`validate_snapshot_json`] still accepts version-1 documents (which
-/// predate the `queue` case field and the `sweep_threads` machine field)
-/// and version-2 documents (which predate the `speed_robust` section).
-pub const SCHEMA_VERSION: u64 = 3;
+/// predate the `queue` case field and the `sweep_threads` machine field),
+/// version-2 documents (which predate the `speed_robust` section) and
+/// version-3 documents (which predate the per-case `mode` field and the
+/// `fastpath` section).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Error magnitude used by every pinned case.
 const CASE_ERROR: f64 = 0.3;
@@ -98,6 +103,37 @@ impl SnapshotConfig {
     }
 }
 
+/// How a case's repetitions were driven through the engine (schema v4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CaseMode {
+    /// One [`ScenarioRunner::execute_at`] call per seed — the historical
+    /// repetition loop (`ScenarioRunner` is `rumr::ScenarioRunner`).
+    #[default]
+    Sequential,
+    /// One [`ScenarioRunner::execute_batch`] pass per timed batch,
+    /// appending rows to reused [`RepColumns`] buffers.
+    Batched,
+}
+
+impl CaseMode {
+    /// Stable JSON value of the `mode` case field.
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseMode::Sequential => "sequential",
+            CaseMode::Batched => "batched",
+        }
+    }
+
+    /// Parse the stable JSON value back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sequential" => Some(CaseMode::Sequential),
+            "batched" => Some(CaseMode::Batched),
+            _ => None,
+        }
+    }
+}
+
 /// Throughput measurement of one pinned case.
 #[derive(Debug, Clone)]
 pub struct CaseResult {
@@ -105,6 +141,8 @@ pub struct CaseResult {
     pub name: String,
     /// Event-queue backend the case ran on.
     pub queue: QueueBackend,
+    /// Repetition strategy the case ran under.
+    pub mode: CaseMode,
     /// Timed repetitions.
     pub runs: u64,
     /// Engine events processed across all timed runs.
@@ -159,13 +197,35 @@ pub struct Snapshot {
     /// Peak resident set size of the process, bytes (`VmHWM`; 0 where
     /// `/proc` is unavailable).
     pub peak_rss_bytes: u64,
-    /// Per-case engine throughput.
+    /// Per-case engine throughput, one row per (backend, mode, case).
     pub cases: Vec<CaseResult>,
+    /// Fast-path-vs-engine throughput on the pinned error-free cases.
+    pub fastpath: Vec<FastPathRow>,
     /// Robustness ratios of the pinned speed-revelation sweep, one row
     /// per (speed profile, scheduler).
     pub speed_robust: Vec<SpeedRobustRow>,
     /// The Off-vs-Full sweep comparison.
     pub sweep: SweepComparison,
+}
+
+/// Throughput of the analytic fast path against the engine on one pinned
+/// error-free case (schema v4 `fastpath` section).
+#[derive(Debug, Clone)]
+pub struct FastPathRow {
+    /// Case label, `<platform>/<scheduler>`.
+    pub name: String,
+    /// Analytic resolutions timed.
+    pub answers: u64,
+    /// Nanoseconds per analytic answer ([`FastPath::resolve`]).
+    pub ns_per_answer: f64,
+    /// Nanoseconds per full engine run of the same request.
+    pub engine_ns_per_run: f64,
+    /// `engine_ns_per_run / ns_per_answer` — the factor the fast path
+    /// buys over simulating.
+    pub speedup: f64,
+    /// Relative residual of the analytic makespan against the engine's
+    /// (must sit within the oracle's stated tolerance).
+    pub residual: f64,
 }
 
 /// Mean robustness of one scheduler under one speed-revelation profile in
@@ -367,7 +427,9 @@ fn measure_speed_robust(reps: u64) -> Vec<SpeedRobustRow> {
     rows
 }
 
-fn measure_case(spec: &CaseSpec, reps: u64, backend: QueueBackend) -> CaseResult {
+/// The [`RunSpec`] of one pinned case on one backend (before the
+/// prototype is attached).
+fn case_run_spec(spec: &CaseSpec, backend: QueueBackend) -> RunSpec {
     let config = SimConfig {
         trace_mode: TraceMode::Off,
         faults: if spec.faulty {
@@ -378,20 +440,28 @@ fn measure_case(spec: &CaseSpec, reps: u64, backend: QueueBackend) -> CaseResult
         queue_backend: backend,
         ..SimConfig::default()
     };
-    let mut runner = spec.scenario.runner(config);
+    let mut run = RunSpec::new(spec.kind).config(config);
+    if spec.faulty {
+        run = run.recovering(RecoveryConfig::default());
+    }
+    run
+}
+
+fn measure_case(spec: &CaseSpec, reps: u64, backend: QueueBackend, mode: CaseMode) -> CaseResult {
+    let run_spec = case_run_spec(spec, backend);
+    let mut runner = spec.scenario.runner(run_spec.config.clone());
+    // Both modes stamp repetitions out of one pre-planned prototype, so
+    // the timed loops compare engine throughput, not planner cost.
     let proto = runner
         .prototype(&spec.kind)
         .unwrap_or_else(|e| panic!("snapshot case {} failed to plan: {e}", spec.name));
-    let mut run = |seed: u64| {
-        if spec.faulty {
-            runner.run_recovering_prototype(&proto, seed, RecoveryConfig::default())
-        } else {
-            runner.run_prototype(&proto, seed)
-        }
-        .unwrap_or_else(|e| panic!("snapshot case {} failed: {e}", spec.name))
-    };
-    // Warm the engine's buffers so the timed loop measures the steady state.
-    run(u64::MAX);
+    let run_spec = run_spec.with_prototype(proto);
+    // Warm the engine's buffers so the timed loop measures the steady
+    // state (`u64::MAX - 1` keeps the seed disjoint from the timed ones).
+    runner
+        .execute_at(&run_spec, u64::MAX - 1)
+        .unwrap_or_else(|e| panic!("snapshot case {} failed: {e}", spec.name));
+    let mut cols = RepColumns::new();
 
     // The reps are timed in batches and the *fastest batch* yields the
     // ns/event and runs/sec figures — on a shared machine the minimum of
@@ -410,14 +480,35 @@ fn measure_case(spec: &CaseSpec, reps: u64, backend: QueueBackend) -> CaseResult
     for batch in 0..batches {
         let batch_reps = reps / batches + u64::from(batch < reps % batches);
         let mut batch_events = 0u64;
-        let start = Instant::now();
-        for _ in 0..batch_reps {
-            let result = run(seed);
-            seed += 1;
-            batch_events += result.events;
-            makespan_sum += result.makespan;
-        }
-        let batch_wall = start.elapsed().as_secs_f64();
+        let batch_wall = match mode {
+            CaseMode::Sequential => {
+                let start = Instant::now();
+                for _ in 0..batch_reps {
+                    let result = runner
+                        .execute_at(&run_spec, seed)
+                        .unwrap_or_else(|e| panic!("snapshot case {} failed: {e}", spec.name));
+                    seed += 1;
+                    batch_events += result.events;
+                    makespan_sum += result.makespan;
+                }
+                start.elapsed().as_secs_f64()
+            }
+            CaseMode::Batched => {
+                let batch_spec = run_spec.clone().seed(seed).reps(batch_reps);
+                cols.clear();
+                let start = Instant::now();
+                runner
+                    .execute_batch(&batch_spec, &mut cols)
+                    .unwrap_or_else(|e| panic!("snapshot case {} failed: {e}", spec.name));
+                let batch_wall = start.elapsed().as_secs_f64();
+                seed += batch_reps;
+                batch_events += cols.total_events();
+                // Summed in insertion (seed) order — bit-identical to the
+                // sequential accumulation.
+                makespan_sum += cols.makespan.iter().sum::<f64>();
+                batch_wall
+            }
+        };
         events += batch_events;
         wall_s += batch_wall;
         ns_per_event = ns_per_event.min(batch_wall * 1e9 / batch_events.max(1) as f64);
@@ -426,6 +517,7 @@ fn measure_case(spec: &CaseSpec, reps: u64, backend: QueueBackend) -> CaseResult
     CaseResult {
         name: spec.name.to_string(),
         queue: backend,
+        mode,
         runs: reps,
         events,
         wall_s,
@@ -435,6 +527,92 @@ fn measure_case(spec: &CaseSpec, reps: u64, backend: QueueBackend) -> CaseResult
         // (0.0 / 0.0), which would leak into the JSON as `null`.
         mean_makespan: makespan_sum / reps.max(1) as f64,
     }
+}
+
+/// The pinned fast-path cases: every error-free scenario whose scheduler
+/// has an exact analytic oracle.
+pub fn pinned_fastpath_cases() -> Vec<(String, Scenario, SchedulerKind)> {
+    vec![
+        (
+            "homogeneous/umr".into(),
+            Scenario::table1(20, 1.6, 0.3, 0.2, 0.0),
+            SchedulerKind::Umr,
+        ),
+        (
+            "homogeneous/one_round".into(),
+            Scenario::table1(20, 1.6, 0.3, 0.2, 0.0),
+            SchedulerKind::OneRound,
+        ),
+        (
+            "heterogeneous/umr".into(),
+            Scenario::heterogeneous_demo(20, 0.0),
+            SchedulerKind::HetUmr,
+        ),
+    ]
+}
+
+/// Resolutions per timed rep: one analytic answer is orders of magnitude
+/// cheaper than an engine run, so each rep resolves a block of answers to
+/// stay above the timer's resolution.
+const FASTPATH_ANSWERS_PER_REP: u64 = 64;
+
+fn measure_fastpath(reps: u64) -> Vec<FastPathRow> {
+    let mut rows = Vec::new();
+    for (name, scenario, kind) in pinned_fastpath_cases() {
+        let spec = RunSpec::new(kind);
+        let decision = FastPath::resolve(&scenario, &spec)
+            .unwrap_or_else(|e| panic!("fastpath case {name} failed to plan: {e}"));
+        let answer = decision
+            .analytic()
+            .unwrap_or_else(|| panic!("fastpath case {name} must resolve analytically"));
+        let config = SimConfig {
+            trace_mode: TraceMode::Off,
+            ..SimConfig::default()
+        };
+        let mut runner = scenario.runner(config.clone());
+        let engine = runner
+            .execute_at(&spec, u64::MAX - 1)
+            .unwrap_or_else(|e| panic!("fastpath case {name} failed to simulate: {e}"));
+        assert!(
+            answer.agrees_with(engine.makespan),
+            "fastpath case {name}: analytic {} vs engine {} exceeds the oracle tolerance",
+            answer.makespan,
+            engine.makespan
+        );
+        let residual = answer.residual(engine.makespan);
+
+        let answers = reps.max(1) * FASTPATH_ANSWERS_PER_REP;
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..answers {
+            let d = FastPath::resolve(&scenario, &spec)
+                .unwrap_or_else(|e| panic!("fastpath case {name} failed to plan: {e}"));
+            acc += d.analytic().map_or(0.0, |a| a.makespan);
+        }
+        let analytic_wall = start.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+        let ns_per_answer = analytic_wall * 1e9 / answers as f64;
+
+        let engine_runs = reps.max(1);
+        let start = Instant::now();
+        for seed in 0..engine_runs {
+            runner
+                .execute_at(&spec, seed)
+                .unwrap_or_else(|e| panic!("fastpath case {name} failed to simulate: {e}"));
+        }
+        let engine_wall = start.elapsed().as_secs_f64();
+        let engine_ns_per_run = engine_wall * 1e9 / engine_runs as f64;
+
+        rows.push(FastPathRow {
+            name,
+            answers,
+            ns_per_answer,
+            engine_ns_per_run,
+            speedup: engine_ns_per_run / ns_per_answer.max(1e-12),
+            residual,
+        });
+    }
+    rows
 }
 
 fn measure_sweep(reps: u64) -> SweepComparison {
@@ -469,21 +647,21 @@ fn measure_sweep(reps: u64) -> SweepComparison {
 }
 
 /// Run the full pinned suite and assemble a [`Snapshot`]. Cases are
-/// measured once per selected backend, grouped backend-major (all 16
-/// pinned cases on heap, then all 16 on calendar, with the default
+/// measured once per selected backend and repetition mode, grouped
+/// backend-major then mode-major (all 16 pinned cases sequential, then
+/// all 16 batched, per backend; 64 rows with the default
 /// [`QueueSelection::Both`]).
 pub fn run_snapshot(config: SnapshotConfig) -> Snapshot {
     let specs = pinned_cases();
-    let cases: Vec<CaseResult> = config
-        .queues
-        .backends()
-        .iter()
-        .flat_map(|&backend| {
-            specs
-                .iter()
-                .map(move |spec| measure_case(spec, config.case_reps, backend))
-        })
-        .collect();
+    let mut cases = Vec::new();
+    for &backend in config.queues.backends() {
+        for mode in [CaseMode::Sequential, CaseMode::Batched] {
+            for spec in &specs {
+                cases.push(measure_case(spec, config.case_reps, backend, mode));
+            }
+        }
+    }
+    let fastpath = measure_fastpath(config.case_reps);
     let speed_robust = measure_speed_robust(config.sweep_reps);
     let sweep = measure_sweep(config.sweep_reps);
     Snapshot {
@@ -500,6 +678,7 @@ pub fn run_snapshot(config: SnapshotConfig) -> Snapshot {
         commit: git_commit(),
         peak_rss_bytes: peak_rss_bytes(),
         cases,
+        fastpath,
         speed_robust,
         sweep,
     }
@@ -566,11 +745,12 @@ impl Snapshot {
         s.push_str("  \"cases\": [\n");
         for (i, c) in self.cases.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"queue\": \"{}\", \"runs\": {}, \"events\": {}, \
-                 \"wall_s\": {}, \"ns_per_event\": {}, \"runs_per_sec\": {}, \
+                "    {{\"name\": \"{}\", \"queue\": \"{}\", \"mode\": \"{}\", \"runs\": {}, \
+                 \"events\": {}, \"wall_s\": {}, \"ns_per_event\": {}, \"runs_per_sec\": {}, \
                  \"mean_makespan\": {}}}{}\n",
                 json_escape(&c.name),
                 c.queue.name(),
+                c.mode.name(),
                 c.runs,
                 c.events,
                 json_num(c.wall_s),
@@ -578,6 +758,21 @@ impl Snapshot {
                 json_num(c.runs_per_sec),
                 json_num(c.mean_makespan),
                 if i + 1 < self.cases.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"fastpath\": [\n");
+        for (i, r) in self.fastpath.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"answers\": {}, \"ns_per_answer\": {}, \
+                 \"engine_ns_per_run\": {}, \"speedup\": {}, \"residual\": {}}}{}\n",
+                json_escape(&r.name),
+                r.answers,
+                json_num(r.ns_per_answer),
+                json_num(r.engine_ns_per_run),
+                json_num(r.speedup),
+                json_num(r.residual),
+                if i + 1 < self.fastpath.len() { "," } else { "" }
             ));
         }
         s.push_str("  ],\n");
@@ -640,19 +835,21 @@ fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, Strin
 /// Checks structure and value sanity (positive timings, non-empty case
 /// list), not timing thresholds.
 ///
-/// Accepts the current version-3 schema and the legacy versions 1
-/// (pre-`queue`/`sweep_threads`) and 2 (pre-`speed_robust`), so tooling
-/// can still check committed historical snapshots.
+/// Accepts the current version-4 schema and the legacy versions 1
+/// (pre-`queue`/`sweep_threads`), 2 (pre-`speed_robust`) and 3
+/// (pre-`mode`/`fastpath`), so tooling can still check committed
+/// historical snapshots.
 pub fn validate_snapshot_json(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
     let version = require_num(&doc, "schema_version", "root")?;
-    if version != 1.0 && version != 2.0 && version != SCHEMA_VERSION as f64 {
+    if version != 1.0 && version != 2.0 && version != 3.0 && version != SCHEMA_VERSION as f64 {
         return Err(format!(
-            "unsupported schema_version {version} (expected 1, 2 or {SCHEMA_VERSION})"
+            "unsupported schema_version {version} (expected 1, 2, 3 or {SCHEMA_VERSION})"
         ));
     }
     let v2 = version >= 2.0;
     let v3 = version >= 3.0;
+    let v4 = version >= 4.0;
     require_num(&doc, "created_unix", "root")?;
     require_num(&doc, "peak_rss_bytes", "root")?;
     require_str(&doc, "commit", "root")?;
@@ -692,12 +889,47 @@ pub fn validate_snapshot_json(text: &str) -> Result<(), String> {
                 return Err(format!("{ctx}: unknown queue backend '{queue}'"));
             }
         }
+        if v4 {
+            let mode = require_str(case, "mode", &ctx)?;
+            if CaseMode::parse(mode).is_none() {
+                return Err(format!("{ctx}: unknown case mode '{mode}'"));
+            }
+        }
         for key in ["runs", "events", "wall_s", "ns_per_event", "runs_per_sec"] {
             if require_num(case, key, &ctx)? <= 0.0 {
                 return Err(format!("{ctx}: field '{key}' must be positive"));
             }
         }
         require_num(case, "mean_makespan", &ctx)?;
+    }
+
+    if v4 {
+        let rows = match doc.get("fastpath") {
+            Some(Json::Arr(rows)) => rows,
+            _ => return Err("root: missing or non-array 'fastpath'".into()),
+        };
+        if rows.is_empty() {
+            return Err("fastpath: must not be empty".into());
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let ctx = format!("fastpath[{i}]");
+            let name = require_str(row, "name", &ctx)?;
+            if name.split('/').count() != 2 {
+                return Err(format!("{ctx}: name '{name}' is not platform/sched"));
+            }
+            for key in ["answers", "ns_per_answer", "engine_ns_per_run", "speedup"] {
+                if require_num(row, key, &ctx)? <= 0.0 {
+                    return Err(format!("{ctx}: field '{key}' must be positive"));
+                }
+            }
+            let residual = require_num(row, "residual", &ctx)?;
+            // The section only exists for cases with an exact oracle; a
+            // residual past a loose sanity bound means the fast path and
+            // the engine have drifted apart.
+            if !(0.0..=1e-3).contains(&residual) {
+                return Err(format!("{ctx}: residual {residual} out of range"));
+            }
+        }
     }
 
     if v3 {
@@ -735,6 +967,36 @@ pub fn validate_snapshot_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Aggregate batched-over-sequential throughput factor of a snapshot
+/// document: Σ wall_s over the sequential case rows divided by Σ wall_s
+/// over the batched ones. The two modes run identical work (same cases,
+/// same seeds, same event counts — enforced by the snapshot tests), so
+/// the wall-time ratio *is* the throughput ratio. Errors when the
+/// document has no rows of either mode (pre-v4 snapshots).
+pub fn batched_speedup_from_json(text: &str) -> Result<f64, String> {
+    let doc = parse_json(text)?;
+    let cases = match doc.get("cases") {
+        Some(Json::Arr(cases)) => cases,
+        _ => return Err("root: missing or non-array 'cases'".into()),
+    };
+    let mut sequential = 0.0;
+    let mut batched = 0.0;
+    for (i, case) in cases.iter().enumerate() {
+        let ctx = format!("cases[{i}]");
+        let mode = require_str(case, "mode", &ctx)?;
+        let wall = require_num(case, "wall_s", &ctx)?;
+        match CaseMode::parse(mode) {
+            Some(CaseMode::Sequential) => sequential += wall,
+            Some(CaseMode::Batched) => batched += wall,
+            None => return Err(format!("{ctx}: unknown case mode '{mode}'")),
+        }
+    }
+    if sequential <= 0.0 || batched <= 0.0 {
+        return Err("document has no timed sequential/batched row pair".into());
+    }
+    Ok(sequential / batched)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -751,12 +1013,21 @@ mod tests {
             cases: vec![CaseResult {
                 name: "homogeneous/umr/fault-free".into(),
                 queue: QueueBackend::Calendar,
+                mode: CaseMode::Sequential,
                 runs: 3,
                 events: 900,
                 wall_s: 0.001,
                 ns_per_event: 1111.1,
                 runs_per_sec: 3000.0,
                 mean_makespan: 63.5,
+            }],
+            fastpath: vec![FastPathRow {
+                name: "homogeneous/umr".into(),
+                answers: 640,
+                ns_per_answer: 2500.0,
+                engine_ns_per_run: 250_000.0,
+                speedup: 100.0,
+                residual: 1e-9,
             }],
             speed_robust: vec![SpeedRobustRow {
                 profile: "adversarial(fraction=0.25,slowdown=2)".into(),
@@ -808,6 +1079,20 @@ mod tests {
         let mut snap = dummy_snapshot();
         snap.speed_robust.clear();
         assert!(validate_snapshot_json(&snap.to_json()).is_err());
+        // v4: case rows must carry a known repetition mode.
+        let snap = dummy_snapshot();
+        let missing_mode = snap.to_json().replace("\"mode\": \"sequential\", ", "");
+        assert!(validate_snapshot_json(&missing_mode).is_err());
+        let bad_mode = snap.to_json().replace("\"sequential\"", "\"vectorized\"");
+        assert!(validate_snapshot_json(&bad_mode).is_err());
+        // v4: the fastpath section is mandatory and non-empty.
+        let mut snap = dummy_snapshot();
+        snap.fastpath.clear();
+        assert!(validate_snapshot_json(&snap.to_json()).is_err());
+        // v4: an analytic answer that drifted from the engine is rejected.
+        let mut snap = dummy_snapshot();
+        snap.fastpath[0].residual = 0.02;
+        assert!(validate_snapshot_json(&snap.to_json()).is_err());
     }
 
     #[test]
@@ -849,6 +1134,11 @@ mod tests {
         snap.schema_version = 2;
         snap.speed_robust.clear();
         validate_snapshot_json(&snap.to_json()).expect("v2 must stay parseable");
+        // A v3 document: speed_robust required, mode/fastpath not yet
+        // (both are present in the emitted text and ignored as extras).
+        let mut snap = dummy_snapshot();
+        snap.schema_version = 3;
+        validate_snapshot_json(&snap.to_json()).expect("v3 must stay parseable");
         // But v1 rules still apply to v1 documents.
         assert!(validate_snapshot_json(&v1.replace("\"cpus\": 4", "\"cpus\": 0")).is_err());
         // And v2 requires the queue field.
@@ -883,17 +1173,22 @@ mod tests {
             sweep_reps: 1,
             queues: QueueSelection::Both,
         });
-        assert_eq!(snap.cases.len(), 32, "16 pinned cases x 2 backends");
+        assert_eq!(
+            snap.cases.len(),
+            64,
+            "16 pinned cases x 2 backends x 2 modes"
+        );
         for case in &snap.cases {
             assert!(case.events > 0, "{}: no events recorded", case.name);
             assert!(case.mean_makespan > 0.0);
         }
         assert_eq!(snap.sweep_threads, 1, "pinned sweep is single-threaded");
-        // The two backends must agree bit-for-bit on every pinned case:
-        // same event counts, same mean makespans.
-        let (heap, cal) = snap.cases.split_at(16);
+        // The two backends must agree bit-for-bit on every pinned
+        // (case, mode) row: same event counts, same mean makespans.
+        let (heap, cal) = snap.cases.split_at(32);
         for (h, c) in heap.iter().zip(cal) {
             assert_eq!(h.name, c.name);
+            assert_eq!(h.mode, c.mode);
             assert_eq!(h.queue, QueueBackend::Heap);
             assert_eq!(c.queue, QueueBackend::Calendar);
             assert_eq!(
@@ -906,6 +1201,34 @@ mod tests {
                 c.mean_makespan.to_bits(),
                 "{}: backends disagree on makespan",
                 h.name
+            );
+        }
+        // And within each backend, the batched pass must reproduce the
+        // sequential loop bit-for-bit (the engine-path contract of the
+        // batched repetition API).
+        for backend_block in snap.cases.chunks(32) {
+            let (seq, bat) = backend_block.split_at(16);
+            for (s, b) in seq.iter().zip(bat) {
+                assert_eq!(s.name, b.name);
+                assert_eq!(s.mode, CaseMode::Sequential);
+                assert_eq!(b.mode, CaseMode::Batched);
+                assert_eq!(s.events, b.events, "{}: modes disagree on events", s.name);
+                assert_eq!(
+                    s.mean_makespan.to_bits(),
+                    b.mean_makespan.to_bits(),
+                    "{}: modes disagree on makespan",
+                    s.name
+                );
+            }
+        }
+        assert_eq!(snap.fastpath.len(), 3, "3 pinned fast-path cases");
+        for row in &snap.fastpath {
+            assert!(row.ns_per_answer > 0.0 && row.engine_ns_per_run > 0.0);
+            assert!(
+                row.residual >= 0.0 && row.residual <= 1e-6,
+                "{}: fast path drifted from the engine (residual {})",
+                row.name,
+                row.residual
             );
         }
         assert!(snap.sweep.cells == 12);
@@ -924,6 +1247,19 @@ mod tests {
             );
         }
         validate_snapshot_json(&snap.to_json()).expect("real snapshot must validate");
+    }
+
+    #[test]
+    fn batched_speedup_aggregates_wall_time_by_mode() {
+        let mut snap = dummy_snapshot();
+        let mut batched = snap.cases[0].clone();
+        batched.mode = CaseMode::Batched;
+        batched.wall_s = 0.0005;
+        snap.cases.push(batched);
+        let speedup = batched_speedup_from_json(&snap.to_json()).unwrap();
+        assert!((speedup - 2.0).abs() < 1e-9, "got {speedup}");
+        // A document with only sequential rows has nothing to compare.
+        assert!(batched_speedup_from_json(&dummy_snapshot().to_json()).is_err());
     }
 
     #[test]

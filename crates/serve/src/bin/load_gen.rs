@@ -28,13 +28,18 @@
 //!   aggregate rate is at least `--min-scale` × the single-process rate.
 //!   Run the backends with `--shards 1 --sim-cache 0` so the comparison
 //!   measures engine throughput, not cache or intra-process parallelism.
+//! * `--fastpath-demo`: closed-loop cache-busting `/plan` throughput on
+//!   one backend, analytic fast path (umr) vs engine path (rumr); checks
+//!   the `X-Answer-Source` body markers and passes when the analytic rate
+//!   is at least `--min-fastpath-speedup` × the engine rate. Run the
+//!   backend with `--fastpath-audit-pct 0` for a clean comparison.
 //!
 //! Exit status 0 iff every check passes.
 //!
 //! Flags: `--addr HOST:PORT[,HOST:PORT...]` `--requests N` `--threads N`
 //! `--rate RPS` `--quick` `--expect-503` `--close` `--max-p99-ms MS`
 //! `--cache-demo` `--min-speedup X` `--scale-demo` `--min-scale X`
-//! `--demo-requests N`.
+//! `--fastpath-demo` `--min-fastpath-speedup X` `--demo-requests N`.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -260,7 +265,32 @@ const SIM_DEMO_BODY: &str = r#"{"platform": {"homogeneous": {"n": 10, "ratio": 1
     "error_model": {"kind": "normal", "error": 0.3},
     "run": {"scheduler": {"kind": "rumr", "error_estimate": 0.3}, "seed": 42, "reps": 3}}"#;
 
+/// Fast-path demo bodies: the same platform and workload, once under a
+/// scheduler with an exact oracle (UMR — answered analytically) and once
+/// under one without (RUMR — must run the engine with a full trace).
+const PLAN_FAST_BODY: &str = r#"{"platform": {"homogeneous": {"n": 32, "ratio": 1.5,
+    "comp_latency": 0.2, "net_latency": 0.1}},
+    "scheduler": {"kind": "umr"},
+    "w_total": 200000}"#;
+
+const PLAN_ENGINE_BODY: &str = r#"{"platform": {"homogeneous": {"n": 32, "ratio": 1.5,
+    "comp_latency": 0.2, "net_latency": 0.1}},
+    "scheduler": {"kind": "rumr", "error_estimate": 0.3},
+    "w_total": 200000}"#;
+
 static NEXT_SEED: AtomicU64 = AtomicU64::new(1_000_000);
+static NEXT_W: AtomicU64 = AtomicU64::new(0);
+
+/// A plan-cache-busting variant of `body`: a workload nobody has asked
+/// for before, so every request reaches the resolver (or the engine)
+/// instead of the plan cache.
+fn unique_w_body(body: &str) -> String {
+    let k = NEXT_W.fetch_add(1, Ordering::Relaxed);
+    body.replace(
+        "\"w_total\": 200000",
+        &format!("\"w_total\": {}", 200_000 + k),
+    )
+}
 
 /// A cache-busting variant of `body`: a seed nobody has used before, so
 /// the canonical request — and therefore the response-cache key — is
@@ -274,7 +304,7 @@ fn unique_seed_body(body: &str) -> String {
 // Closed-loop throughput measurement (demo modes)
 // ---------------------------------------------------------------------------
 
-/// Run `threads × per_thread` POST `/simulate` requests as fast as they
+/// Run `threads × per_thread` POST requests to `path` as fast as they
 /// complete, routing each by its body over `addrs`. Returns (successful
 /// responses, elapsed seconds, request failures).
 fn closed_loop(
@@ -282,6 +312,7 @@ fn closed_loop(
     keep_alive: bool,
     threads: usize,
     per_thread: usize,
+    path: &str,
     make_body: &(dyn Fn() -> String + Sync),
 ) -> (usize, f64, usize) {
     let ring = build_ring(addrs);
@@ -295,7 +326,7 @@ fn closed_loop(
                 for _ in 0..per_thread {
                     let body = make_body();
                     let idx = route(&ring, body.as_bytes());
-                    match client.request(idx, "POST", "/simulate", &body) {
+                    match client.request(idx, "POST", path, &body) {
                         Ok((200, _)) => {
                             ok.fetch_add(1, Ordering::Relaxed);
                         }
@@ -331,12 +362,14 @@ fn run_cache_demo(
         println!("  [FAIL] cache demo: priming request failed");
         return false;
     }
-    let (warm_ok, warm_secs, warm_err) = closed_loop(one, keep_alive, threads, per_thread, &|| {
-        SIM_DEMO_BODY.to_string()
-    });
-    let (cold_ok, cold_secs, cold_err) = closed_loop(one, keep_alive, threads, per_thread, &|| {
-        unique_seed_body(SIM_DEMO_BODY)
-    });
+    let (warm_ok, warm_secs, warm_err) =
+        closed_loop(one, keep_alive, threads, per_thread, "/simulate", &|| {
+            SIM_DEMO_BODY.to_string()
+        });
+    let (cold_ok, cold_secs, cold_err) =
+        closed_loop(one, keep_alive, threads, per_thread, "/simulate", &|| {
+            unique_seed_body(SIM_DEMO_BODY)
+        });
     let warm_rate = warm_ok as f64 / warm_secs.max(1e-9);
     let cold_rate = cold_ok as f64 / cold_secs.max(1e-9);
     let speedup = warm_rate / cold_rate.max(1e-9);
@@ -366,13 +399,18 @@ fn run_scale_demo(
         println!("  [FAIL] scale demo needs at least two --addr backends");
         return false;
     }
-    let (single_ok, single_secs, single_err) =
-        closed_loop(&addrs[..1], keep_alive, threads, per_thread, &|| {
+    let (single_ok, single_secs, single_err) = closed_loop(
+        &addrs[..1],
+        keep_alive,
+        threads,
+        per_thread,
+        "/simulate",
+        &|| unique_seed_body(SIM_DEMO_BODY),
+    );
+    let (all_ok, all_secs, all_err) =
+        closed_loop(addrs, keep_alive, threads, per_thread, "/simulate", &|| {
             unique_seed_body(SIM_DEMO_BODY)
         });
-    let (all_ok, all_secs, all_err) = closed_loop(addrs, keep_alive, threads, per_thread, &|| {
-        unique_seed_body(SIM_DEMO_BODY)
-    });
     let single_rate = single_ok as f64 / single_secs.max(1e-9);
     let all_rate = all_ok as f64 / all_secs.max(1e-9);
     let scale = all_rate / single_rate.max(1e-9);
@@ -384,6 +422,68 @@ fn run_scale_demo(
     let ok = single_err == 0 && all_err == 0 && scale >= min_scale;
     println!(
         "  [{}] multi-process /simulate throughput >= {min_scale:.2}x single process",
+        if ok { "ok" } else { "FAIL" }
+    );
+    ok
+}
+
+/// Closed-loop analytic-vs-engine `/plan` throughput on one backend.
+/// Every body carries a fresh workload so the plan cache never answers;
+/// the fast-path (UMR, exact oracle) rate must be at least
+/// `min_fastpath_speedup` × the engine-path (RUMR, full trace) rate.
+/// Run the backend with `--fastpath-audit-pct 0` for a clean comparison —
+/// sampled audits bill engine runs to the analytic side.
+fn run_fastpath_demo(
+    addrs: &[String],
+    keep_alive: bool,
+    threads: usize,
+    per_thread: usize,
+    min_fastpath_speedup: f64,
+) -> bool {
+    let one = &addrs[..1];
+    let mut client = Client::new(one, keep_alive);
+    // The source markers must hold before throughput means anything.
+    let fast_marked = matches!(
+        client.request(0, "POST", "/plan", &unique_w_body(PLAN_FAST_BODY)),
+        Ok((200, body)) if body.contains("\"source\":\"analytic\"")
+    );
+    println!(
+        "  [{}] umr /plan answered analytically",
+        if fast_marked { "ok" } else { "FAIL" }
+    );
+    let engine_marked = matches!(
+        client.request(0, "POST", "/plan", &unique_w_body(PLAN_ENGINE_BODY)),
+        Ok((200, body)) if body.contains("\"source\":\"engine\"")
+    );
+    println!(
+        "  [{}] rumr /plan answered by the engine",
+        if engine_marked { "ok" } else { "FAIL" }
+    );
+    if !(fast_marked && engine_marked) {
+        return false;
+    }
+    let (fast_ok, fast_secs, fast_err) =
+        closed_loop(one, keep_alive, threads, per_thread, "/plan", &|| {
+            unique_w_body(PLAN_FAST_BODY)
+        });
+    let (eng_ok, eng_secs, eng_err) =
+        closed_loop(one, keep_alive, threads, per_thread, "/plan", &|| {
+            unique_w_body(PLAN_ENGINE_BODY)
+        });
+    let fast_rate = fast_ok as f64 / fast_secs.max(1e-9);
+    let eng_rate = eng_ok as f64 / eng_secs.max(1e-9);
+    let speedup = fast_rate / eng_rate.max(1e-9);
+    println!(
+        "fastpath demo: analytic {fast_rate:.0} req/s vs engine {eng_rate:.0} req/s → \
+         {speedup:.1}x ({fast_err}+{eng_err} failures)"
+    );
+    let ok = fast_err == 0
+        && eng_err == 0
+        && fast_ok == threads.max(1) * per_thread
+        && eng_ok == threads.max(1) * per_thread
+        && speedup >= min_fastpath_speedup;
+    println!(
+        "  [{}] analytic /plan throughput >= {min_fastpath_speedup:.1}x engine path",
         if ok { "ok" } else { "FAIL" }
     );
     ok
@@ -404,7 +504,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: load_gen --addr HOST:PORT[,HOST:PORT...] [--requests N] [--threads N] \
          [--rate RPS] [--quick] [--expect-503] [--close] [--max-p99-ms MS] \
-         [--cache-demo] [--min-speedup X] [--scale-demo] [--min-scale X] [--demo-requests N]"
+         [--cache-demo] [--min-speedup X] [--scale-demo] [--min-scale X] \
+         [--fastpath-demo] [--min-fastpath-speedup X] [--demo-requests N]"
     );
     std::process::exit(2)
 }
@@ -419,8 +520,10 @@ fn main() {
     let mut max_p99_ms: Option<f64> = None;
     let mut cache_demo = false;
     let mut scale_demo = false;
+    let mut fastpath_demo = false;
     let mut min_speedup = 2.0;
     let mut min_scale = 1.3;
+    let mut min_fastpath_speedup = 5.0;
     let mut demo_requests: usize = 25;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -445,8 +548,12 @@ fn main() {
             "--max-p99-ms" => max_p99_ms = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--cache-demo" => cache_demo = true,
             "--scale-demo" => scale_demo = true,
+            "--fastpath-demo" => fastpath_demo = true,
             "--min-speedup" => min_speedup = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--min-scale" => min_scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--min-fastpath-speedup" => {
+                min_fastpath_speedup = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--demo-requests" => demo_requests = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -469,6 +576,16 @@ fn main() {
     }
     if scale_demo {
         let ok = run_scale_demo(&addrs, keep_alive, threads, demo_requests, min_scale);
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+    if fastpath_demo {
+        let ok = run_fastpath_demo(
+            &addrs,
+            keep_alive,
+            threads,
+            demo_requests,
+            min_fastpath_speedup,
+        );
         std::process::exit(if ok { 0 } else { 1 });
     }
 

@@ -3,7 +3,8 @@
 //!
 //! Flags: `--addr HOST` `--port N` `--workers N` `--queue-bound N`
 //! `--cache N` `--sim-cache N` `--shards N` `--keep-alive-ms N`
-//! `--max-events N` `--delay-ms N` `--job-capacity N`.
+//! `--max-events N` `--delay-ms N` `--job-capacity N`
+//! `--fastpath-audit-pct N`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -35,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: dls-serve [--addr HOST] [--port N] [--workers N] [--queue-bound N] \
          [--cache N] [--sim-cache N] [--shards N] [--keep-alive-ms N] \
-         [--max-events N] [--delay-ms N] [--job-capacity N]"
+         [--max-events N] [--delay-ms N] [--job-capacity N] [--fastpath-audit-pct N]"
     );
     std::process::exit(2)
 }
@@ -73,6 +74,9 @@ fn main() {
             }
             "--job-capacity" => {
                 config.job_capacity = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--fastpath-audit-pct" => {
+                config.fastpath_audit_pct = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--help" | "-h" => usage(),
             _ => usage(),

@@ -34,6 +34,10 @@ pub struct CachedPlan {
     pub prototype: SchedulerPrototype,
     /// The JSON body `/plan` responds with.
     pub body: String,
+    /// How the body's makespan was produced — `"analytic"` (oracle closed
+    /// form) or `"engine"` (full-trace DES run). Replayed as the
+    /// `X-Answer-Source` header on cache hits.
+    pub source: &'static str,
 }
 
 /// The `/plan` cache: canonical request key → prototype + body.
@@ -132,6 +136,7 @@ mod tests {
         Arc::new(CachedPlan {
             prototype,
             body: tag.to_string(),
+            source: "engine",
         })
     }
 

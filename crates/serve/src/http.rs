@@ -194,11 +194,43 @@ pub(crate) fn declared_content_length(head: &[u8]) -> usize {
     0
 }
 
-/// The JSON error body the service uses everywhere: `{"error": "..."}`.
-pub fn error_body(message: &str) -> String {
+/// The service's API version tag: sent as the `X-API-Version` header on
+/// every response and as the `api_version` field of every JSON body.
+/// Endpoints are also reachable under a `/v1/...` path prefix; see
+/// `docs/SERVICE.md` for the stability contract.
+pub const API_VERSION: &str = "v1";
+
+/// Stable machine-readable error code for an HTTP failure status. Part of
+/// the v1 error contract: clients dispatch on `code`, not on the
+/// free-form `error` text.
+pub fn error_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        413 => "payload_too_large",
+        422 => "unprocessable",
+        431 => "headers_too_large",
+        501 => "not_implemented",
+        503 => "unavailable",
+        _ => "internal",
+    }
+}
+
+/// The unified JSON error body (v1 contract):
+/// `{"api_version", "code", "error", "detail"}`. `code` is the stable
+/// machine-readable slug for the status, `error` the one-line human
+/// message, `detail` an optional longer hint (`null` when absent).
+pub fn error_body(status: u16, message: &str, detail: Option<&str>) -> String {
+    let escape = dls_experiments::json::json_escape;
+    let detail = match detail {
+        Some(d) => format!("\"{}\"", escape(d)),
+        None => "null".to_string(),
+    };
     format!(
-        "{{\"error\":\"{}\"}}",
-        dls_experiments::json::json_escape(message)
+        "{{\"api_version\":\"{API_VERSION}\",\"code\":\"{}\",\"error\":\"{}\",\"detail\":{detail}}}",
+        error_code(status),
+        escape(message)
     )
 }
 
@@ -217,7 +249,7 @@ pub fn write_response(
 ) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\nX-API-Version: {API_VERSION}\r\n",
         body.len()
     );
     for h in extra_headers {
@@ -233,8 +265,8 @@ pub fn write_response(
     stream.flush()
 }
 
-/// Convenience: a JSON error body `{"error": "..."}` with the given
-/// status.
+/// Convenience: the unified JSON error body (see [`error_body`]) with the
+/// given status.
 pub fn write_error(
     stream: &mut TcpStream,
     status: u16,
@@ -247,7 +279,7 @@ pub fn write_error(
         status,
         reason,
         "application/json",
-        error_body(message).as_bytes(),
+        error_body(status, message, None).as_bytes(),
         &[],
         keep_alive,
     )

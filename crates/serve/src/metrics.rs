@@ -35,6 +35,10 @@ pub struct Metrics {
     queue_depth: AtomicI64,
     accept_errors: AtomicU64,
     shard_requests: Mutex<BTreeMap<usize, u64>>,
+    fastpath_analytic: AtomicU64,
+    fastpath_engine: AtomicU64,
+    fastpath_audited: AtomicU64,
+    fastpath_divergences: AtomicU64,
 }
 
 impl Metrics {
@@ -114,6 +118,51 @@ impl Metrics {
     /// Accept failures so far.
     pub fn accept_errors_total(&self) -> u64 {
         self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Count an answer served from the analytic fast path (oracle closed
+    /// form, no engine run).
+    pub fn fastpath_analytic(&self) {
+        self.fastpath_analytic.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Analytic fast-path answers so far.
+    pub fn fastpath_analytic_total(&self) -> u64 {
+        self.fastpath_analytic.load(Ordering::Relaxed)
+    }
+
+    /// Count a fast-path-eligible endpoint falling back to the engine
+    /// (no exact oracle, or the request disqualified itself).
+    pub fn fastpath_engine(&self) {
+        self.fastpath_engine.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Engine-path answers on fast-path-eligible endpoints so far.
+    pub fn fastpath_engine_total(&self) -> u64 {
+        self.fastpath_engine.load(Ordering::Relaxed)
+    }
+
+    /// Count an analytic answer re-run through the engine by the sampled
+    /// audit.
+    pub fn fastpath_audited(&self) {
+        self.fastpath_audited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Audited analytic answers so far.
+    pub fn fastpath_audited_total(&self) -> u64 {
+        self.fastpath_audited.load(Ordering::Relaxed)
+    }
+
+    /// Count an audit divergence: the engine re-run disagreed with the
+    /// analytic answer beyond the oracle tolerance.
+    pub fn fastpath_divergence(&self) {
+        self.fastpath_divergences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Audit divergences so far. Nonzero means the closed forms and the
+    /// engine disagree — a correctness bug, fatal in CI.
+    pub fn fastpath_divergences_total(&self) -> u64 {
+        self.fastpath_divergences.load(Ordering::Relaxed)
     }
 
     /// Count a `/simulate` request dispatched to engine shard `shard`.
@@ -221,6 +270,43 @@ impl Metrics {
         );
 
         out.push_str(
+            "# HELP dls_serve_fastpath_analytic_total Answers served from the analytic fast path.\n",
+        );
+        out.push_str("# TYPE dls_serve_fastpath_analytic_total counter\n");
+        let _ = writeln!(
+            out,
+            "dls_serve_fastpath_analytic_total {}",
+            self.fastpath_analytic.load(Ordering::Relaxed)
+        );
+        out.push_str(
+            "# HELP dls_serve_fastpath_engine_total Engine-path answers on fast-path-eligible endpoints.\n",
+        );
+        out.push_str("# TYPE dls_serve_fastpath_engine_total counter\n");
+        let _ = writeln!(
+            out,
+            "dls_serve_fastpath_engine_total {}",
+            self.fastpath_engine.load(Ordering::Relaxed)
+        );
+        out.push_str(
+            "# HELP dls_serve_fastpath_audited_total Analytic answers re-run through the engine by the sampled audit.\n",
+        );
+        out.push_str("# TYPE dls_serve_fastpath_audited_total counter\n");
+        let _ = writeln!(
+            out,
+            "dls_serve_fastpath_audited_total {}",
+            self.fastpath_audited.load(Ordering::Relaxed)
+        );
+        out.push_str(
+            "# HELP dls_serve_fastpath_divergence_total Audit re-runs that disagreed with the analytic answer.\n",
+        );
+        out.push_str("# TYPE dls_serve_fastpath_divergence_total counter\n");
+        let _ = writeln!(
+            out,
+            "dls_serve_fastpath_divergence_total {}",
+            self.fastpath_divergences.load(Ordering::Relaxed)
+        );
+
+        out.push_str(
             "# HELP dls_serve_shard_requests_total Simulate requests dispatched, by engine shard.\n",
         );
         out.push_str("# TYPE dls_serve_shard_requests_total counter\n");
@@ -264,6 +350,11 @@ mod tests {
         m.observe_shard(1);
         m.observe_shard(1);
         m.observe_shard(3);
+        m.fastpath_analytic();
+        m.fastpath_analytic();
+        m.fastpath_engine();
+        m.fastpath_audited();
+        m.fastpath_divergence();
         let text = m.render();
         assert!(text.contains("dls_serve_requests_total{endpoint=\"/plan\",status=\"200\"} 2"));
         assert!(text.contains("dls_serve_requests_total{endpoint=\"/simulate\",status=\"400\"} 1"));
@@ -281,5 +372,11 @@ mod tests {
         assert!(text.contains("dls_serve_shard_requests_total{shard=\"1\"} 2"));
         assert!(text.contains("dls_serve_shard_requests_total{shard=\"3\"} 1"));
         assert_eq!(m.shard_requests().get(&1), Some(&2));
+        assert!(text.contains("dls_serve_fastpath_analytic_total 2"));
+        assert!(text.contains("dls_serve_fastpath_engine_total 1"));
+        assert!(text.contains("dls_serve_fastpath_audited_total 1"));
+        assert!(text.contains("dls_serve_fastpath_divergence_total 1"));
+        assert_eq!(m.fastpath_analytic_total(), 2);
+        assert_eq!(m.fastpath_divergences_total(), 1);
     }
 }

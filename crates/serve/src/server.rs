@@ -38,8 +38,8 @@ use std::time::{Duration, Instant};
 use dls_experiments::json::{json_escape, json_num};
 use rumr::sim::{SimError, TraceEvent};
 use rumr::{
-    MultiRunResult, Prediction, RobustnessReport, RunError, Scenario, SimResult, SpeedModel,
-    TraceMode,
+    FastPath, FastPathAnswer, MultiRunResult, Prediction, RepColumns, RobustnessReport,
+    RoundTiming, RunError, Scenario, SimResult, SpeedModel, TraceMode,
 };
 
 use crate::api::{ApiError, JobsRequest, PlanRequest, SimulateRequest};
@@ -80,6 +80,16 @@ pub struct ServerConfig {
     /// Bound on not-yet-finished `/jobs` submissions; beyond it `POST
     /// /jobs` sheds load with 503s.
     pub job_capacity: usize,
+    /// Sampled-DES-audit rate: the percentage of analytic fast-path
+    /// answers re-run through the engine and cross-checked against the
+    /// oracle tolerance. `0` disables the audit, `>= 100` audits every
+    /// analytic answer. Divergences are counted on `/metrics`
+    /// (`dls_serve_fastpath_divergence_total`) and treated as fatal in CI.
+    pub fastpath_audit_pct: u32,
+    /// Test hook: perturb every audited engine re-run so it disagrees
+    /// with the analytic answer, proving the divergence counter fires.
+    /// Never set in production.
+    pub fastpath_divergence_inject: bool,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +105,8 @@ impl Default for ServerConfig {
             max_events: 50_000_000,
             handler_delay_ms: 0,
             job_capacity: 32,
+            fastpath_audit_pct: 10,
+            fastpath_divergence_inject: false,
         }
     }
 }
@@ -343,13 +355,13 @@ fn reject(shared: &Shared, mut stream: TcpStream) {
             }
         }
     }
-    let body = b"{\"error\":\"request queue full\"}";
+    let body = http::error_body(503, "request queue full", None);
     let _ = write_response(
         &mut stream,
         503,
         "Service Unavailable",
         "application/json",
-        body,
+        body.as_bytes(),
         &["Retry-After: 1"],
         false,
     );
@@ -415,7 +427,19 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
 
 /// Route one request. `/simulate` decodes here and dispatches to an
 /// engine shard; everything else is handled inline.
-fn handle_request(shared: &Shared, stream: &mut TcpStream, request: Request) {
+///
+/// Every endpoint is also reachable under the `/v1` path prefix (the
+/// versioned spelling of the same contract — see `docs/SERVICE.md`); the
+/// prefix is stripped before dispatch so both spellings share handlers,
+/// metrics labels, and cache keys.
+fn handle_request(shared: &Shared, stream: &mut TcpStream, mut request: Request) {
+    if let Some(rest) = request.path.strip_prefix("/v1") {
+        if rest.is_empty() {
+            request.path = "/".into();
+        } else if rest.starts_with('/') {
+            request.path = rest.to_string();
+        }
+    }
     let keep = request.keep_alive;
     if request.method == "POST" && request.path == "/simulate" {
         let start = Instant::now();
@@ -632,21 +656,23 @@ fn handle_plan(shared: &Shared, stream: &mut TcpStream, request: &Request, keep:
     let key = plan.cache_key();
     if let Some(cached) = shared.cache.get(&key) {
         shared.metrics.cache_hit();
+        let source = format!("X-Answer-Source: {}", cached.source);
         let _ = write_response(
             stream,
             200,
             "OK",
             "application/json",
             cached.body.as_bytes(),
-            &["X-Plan-Cache: hit"],
+            &["X-Plan-Cache: hit", &source],
             keep,
         );
         return 200;
     }
     shared.metrics.cache_miss();
-    match build_plan(shared, &plan) {
+    match build_plan(shared, &plan, &key) {
         Ok(cached) => {
             let body = cached.body.clone();
+            let source = format!("X-Answer-Source: {}", cached.source);
             shared.cache.insert(key, Arc::new(cached));
             let _ = write_response(
                 stream,
@@ -654,7 +680,7 @@ fn handle_plan(shared: &Shared, stream: &mut TcpStream, request: &Request, keep:
                 "OK",
                 "application/json",
                 body.as_bytes(),
-                &["X-Plan-Cache: miss"],
+                &["X-Plan-Cache: miss", &source],
                 keep,
             );
             200
@@ -668,7 +694,13 @@ fn handle_plan(shared: &Shared, stream: &mut TcpStream, request: &Request, keep:
 
 type PlanFailure = (u16, &'static str, String);
 
-fn build_plan(shared: &Shared, plan: &PlanRequest) -> Result<CachedPlan, PlanFailure> {
+/// Solve a `/plan` request: prototype first (both paths reuse it), then
+/// the analytic fast path when the scheduler's oracle makes an exact
+/// claim — the error-free, declared-speed plan run is exactly the
+/// deterministic model-conforming case the closed forms answer — with the
+/// full-trace engine run as fallback. A configurable sample of analytic
+/// answers is cross-checked against the engine (the sampled DES audit).
+fn build_plan(shared: &Shared, plan: &PlanRequest, key: &str) -> Result<CachedPlan, PlanFailure> {
     let prototype = plan
         .kind
         .prototype(&plan.platform, plan.w_total)
@@ -680,6 +712,25 @@ fn build_plan(shared: &Shared, plan: &PlanRequest) -> Result<CachedPlan, PlanFai
         cost_profile: None,
         temporal_noise: None,
     };
+    let probe = rumr::RunSpec::new(plan.kind);
+    let decision = FastPath::resolve_kind(&scenario, &probe, plan.kind)
+        .map_err(|e| (400u16, "Bad Request", format!("oracle: {e}")))?;
+    if let Some(answer) = decision.analytic() {
+        shared.metrics.fastpath_analytic();
+        if FastPath::audit_due(key, shared.config.fastpath_audit_pct) {
+            shared.metrics.fastpath_audited();
+            let audit_spec = rumr::RunSpec::new(plan.kind)
+                .max_events(shared.config.max_events)
+                .with_prototype(prototype.clone());
+            audit_analytic(shared, &scenario, &audit_spec, answer);
+        }
+        return Ok(CachedPlan {
+            prototype,
+            body: plan_body_analytic(plan, answer),
+            source: "analytic",
+        });
+    }
+    shared.metrics.fastpath_engine();
     let spec = rumr::RunSpec::new(plan.kind)
         .trace_mode(TraceMode::Full)
         .max_events(shared.config.max_events)
@@ -700,12 +751,42 @@ fn build_plan(shared: &Shared, plan: &PlanRequest) -> Result<CachedPlan, PlanFai
     Ok(CachedPlan {
         prototype,
         body: plan_body(plan, &result, prediction),
+        source: "engine",
     })
+}
+
+/// The sampled DES audit: re-run an analytic answer through the engine
+/// and count a divergence when the simulated makespan falls outside the
+/// oracle's stated tolerance (or the engine fails outright — an engine
+/// error on a run the fast path accepted is itself a disagreement).
+fn audit_analytic(
+    shared: &Shared,
+    scenario: &Scenario,
+    spec: &rumr::RunSpec,
+    answer: &FastPathAnswer,
+) {
+    let simulated = match scenario.execute(&spec.clone().reps(1)) {
+        Ok(result) => result.makespan,
+        Err(_) => {
+            shared.metrics.fastpath_divergence();
+            return;
+        }
+    };
+    let simulated = if shared.config.fastpath_divergence_inject {
+        simulated * 2.0
+    } else {
+        simulated
+    };
+    if !answer.agrees_with(simulated) {
+        shared.metrics.fastpath_divergence();
+    }
 }
 
 fn plan_body(plan: &PlanRequest, result: &SimResult, prediction: Option<Prediction>) -> String {
     let mut body = String::with_capacity(1024);
-    body.push_str("{\"schedule\":[");
+    body.push_str("{\"api_version\":\"");
+    body.push_str(http::API_VERSION);
+    body.push_str("\",\"source\":\"engine\",\"schedule\":[");
     if let Some(trace) = &result.trace {
         let mut first = true;
         for event in trace.events() {
@@ -727,7 +808,7 @@ fn plan_body(plan: &PlanRequest, result: &SimResult, prediction: Option<Predicti
             }
         }
     }
-    body.push_str("],\"makespan\":");
+    body.push_str("],\"rounds\":null,\"makespan\":");
     body.push_str(&json_num(result.makespan));
     body.push_str(",\"num_chunks\":");
     body.push_str(&result.num_chunks.to_string());
@@ -753,6 +834,58 @@ fn plan_body(plan: &PlanRequest, result: &SimResult, prediction: Option<Predicti
     body.push_str(&plan_robustness(plan));
     body.push('}');
     body
+}
+
+/// The analytic `/plan` body: same shape as the engine body, but the
+/// makespan is the oracle closed form, the per-event `schedule` array is
+/// empty (no trace exists — the per-round `rounds` timeline replaces it
+/// where the model pins one), and `num_chunks` is `null`.
+fn plan_body_analytic(plan: &PlanRequest, answer: &FastPathAnswer) -> String {
+    let mut body = String::with_capacity(1024);
+    body.push_str("{\"api_version\":\"");
+    body.push_str(http::API_VERSION);
+    body.push_str("\",\"source\":\"analytic\",\"schedule\":[],\"rounds\":");
+    body.push_str(&rounds_json(answer.rounds.as_deref()));
+    body.push_str(",\"makespan\":");
+    body.push_str(&json_num(answer.makespan));
+    body.push_str(",\"num_chunks\":null,\"scheduler\":\"");
+    body.push_str(&json_escape(&plan.kind.label()));
+    body.push_str("\",\"predicted\":");
+    body.push_str(&format!(
+        "{{\"kind\":\"exact\",\"makespan\":{}}}",
+        json_num(answer.makespan)
+    ));
+    body.push_str(",\"robustness\":");
+    body.push_str(&plan_robustness(plan));
+    body.push('}');
+    body
+}
+
+/// Render an oracle round timeline as JSON (`null` when the model does
+/// not pin per-round instants, e.g. the heterogeneous UMR oracle).
+fn rounds_json(rounds: Option<&[RoundTiming]>) -> String {
+    let Some(rounds) = rounds else {
+        return "null".to_string();
+    };
+    let mut out = String::with_capacity(64 * rounds.len() + 2);
+    out.push('[');
+    for (i, r) in rounds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"round\":{},\"chunk\":{},\"dispatch_start\":{},\"dispatch_end\":{},\
+             \"first_finish\":{},\"last_finish\":{}}}",
+            r.round,
+            json_num(r.chunk),
+            json_num(r.dispatch_start),
+            json_num(r.dispatch_end),
+            json_num(r.first_finish),
+            json_num(r.last_finish)
+        ));
+    }
+    out.push(']');
+    out
 }
 
 /// The `/plan` response's robustness section: the analytic makespan lower
@@ -821,12 +954,13 @@ fn handle_jobs_submit(
         let open = store.entries.iter().filter(|e| e.is_open()).count();
         if open >= shared.config.job_capacity {
             drop(store);
+            let body = http::error_body(503, "job table full", None);
             let _ = write_response(
                 stream,
                 503,
                 "Service Unavailable",
                 "application/json",
-                b"{\"error\":\"job table full\"}",
+                body.as_bytes(),
                 &["Retry-After: 1"],
                 keep,
             );
@@ -838,7 +972,10 @@ fn handle_jobs_submit(
         id
     };
     shared.jobs_available.notify_one();
-    let body = format!("{{\"id\":{id},\"status\":\"queued\"}}");
+    let body = format!(
+        "{{\"api_version\":\"{}\",\"id\":{id},\"status\":\"queued\"}}",
+        http::API_VERSION
+    );
     let _ = write_response(
         stream,
         202,
@@ -854,7 +991,7 @@ fn handle_jobs_submit(
 /// `GET /jobs`: id + status of every submission, in submission order.
 fn handle_jobs_list(shared: &Shared, stream: &mut TcpStream, keep: bool) -> u16 {
     let store = lock(&shared.jobs);
-    let mut body = String::from("{\"jobs\":[");
+    let mut body = format!("{{\"api_version\":\"{}\",\"jobs\":[", http::API_VERSION);
     for (id, entry) in store.entries.iter().enumerate() {
         if id > 0 {
             body.push(',');
@@ -897,7 +1034,11 @@ fn handle_jobs_poll(shared: &Shared, stream: &mut TcpStream, id_str: &str, keep:
     };
     match entry {
         JobState::Queued(_) | JobState::Running => {
-            let body = format!("{{\"id\":{id},\"status\":\"{}\"}}", entry.label());
+            let body = format!(
+                "{{\"api_version\":\"{}\",\"id\":{id},\"status\":\"{}\"}}",
+                http::API_VERSION,
+                entry.label()
+            );
             drop(store);
             let _ = write_response(
                 stream,
@@ -989,7 +1130,8 @@ fn run_jobs(shared: &Shared, id: usize, request: &JobsRequest) -> Result<String,
 fn jobs_body(id: usize, spec: &rumr::MultiRunSpec, result: &MultiRunResult) -> String {
     let mut body = String::with_capacity(1024);
     body.push_str(&format!(
-        "{{\"id\":{id},\"status\":\"done\",\"policy\":\"{}\",\"makespan\":{},\"num_chunks\":{},\"jobs\":[",
+        "{{\"api_version\":\"{}\",\"id\":{id},\"status\":\"done\",\"policy\":\"{}\",\"makespan\":{},\"num_chunks\":{},\"jobs\":[",
+        http::API_VERSION,
         spec.policy.label(),
         json_num(result.sim.makespan),
         result.sim.num_chunks
@@ -1041,10 +1183,43 @@ fn jobs_body(id: usize, spec: &rumr::MultiRunSpec, result: &MultiRunResult) -> S
     body
 }
 
-/// `POST /simulate`: serve from the response cache if possible, else
-/// dispatch to the scenario's engine shard and relay its outcome.
+/// `POST /simulate`: answer eligible runs from the analytic fast path,
+/// else serve from the response cache if possible, else dispatch to the
+/// scenario's engine shard and relay its outcome.
 fn handle_simulate(shared: &Shared, stream: &mut TcpStream, sim: Box<SimulateRequest>, keep: bool) {
     let start = Instant::now();
+    // Analytic fast path: deterministic model-conforming runs with an
+    // exact oracle skip the cache and the shards entirely — resolving is
+    // microseconds, so caching analytic answers would only pollute the
+    // LRU. Build errors fall through: the shard produces the identical
+    // planner 400 the engine path always has.
+    if let Ok(decision) = FastPath::resolve(&sim.scenario, &sim.spec) {
+        if let Some(answer) = decision.analytic() {
+            shared.metrics.fastpath_analytic();
+            test_delay(shared);
+            if FastPath::audit_due(&sim.canonical(), shared.config.fastpath_audit_pct) {
+                shared.metrics.fastpath_audited();
+                let mut audit_spec = sim.spec.clone();
+                audit_spec.config = effective_config(shared, &audit_spec);
+                audit_analytic(shared, &sim.scenario, &audit_spec, answer);
+            }
+            let body = simulate_body_analytic(&sim.spec, answer);
+            let _ = write_response(
+                stream,
+                200,
+                "OK",
+                "application/json",
+                body.as_bytes(),
+                &["X-Answer-Source: analytic"],
+                keep,
+            );
+            shared
+                .metrics
+                .observe("/simulate", 200, start.elapsed().as_secs_f64());
+            return;
+        }
+        shared.metrics.fastpath_engine();
+    }
     let cache_on = shared.config.sim_cache_capacity > 0;
     let key = if cache_on {
         let key = sim.canonical();
@@ -1056,7 +1231,7 @@ fn handle_simulate(shared: &Shared, stream: &mut TcpStream, sim: Box<SimulateReq
                 "OK",
                 "application/json",
                 body.as_bytes(),
-                &["X-Sim-Cache: hit"],
+                &["X-Sim-Cache: hit", "X-Answer-Source: engine"],
                 keep,
             );
             shared
@@ -1087,9 +1262,9 @@ fn handle_simulate(shared: &Shared, stream: &mut TcpStream, sim: Box<SimulateReq
                     shared.sim_cache.insert(key, Arc::new(outcome.body.clone()));
                 }
                 let headers: &[&str] = if cache_on {
-                    &["X-Sim-Cache: miss"]
+                    &["X-Sim-Cache: miss", "X-Answer-Source: engine"]
                 } else {
-                    &[]
+                    &["X-Answer-Source: engine"]
                 };
                 let _ = write_response(
                     stream,
@@ -1186,13 +1361,13 @@ fn simulate_outcome(
     spec.config = effective_config(shared, &spec);
 
     match run_reps(runner, &spec) {
-        Ok(results) => {
+        Ok(cols) => {
             // Per-run robustness reports when the request revealed speeds
             // (clairvoyant twins are replanned on the realized platform).
             let robustness: Vec<RobustnessReport> = if spec.config.speeds.is_active() {
                 spec.seeds()
-                    .zip(&results)
-                    .filter_map(|(seed, r)| runner.scenario().robustness(&spec, seed, r.makespan))
+                    .zip(cols.makespan.iter())
+                    .filter_map(|(seed, &m)| runner.scenario().robustness(&spec, seed, m))
                     .collect()
             } else {
                 Vec::new()
@@ -1200,65 +1375,71 @@ fn simulate_outcome(
             Outcome {
                 status: 200,
                 reason: "OK",
-                body: simulate_body(&spec, &results, &robustness),
+                body: simulate_body(&spec, &cols, &robustness),
             }
         }
         Err(RunError::Build(e)) => Outcome {
             status: 400,
             reason: "Bad Request",
-            body: http::error_body(&format!("planner: {e}")),
+            body: http::error_body(400, &format!("planner: {e}"), None),
         },
         Err(RunError::Sim(SimError::EventLimitExceeded)) => Outcome {
             status: 422,
             reason: "Unprocessable Entity",
             body: http::error_body(
+                422,
                 "simulation exceeded the event limit (raise max_events or shrink the run)",
+                None,
             ),
         },
         Err(e) => Outcome {
             status: 500,
             reason: "Internal Server Error",
-            body: http::error_body(&e.to_string()),
+            body: http::error_body(500, &e.to_string(), None),
         },
     }
 }
 
+/// Execute the spec's whole repetition batch as one arena-backed
+/// column pass on the shard's warm runner: one scheduler prototype solve
+/// and zero per-repetition result allocations, instead of the old
+/// execute-per-seed loop.
 fn run_reps(
     runner: &mut rumr::ScenarioRunner<'_>,
     spec: &rumr::RunSpec,
-) -> Result<Vec<SimResult>, RunError> {
-    let mut results = Vec::with_capacity(spec.reps as usize);
-    for seed in spec.seeds() {
-        let one = spec.clone().seed(seed).reps(1);
-        results.push(runner.execute(&one)?);
-    }
-    Ok(results)
+) -> Result<RepColumns, RunError> {
+    let workers = runner.scenario().platform.num_workers();
+    let mut cols = RepColumns::with_capacity(spec.reps as usize, workers);
+    runner.execute_batch(spec, &mut cols)?;
+    Ok(cols)
 }
 
 fn simulate_body(
     spec: &rumr::RunSpec,
-    results: &[SimResult],
+    cols: &RepColumns,
     robustness: &[RobustnessReport],
 ) -> String {
     let mut body = String::with_capacity(512);
-    body.push_str("{\"runs\":[");
-    for (i, r) in results.iter().enumerate() {
+    body.push_str("{\"api_version\":\"");
+    body.push_str(http::API_VERSION);
+    body.push_str("\",\"source\":\"engine\",\"runs\":[");
+    for i in 0..cols.len() {
         if i > 0 {
             body.push(',');
         }
         body.push_str(&format!(
             "{{\"seed\":{},\"makespan\":{},\"num_chunks\":{},\"completed_work\":{},\"conservation_residual\":{}",
             spec.seed + i as u64,
-            json_num(r.makespan),
-            r.num_chunks,
-            json_num(r.completed_work()),
-            json_num(r.conservation_residual())
+            json_num(cols.makespan[i]),
+            cols.num_chunks[i],
+            json_num(cols.completed_work[i]),
+            json_num(cols.conservation_residual(i))
         ));
-        if let Some(m) = &r.metrics {
+        if let Some(m) = &cols.metrics[i] {
             body.push_str(&format!(
                 ",\"metrics\":{{\"trace_events\":{},\"link_utilization\":{},\"num_gaps\":{}}}",
                 m.trace_events,
-                json_num(m.link_utilization(r.makespan)),
+                json_num(m.link_utilization(cols.makespan[i])),
                 m.num_gaps
             ));
         }
@@ -1272,7 +1453,7 @@ fn simulate_body(
             ));
         }
         body.push_str(",\"audit_findings\":[");
-        if let Some(findings) = &r.audit {
+        if let Some(findings) = &cols.audit[i] {
             for (j, f) in findings.iter().enumerate() {
                 if j > 0 {
                     body.push(',');
@@ -1284,14 +1465,39 @@ fn simulate_body(
         }
         body.push_str("]}");
     }
-    let mean = if results.is_empty() {
-        0.0
-    } else {
-        results.iter().map(|r| r.makespan).sum::<f64>() / results.len() as f64
-    };
     body.push_str(&format!(
         "],\"mean_makespan\":{},\"scheduler\":\"{}\"}}",
-        json_num(mean),
+        json_num(cols.mean_makespan()),
+        json_escape(&spec.kind.label())
+    ));
+    body
+}
+
+/// The analytic `/simulate` body: same top-level shape as the engine
+/// body, one `runs` entry per requested seed. The run is deterministic —
+/// that is what made it eligible — so every entry carries the same
+/// closed-form makespan, `completed_work` is the oracle's planned total,
+/// the conservation residual is identically zero, and the engine-only
+/// fields (`num_chunks`, `metrics`) are absent.
+fn simulate_body_analytic(spec: &rumr::RunSpec, answer: &FastPathAnswer) -> String {
+    let mut body = String::with_capacity(256);
+    body.push_str("{\"api_version\":\"");
+    body.push_str(http::API_VERSION);
+    body.push_str("\",\"source\":\"analytic\",\"runs\":[");
+    for (i, seed) in spec.seeds().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"seed\":{seed},\"makespan\":{},\"completed_work\":{},\
+             \"conservation_residual\":0,\"audit_findings\":[]}}",
+            json_num(answer.makespan),
+            json_num(answer.planned_work)
+        ));
+    }
+    body.push_str(&format!(
+        "],\"mean_makespan\":{},\"scheduler\":\"{}\"}}",
+        json_num(answer.makespan),
         json_escape(&spec.kind.label())
     ));
     body

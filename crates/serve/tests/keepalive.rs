@@ -24,6 +24,7 @@ fn config() -> ServerConfig {
         max_events: 10_000_000,
         handler_delay_ms: 0,
         job_capacity: 8,
+        ..ServerConfig::default()
     }
 }
 

@@ -25,6 +25,7 @@ fn quiet_config() -> ServerConfig {
         max_events: 10_000_000,
         handler_delay_ms: 0,
         job_capacity: 8,
+        ..ServerConfig::default()
     }
 }
 
@@ -363,4 +364,231 @@ fn event_limit_maps_to_422() {
     assert_eq!(status, 422, "body: {body}");
     assert!(body.contains("event limit"));
     server.shutdown();
+}
+
+/// An error-free, declared-speed, default-transport run of a scheduler
+/// with an exact oracle: the analytic fast path answers it.
+const ELIGIBLE_SIMULATE: &str = r#"{"platform": {"homogeneous": {"n": 8, "ratio": 1.5,
+    "comp_latency": 0.2, "net_latency": 0.1}},
+    "w_total": 1000,
+    "run": {"scheduler": {"kind": "umr"}, "seed": 3, "reps": 2}}"#;
+
+#[test]
+fn v1_aliases_and_version_markers() {
+    let server = start(quiet_config());
+    // Every endpoint answers identically under the /v1 prefix, and every
+    // response carries the X-API-Version header.
+    let (status, head, body) = request(server.addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    assert!(head.contains("X-API-Version: v1"), "head: {head}");
+    assert_eq!(body, "ok\n");
+
+    let (s1, _, unversioned) = request(server.addr, "POST", "/plan", PLAN);
+    let (s2, head, versioned) = request(server.addr, "POST", "/v1/plan", PLAN);
+    assert_eq!((s1, s2), (200, 200), "bodies: {unversioned} / {versioned}");
+    assert_eq!(unversioned, versioned, "aliases must serve the same bytes");
+    assert!(head.contains("X-API-Version: v1"), "head: {head}");
+    // The prefix is stripped before the cache, so aliases share keys.
+    assert_eq!(server.metrics().cache_hits(), 1);
+    assert!(versioned.contains("\"api_version\":\"v1\""), "{versioned}");
+
+    let (status, _, sim) = request(server.addr, "POST", "/v1/simulate", SIMULATE);
+    assert_eq!(status, 200, "body: {sim}");
+    assert!(sim.contains("\"api_version\":\"v1\""), "{sim}");
+
+    let (status, _, jobs) = request(server.addr, "GET", "/v1/jobs", "");
+    assert_eq!(status, 200);
+    assert!(jobs.contains("\"api_version\":\"v1\""), "{jobs}");
+
+    // Errors carry both markers as well.
+    let (status, head, err) = request(server.addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    assert!(head.contains("X-API-Version: v1"), "head: {head}");
+    assert!(err.contains("\"api_version\":\"v1\""), "{err}");
+    server.shutdown();
+}
+
+#[test]
+fn errors_use_the_unified_payload_shape() {
+    let server = start(quiet_config());
+    let non_finite = SIMULATE.replace("\"w_total\": 1000", "\"w_total\": 1e999");
+    let cases: [(&str, &str, &str, u16, &str); 5] = [
+        ("POST", "/plan", "{not json", 400, "bad_request"),
+        ("GET", "/plan", "", 405, "method_not_allowed"),
+        ("GET", "/nope", "", 404, "not_found"),
+        ("POST", "/simulate", &non_finite, 422, "unprocessable"),
+        ("GET", "/jobs/99", "", 404, "not_found"),
+    ];
+    for (method, path, body, expected, code) in cases {
+        let (status, _, response) = request(server.addr, method, path, body);
+        assert_eq!(status, expected, "{method} {path}: {response}");
+        assert!(
+            response.starts_with("{\"api_version\":\"v1\",\"code\":\""),
+            "{method} {path}: {response}"
+        );
+        assert!(
+            response.contains(&format!("\"code\":\"{code}\"")),
+            "{method} {path}: {response}"
+        );
+        assert!(
+            response.contains("\"error\":\""),
+            "{method} {path}: {response}"
+        );
+        assert!(
+            response.contains("\"detail\":null"),
+            "{method} {path}: {response}"
+        );
+    }
+    // Shed-load 503s (acceptor and job table) share the shape; the job
+    // table is the easy one to force deterministically.
+    let full = start(ServerConfig {
+        job_capacity: 0,
+        ..quiet_config()
+    });
+    let (status, _, response) = request(full.addr, "POST", "/jobs", JOBS);
+    assert_eq!(status, 503);
+    assert!(
+        response.starts_with("{\"api_version\":\"v1\",\"code\":\"unavailable\""),
+        "{response}"
+    );
+    full.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn fastpath_answers_eligible_requests_analytically() {
+    let server = start(ServerConfig {
+        fastpath_audit_pct: 100,
+        ..quiet_config()
+    });
+    // Eligible /simulate: analytic source, one run per requested seed.
+    let (status, head, body) = request(server.addr, "POST", "/simulate", ELIGIBLE_SIMULATE);
+    assert_eq!(status, 200, "body: {body}");
+    assert!(head.contains("X-Answer-Source: analytic"), "head: {head}");
+    assert!(body.contains("\"source\":\"analytic\""), "{body}");
+    assert!(body.contains("\"seed\":3"), "{body}");
+    assert!(body.contains("\"seed\":4"), "{body}");
+    assert!(body.contains("\"mean_makespan\""), "{body}");
+
+    // /plan of a scheduler with an exact oracle: analytic, with the
+    // oracle's round timeline in place of the per-event schedule.
+    let (status, head, plan) = request(server.addr, "POST", "/plan", PLAN);
+    assert_eq!(status, 200, "body: {plan}");
+    assert!(head.contains("X-Answer-Source: analytic"), "head: {head}");
+    assert!(plan.contains("\"source\":\"analytic\""), "{plan}");
+    assert!(plan.contains("\"schedule\":[]"), "{plan}");
+    assert!(plan.contains("\"rounds\":[{\"round\":0"), "{plan}");
+    assert!(plan.contains("\"predicted\":{\"kind\":\"exact\""), "{plan}");
+
+    // Cache hits replay the analytic source marker.
+    let (_, head, _) = request(server.addr, "POST", "/plan", PLAN);
+    assert!(head.contains("X-Plan-Cache: hit"), "head: {head}");
+    assert!(head.contains("X-Answer-Source: analytic"), "head: {head}");
+
+    // The noisy RUMR request is ineligible and stays on the engine path.
+    let (status, head, body) = request(server.addr, "POST", "/simulate", SIMULATE);
+    assert_eq!(status, 200, "body: {body}");
+    assert!(head.contains("X-Answer-Source: engine"), "head: {head}");
+    assert!(body.contains("\"source\":\"engine\""), "{body}");
+
+    // 100% sampling audited both analytic answers, and the engine agreed
+    // with the closed forms every time.
+    let m = server.metrics();
+    assert_eq!(m.fastpath_analytic_total(), 2);
+    assert_eq!(m.fastpath_audited_total(), 2);
+    assert_eq!(
+        m.fastpath_divergences_total(),
+        0,
+        "engine disagreed with oracle"
+    );
+    assert!(m.fastpath_engine_total() >= 1);
+
+    let (_, _, metrics) = request(server.addr, "GET", "/metrics", "");
+    assert!(
+        metrics.contains("dls_serve_fastpath_analytic_total 2"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("dls_serve_fastpath_divergence_total 0"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn fastpath_audit_sampling_zero_disables_the_audit() {
+    let server = start(ServerConfig {
+        fastpath_audit_pct: 0,
+        ..quiet_config()
+    });
+    let (status, _, body) = request(server.addr, "POST", "/simulate", ELIGIBLE_SIMULATE);
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(server.metrics().fastpath_analytic_total(), 1);
+    assert_eq!(server.metrics().fastpath_audited_total(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn fastpath_divergence_injection_fires_the_counter() {
+    // The test hook perturbs every audited engine re-run, proving a real
+    // disagreement would be caught and counted — the CI gate greps this
+    // counter at 100% sampling.
+    let server = start(ServerConfig {
+        fastpath_audit_pct: 100,
+        fastpath_divergence_inject: true,
+        ..quiet_config()
+    });
+    let (status, _, _) = request(server.addr, "POST", "/simulate", ELIGIBLE_SIMULATE);
+    assert_eq!(status, 200);
+    let (status, _, _) = request(server.addr, "POST", "/plan", PLAN);
+    assert_eq!(status, 200);
+    let m = server.metrics();
+    assert_eq!(m.fastpath_audited_total(), 2);
+    assert_eq!(m.fastpath_divergences_total(), 2);
+    let (_, _, metrics) = request(server.addr, "GET", "/metrics", "");
+    assert!(
+        metrics.contains("dls_serve_fastpath_divergence_total 2"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn fastpath_analytic_answer_matches_the_engine() {
+    // Cross-check over the wire: the analytic makespan for an eligible
+    // run must agree with what the engine reports for the same physics
+    // when the fast path is sidestepped.
+    let server = start(ServerConfig {
+        fastpath_audit_pct: 100,
+        ..quiet_config()
+    });
+    let (status, _, analytic) = request(server.addr, "POST", "/simulate", ELIGIBLE_SIMULATE);
+    assert_eq!(status, 200, "body: {analytic}");
+    let analytic_makespan = extract_num(&analytic, "\"mean_makespan\":");
+
+    // Same scenario with a vanishing error model: engine path (the error
+    // model is present, so the fast path declines), same physics.
+    let engine_req = ELIGIBLE_SIMULATE.replace(
+        "\"w_total\": 1000,",
+        "\"w_total\": 1000, \"error_model\": {\"kind\": \"normal\", \"error\": 0.0},",
+    );
+    let (status, head, engine) = request(server.addr, "POST", "/simulate", &engine_req);
+    assert_eq!(status, 200, "body: {engine}");
+    assert!(head.contains("X-Answer-Source: engine"), "head: {head}");
+    let engine_makespan = extract_num(&engine, "\"mean_makespan\":");
+    let rel = (analytic_makespan - engine_makespan).abs() / engine_makespan;
+    assert!(
+        rel < 1e-6,
+        "analytic {analytic_makespan} vs engine {engine_makespan} (rel {rel})"
+    );
+    assert_eq!(server.metrics().fastpath_divergences_total(), 0);
+    server.shutdown();
+}
+
+fn extract_num(body: &str, key: &str) -> f64 {
+    body.split(key)
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no {key} in {body}"))
 }

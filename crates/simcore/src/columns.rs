@@ -1,0 +1,184 @@
+//! Structure-of-arrays result storage for batched repetition runs.
+//!
+//! A repetition sweep produces `reps` [`SimResult`]-shaped records whose
+//! vector fields (`per_worker_work`, `per_worker_busy`, `lost_ranges`)
+//! would otherwise each be a fresh heap allocation per repetition. A
+//! [`RepColumns`] lays the same data out as columns — one flat buffer per
+//! field, sized once for the whole batch and reused across batches — so
+//! [`crate::Engine::run_reusing_into`] appends a repetition without
+//! allocating. Per-worker vectors become a `reps × num_workers` row-major
+//! matrix; the variable-length `lost_ranges` lists are CSR-flattened
+//! (`lost_offsets[i]..lost_offsets[i + 1]` delimits repetition `i`).
+//!
+//! Every scalar a [`SimResult`] carries is preserved, so a batched run
+//! loses no information relative to the sequential loop; the equivalence
+//! tests assert bit-identity field by field.
+//!
+//! [`SimResult`]: crate::SimResult
+
+use crate::invariants::InvariantFinding;
+use crate::metrics::MetricsSummary;
+use crate::trace::Trace;
+
+/// Column-major storage for a batch of repetition results.
+///
+/// Indexing is by repetition order of insertion: the `i`-th call to
+/// [`crate::Engine::run_reusing_into`] fills row `i` of every column.
+#[derive(Debug, Clone, Default)]
+pub struct RepColumns {
+    /// Workers per repetition (fixed across the batch; 0 until the first
+    /// repetition lands).
+    pub num_workers: usize,
+    /// Application makespan of each repetition.
+    pub makespan: Vec<f64>,
+    /// Chunks dispatched per repetition.
+    pub num_chunks: Vec<usize>,
+    /// Workload units dispatched per repetition.
+    pub dispatched_work: Vec<f64>,
+    /// Output units returned to the master per repetition.
+    pub returned_work: Vec<f64>,
+    /// Total completed workload per repetition (row sum of
+    /// [`RepColumns::per_worker_work`], accumulated engine-side).
+    pub completed_work: Vec<f64>,
+    /// Workload units destroyed by faults per repetition.
+    pub lost_work: Vec<f64>,
+    /// Chunk-loss events per repetition.
+    pub lost_chunks: Vec<usize>,
+    /// Workload units re-sent via redispatch per repetition.
+    pub redispatched_work: Vec<f64>,
+    /// Dispatched-but-unsettled workload per repetition.
+    pub outstanding_work: Vec<f64>,
+    /// Engine events processed per repetition.
+    pub events: Vec<u64>,
+    /// `reps × num_workers` row-major matrix of per-worker completed work.
+    pub per_worker_work: Vec<f64>,
+    /// `reps × num_workers` row-major matrix of per-worker busy seconds.
+    pub per_worker_busy: Vec<f64>,
+    /// CSR-flattened lost unit ranges of every repetition.
+    pub lost_ranges: Vec<(f64, f64)>,
+    /// CSR row offsets into [`RepColumns::lost_ranges`]; `len() + 1`
+    /// entries once rows exist (leading 0 is lazily inserted).
+    pub lost_offsets: Vec<usize>,
+    /// Per-repetition metrics summary (when the trace mode records one).
+    pub metrics: Vec<Option<MetricsSummary>>,
+    /// Per-repetition full trace (when the trace mode records one).
+    pub trace: Vec<Option<Trace>>,
+    /// Per-repetition audit findings (when auditing was on).
+    pub audit: Vec<Option<Vec<InvariantFinding>>>,
+}
+
+impl RepColumns {
+    /// Empty columns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty columns pre-sized for `reps` repetitions on `num_workers`
+    /// workers — the batch runner calls this once per batch so appends
+    /// never reallocate.
+    pub fn with_capacity(reps: usize, num_workers: usize) -> Self {
+        let mut c = Self::new();
+        c.reserve(reps, num_workers);
+        c
+    }
+
+    /// Grow every column's capacity for `reps` further repetitions.
+    pub fn reserve(&mut self, reps: usize, num_workers: usize) {
+        self.makespan.reserve(reps);
+        self.num_chunks.reserve(reps);
+        self.dispatched_work.reserve(reps);
+        self.returned_work.reserve(reps);
+        self.completed_work.reserve(reps);
+        self.lost_work.reserve(reps);
+        self.lost_chunks.reserve(reps);
+        self.redispatched_work.reserve(reps);
+        self.outstanding_work.reserve(reps);
+        self.events.reserve(reps);
+        self.per_worker_work.reserve(reps * num_workers);
+        self.per_worker_busy.reserve(reps * num_workers);
+        self.lost_offsets.reserve(reps + 1);
+        self.metrics.reserve(reps);
+        self.trace.reserve(reps);
+        self.audit.reserve(reps);
+    }
+
+    /// Forget every repetition but keep the allocations, ready for the
+    /// next batch.
+    pub fn clear(&mut self) {
+        self.num_workers = 0;
+        self.makespan.clear();
+        self.num_chunks.clear();
+        self.dispatched_work.clear();
+        self.returned_work.clear();
+        self.completed_work.clear();
+        self.lost_work.clear();
+        self.lost_chunks.clear();
+        self.redispatched_work.clear();
+        self.outstanding_work.clear();
+        self.events.clear();
+        self.per_worker_work.clear();
+        self.per_worker_busy.clear();
+        self.lost_ranges.clear();
+        self.lost_offsets.clear();
+        self.metrics.clear();
+        self.trace.clear();
+        self.audit.clear();
+    }
+
+    /// Number of repetitions stored.
+    pub fn len(&self) -> usize {
+        self.makespan.len()
+    }
+
+    /// True when no repetition has landed yet.
+    pub fn is_empty(&self) -> bool {
+        self.makespan.is_empty()
+    }
+
+    /// Mean makespan over the stored repetitions (0 when empty). Sums in
+    /// insertion order, so it is bit-identical to the sequential
+    /// accumulate-and-divide loop it replaces.
+    pub fn mean_makespan(&self) -> f64 {
+        if self.makespan.is_empty() {
+            return 0.0;
+        }
+        self.makespan.iter().sum::<f64>() / self.makespan.len() as f64
+    }
+
+    /// Total engine events over the stored repetitions.
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().sum()
+    }
+
+    /// Per-worker completed work of repetition `rep`.
+    pub fn per_worker_work_of(&self, rep: usize) -> &[f64] {
+        &self.per_worker_work[rep * self.num_workers..(rep + 1) * self.num_workers]
+    }
+
+    /// Per-worker busy seconds of repetition `rep`.
+    pub fn per_worker_busy_of(&self, rep: usize) -> &[f64] {
+        &self.per_worker_busy[rep * self.num_workers..(rep + 1) * self.num_workers]
+    }
+
+    /// Lost unit ranges of repetition `rep`.
+    pub fn lost_ranges_of(&self, rep: usize) -> &[(f64, f64)] {
+        &self.lost_ranges[self.lost_offsets[rep]..self.lost_offsets[rep + 1]]
+    }
+
+    /// Work-conservation residual of repetition `rep` (see
+    /// [`crate::SimResult::conservation_residual`]).
+    pub fn conservation_residual(&self, rep: usize) -> f64 {
+        self.dispatched_work[rep]
+            - (self.completed_work[rep] + self.lost_work[rep] + self.outstanding_work[rep])
+    }
+
+    /// Mean worker utilization of repetition `rep` (see
+    /// [`crate::SimResult::mean_utilization`]).
+    pub fn mean_utilization(&self, rep: usize) -> f64 {
+        if self.makespan[rep] <= 0.0 || self.num_workers == 0 {
+            return 0.0;
+        }
+        let total: f64 = self.per_worker_busy_of(rep).iter().sum();
+        total / (self.makespan[rep] * self.num_workers as f64)
+    }
+}

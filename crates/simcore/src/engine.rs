@@ -39,6 +39,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use crate::columns::RepColumns;
 use crate::error::ErrorInjector;
 use crate::faults::{FaultAction, FaultInjector, FaultModel};
 use crate::invariants::{InvariantChecker, InvariantFinding, WorkLedger};
@@ -1221,6 +1222,89 @@ impl<'a> Engine<'a> {
     ///
     /// Panics if called again without an intervening [`Engine::reset`].
     pub fn run_reusing(&mut self, scheduler: &mut dyn Scheduler) -> Result<SimResult, SimError> {
+        let outstanding_work = self.run_core(scheduler)?;
+        let audit = self.finalize_audit(outstanding_work);
+        let metrics = self.take_metrics();
+        Ok(SimResult {
+            makespan: self.now,
+            num_chunks: self.num_chunks,
+            dispatched_work: self.dispatched_work,
+            returned_work: self.returned_work,
+            per_worker_work: self.workers.iter().map(|w| w.view.completed_work).collect(),
+            per_worker_busy: std::mem::take(&mut self.per_worker_busy),
+            lost_work: self.lost_work,
+            lost_chunks: self.lost_chunks,
+            redispatched_work: self.redispatched_work,
+            outstanding_work,
+            lost_ranges: self.lost_units.drain(..).collect(),
+            events: self.events_processed,
+            metrics,
+            trace: self.take_trace(),
+            audit,
+        })
+    }
+
+    /// Run the simulation to completion and append the outcome to `cols`
+    /// instead of building an owned [`SimResult`] — the batched-repetition
+    /// primitive. Per-repetition vector fields land in the batch's reused
+    /// column buffers, so a warm batch allocates nothing per repetition.
+    /// Field for field, row `i` of `cols` holds exactly what the `i`-th
+    /// sequential [`Engine::run_reusing`] would have returned.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`]. On error nothing is appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called again without an intervening [`Engine::reset`], or
+    /// when `cols` already holds repetitions of a different worker count.
+    pub fn run_reusing_into(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        cols: &mut RepColumns,
+    ) -> Result<(), SimError> {
+        let n = self.platform.num_workers();
+        if cols.is_empty() {
+            cols.num_workers = n;
+            if cols.lost_offsets.is_empty() {
+                cols.lost_offsets.push(0);
+            }
+        }
+        assert_eq!(
+            cols.num_workers, n,
+            "column batch is for a different platform shape"
+        );
+        let outstanding_work = self.run_core(scheduler)?;
+        let audit = self.finalize_audit(outstanding_work);
+        let metrics = self.take_metrics();
+        cols.makespan.push(self.now);
+        cols.num_chunks.push(self.num_chunks);
+        cols.dispatched_work.push(self.dispatched_work);
+        cols.returned_work.push(self.returned_work);
+        cols.completed_work
+            .push(self.workers.iter().map(|w| w.view.completed_work).sum());
+        cols.lost_work.push(self.lost_work);
+        cols.lost_chunks.push(self.lost_chunks);
+        cols.redispatched_work.push(self.redispatched_work);
+        cols.outstanding_work.push(outstanding_work);
+        cols.events.push(self.events_processed);
+        cols.per_worker_work
+            .extend(self.workers.iter().map(|w| w.view.completed_work));
+        cols.per_worker_busy
+            .extend_from_slice(&self.per_worker_busy);
+        cols.lost_ranges.extend(self.lost_units.drain(..));
+        cols.lost_offsets.push(cols.lost_ranges.len());
+        cols.metrics.push(metrics);
+        cols.trace.push(self.take_trace());
+        cols.audit.push(audit);
+        Ok(())
+    }
+
+    /// The event loop plus work-ledger close-out shared by both run
+    /// tails ([`Engine::run_reusing`] / [`Engine::run_reusing_into`]).
+    /// Returns the run's outstanding (dispatched but unsettled) work.
+    fn run_core(&mut self, scheduler: &mut dyn Scheduler) -> Result<f64, SimError> {
         assert!(!self.used, "engine already ran; call reset() first");
         self.used = true;
         let mut finished = false;
@@ -1419,17 +1503,28 @@ impl<'a> Engine<'a> {
             self.link_busy += self.now - self.link_busy_since;
             self.link_busy_since = self.now;
         }
+        Ok(outstanding_work)
+    }
+
+    /// Finalize the streaming invariant checker against the run's work
+    /// ledger (when auditing was on).
+    fn finalize_audit(&mut self, outstanding_work: f64) -> Option<Vec<InvariantFinding>> {
         let completed_work: f64 = self.workers.iter().map(|w| w.view.completed_work).sum();
-        let audit = self.checker.as_mut().map(|c| {
+        let dispatched = self.dispatched_work;
+        let lost = self.lost_work;
+        self.checker.as_mut().map(|c| {
             c.finalize(WorkLedger {
-                dispatched: self.dispatched_work,
+                dispatched,
                 completed: completed_work,
-                lost: self.lost_work,
+                lost,
                 outstanding: outstanding_work,
             })
-        });
-        let metrics = self
-            .config
+        })
+    }
+
+    /// Detach the run's metrics summary (when the trace mode records one).
+    fn take_metrics(&mut self) -> Option<MetricsSummary> {
+        self.config
             .trace_mode
             .records_summary()
             .then(|| MetricsSummary {
@@ -1445,28 +1540,16 @@ impl<'a> Engine<'a> {
                         .map(|(&c, &l)| (c, l))
                         .collect()
                 }),
-            });
-        Ok(SimResult {
-            makespan: self.now,
-            num_chunks: self.num_chunks,
-            dispatched_work: self.dispatched_work,
-            returned_work: self.returned_work,
-            per_worker_work: self.workers.iter().map(|w| w.view.completed_work).collect(),
-            per_worker_busy: std::mem::take(&mut self.per_worker_busy),
-            lost_work: self.lost_work,
-            lost_chunks: self.lost_chunks,
-            redispatched_work: self.redispatched_work,
-            outstanding_work,
-            lost_ranges: self.lost_units.drain(..).collect(),
-            events: self.events_processed,
-            metrics,
-            trace: if self.config.trace_mode.records_trace() {
-                Some(std::mem::take(&mut self.trace))
-            } else {
-                None
-            },
-            audit,
-        })
+            })
+    }
+
+    /// Detach the run's full trace (when the trace mode records one).
+    fn take_trace(&mut self) -> Option<Trace> {
+        if self.config.trace_mode.records_trace() {
+            Some(std::mem::take(&mut self.trace))
+        } else {
+            None
+        }
     }
 }
 

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod columns;
 pub mod engine;
 pub mod error;
 pub mod faults;
@@ -59,6 +60,7 @@ pub mod scheduler;
 pub mod speed;
 pub mod trace;
 
+pub use columns::RepColumns;
 pub use engine::{simulate, Engine, SimConfig, SimError, SimResult, TraceMode};
 pub use error::{ErrorInjector, ErrorModel, TemporalNoise};
 pub use faults::{FaultAction, FaultEvent, FaultModel, FaultPlan, PoissonFaults};

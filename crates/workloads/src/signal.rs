@@ -102,18 +102,14 @@ mod tests {
 
     #[test]
     fn plugs_into_scheduling() {
-        use rumr::SchedulerKind;
+        use rumr::{RunSpec, SchedulerKind};
         let s = SignalProcessing::generate(1000, 8, 6.0, 2);
         let platform = rumr::HomogeneousParams::table1(8, 1.5, 0.1, 0.1)
             .build()
             .unwrap();
         let scenario = s.scenario_trace_driven(platform, 0.05);
-        let r = scenario
-            .run(
-                &SchedulerKind::rumr_known_error(s.cost_variability().min(1.0)),
-                1,
-            )
-            .unwrap();
+        let kind = SchedulerKind::rumr_known_error(s.cost_variability().min(1.0));
+        let r = scenario.execute(&RunSpec::new(kind).seed(1)).unwrap();
         assert!((r.completed_work() - 1000.0).abs() < 1e-6);
     }
 }

@@ -7,7 +7,7 @@
 use dls_sched::{AdaptiveConfig, AdaptiveRumr};
 use rumr::{
     sim::{simulate, ErrorInjector, ErrorModel, SimConfig},
-    HomogeneousParams, Scenario, SchedulerKind,
+    HomogeneousParams, RunSpec, Scenario, SchedulerKind,
 };
 
 fn main() {
@@ -60,7 +60,7 @@ fn main() {
         SchedulerKind::Umr,                     // ignores errors
     ] {
         let mean = scenario
-            .mean_makespan(&kind, 0, 30)
+            .execute_mean(&RunSpec::new(kind).reps(30))
             .expect("simulation succeeds");
         println!("  {:<16} {:>10.2} s", kind.label(), mean);
     }

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example error_sensitivity`
 
-use rumr::{Scenario, SchedulerKind};
+use rumr::{RunSpec, Scenario, SchedulerKind};
 
 fn main() {
     let reps = 30;
@@ -30,7 +30,7 @@ fn main() {
         let scenario = Scenario::table1(20, 1.6, 0.2, 0.2, error);
         let rumr_kind = SchedulerKind::rumr_known_error(error);
         let rumr = scenario
-            .mean_makespan(&rumr_kind, 0, reps)
+            .execute_mean(&RunSpec::new(rumr_kind).reps(reps))
             .expect("simulation succeeds");
 
         print!("{error:<7.2}");
@@ -41,7 +41,7 @@ fn main() {
                 other => *other,
             };
             let mean = scenario
-                .mean_makespan(&kind, 1000, reps)
+                .execute_mean(&RunSpec::new(kind).seed(1000).reps(reps))
                 .expect("simulation succeeds");
             print!("{:>12.4}", mean / rumr);
         }

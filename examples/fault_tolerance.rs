@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example fault_tolerance`
 
-use rumr::{FaultModel, FaultPlan, RecoveryConfig, Scenario, SchedulerKind, SimConfig};
+use rumr::{FaultModel, FaultPlan, RecoveryConfig, RunSpec, Scenario, SchedulerKind, SimConfig};
 
 fn main() {
     // 6 workers, exact predictions, 1000 units. Worker 2 crashes for good at
@@ -14,7 +14,9 @@ fn main() {
     let seed = 42;
     let faults = FaultModel::Plan(FaultPlan::new().crash(60.0, 2));
 
-    let fault_free = scenario.run(&kind, seed).expect("fault-free run");
+    let fault_free = scenario
+        .execute(&RunSpec::new(kind).seed(seed))
+        .expect("fault-free run");
     println!(
         "fault-free RUMR:      makespan {:>7.2} s, {:>6.1} / {} units computed",
         fault_free.makespan,
@@ -25,7 +27,7 @@ fn main() {
     // A plain scheduler has no answer to the crash: the destroyed chunks are
     // simply gone and the run ends with part of the workload never computed.
     let plain = scenario
-        .run_with_faults(&kind, seed, faults.clone())
+        .execute(&RunSpec::new(kind).seed(seed).faults(faults.clone()))
         .expect("faulty run");
     println!(
         "plain RUMR + crash:   makespan {:>7.2} s, {:>6.1} / {} units computed",
@@ -49,14 +51,14 @@ fn main() {
     // back, steers new dispatches away from the dead worker, and factors the
     // lost units out over the survivors until everything is computed.
     let recovering = scenario
-        .run_recovering(
-            &kind,
-            seed,
-            SimConfig {
-                faults,
-                ..Default::default()
-            },
-            RecoveryConfig::default(),
+        .execute(
+            &RunSpec::new(kind)
+                .seed(seed)
+                .config(SimConfig {
+                    faults,
+                    ..Default::default()
+                })
+                .recovering(RecoveryConfig::default()),
         )
         .expect("recovering run");
     println!(

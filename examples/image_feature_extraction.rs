@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example image_feature_extraction`
 
 use dls_workloads::{DivisibleApp, ImageFeatureExtraction};
-use rumr::{HomogeneousParams, SchedulerKind};
+use rumr::{HomogeneousParams, RunSpec, SchedulerKind, TraceMode};
 
 fn main() {
     // A 40×25-block image (1000 blocks) with 8 feature clusters.
@@ -42,14 +42,18 @@ fn main() {
     println!("\n{:<12} {:>14}", "algorithm", "makespan (s)");
     for kind in &competitors {
         let mean = scenario
-            .mean_makespan(kind, 100, 20)
+            .execute_mean(&RunSpec::new(*kind).seed(100).reps(20))
             .expect("simulation succeeds");
         println!("{:<12} {:>14.2}", kind.label(), mean);
     }
 
     // Show one run of the recommended scheduler as a Gantt chart.
     let mut result = scenario
-        .run_traced(&recommended, 1)
+        .execute(
+            &RunSpec::new(recommended)
+                .seed(1)
+                .trace_mode(TraceMode::Full),
+        )
         .expect("simulation succeeds");
     let trace = result.trace.take().expect("trace recorded");
     println!(

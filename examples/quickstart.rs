@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rumr::{Scenario, SchedulerKind};
+use rumr::{RunSpec, Scenario, SchedulerKind};
 
 fn main() {
     // A cluster of 20 workers, each computing 1 workload unit per second.
@@ -40,10 +40,10 @@ fn main() {
     let reps = 25;
     for kind in &algorithms {
         let mean = scenario
-            .mean_makespan(kind, 0, reps)
+            .execute_mean(&RunSpec::new(*kind).reps(reps))
             .expect("simulation succeeds");
         let chunks = scenario
-            .run(kind, 0)
+            .execute(&RunSpec::new(*kind))
             .expect("simulation succeeds")
             .num_chunks;
         println!("{:<14} {:>14.2} {:>10}", kind.label(), mean, chunks);

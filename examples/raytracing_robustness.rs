@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example raytracing_robustness`
 
 use dls_workloads::{DivisibleApp, RayTracing};
-use rumr::{HomogeneousParams, SchedulerKind};
+use rumr::{HomogeneousParams, RunSpec, SchedulerKind};
 
 fn main() {
     println!("Scene complexity sweep on a 24-worker render farm\n");
@@ -39,7 +39,7 @@ fn main() {
             SchedulerKind::Factoring,
         ] {
             let mean = scenario
-                .mean_makespan(&kind, 7, 20)
+                .execute_mean(&RunSpec::new(kind).seed(7).reps(20))
                 .expect("simulation succeeds");
             row.push_str(&format!(" {mean:>10.2}"));
         }

@@ -6,7 +6,7 @@
 
 use dls_sched::HetUmrSchedule;
 use dls_workloads::{DivisibleApp, SequenceMatching};
-use rumr::{ErrorModel, Platform, Scenario, SchedulerKind, WorkerSpec};
+use rumr::{ErrorModel, Platform, RunSpec, Scenario, SchedulerKind, WorkerSpec};
 
 fn main() {
     // A 100k-letter dictionary of 2000 sequences with log-normal lengths.
@@ -85,7 +85,7 @@ fn main() {
         SchedulerKind::EqualStatic,
     ] {
         let mean = scenario
-            .mean_makespan(&kind, 0, 15)
+            .execute_mean(&RunSpec::new(kind).reps(15))
             .expect("simulation succeeds");
         println!("{:<12} {:>14.2}", kind.label(), mean);
     }

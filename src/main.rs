@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use dls_sim::TraceMetrics;
-use rumr::{Scenario, SchedulerKind, UmrInputs, UmrSchedule};
+use rumr::{RunSpec, Scenario, SchedulerKind, TraceMode, UmrInputs, UmrSchedule};
 
 const USAGE: &str = "usage:
   dls simulate --algo <name> [platform flags] [--seed N] [--gantt] [--trace-csv PATH]
@@ -112,7 +112,7 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     )?;
     let seed = flag_usize(flags, "seed", 42)? as u64;
     let result = scenario
-        .run_traced(&algo, seed)
+        .execute(&RunSpec::new(algo).seed(seed).trace_mode(TraceMode::Full))
         .map_err(|e| format!("simulation failed: {e}"))?;
     let n = scenario.platform.num_workers();
     let trace = result.trace.as_ref().expect("trace recorded");
@@ -170,7 +170,7 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
         SchedulerKind::EqualStatic,
     ] {
         let mean = scenario
-            .mean_makespan(&kind, 0, reps)
+            .execute_mean(&RunSpec::new(kind).reps(reps))
             .map_err(|e| format!("{kind}: {e}"))?;
         println!("{:<16} {:>12.2}", kind.label(), mean);
     }

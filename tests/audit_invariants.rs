@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 use rumr::sim::{InvariantChecker, InvariantKind, LostStage, TraceEvent, WorkLedger};
-use rumr::{FaultModel, FaultPlan, Prediction, Scenario, SchedulerKind, SimConfig, TraceMode};
+use rumr::{
+    FaultModel, FaultPlan, Prediction, RunSpec, Scenario, SchedulerKind, SimConfig, TraceMode,
+};
 
 /// Random-but-sane Table-1-style scenario (kept small for debug builds).
 fn scenario_strategy() -> impl Strategy<Value = (Scenario, f64)> {
@@ -74,7 +76,11 @@ proptest! {
         for faults in plans {
             for kind in kinds(error) {
                 let r = scenario
-                    .run_with_config(&kind, seed, audited(TraceMode::MetricsOnly, faults.clone()))
+                    .execute(
+                        &RunSpec::new(kind)
+                            .seed(seed)
+                            .config(audited(TraceMode::MetricsOnly, faults.clone())),
+                    )
                     .unwrap_or_else(|e| panic!("{kind}: {e}"));
                 prop_assert!(r.trace.is_none(), "{kind}: MetricsOnly stores no trace");
                 let findings = r.audit.as_ref().expect("audit was enabled");
@@ -108,7 +114,11 @@ proptest! {
                 oracle.planned_work()
             );
             let r = scenario
-                .run_with_config(&kind, seed, audited(TraceMode::Off, FaultModel::None))
+                .execute(
+                    &RunSpec::new(kind)
+                        .seed(seed)
+                        .config(audited(TraceMode::Off, FaultModel::None)),
+                )
                 .unwrap_or_else(|e| panic!("{kind}: {e}"));
             let prediction = oracle.makespan();
             prop_assert!(

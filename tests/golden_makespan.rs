@@ -12,7 +12,9 @@
 //! and Factoring's minimum-chunk floor merges degenerate tail chunks
 //! (69 → 64 chunks on this platform).
 
-use rumr::{FaultModel, FaultPlan, RecoveryConfig, RumrConfig, Scenario, SchedulerKind, SimConfig};
+use rumr::{
+    FaultModel, FaultPlan, RecoveryConfig, RumrConfig, RunSpec, Scenario, SchedulerKind, SimConfig,
+};
 
 fn table1() -> Scenario {
     Scenario::table1(10, 1.5, 0.2, 0.2, 0.3)
@@ -27,7 +29,7 @@ fn rumr_makespans_are_bit_identical() {
         (42, 0x405d4f22e1bfb2a9, 111),
         (20030623, 0x405d1fdd4888ce5c, 111),
     ] {
-        let r = s.run(&kind, seed).unwrap();
+        let r = s.execute(&RunSpec::new(kind).seed(seed)).unwrap();
         assert_eq!(
             r.makespan.to_bits(),
             bits,
@@ -47,7 +49,9 @@ fn umr_makespans_are_bit_identical() {
         (42, 0x405e2f0564bee54a, 90),
         (20030623, 0x405f679799aa810e, 90),
     ] {
-        let r = s.run(&SchedulerKind::Umr, seed).unwrap();
+        let r = s
+            .execute(&RunSpec::new(SchedulerKind::Umr).seed(seed))
+            .unwrap();
         assert_eq!(
             r.makespan.to_bits(),
             bits,
@@ -67,7 +71,9 @@ fn factoring_makespans_are_bit_identical() {
         (42, 0x405fa4f6cdf20d43, 64),
         (20030623, 0x40610aac0f46c60e, 64),
     ] {
-        let r = s.run(&SchedulerKind::Factoring, seed).unwrap();
+        let r = s
+            .execute(&RunSpec::new(SchedulerKind::Factoring).seed(seed))
+            .unwrap();
         assert_eq!(
             r.makespan.to_bits(),
             bits,
@@ -83,7 +89,7 @@ fn factoring_makespans_are_bit_identical() {
 fn exact_umr_is_bit_identical() {
     // Error-free scenario: exercises the no-injector code path.
     let s = Scenario::table1(10, 1.5, 0.2, 0.2, 0.0);
-    let r = s.run(&SchedulerKind::Umr, 0).unwrap();
+    let r = s.execute(&RunSpec::new(SchedulerKind::Umr)).unwrap();
     assert_eq!(
         r.makespan.to_bits(),
         0x405af6e29754aefa,
@@ -99,7 +105,15 @@ fn concurrent_factoring_is_bit_identical() {
     // Concurrent-transfer extension path (max-min fair uplink pool).
     let s = table1();
     let r = s
-        .run_concurrent(&SchedulerKind::Factoring, 7, 3, Some(15.0))
+        .execute(
+            &RunSpec::new(SchedulerKind::Factoring)
+                .seed(7)
+                .config(SimConfig {
+                    max_concurrent_sends: 3,
+                    uplink_capacity: Some(15.0),
+                    ..Default::default()
+                }),
+        )
         .unwrap();
     assert_eq!(
         r.makespan.to_bits(),
@@ -121,7 +135,9 @@ fn heterogeneous_umr_makespans_are_bit_identical() {
         (42, 0x40569e18c289ac14, 132),
         (20030623, 0x40578dcca1992a5a, 132),
     ] {
-        let r = s.run(&SchedulerKind::HetUmr, seed).unwrap();
+        let r = s
+            .execute(&RunSpec::new(SchedulerKind::HetUmr).seed(seed))
+            .unwrap();
         assert_eq!(
             r.makespan.to_bits(),
             bits,
@@ -142,7 +158,7 @@ fn heterogeneous_rumr_makespans_are_bit_identical() {
         (42, 0x405593bbb298cee5, 150),
         (20030623, 0x4055a1ed35dc2e3f, 150),
     ] {
-        let r = s.run(&kind, seed).unwrap();
+        let r = s.execute(&RunSpec::new(kind).seed(seed)).unwrap();
         assert_eq!(
             r.makespan.to_bits(),
             bits,
@@ -170,11 +186,11 @@ fn recovering_factoring_faulty_run_is_bit_identical() {
         (42, 0x406230aa5e232912, 112),
     ] {
         let r = s
-            .run_recovering(
-                &SchedulerKind::Factoring,
-                seed,
-                cfg.clone(),
-                RecoveryConfig::default(),
+            .execute(
+                &RunSpec::new(SchedulerKind::Factoring)
+                    .seed(seed)
+                    .config(cfg.clone())
+                    .recovering(RecoveryConfig::default()),
             )
             .unwrap();
         assert_eq!(
@@ -200,7 +216,9 @@ fn recovering_factoring_faulty_run_is_bit_identical() {
 #[test]
 fn fault_free_results_have_empty_fault_accounting() {
     let s = table1();
-    let r = s.run(&SchedulerKind::rumr_known_error(0.3), 1).unwrap();
+    let r = s
+        .execute(&RunSpec::new(SchedulerKind::rumr_known_error(0.3)).seed(1))
+        .unwrap();
     assert_eq!(r.lost_work, 0.0);
     assert_eq!(r.lost_chunks, 0);
     assert_eq!(r.redispatched_work, 0.0);

@@ -2,7 +2,7 @@
 //! simulator, checked for conservation, trace validity, and agreement with
 //! the analytic models.
 
-use rumr::{RumrConfig, Scenario, SchedulerKind};
+use rumr::{RumrConfig, RunSpec, Scenario, SchedulerKind, TraceMode};
 
 fn all_kinds(error: f64) -> Vec<SchedulerKind> {
     vec![
@@ -32,7 +32,7 @@ fn every_scheduler_conserves_workload_and_validates() {
         let scenario = Scenario::table1(n, r, clat, nlat, error);
         for kind in all_kinds(error) {
             let result = scenario
-                .run_traced(&kind, 11)
+                .execute(&RunSpec::new(kind).seed(11).trace_mode(TraceMode::Full))
                 .unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert!(
                 (result.completed_work() - 1000.0).abs() < 1e-6,
@@ -72,9 +72,9 @@ fn rumr_equals_umr_without_error_everywhere() {
     ] {
         let scenario = Scenario::table1(n, r, clat, nlat, 0.0);
         let rumr = scenario
-            .run(&SchedulerKind::rumr_known_error(0.0), 0)
+            .execute(&RunSpec::new(SchedulerKind::rumr_known_error(0.0)))
             .unwrap();
-        let umr = scenario.run(&SchedulerKind::Umr, 0).unwrap();
+        let umr = scenario.execute(&RunSpec::new(SchedulerKind::Umr)).unwrap();
         assert_eq!(rumr.num_chunks, umr.num_chunks);
         assert!((rumr.makespan - umr.makespan).abs() < 1e-9);
     }
@@ -84,8 +84,8 @@ fn rumr_equals_umr_without_error_everywhere() {
 fn deterministic_across_identical_runs() {
     let scenario = Scenario::table1(12, 1.7, 0.4, 0.2, 0.35);
     for kind in all_kinds(0.35) {
-        let a = scenario.run(&kind, 99).unwrap();
-        let b = scenario.run(&kind, 99).unwrap();
+        let a = scenario.execute(&RunSpec::new(kind).seed(99)).unwrap();
+        let b = scenario.execute(&RunSpec::new(kind).seed(99)).unwrap();
         assert_eq!(a.makespan, b.makespan, "{kind} not deterministic");
         assert_eq!(a.num_chunks, b.num_chunks);
     }
@@ -98,7 +98,7 @@ fn umr_simulation_matches_analytic_makespan() {
         let scenario = Scenario::table1(n, r, clat, nlat, 0.0);
         let inputs = UmrInputs::from_platform(&scenario.platform, 1000.0).unwrap();
         let schedule = UmrSchedule::solve(inputs).unwrap();
-        let result = scenario.run(&SchedulerKind::Umr, 0).unwrap();
+        let result = scenario.execute(&RunSpec::new(SchedulerKind::Umr)).unwrap();
         let predicted = schedule.predicted_makespan();
         assert!(
             (result.makespan - predicted).abs() < 1e-6 * predicted,
@@ -118,13 +118,17 @@ fn robustness_ordering_at_high_error() {
     let scenario = Scenario::table1(20, 1.6, 0.2, 0.1, error);
     let reps = 40;
     let rumr = scenario
-        .mean_makespan(&SchedulerKind::rumr_known_error(error), 0, reps)
+        .execute_mean(&RunSpec::new(SchedulerKind::rumr_known_error(error)).reps(reps))
         .unwrap();
     let umr = scenario
-        .mean_makespan(&SchedulerKind::Umr, 1000, reps)
+        .execute_mean(&RunSpec::new(SchedulerKind::Umr).seed(1000).reps(reps))
         .unwrap();
     let eq = scenario
-        .mean_makespan(&SchedulerKind::EqualStatic, 2000, reps)
+        .execute_mean(
+            &RunSpec::new(SchedulerKind::EqualStatic)
+                .seed(2000)
+                .reps(reps),
+        )
         .unwrap();
     assert!(
         rumr < umr,
@@ -139,17 +143,20 @@ fn performance_ordering_without_error() {
     // which equals it) must beat the one-round and self-scheduling
     // baselines.
     let scenario = Scenario::table1(10, 1.4, 0.4, 0.3, 0.0);
-    let umr = scenario.run(&SchedulerKind::Umr, 0).unwrap().makespan;
+    let umr = scenario
+        .execute(&RunSpec::new(SchedulerKind::Umr))
+        .unwrap()
+        .makespan;
     let mi1 = scenario
-        .run(&SchedulerKind::Mi { installments: 1 }, 0)
+        .execute(&RunSpec::new(SchedulerKind::Mi { installments: 1 }))
         .unwrap()
         .makespan;
     let eq = scenario
-        .run(&SchedulerKind::EqualStatic, 0)
+        .execute(&RunSpec::new(SchedulerKind::EqualStatic))
         .unwrap()
         .makespan;
     let selfs = scenario
-        .run(&SchedulerKind::SelfScheduling { unit: 10.0 }, 0)
+        .execute(&RunSpec::new(SchedulerKind::SelfScheduling { unit: 10.0 }))
         .unwrap()
         .makespan;
     assert!(umr < mi1, "UMR {umr} vs MI-1 {mi1}");
@@ -165,7 +172,9 @@ fn workload_crate_plugs_into_scheduling() {
         .build()
         .unwrap();
     let scenario = image.scenario(platform);
-    let result = scenario.run(&image.recommended(), 3).unwrap();
+    let result = scenario
+        .execute(&RunSpec::new(image.recommended()).seed(3))
+        .unwrap();
     assert!((result.completed_work() - image.total_units()).abs() < 1e-6);
 }
 
@@ -180,8 +189,9 @@ fn uniform_error_model_behaves_like_normal() {
     uniform_scenario.error_model = rumr::ErrorModel::Uniform { error };
     let kind = SchedulerKind::rumr_known_error(error);
     let reps = 40;
-    let a = normal_scenario.mean_makespan(&kind, 0, reps).unwrap();
-    let b = uniform_scenario.mean_makespan(&kind, 0, reps).unwrap();
+    let spec = RunSpec::new(kind).reps(reps);
+    let a = normal_scenario.execute_mean(&spec).unwrap();
+    let b = uniform_scenario.execute_mean(&spec).unwrap();
     let ratio = a / b;
     assert!(
         (0.9..1.1).contains(&ratio),

@@ -2,7 +2,7 @@
 //! magnitudes: conservation, trace validity, schedule structure.
 
 use proptest::prelude::*;
-use rumr::{Scenario, SchedulerKind};
+use rumr::{RunSpec, Scenario, SchedulerKind, TraceMode};
 
 /// Random-but-sane Table-1-style scenario. Kept small so the full property
 /// suite runs quickly in debug builds.
@@ -46,7 +46,8 @@ proptest! {
     #[test]
     fn conservation_and_valid_traces((scenario, error) in scenario_strategy(), seed in 0u64..1000) {
         for kind in kinds(error) {
-            let result = scenario.run_traced(&kind, seed)
+            let result = scenario
+                .execute(&RunSpec::new(kind).seed(seed).trace_mode(TraceMode::Full))
                 .unwrap_or_else(|e| panic!("{kind}: {e}"));
             prop_assert!(
                 (result.completed_work() - scenario.w_total).abs() < 1e-6 * scenario.w_total,
@@ -64,8 +65,8 @@ proptest! {
     #[test]
     fn determinism((scenario, error) in scenario_strategy(), seed in 0u64..1000) {
         let kind = SchedulerKind::rumr_known_error(error);
-        let a = scenario.run(&kind, seed).unwrap().makespan;
-        let b = scenario.run(&kind, seed).unwrap().makespan;
+        let a = scenario.execute(&RunSpec::new(kind).seed(seed)).unwrap().makespan;
+        let b = scenario.execute(&RunSpec::new(kind).seed(seed)).unwrap().makespan;
         prop_assert_eq!(a, b);
         prop_assert!(a.is_finite() && a > 0.0);
     }
@@ -75,8 +76,8 @@ proptest! {
     fn rumr_zero_error_is_umr((scenario, _) in scenario_strategy()) {
         let mut s = scenario;
         s.error_model = rumr::ErrorModel::None;
-        let a = s.run(&SchedulerKind::rumr_known_error(0.0), 0).unwrap();
-        let b = s.run(&SchedulerKind::Umr, 0).unwrap();
+        let a = s.execute(&RunSpec::new(SchedulerKind::rumr_known_error(0.0))).unwrap();
+        let b = s.execute(&RunSpec::new(SchedulerKind::Umr)).unwrap();
         prop_assert_eq!(a.num_chunks, b.num_chunks);
         prop_assert!((a.makespan - b.makespan).abs() < 1e-9);
     }
@@ -95,7 +96,7 @@ proptest! {
         output_pct in 0u8..=100,
         capped in proptest::bool::ANY,
     ) {
-        use rumr::{SimConfig, TraceMode};
+        use rumr::SimConfig;
         let capacity = capped.then(|| scenario.platform.worker(0).bandwidth * 0.8);
         let config = SimConfig {
             trace_mode: TraceMode::Full,
@@ -105,7 +106,8 @@ proptest! {
             ..Default::default()
         };
         for kind in [SchedulerKind::rumr_known_error(error), SchedulerKind::Factoring] {
-            let result = scenario.run_with_config(&kind, seed, config.clone())
+            let result = scenario
+                .execute(&RunSpec::new(kind).seed(seed).config(config.clone()))
                 .unwrap_or_else(|e| panic!("{kind}: {e}"));
             prop_assert!(
                 (result.completed_work() - scenario.w_total).abs() < 1e-6 * scenario.w_total,
@@ -142,7 +144,7 @@ proptest! {
         recover in proptest::bool::ANY,
         wrap in proptest::bool::ANY,
     ) {
-        use rumr::{FaultModel, PoissonFaults, RecoveryConfig, SimConfig, TraceMode};
+        use rumr::{FaultModel, PoissonFaults, RecoveryConfig, SimConfig};
         let faults = if recover {
             PoissonFaults::crash_recovery(mttf, mttf / 4.0, 20_000.0, fault_seed)
         } else {
@@ -154,11 +156,11 @@ proptest! {
             ..Default::default()
         };
         let kind = SchedulerKind::rumr_known_error(error);
-        let result = if wrap {
-            scenario.run_recovering(&kind, seed, config, RecoveryConfig::default())
-        } else {
-            scenario.run_with_config(&kind, seed, config)
-        }.unwrap_or_else(|e| panic!("{e}"));
+        let mut spec = RunSpec::new(kind).seed(seed).config(config);
+        if wrap {
+            spec = spec.recovering(RecoveryConfig::default());
+        }
+        let result = scenario.execute(&spec).unwrap_or_else(|e| panic!("{e}"));
         prop_assert!(
             result.conservation_residual().abs() <= 1e-6 * result.dispatched_work.abs().max(1.0),
             "ledger residual {} (dispatched {}, lost {}, outstanding {})",

@@ -10,8 +10,8 @@
 
 use proptest::prelude::*;
 use rumr::{
-    FaultModel, FaultPlan, PoissonFaults, QueueBackend, RecoveryConfig, RumrConfig, Scenario,
-    SchedulerKind, SimConfig, SimResult, TraceMode,
+    FaultModel, FaultPlan, PoissonFaults, QueueBackend, RecoveryConfig, RumrConfig, RunSpec,
+    Scenario, SchedulerKind, SimConfig, SimResult, TraceMode,
 };
 
 /// Random-but-sane Table-1-style scenario (kept small for debug builds).
@@ -152,7 +152,7 @@ proptest! {
             for kind in kinds(error) {
                 let run = |backend| {
                     scenario
-                        .run_with_config(&kind, seed, config(backend, &faults))
+                        .execute(&RunSpec::new(kind).seed(seed).config(config(backend, &faults)))
                         .unwrap_or_else(|e| panic!("{kind}: {e}"))
                 };
                 let heap = run(QueueBackend::Heap);
@@ -174,7 +174,12 @@ proptest! {
         let kind = SchedulerKind::rumr_known_error(error);
         let run = |backend| {
             scenario
-                .run_recovering(&kind, seed, config(backend, &faults), RecoveryConfig::default())
+                .execute(
+                    &RunSpec::new(kind)
+                        .seed(seed)
+                        .config(config(backend, &faults))
+                        .recovering(RecoveryConfig::default()),
+                )
                 .unwrap_or_else(|e| panic!("{kind}: {e}"))
         };
         let heap = run(QueueBackend::Heap);
@@ -220,17 +225,15 @@ fn pinned_bench_cases_are_bit_identical() {
         };
         for (scenario, kind) in &cases {
             let run = |backend| {
+                let mut spec = RunSpec::new(*kind)
+                    .seed(42)
+                    .config(config(backend, &faults));
                 if faulty {
-                    scenario.run_recovering(
-                        kind,
-                        42,
-                        config(backend, &faults),
-                        RecoveryConfig::default(),
-                    )
-                } else {
-                    scenario.run_with_config(kind, 42, config(backend, &faults))
+                    spec = spec.recovering(RecoveryConfig::default());
                 }
-                .unwrap_or_else(|e| panic!("{kind}: {e}"))
+                scenario
+                    .execute(&spec)
+                    .unwrap_or_else(|e| panic!("{kind}: {e}"))
             };
             let heap = run(QueueBackend::Heap);
             let cal = run(QueueBackend::Calendar);
@@ -246,7 +249,7 @@ fn pinned_bench_cases_are_bit_identical() {
 fn calendar_reset_reuse_does_not_grow() {
     let scenario = Scenario::table1(20, 1.6, 0.3, 0.2, 0.3);
     let kind = SchedulerKind::rumr_known_error(0.3);
-    let mut runner = scenario.runner(SimConfig {
+    let cfg = SimConfig {
         queue_backend: QueueBackend::Calendar,
         faults: FaultModel::Poisson(PoissonFaults {
             mttf: 60.0,
@@ -256,21 +259,22 @@ fn calendar_reset_reuse_does_not_grow() {
             seed: 11,
         }),
         ..SimConfig::default()
-    });
+    };
+    let mut runner = scenario.runner(cfg.clone());
     let proto = runner.prototype(&kind).unwrap();
+    let spec = RunSpec::new(kind)
+        .config(cfg)
+        .recovering(RecoveryConfig::default())
+        .with_prototype(proto);
     // Warm-up: the first runs size the buckets, and the width retune on
     // `clear` reaches its fixed point by the second repetition.
     for _ in 0..3 {
-        runner
-            .run_recovering_prototype(&proto, 7, RecoveryConfig::default())
-            .unwrap();
+        runner.execute_at(&spec, 7).unwrap();
     }
     let warm = runner.debug_queue_capacity();
     assert!(warm > 0, "probe must report calendar storage");
     for rep in 0..100 {
-        runner
-            .run_recovering_prototype(&proto, 7, RecoveryConfig::default())
-            .unwrap();
+        runner.execute_at(&spec, 7).unwrap();
         assert_eq!(
             runner.debug_queue_capacity(),
             warm,
@@ -279,9 +283,9 @@ fn calendar_reset_reuse_does_not_grow() {
     }
 }
 
-/// `run_recovering_prototype` is bit-identical to `run_recovering` — the
-/// snapshot's faulty cases lean on it to hoist the planner out of the
-/// timed loop.
+/// A spec with a pre-planned prototype attached is bit-identical to one
+/// that plans per run — the snapshot's faulty cases lean on it to hoist
+/// the planner out of the timed loop.
 #[test]
 fn recovering_prototype_matches_fresh_builds() {
     let scenario = Scenario::heterogeneous_demo(20, 0.3);
@@ -297,15 +301,15 @@ fn recovering_prototype_matches_fresh_builds() {
         faults,
         ..SimConfig::default()
     };
-    let mut runner = scenario.runner(cfg);
+    let mut runner = scenario.runner(cfg.clone());
     let proto = runner.prototype(&kind).unwrap();
+    let plain = RunSpec::new(kind)
+        .config(cfg)
+        .recovering(RecoveryConfig::default());
+    let stamped_spec = plain.clone().with_prototype(proto);
     for seed in 0..10 {
-        let fresh = runner
-            .run_recovering(&kind, seed, RecoveryConfig::default())
-            .unwrap();
-        let stamped = runner
-            .run_recovering_prototype(&proto, seed, RecoveryConfig::default())
-            .unwrap();
+        let fresh = runner.execute_at(&plain, seed).unwrap();
+        let stamped = runner.execute_at(&stamped_spec, seed).unwrap();
         assert_eq!(
             fresh.makespan.to_bits(),
             stamped.makespan.to_bits(),

@@ -3,11 +3,11 @@
 //! paper's Figure 3 (UMR) and the RUMR two-phase design promise.
 
 use dls_sim::TraceMetrics;
-use rumr::{Scenario, SchedulerKind};
+use rumr::{RunSpec, Scenario, SchedulerKind, TraceMode};
 
 fn metrics(scenario: &Scenario, kind: &SchedulerKind, seed: u64) -> TraceMetrics {
     let result = scenario
-        .run_traced(kind, seed)
+        .execute(&RunSpec::new(*kind).seed(seed).trace_mode(TraceMode::Full))
         .expect("simulation succeeds");
     TraceMetrics::from_trace(
         result.trace.as_ref().expect("trace recorded"),
@@ -114,15 +114,18 @@ fn trace_driven_costs_shift_hot_chunks() {
     hot.cost_profile = Some(CostProfile::from_unit_costs(&costs));
 
     let kind = SchedulerKind::Umr;
-    let base = uniform.run(&kind, 0).unwrap().makespan;
-    let skewed = hot.run(&kind, 0).unwrap().makespan;
+    let base = uniform.execute(&RunSpec::new(kind)).unwrap().makespan;
+    let skewed = hot.execute(&RunSpec::new(kind)).unwrap().makespan;
     assert!(
         skewed > base * 1.05,
         "hot tail must hurt the static plan: {skewed} vs {base}"
     );
 
     // A reactive scheduler absorbs the same skew better than the plan.
-    let fac_skew = hot.run(&SchedulerKind::Factoring, 0).unwrap().makespan;
+    let fac_skew = hot
+        .execute(&RunSpec::new(SchedulerKind::Factoring))
+        .unwrap()
+        .makespan;
     let umr_skew = skewed;
     assert!(
         fac_skew < umr_skew,

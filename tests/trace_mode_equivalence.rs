@@ -8,7 +8,8 @@
 
 use proptest::prelude::*;
 use rumr::{
-    FaultModel, FaultPlan, RecoveryConfig, Scenario, SchedulerKind, SimConfig, SimResult, TraceMode,
+    FaultModel, FaultPlan, RecoveryConfig, RunSpec, Scenario, SchedulerKind, SimConfig, SimResult,
+    TraceMode,
 };
 
 /// Random-but-sane Table-1-style scenario (kept small for debug builds).
@@ -164,7 +165,7 @@ proptest! {
             for kind in kinds(error) {
                 let run = |mode: TraceMode| {
                     scenario
-                        .run_with_config(&kind, seed, config(mode, &faults))
+                        .execute(&RunSpec::new(kind).seed(seed).config(config(mode, &faults)))
                         .unwrap_or_else(|e| panic!("{kind}: {e}"))
                 };
                 let full = run(TraceMode::Full);
@@ -195,7 +196,12 @@ proptest! {
         let kind = SchedulerKind::rumr_known_error(error);
         let run = |mode: TraceMode| {
             scenario
-                .run_recovering(&kind, seed, config(mode, &faults), RecoveryConfig::default())
+                .execute(
+                    &RunSpec::new(kind)
+                        .seed(seed)
+                        .config(config(mode, &faults))
+                        .recovering(RecoveryConfig::default()),
+                )
                 .unwrap_or_else(|e| panic!("{kind}: {e}"))
         };
         let full = run(TraceMode::Full);
@@ -215,10 +221,12 @@ fn runner_and_prototype_match_fresh_runs() {
     let kind = SchedulerKind::rumr_known_error(0.3);
     let mut runner = scenario.runner(SimConfig::default());
     let proto = runner.prototype(&kind).unwrap();
+    let spec = RunSpec::new(kind);
+    let stamped_spec = spec.clone().with_prototype(proto);
     for seed in 0..20 {
-        let fresh = scenario.run(&kind, seed).unwrap();
-        let reused = runner.run(&kind, seed).unwrap();
-        let stamped = runner.run_prototype(&proto, seed).unwrap();
+        let fresh = scenario.execute(&spec.clone().seed(seed)).unwrap();
+        let reused = runner.execute_at(&spec, seed).unwrap();
+        let stamped = runner.execute_at(&stamped_spec, seed).unwrap();
         assert_results_identical(&reused, &fresh, "runner vs fresh");
         assert_results_identical(&stamped, &fresh, "prototype vs fresh");
     }
